@@ -1,0 +1,83 @@
+// Command benchgen emits the synthetic MCNC-statistics benchmark
+// circuits as YAL-subset files, either one named circuit to stdout or
+// all five into a directory. The generation is deterministic: the same
+// circuit name always produces the same file.
+//
+// Examples:
+//
+//	benchgen -circuit ami33 > ami33.yal
+//	benchgen -dir testdata/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"irgrid/internal/bench"
+	"irgrid/internal/netlist"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "benchmark to emit to stdout ("+strings.Join(bench.Names(), ", ")+")")
+		dir     = flag.String("dir", "", "emit all benchmarks as <name>.yal into this directory")
+		stats   = flag.Bool("stats", false, "print the statistics table instead of YAL")
+	)
+	flag.Parse()
+
+	if *stats {
+		fmt.Printf("%-8s %8s %6s %6s %10s\n", "circuit", "modules", "nets", "pins", "area(mm2)")
+		for _, s := range bench.Specs {
+			c := bench.Generate(s)
+			fmt.Printf("%-8s %8d %6d %6d %10.3f\n",
+				s.Name, len(c.Modules), len(c.Nets), c.PinCount(), c.TotalModuleArea()/1e6)
+		}
+		return
+	}
+
+	switch {
+	case *circuit != "" && *dir != "":
+		fatal(fmt.Errorf("use either -circuit or -dir, not both"))
+	case *circuit != "":
+		c, err := bench.Load(*circuit)
+		if err != nil {
+			fatal(err)
+		}
+		if err := netlist.WriteYAL(os.Stdout, c); err != nil {
+			fatal(err)
+		}
+	case *dir != "":
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, name := range bench.Names() {
+			c, err := bench.Load(name)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*dir, name+".yal")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := netlist.WriteYAL(f, c); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	default:
+		fatal(fmt.Errorf("one of -circuit, -dir or -stats is required"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

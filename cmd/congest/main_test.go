@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"irgrid/congestion"
+)
+
+func demoMap(t *testing.T) *congestion.Map {
+	t.Helper()
+	mp, err := congestion.EstimateIR(600, 600, []congestion.Net{
+		{X1: 90, Y1: 90, X2: 510, Y2: 510},
+		{X1: 90, Y1: 510, X2: 510, Y2: 90},
+		{X1: 240, Y1: 90, X2: 240, Y2: 510},
+	}, congestion.Options{Pitch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+func TestHotspotsSortedAndBounded(t *testing.T) {
+	mp := demoMap(t)
+	hs := hotspots(mp, 3)
+	if len(hs) != 3 {
+		t.Fatalf("%d hotspots", len(hs))
+	}
+	for i := 1; i < len(hs); i++ {
+		if hs[i].d > hs[i-1].d {
+			t.Error("hotspots not sorted by density")
+		}
+	}
+	// Requesting more than exist returns all.
+	all := hotspots(mp, 1<<20)
+	if len(all) != mp.Cells {
+		t.Errorf("%d hotspots, want %d", len(all), mp.Cells)
+	}
+}
+
+func TestFloorplanDocRoundTrip(t *testing.T) {
+	doc := floorplanDoc{
+		Circuit: "x",
+		ChipW:   100, ChipH: 200,
+		Nets: [][4]float64{{1, 2, 3, 4}},
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got floorplanDoc
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Circuit != "x" || got.ChipW != 100 || len(got.Nets) != 1 || got.Nets[0] != [4]float64{1, 2, 3, 4} {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestFloorplanDocFieldNames(t *testing.T) {
+	// The JSON field names are the contract with cmd/floorplan.
+	raw, _ := json.Marshal(floorplanDoc{})
+	for _, want := range []string{"circuit", "chip_w", "chip_h", "nets"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("missing field %q in %s", want, raw)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	mp := demoMap(t)
+	var buf strings.Builder
+	if err := writeCSV(&buf, mp); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "x1,y1,x2,y2,density" {
+		t.Errorf("header %q", lines[0])
+	}
+	if len(lines)-1 != mp.Cells {
+		t.Errorf("%d data rows, want %d", len(lines)-1, mp.Cells)
+	}
+	for _, l := range lines[1:] {
+		if len(strings.Split(l, ",")) != 5 {
+			t.Fatalf("bad row %q", l)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Command experiments regenerates the paper's evaluation: Tables 1–5
+// and Figures 8–9. By default it runs the quick protocol (3 seeds,
+// short anneals); -protocol full reproduces the paper's 20-seed runs.
+//
+// Examples:
+//
+//	experiments -all
+//	experiments -table 3 -protocol full
+//	experiments -figure 9 -circuit ami33
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"irgrid/internal/exp"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate one table (1-5)")
+		figure   = flag.Int("figure", 0, "regenerate one figure (8 or 9)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		validate = flag.Bool("validate", false, "extension: correlate all congestion models against router overflow")
+		ablation = flag.Bool("ablation", false, "extension: compare IR-grid model variants (exact/approx/bounds/merge)")
+		sens     = flag.Bool("sensitivity", false, "extension: fixed-grid pitch sweep (the Figures 3-4 motivation, quantified)")
+		soft     = flag.Bool("soft", false, "extension: hard vs soft-module floorplanning study")
+		reps     = flag.Bool("representations", false, "extension: slicing vs sequence-pair study")
+		samples  = flag.Int("samples", 24, "floorplan samples for -validate / -ablation")
+		protocol = flag.String("protocol", "quick", "protocol: smoke, quick or full")
+		circuit  = flag.String("circuit", "ami33", "circuit for -figure 9")
+		seeds    = flag.Int("seeds", 0, "override the protocol's seed count")
+		parallel = flag.Bool("parallel", false, "run seeds in parallel (identical results; per-run time columns reflect contended cores)")
+	)
+	flag.Parse()
+
+	var p exp.Protocol
+	switch *protocol {
+	case "smoke":
+		p = exp.Smoke()
+	case "quick":
+		p = exp.Quick()
+	case "full":
+		p = exp.Full()
+	default:
+		fatal(fmt.Errorf("unknown protocol %q", *protocol))
+	}
+	if *seeds > 0 {
+		p.Seeds = *seeds
+	}
+	p.Parallel = *parallel
+
+	if !*all && *table == 0 && *figure == 0 && !*validate && !*ablation && !*sens && !*soft && !*reps {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Tables 1+2 are prerequisites of Table 3; compute lazily and share.
+	var t1 []exp.Table1Row
+	var t2 []exp.Table2Row
+	need1 := *all || *table == 1 || *table == 3
+	need2 := *all || *table == 2 || *table == 3
+
+	if need1 {
+		rows, err := exp.RunTable1(p)
+		if err != nil {
+			fatal(err)
+		}
+		t1 = rows
+		if *all || *table == 1 {
+			fmt.Println(exp.FormatTable1(t1))
+		}
+	}
+	if need2 {
+		rows, err := exp.RunTable2(p)
+		if err != nil {
+			fatal(err)
+		}
+		t2 = rows
+		if *all || *table == 2 {
+			fmt.Println(exp.FormatTable2(t2))
+		}
+	}
+	if *all || *table == 3 {
+		fmt.Println(exp.FormatTable3(exp.Table3(t1, t2)))
+	}
+
+	var t4 exp.Table4Result
+	var t5 []exp.Table5Row
+	need4 := *all || *table == 4
+	need5 := *all || *table == 5
+	if need4 {
+		r, err := exp.RunTable4(p)
+		if err != nil {
+			fatal(err)
+		}
+		t4 = r
+		fmt.Println(exp.FormatTable4(t4))
+	}
+	if need5 {
+		rows, err := exp.RunTable5(p)
+		if err != nil {
+			fatal(err)
+		}
+		t5 = rows
+		fmt.Println(exp.FormatTable5(t5))
+	}
+	if *all || (need4 && need5) {
+		if need4 && need5 {
+			fmt.Println(exp.FormatExperiment3(exp.SummarizeExperiment3(t4, t5)))
+		}
+	}
+
+	if *all || *figure == 8 {
+		// The paper's setting: a 31×21-grid type I net, IR-grid top row
+		// y2 = 15, x = 10..20; plus the failure-point row y2 = 19.
+		pts := exp.RunFigure8(31, 21, 15, 10, 20)
+		fmt.Println(exp.FormatFigure8(pts, "31x21 net, y2=15, x=10..20"))
+		pts = exp.RunFigure8(31, 21, 19, 25, 30)
+		fmt.Println(exp.FormatFigure8(pts, "31x21 net, y2=19, x=25..30 (failure point at x=30)"))
+	}
+	if *all || *figure == 9 {
+		fig, err := exp.RunFigure9(p, *circuit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatFigure9(fig))
+	}
+
+	if *all || *validate {
+		v, err := exp.RunValidation(*circuit, *samples, p.BaseSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatValidation(v))
+	}
+
+	if *all || *ablation {
+		a, err := exp.RunAblation(*circuit, *samples, p.BaseSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatAblation(a))
+	}
+
+	if *all || *sens {
+		s, err := exp.RunSensitivity(*circuit, *samples, p.BaseSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatSensitivity(s))
+	}
+
+	if *soft {
+		rows, err := exp.RunSoftStudy(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatSoftStudy(rows))
+	}
+
+	if *reps {
+		rows, err := exp.RunRepStudy(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatRepStudy(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

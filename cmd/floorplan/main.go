@@ -1,0 +1,148 @@
+// Command floorplan runs the routability-driven floorplanner on a
+// built-in benchmark or a YAL-subset circuit file and reports the
+// resulting area, wirelength and congestion. With -json it emits the
+// full floorplan (placement + decomposed nets) for cmd/congest.
+//
+// Examples:
+//
+//	floorplan -circuit ami33 -gamma 0.4 -model ir-grid -pitch 30
+//	floorplan -yal mydesign.yal -alpha 0.5 -beta 0.5 -seed 7
+//	floorplan -circuit apte -json > apte.floorplan.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"irgrid/floorplan"
+	"irgrid/internal/ascii"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "built-in benchmark name ("+strings.Join(floorplan.BenchmarkNames(), ", ")+")")
+		yal     = flag.String("yal", "", "path to a YAL-subset circuit file (alternative to -circuit)")
+		alpha   = flag.Float64("alpha", 0.4, "area weight")
+		beta    = flag.Float64("beta", 0.2, "wirelength weight")
+		gamma   = flag.Float64("gamma", 0.4, "congestion weight (0 disables the congestion term)")
+		model   = flag.String("model", floorplan.ModelIRGrid, "congestion model: ir-grid, ir-grid-exact, fixed-grid")
+		pitch   = flag.Float64("pitch", 30, "grid pitch in um")
+		seed    = flag.Int64("seed", 1, "random seed")
+		moves   = flag.Int("moves", 100, "SA moves per temperature")
+		temps   = flag.Int("temps", 100, "maximum SA temperature steps")
+		judge   = flag.Bool("judge", false, "also score the result with the 10x10 um judging model")
+		asJSON  = flag.Bool("json", false, "emit the floorplan as JSON on stdout")
+		draw    = flag.Bool("draw", false, "render the placement as ASCII art")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuit, *yal)
+	if err != nil {
+		fatal(err)
+	}
+	opts := floorplan.Options{
+		Alpha: *alpha, Beta: *beta, Gamma: *gamma,
+		Seed:         *seed,
+		MovesPerTemp: *moves, MaxTemps: *temps,
+	}
+	if *gamma > 0 {
+		opts.Congestion = floorplan.Congestion{Model: *model, Pitch: *pitch}
+	}
+	opts.PinPitch = *pitch
+
+	res, err := floorplan.Run(c, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		out := jsonResult{
+			Circuit: res.Circuit,
+			ChipW:   res.ChipW, ChipH: res.ChipH,
+			Area: res.Area, Wirelength: res.Wirelength,
+			CongestionCost: res.CongestionCost,
+			Modules:        res.Modules,
+			Nets:           res.TwoPinNets(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("circuit      %s\n", res.Circuit)
+	fmt.Printf("chip         %.0f x %.0f um\n", res.ChipW, res.ChipH)
+	fmt.Printf("area         %.3f mm2\n", res.Area/1e6)
+	fmt.Printf("wirelength   %.0f um\n", res.Wirelength)
+	if *gamma > 0 {
+		fmt.Printf("congestion   %.6g (%s, pitch %.0f um)\n", res.CongestionCost, *model, *pitch)
+	}
+	if *judge {
+		j, err := res.JudgeCongestion()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("judging cgt  %.6f (fixed grid, 10x10 um)\n", j)
+	}
+	fmt.Printf("runtime      %.2fs over %d temperature steps\n", res.Runtime.Seconds(), res.Temperatures)
+	fmt.Printf("\n%-14s %10s %10s %10s %10s %s\n", "module", "x1", "y1", "x2", "y2", "rot")
+	for _, m := range res.Modules {
+		rot := ""
+		if m.Rotated {
+			rot = "R"
+		}
+		fmt.Printf("%-14s %10.0f %10.0f %10.0f %10.0f %s\n", m.Name, m.X1, m.Y1, m.X2, m.Y2, rot)
+	}
+	if *draw {
+		boxes := make([]ascii.Box, len(res.Modules))
+		for i, m := range res.Modules {
+			label := m.Name
+			if j := strings.LastIndexByte(label, '_'); j >= 0 {
+				label = label[j+1:] // trim the circuit prefix
+			}
+			boxes[i] = ascii.Box{Label: label, X1: m.X1, Y1: m.Y1, X2: m.X2, Y2: m.Y2}
+		}
+		fmt.Println()
+		fmt.Print(ascii.Floorplan(res.ChipW, res.ChipH, boxes, 78, 30))
+	}
+}
+
+// jsonResult is the interchange document consumed by cmd/congest.
+type jsonResult struct {
+	Circuit        string                   `json:"circuit"`
+	ChipW          float64                  `json:"chip_w"`
+	ChipH          float64                  `json:"chip_h"`
+	Area           float64                  `json:"area"`
+	Wirelength     float64                  `json:"wirelength"`
+	CongestionCost float64                  `json:"congestion_cost"`
+	Modules        []floorplan.PlacedModule `json:"modules"`
+	Nets           [][4]float64             `json:"nets"`
+}
+
+func loadCircuit(name, yalPath string) (*floorplan.Circuit, error) {
+	switch {
+	case name != "" && yalPath != "":
+		return nil, fmt.Errorf("use either -circuit or -yal, not both")
+	case name != "":
+		return floorplan.Benchmark(name)
+	case yalPath != "":
+		f, err := os.Open(yalPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return floorplan.LoadYAL(f)
+	default:
+		return nil, fmt.Errorf("one of -circuit or -yal is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "floorplan:", err)
+	os.Exit(1)
+}

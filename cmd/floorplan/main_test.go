@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"irgrid/floorplan"
+)
+
+func TestLoadCircuitValidation(t *testing.T) {
+	if _, err := loadCircuit("", ""); err == nil {
+		t.Error("neither source should fail")
+	}
+	if _, err := loadCircuit("ami33", "x.yal"); err == nil {
+		t.Error("both sources should fail")
+	}
+	if _, err := loadCircuit("nope", ""); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	c, err := loadCircuit("apte", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Modules) != 9 {
+		t.Errorf("apte has %d modules", len(c.Modules))
+	}
+}
+
+func TestLoadCircuitFromYAL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.yal")
+	src := `CIRCUIT tiny;
+MODULE a;
+DIMENSIONS 100 100;
+IOLIST;
+p 0.5 0.5;
+ENDIOLIST;
+ENDMODULE;
+MODULE b;
+DIMENSIONS 100 100;
+IOLIST;
+q 0.5 0.5;
+ENDIOLIST;
+ENDMODULE;
+NETWORK;
+n a.p b.q;
+ENDNETWORK;
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadCircuit("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "tiny" || len(c.Modules) != 2 {
+		t.Errorf("parsed %+v", c)
+	}
+	if _, err := loadCircuit("", filepath.Join(dir, "missing.yal")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestJSONResultSchema(t *testing.T) {
+	out := jsonResult{
+		Circuit: "c", ChipW: 10, ChipH: 20, Area: 200,
+		Modules: []floorplan.PlacedModule{{Name: "m", X2: 10, Y2: 20}},
+		Nets:    [][4]float64{{0, 0, 10, 20}},
+	}
+	raw, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"circuit", "chip_w", "chip_h", "area", "wirelength", "congestion_cost", "modules", "nets"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("missing field %q", want)
+		}
+	}
+	// The schema is what cmd/congest consumes: verify cross-parse.
+	var doc struct {
+		ChipW float64      `json:"chip_w"`
+		Nets  [][4]float64 `json:"nets"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ChipW != 10 || len(doc.Nets) != 1 {
+		t.Errorf("cross parse: %+v", doc)
+	}
+}

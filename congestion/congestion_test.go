@@ -1,0 +1,198 @@
+package congestion
+
+import (
+	"math"
+	"testing"
+)
+
+func demoNets() []Net {
+	return []Net{
+		{X1: 30, Y1: 30, X2: 270, Y2: 270},
+		{X1: 30, Y1: 270, X2: 270, Y2: 30},
+		{X1: 150, Y1: 30, X2: 150, Y2: 270},
+		{X1: 60, Y1: 150, X2: 240, Y2: 150},
+	}
+}
+
+func TestEstimateIRBasics(t *testing.T) {
+	mp, err := EstimateIR(300, 300, demoNets(), Options{Pitch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Model != "ir-grid" {
+		t.Errorf("model = %q", mp.Model)
+	}
+	if mp.Cells != (len(mp.XLines)-1)*(len(mp.YLines)-1) {
+		t.Errorf("cells %d vs lines %dx%d", mp.Cells, len(mp.XLines), len(mp.YLines))
+	}
+	if mp.Score <= 0 || mp.MaxDensity() <= 0 {
+		t.Errorf("score %g max %g", mp.Score, mp.MaxDensity())
+	}
+	if mp.Score > mp.MaxDensity()+1e-12 {
+		t.Errorf("score %g exceeds max density %g", mp.Score, mp.MaxDensity())
+	}
+}
+
+func TestEstimateIRExactVsApprox(t *testing.T) {
+	ex, err := EstimateIR(300, 300, demoNets(), Options{Pitch: 30, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := EstimateIR(300, 300, demoNets(), Options{Pitch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Model != "ir-grid(exact)" {
+		t.Errorf("model = %q", ex.Model)
+	}
+	if ex.Cells != ap.Cells {
+		t.Fatalf("cell counts differ: %d vs %d", ex.Cells, ap.Cells)
+	}
+	if rel := math.Abs(ex.Score-ap.Score) / ex.Score; rel > 0.2 {
+		t.Errorf("scores diverge: %g vs %g", ex.Score, ap.Score)
+	}
+}
+
+func TestEstimateFixedBasics(t *testing.T) {
+	mp, err := EstimateFixed(300, 300, demoNets(), Options{Pitch: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Model != "fixed-grid" {
+		t.Errorf("model = %q", mp.Model)
+	}
+	if mp.Cells != 36 {
+		t.Errorf("cells = %d, want 36", mp.Cells)
+	}
+	if len(mp.XLines) != 7 || len(mp.YLines) != 7 {
+		t.Errorf("lines %d/%d", len(mp.XLines), len(mp.YLines))
+	}
+	if mp.Score <= 0 {
+		t.Errorf("score = %g", mp.Score)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := EstimateIR(0, 300, demoNets(), Options{}); err == nil {
+		t.Error("zero chip accepted")
+	}
+	if _, err := EstimateFixed(300, -1, demoNets(), Options{}); err == nil {
+		t.Error("negative chip accepted")
+	}
+	out := []Net{{X1: -10, Y1: 0, X2: 100, Y2: 100}}
+	if _, err := EstimateIR(300, 300, out, Options{}); err == nil {
+		t.Error("pin outside chip accepted")
+	}
+}
+
+func TestDefaultPitch(t *testing.T) {
+	mp, err := EstimateFixed(300, 300, demoNets(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default pitch 30 -> 10x10 cells.
+	if mp.Cells != 100 {
+		t.Errorf("cells = %d, want 100", mp.Cells)
+	}
+}
+
+func TestTopFractionOption(t *testing.T) {
+	n := demoNets()
+	full, err := EstimateFixed(300, 300, n, Options{Pitch: 30, TopFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := EstimateFixed(300, 300, n, Options{Pitch: 30, TopFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Score < full.Score {
+		t.Errorf("top-10%% score %g below whole-chip mean %g", top.Score, full.Score)
+	}
+}
+
+func TestCellAt(t *testing.T) {
+	mp, err := EstimateFixed(300, 300, demoNets(), Options{Pitch: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, cy, ok := mp.CellAt(150, 250)
+	if !ok || cx != 1 || cy != 2 {
+		t.Errorf("CellAt = %d,%d,%v", cx, cy, ok)
+	}
+	if _, _, ok := mp.CellAt(-5, 50); ok {
+		t.Error("outside point located")
+	}
+	if _, _, ok := mp.CellAt(50, 400); ok {
+		t.Error("outside point located")
+	}
+}
+
+func TestCrossProbabilityFacade(t *testing.T) {
+	// The facade matches the example worked in the accuracy study.
+	exact := CrossProbabilityExact(31, 21, 10, 20, 2, 15)
+	approx := CrossProbabilityApprox(31, 21, 10, 20, 2, 15, 0)
+	if exact <= 0 || exact > 1 {
+		t.Errorf("exact = %g", exact)
+	}
+	if math.Abs(exact-approx) > 0.05 {
+		t.Errorf("facade deviation %g", math.Abs(exact-approx))
+	}
+	if CrossProbabilityExact(10, 10, 0, 0, 0, 0) != 1 {
+		t.Error("pin cell should be 1")
+	}
+}
+
+func TestEmptyNets(t *testing.T) {
+	mp, err := EstimateIR(300, 300, nil, Options{Pitch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Score != 0 || mp.MaxDensity() != 0 {
+		t.Errorf("empty nets: score %g max %g", mp.Score, mp.MaxDensity())
+	}
+	// The whole chip is one IR cell (only boundary lines).
+	if mp.Cells != 1 {
+		t.Errorf("cells = %d, want 1", mp.Cells)
+	}
+}
+
+func TestDegenerateLineNet(t *testing.T) {
+	nets := []Net{{X1: 30, Y1: 150, X2: 270, Y2: 150}}
+	mp, err := EstimateIR(300, 300, nets, Options{Pitch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.MaxDensity() <= 0 {
+		t.Error("line net contributed nothing")
+	}
+}
+
+func TestBendLimitedOption(t *testing.T) {
+	mp, err := EstimateFixed(300, 300, demoNets(), Options{Pitch: 30, BendLimited: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Model != "fixed-grid-lz" {
+		t.Errorf("model = %q", mp.Model)
+	}
+	if mp.Score <= 0 {
+		t.Errorf("score = %g", mp.Score)
+	}
+	mono, err := EstimateFixed(300, 300, demoNets(), Options{Pitch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two route-distribution assumptions disagree somewhere.
+	differs := false
+	for iy := range mp.Density {
+		for ix := range mp.Density[iy] {
+			if mp.Density[iy][ix] != mono.Density[iy][ix] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Error("LZ and monotone maps should differ")
+	}
+}

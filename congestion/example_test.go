@@ -1,0 +1,58 @@
+package congestion_test
+
+import (
+	"fmt"
+
+	"irgrid/congestion"
+)
+
+// ExampleEstimateIR scores a hand-placed net set with the paper's
+// Irregular-Grid model.
+func ExampleEstimateIR() {
+	nets := []congestion.Net{
+		{X1: 90, Y1: 90, X2: 510, Y2: 510},
+		{X1: 90, Y1: 510, X2: 510, Y2: 90},
+	}
+	mp, err := congestion.EstimateIR(600, 600, nets, congestion.Options{Pitch: 30})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("model:", mp.Model)
+	fmt.Println("irregular cells:", mp.Cells)
+	fmt.Println("score positive:", mp.Score > 0)
+	// Output:
+	// model: ir-grid
+	// irregular cells: 9
+	// score positive: true
+}
+
+// ExampleCrossProbabilityExact evaluates Formula 3 directly: the
+// probability that a monotone route crosses a given cell rectangle.
+func ExampleCrossProbabilityExact() {
+	// The paper's Figure 6 setting: a 6x6 unit lattice, IR-grid
+	// {2..4}x{2..5}.
+	p := congestion.CrossProbabilityExact(6, 6, 2, 4, 2, 5)
+	fmt.Printf("%.6f\n", p) // 246/252
+	// Output:
+	// 0.976190
+}
+
+// ExampleRoute ground-truth-routes a congested net set and reports the
+// overflow the estimators try to predict.
+func ExampleRoute() {
+	var nets []congestion.Net
+	for i := 0; i < 8; i++ {
+		nets = append(nets, congestion.Net{X1: 15, Y1: 135, X2: 285, Y2: 135})
+	}
+	rep, err := congestion.Route(300, 300, nets, congestion.RouteOptions{
+		Pitch: 30, Capacity: 2, Iterations: 1, Monotone: true,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("overflowed:", rep.Overflow > 0)
+	// Output:
+	// overflowed: true
+}

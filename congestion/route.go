@@ -1,0 +1,145 @@
+package congestion
+
+import (
+	"irgrid/internal/route"
+)
+
+// RouteOptions parameterizes ground-truth global routing.
+type RouteOptions struct {
+	// Pitch is the routing tile size in µm (default 30).
+	Pitch float64
+	// Capacity is the number of tracks per tile edge (default 8).
+	Capacity int
+	// Iterations bounds the rip-up-and-reroute negotiation loop
+	// (default 8).
+	Iterations int
+	// Monotone restricts routes to shortest Manhattan paths inside
+	// each net's bounding box — the congestion models' routing
+	// assumption. Off, routes may detour around congestion.
+	Monotone bool
+}
+
+// RouteReport summarizes a global-routing run: the congestion ground
+// truth the probabilistic estimators try to predict.
+type RouteReport struct {
+	// Overflow is the total track demand beyond capacity over all tile
+	// edges after the final negotiation iteration (0 = fully routable).
+	Overflow int
+	// MaxOverflow is the worst single-edge overflow.
+	MaxOverflow int
+	// Iterations is the number of negotiation rounds executed.
+	Iterations int
+	// Wirelength is the total routed wirelength in µm, including
+	// detours.
+	Wirelength float64
+	// Utilization holds every tile edge's usage/capacity ratio.
+	Utilization []float64
+}
+
+// Route global-routes the 2-pin nets over a chipW×chipH chip and
+// reports the realized congestion. Use it to validate an estimator:
+// an estimate is good when it ranks floorplans the way Overflow does.
+func Route(chipW, chipH float64, nets []Net, opts RouteOptions) (*RouteReport, error) {
+	chip, two, err := toInternal(chipW, chipH, nets)
+	if err != nil {
+		return nil, err
+	}
+	pitch := opts.Pitch
+	if pitch <= 0 {
+		pitch = 30
+	}
+	r := route.New(route.Config{
+		Pitch:         pitch,
+		Capacity:      opts.Capacity,
+		MaxIterations: opts.Iterations,
+		Monotone:      opts.Monotone,
+	})
+	res, err := r.RouteNets(chip, two)
+	if err != nil {
+		return nil, err
+	}
+	rep := &RouteReport{
+		Overflow:    res.Overflow,
+		MaxOverflow: res.MaxOver,
+		Iterations:  res.Iterations,
+		Utilization: res.Grid.EdgeUtilizations(),
+	}
+	for _, rt := range res.Routes {
+		rep.Wirelength += rt.Wirelength(pitch)
+	}
+	return rep, nil
+}
+
+// EstimateRouted produces a congestion Map from an actual routing run:
+// each tile's value is the worst usage/capacity ratio of its incident
+// edges. Unlike the probabilistic estimators, the "density" here is a
+// dimensionless utilization (1.0 = an incident edge exactly at
+// capacity), which is what routers report; it renders on the same heat
+// maps.
+func EstimateRouted(chipW, chipH float64, nets []Net, opts RouteOptions) (*Map, error) {
+	chip, two, err := toInternal(chipW, chipH, nets)
+	if err != nil {
+		return nil, err
+	}
+	pitch := opts.Pitch
+	if pitch <= 0 {
+		pitch = 30
+	}
+	r := route.New(route.Config{
+		Pitch:         pitch,
+		Capacity:      opts.Capacity,
+		MaxIterations: opts.Iterations,
+		Monotone:      opts.Monotone,
+	})
+	res, err := r.RouteNets(chip, two)
+	if err != nil {
+		return nil, err
+	}
+	g := res.Grid
+	out := &Map{
+		Model: "routed",
+		Cells: g.Cols * g.Rows,
+	}
+	for i := 0; i <= g.Cols; i++ {
+		out.XLines = append(out.XLines, float64(i)*pitch)
+	}
+	for i := 0; i <= g.Rows; i++ {
+		out.YLines = append(out.YLines, float64(i)*pitch)
+	}
+	cap := float64(g.Capacity)
+	out.Density = make([][]float64, g.Rows)
+	for y := 0; y < g.Rows; y++ {
+		out.Density[y] = make([]float64, g.Cols)
+		for x := 0; x < g.Cols; x++ {
+			var worst int
+			if x > 0 {
+				worst = maxInt(worst, g.UsageH(x-1, y))
+			}
+			if x < g.Cols-1 {
+				worst = maxInt(worst, g.UsageH(x, y))
+			}
+			if y > 0 {
+				worst = maxInt(worst, g.UsageV(x, y-1))
+			}
+			if y < g.Rows-1 {
+				worst = maxInt(worst, g.UsageV(x, y))
+			}
+			out.Density[y][x] = float64(worst) / cap
+		}
+	}
+	// Score: the same top-10% aggregate the other models use, over
+	// tile utilizations.
+	flat := make([]float64, 0, out.Cells)
+	for _, row := range out.Density {
+		flat = append(flat, row...)
+	}
+	out.Score = topMean(flat, 0.10)
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

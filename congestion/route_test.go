@@ -1,0 +1,127 @@
+package congestion
+
+import (
+	"testing"
+)
+
+func TestRouteBasics(t *testing.T) {
+	rep, err := Route(300, 300, demoNets(), RouteOptions{Pitch: 30, Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overflow != 0 {
+		t.Errorf("four nets at capacity 8 should not overflow: %d", rep.Overflow)
+	}
+	if rep.Wirelength <= 0 {
+		t.Errorf("wirelength = %g", rep.Wirelength)
+	}
+	if len(rep.Utilization) == 0 {
+		t.Error("no utilizations")
+	}
+	for _, u := range rep.Utilization {
+		if u < 0 {
+			t.Fatalf("negative utilization %g", u)
+		}
+	}
+}
+
+func TestRouteOverflowUnderPressure(t *testing.T) {
+	var nets []Net
+	for i := 0; i < 10; i++ {
+		nets = append(nets, Net{X1: 15, Y1: 135, X2: 285, Y2: 135})
+	}
+	rep, err := Route(300, 300, nets, RouteOptions{Pitch: 30, Capacity: 1, Iterations: 1, Monotone: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overflow == 0 {
+		t.Error("ten stacked monotone nets at capacity 1 must overflow")
+	}
+	if rep.MaxOverflow <= 0 || rep.MaxOverflow > rep.Overflow {
+		t.Errorf("max overflow %d vs total %d", rep.MaxOverflow, rep.Overflow)
+	}
+}
+
+func TestRouteNegotiationResolves(t *testing.T) {
+	var nets []Net
+	for i := 0; i < 3; i++ {
+		nets = append(nets, Net{X1: 15, Y1: 135, X2: 285, Y2: 135})
+	}
+	rep, err := Route(300, 300, nets, RouteOptions{Pitch: 30, Capacity: 1, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overflow != 0 {
+		t.Errorf("free-detour negotiation should resolve 3 nets: overflow %d", rep.Overflow)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	if _, err := Route(0, 300, nil, RouteOptions{}); err == nil {
+		t.Error("zero chip accepted")
+	}
+	if _, err := Route(300, 300, []Net{{X1: -1, Y1: 0, X2: 10, Y2: 10}}, RouteOptions{}); err == nil {
+		t.Error("out-of-chip pin accepted")
+	}
+}
+
+func TestRouteEstimatorAgreement(t *testing.T) {
+	// The prediction story end to end: the IR estimate of a congested
+	// net set should exceed that of a sparse one, and the router's
+	// overflow should agree on the ordering.
+	sparse := []Net{{X1: 30, Y1: 30, X2: 270, Y2: 270}}
+	var dense []Net
+	for i := 0; i < 16; i++ {
+		dense = append(dense, Net{X1: 90, Y1: 135, X2: 210, Y2: 165})
+	}
+	ds, err := EstimateIR(300, 300, dense, Options{Pitch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := EstimateIR(300, 300, sparse, Options{Pitch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Score <= ss.Score {
+		t.Errorf("IR: dense %g should exceed sparse %g", ds.Score, ss.Score)
+	}
+	dr, err := Route(300, 300, dense, RouteOptions{Pitch: 30, Capacity: 2, Iterations: 1, Monotone: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Route(300, 300, sparse, RouteOptions{Pitch: 30, Capacity: 2, Iterations: 1, Monotone: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Overflow <= sr.Overflow {
+		t.Errorf("router: dense %d should exceed sparse %d", dr.Overflow, sr.Overflow)
+	}
+}
+
+func TestEstimateRouted(t *testing.T) {
+	var nets []Net
+	for i := 0; i < 6; i++ {
+		nets = append(nets, Net{X1: 15, Y1: 135, X2: 285, Y2: 135})
+	}
+	mp, err := EstimateRouted(300, 300, nets, RouteOptions{Pitch: 30, Capacity: 2, Iterations: 1, Monotone: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Model != "routed" {
+		t.Errorf("model = %q", mp.Model)
+	}
+	if mp.Cells != 100 {
+		t.Errorf("cells = %d", mp.Cells)
+	}
+	// Six monotone nets on a capacity-2 corridor: utilization 3.0 on
+	// the shared row.
+	if mp.MaxDensity() < 2.9 {
+		t.Errorf("max utilization %g, want ~3", mp.MaxDensity())
+	}
+	if mp.Score <= 0 {
+		t.Errorf("score = %g", mp.Score)
+	}
+	if _, err := EstimateRouted(0, 0, nets, RouteOptions{}); err == nil {
+		t.Error("bad chip accepted")
+	}
+}

@@ -1,0 +1,82 @@
+// Accuracy reproduces the paper's Figure 8 study: how closely the
+// Theorem 1 normal approximation tracks the exact Formula 3
+// boundary-escape probabilities, including the §4.5 failure points
+// where the approximation has no value.
+//
+// The paper's setting: a type I net whose routing range is divided
+// into 31x21 unit grids. The example sweeps whole IR-rectangles as
+// well, comparing the O(1) approximation against the exact O(perimeter)
+// sums.
+//
+//	go run ./examples/accuracy
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"irgrid/congestion"
+)
+
+func main() {
+	const g1, g2 = 31, 21
+
+	// Part 1: Figure 8(b) — an interior IR-grid top row (y2 = 15),
+	// columns x = 10..20. "The approximation is extremely accurate."
+	fmt.Println("Whole IR-rectangle crossing probabilities, 31x21 type I net")
+	fmt.Printf("%-22s %10s %10s %10s\n", "IR-rect [x1..x2]x[y1..y2]", "exact", "approx", "|dev|")
+	worst := 0.0
+	rects := [][4]int{
+		{10, 20, 2, 15},
+		{5, 12, 3, 9},
+		{1, 8, 10, 18},
+		{14, 25, 5, 12},
+		{22, 28, 14, 19},
+		{3, 27, 8, 11},
+	}
+	for _, r := range rects {
+		exact := congestion.CrossProbabilityExact(g1, g2, r[0], r[1], r[2], r[3])
+		approx := congestion.CrossProbabilityApprox(g1, g2, r[0], r[1], r[2], r[3], 0)
+		d := math.Abs(exact - approx)
+		if d > worst {
+			worst = d
+		}
+		fmt.Printf("[%2d..%2d]x[%2d..%2d]      %10.6f %10.6f %10.6f\n",
+			r[0], r[1], r[2], r[3], exact, approx, d)
+	}
+	fmt.Printf("worst deviation %.4f (paper: generally below 0.05)\n\n", worst)
+
+	// Part 2: pin-adjacent IR-grids are assigned probability 1 directly
+	// (Algorithm step 3.1 and the §4.5 rule) — both model variants
+	// agree there by construction.
+	fmt.Println("Pin and error-cell IR-grids (probability 1 by rule):")
+	for _, r := range [][4]int{
+		{0, 0, 0, 0},                     // source pin
+		{g1 - 1, g1 - 1, g2 - 1, g2 - 1}, // sink pin
+		{g1 - 2, g1 - 1, g2 - 2, g2 - 1}, // sink + Sec. 4.5 error cells
+	} {
+		exact := congestion.CrossProbabilityExact(g1, g2, r[0], r[1], r[2], r[3])
+		approx := congestion.CrossProbabilityApprox(g1, g2, r[0], r[1], r[2], r[3], 0)
+		fmt.Printf("[%2d..%2d]x[%2d..%2d]      exact %g, approx %g\n",
+			r[0], r[1], r[2], r[3], exact, approx)
+	}
+
+	// Part 3: the speed/size trade. The exact sums walk the
+	// IR-rectangle perimeter; the approximation is constant-time. Count
+	// arithmetic work by sweeping rectangle sizes.
+	fmt.Println("\nCost model: exact work grows with the IR-rect perimeter, approx is O(1):")
+	for _, span := range []int{2, 5, 10, 20} {
+		x2 := 5 + span
+		y2 := 2 + span
+		if x2 > g1-2 {
+			x2 = g1 - 2
+		}
+		if y2 > g2-2 {
+			y2 = g2 - 2
+		}
+		exact := congestion.CrossProbabilityExact(g1, g2, 5, x2, 2, y2)
+		approx := congestion.CrossProbabilityApprox(g1, g2, 5, x2, 2, y2, 0)
+		fmt.Printf("span %2d: exact terms ~%2d, simpson evals ~10, values %.5f / %.5f\n",
+			span, (x2-5+1)+(y2-2+1), exact, approx)
+	}
+}

@@ -1,0 +1,138 @@
+package floorplan
+
+import (
+	"fmt"
+	"sort"
+
+	"irgrid/internal/core"
+	"irgrid/internal/grid"
+)
+
+// CongestionMap is a congestion heat map of a finished floorplan: the
+// cutting-line coordinates in each dimension and the per-cell
+// congestion densities (probability mass per µm²). For the fixed-size
+// grid model the lines are uniformly spaced; for the Irregular-Grid
+// model they are the merged routing-range cutting lines.
+type CongestionMap struct {
+	Model  string
+	XLines []float64
+	YLines []float64
+	// Density[row][col] is the congestion density of the cell between
+	// YLines[row]..YLines[row+1] and XLines[col]..XLines[col+1].
+	Density [][]float64
+	// Score is the model's chip-level congestion cost (average of the
+	// top-10% most congested grids / area units).
+	Score float64
+	// Cells is the number of evaluation cells (IR-grids or fixed
+	// grids).
+	Cells int
+}
+
+// Hotspot is one congested region of a floorplan.
+type Hotspot struct {
+	X1, Y1, X2, Y2 float64
+	Density        float64
+}
+
+// Hotspots returns the k most congested cells, most congested first.
+func (m *CongestionMap) Hotspots(k int) []Hotspot {
+	var hs []Hotspot
+	for iy := 0; iy+1 < len(m.YLines); iy++ {
+		for ix := 0; ix+1 < len(m.XLines); ix++ {
+			hs = append(hs, Hotspot{
+				X1: m.XLines[ix], Y1: m.YLines[iy],
+				X2: m.XLines[ix+1], Y2: m.YLines[iy+1],
+				Density: m.Density[iy][ix],
+			})
+		}
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Density > hs[j].Density })
+	if k < len(hs) {
+		hs = hs[:k]
+	}
+	return hs
+}
+
+// CongestionMap re-evaluates the finished floorplan under the given
+// congestion model and returns the resulting heat map. It is how a
+// caller inspects where the congestion lives, or scores a floorplan
+// under a different model than the one that drove the anneal (the
+// paper's "judging model" methodology).
+func (r *Result) CongestionMap(cg Congestion) (*CongestionMap, error) {
+	if r.sol == nil {
+		return nil, fmt.Errorf("floorplan: result was not produced by Run")
+	}
+	pitch := cg.Pitch
+	if pitch <= 0 {
+		pitch = 30
+	}
+	chip := r.sol.Placement.Chip
+	switch cg.Model {
+	case ModelIRGrid, ModelIRGridExact:
+		m := core.Model{Pitch: pitch, Exact: cg.Model == ModelIRGridExact}
+		mp := m.Evaluate(chip, r.sol.Nets)
+		out := &CongestionMap{
+			Model:  cg.Model,
+			XLines: append([]float64(nil), mp.XAxis...),
+			YLines: append([]float64(nil), mp.YAxis...),
+			Score:  mp.TopScore(0.10),
+			Cells:  mp.GridCount(),
+		}
+		out.Density = make([][]float64, mp.Rows())
+		for iy := 0; iy < mp.Rows(); iy++ {
+			out.Density[iy] = make([]float64, mp.Cols())
+			for ix := 0; ix < mp.Cols(); ix++ {
+				out.Density[iy][ix] = mp.Density(ix, iy)
+			}
+		}
+		return out, nil
+	case ModelFixedGrid:
+		m := grid.Model{Pitch: pitch}
+		mp := m.Evaluate(chip, r.sol.Nets)
+		out := &CongestionMap{
+			Model: cg.Model,
+			Score: mp.TopScore(0.10),
+			Cells: mp.Cols * mp.Rows,
+		}
+		for i := 0; i <= mp.Cols; i++ {
+			out.XLines = append(out.XLines, chip.X1+float64(i)*pitch)
+		}
+		for i := 0; i <= mp.Rows; i++ {
+			out.YLines = append(out.YLines, chip.Y1+float64(i)*pitch)
+		}
+		cellArea := pitch * pitch
+		out.Density = make([][]float64, mp.Rows)
+		for iy := 0; iy < mp.Rows; iy++ {
+			out.Density[iy] = make([]float64, mp.Cols)
+			for ix := 0; ix < mp.Cols; ix++ {
+				out.Density[iy][ix] = mp.At(ix, iy) / cellArea
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("floorplan: unknown congestion model %q", cg.Model)
+	}
+}
+
+// JudgeCongestion scores the floorplan with the paper's judging model:
+// the fixed-size-grid estimator at a very fine 10×10 µm² pitch.
+func (r *Result) JudgeCongestion() (float64, error) {
+	if r.sol == nil {
+		return 0, fmt.Errorf("floorplan: result was not produced by Run")
+	}
+	return grid.Model{Pitch: 10}.Score(r.sol.Placement.Chip, r.sol.Nets), nil
+}
+
+// TwoPinNets returns the MST-decomposed two-pin nets of the floorplan
+// as [x1, y1, x2, y2] pin-coordinate quadruples, for callers that want
+// to run their own analysis.
+func (r *Result) TwoPinNets() [][4]float64 {
+	if r.sol == nil {
+		return nil
+	}
+	out := make([][4]float64, 0, len(r.sol.Nets))
+	for _, n := range r.sol.Nets {
+		out = append(out, [4]float64{n.A.X, n.A.Y, n.B.X, n.B.Y})
+	}
+	return out
+}

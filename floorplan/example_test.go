@@ -1,0 +1,72 @@
+package floorplan_test
+
+import (
+	"fmt"
+
+	"irgrid/floorplan"
+)
+
+// ExampleRun floorplans a small hand-built circuit with the
+// Irregular-Grid congestion term in the cost function.
+func ExampleRun() {
+	c := &floorplan.Circuit{
+		Name: "pair",
+		Modules: []floorplan.Module{
+			{Name: "a", W: 300, H: 300},
+			{Name: "b", W: 300, H: 300},
+		},
+		Nets: []floorplan.Net{{
+			Name: "n",
+			Pins: []floorplan.Pin{
+				{Module: "a", FX: 1, FY: 0.5},
+				{Module: "b", FX: 0, FY: 0.5},
+			},
+		}},
+	}
+	res, err := floorplan.Run(c, floorplan.Options{
+		Alpha: 0.5, Beta: 0.3, Gamma: 0.2,
+		Congestion:   floorplan.Congestion{Model: floorplan.ModelIRGrid, Pitch: 30},
+		Seed:         1,
+		MovesPerTemp: 10, MaxTemps: 10,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Two equal squares pack without any dead area.
+	fmt.Printf("area %.0f um2 (dead space %.0f)\n", res.Area, res.Area-2*300*300)
+	fmt.Printf("modules placed: %d\n", len(res.Modules))
+	// Output:
+	// area 180000 um2 (dead space 0)
+	// modules placed: 2
+}
+
+// ExampleResult_CongestionMap inspects where the congestion of a
+// finished floorplan lives.
+func ExampleResult_CongestionMap() {
+	c, err := floorplan.Benchmark("apte")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := floorplan.Run(c, floorplan.Options{
+		Alpha: 0.5, Beta: 0.5,
+		Seed:         3,
+		MovesPerTemp: 10, MaxTemps: 10,
+		PinPitch: 60,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	mp, err := res.CongestionMap(floorplan.Congestion{Model: floorplan.ModelIRGrid, Pitch: 60})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("irregular cells: %v\n", mp.Cells > 0)
+	fmt.Printf("hotspots sorted: %v\n", len(mp.Hotspots(3)) > 0)
+	// Output:
+	// irregular cells: true
+	// hotspots sorted: true
+}

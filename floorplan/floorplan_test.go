@@ -1,0 +1,278 @@
+package floorplan
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoCircuit() *Circuit {
+	return &Circuit{
+		Name: "demo",
+		Modules: []Module{
+			{Name: "cpu", W: 300, H: 300},
+			{Name: "mem", W: 300, H: 150},
+			{Name: "io", W: 150, H: 300},
+			{Name: "dma", W: 150, H: 150},
+		},
+		Nets: []Net{
+			{Name: "bus", Pins: []Pin{
+				{Module: "cpu", FX: 1, FY: 0.5},
+				{Module: "mem", FX: 0, FY: 0.5},
+				{Module: "dma", FX: 0.5, FY: 1},
+			}},
+			{Name: "irq", Pins: []Pin{
+				{Module: "io", FX: 0.5, FY: 0},
+				{Module: "cpu", FX: 0.5, FY: 1},
+			}},
+		},
+	}
+}
+
+func demoOpts() Options {
+	return Options{
+		Alpha: 0.4, Beta: 0.2, Gamma: 0.4,
+		Congestion:   Congestion{Model: ModelIRGrid, Pitch: 30},
+		Seed:         1,
+		MovesPerTemp: 20, MaxTemps: 15,
+	}
+}
+
+func TestBenchmarks(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 5 {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		c, err := Benchmark(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if _, err := Benchmark("nope"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(demoCircuit(), demoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit != "demo" {
+		t.Errorf("circuit = %q", res.Circuit)
+	}
+	if res.Area <= 0 || res.Wirelength <= 0 || res.CongestionCost <= 0 {
+		t.Errorf("metrics: %+v", res)
+	}
+	if math.Abs(res.ChipW*res.ChipH-res.Area) > 1e-6 {
+		t.Errorf("area %g != chip %g x %g", res.Area, res.ChipW, res.ChipH)
+	}
+	if len(res.Modules) != 4 {
+		t.Fatalf("%d placed modules", len(res.Modules))
+	}
+	// Placements are inside the chip and non-overlapping.
+	for i, m := range res.Modules {
+		if m.X1 < -1e-6 || m.Y1 < -1e-6 || m.X2 > res.ChipW+1e-6 || m.Y2 > res.ChipH+1e-6 {
+			t.Errorf("module %s outside chip: %+v", m.Name, m)
+		}
+		for _, n := range res.Modules[i+1:] {
+			if m.X1 < n.X2-1e-6 && n.X1 < m.X2-1e-6 && m.Y1 < n.Y2-1e-6 && n.Y1 < m.Y2-1e-6 {
+				t.Errorf("modules %s and %s overlap", m.Name, n.Name)
+			}
+		}
+	}
+	if res.Runtime <= 0 || res.Temperatures <= 0 {
+		t.Errorf("runtime/temps: %v/%d", res.Runtime, res.Temperatures)
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	a, err := Run(demoCircuit(), demoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(demoCircuit(), demoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Area != b.Area || a.Wirelength != b.Wirelength || a.Cost != b.Cost {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := demoCircuit()
+	if _, err := Run(c, Options{Gamma: 1}); err == nil {
+		t.Error("gamma without model accepted")
+	}
+	if _, err := Run(c, Options{Gamma: 1, Congestion: Congestion{Model: "bogus"}}); err == nil {
+		t.Error("bogus model accepted")
+	}
+	bad := demoCircuit()
+	bad.Nets[0].Pins[0].Module = "ghost"
+	if _, err := Run(bad, demoOpts()); err == nil {
+		t.Error("unknown module reference accepted")
+	}
+	bad2 := demoCircuit()
+	bad2.Modules[0].W = 0
+	if _, err := Run(bad2, demoOpts()); err == nil {
+		t.Error("zero-width module accepted")
+	}
+}
+
+func TestRunDefaultsToAreaWire(t *testing.T) {
+	res, err := Run(demoCircuit(), Options{Seed: 3, MovesPerTemp: 10, MaxTemps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CongestionCost != 0 {
+		t.Errorf("congestion = %g without a model", res.CongestionCost)
+	}
+}
+
+func TestAllCongestionModels(t *testing.T) {
+	for _, model := range []string{ModelIRGrid, ModelIRGridExact, ModelFixedGrid, ModelFixedGridLZ} {
+		opts := demoOpts()
+		opts.Congestion.Model = model
+		res, err := Run(demoCircuit(), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if res.CongestionCost <= 0 {
+			t.Errorf("%s: congestion = %g", model, res.CongestionCost)
+		}
+	}
+}
+
+func TestYALRoundTripPublic(t *testing.T) {
+	c := demoCircuit()
+	var buf bytes.Buffer
+	if err := c.WriteYAL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadYAL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != c.Name || len(got.Modules) != len(c.Modules) || len(got.Nets) != len(c.Nets) {
+		t.Errorf("round trip: %+v", got)
+	}
+	if got.Nets[0].Pins[0].Module != "cpu" {
+		t.Errorf("pin module = %q", got.Nets[0].Pins[0].Module)
+	}
+}
+
+func TestLoadYALBad(t *testing.T) {
+	if _, err := LoadYAL(strings.NewReader("garbage")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestCongestionMapAndJudge(t *testing.T) {
+	res, err := Run(demoCircuit(), demoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []string{ModelIRGrid, ModelIRGridExact, ModelFixedGrid} {
+		mp, err := res.CongestionMap(Congestion{Model: model, Pitch: 30})
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if mp.Cells <= 0 || len(mp.Density) == 0 {
+			t.Fatalf("%s: empty map", model)
+		}
+		if len(mp.Density) != len(mp.YLines)-1 || len(mp.Density[0]) != len(mp.XLines)-1 {
+			t.Fatalf("%s: shape mismatch", model)
+		}
+		hs := mp.Hotspots(3)
+		if len(hs) == 0 {
+			t.Fatalf("%s: no hotspots", model)
+		}
+		for i := 1; i < len(hs); i++ {
+			if hs[i].Density > hs[i-1].Density {
+				t.Errorf("%s: hotspots not sorted", model)
+			}
+		}
+	}
+	if _, err := res.CongestionMap(Congestion{Model: "bogus"}); err == nil {
+		t.Error("bogus model accepted")
+	}
+	j, err := res.JudgeCongestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j <= 0 {
+		t.Errorf("judge = %g", j)
+	}
+}
+
+func TestTwoPinNets(t *testing.T) {
+	res, err := Run(demoCircuit(), demoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := res.TwoPinNets()
+	// bus (3 pins -> 2 edges) + irq (1 edge) = 3.
+	if len(nets) != 3 {
+		t.Fatalf("%d two-pin nets", len(nets))
+	}
+	for _, n := range nets {
+		for _, v := range n {
+			if v < -1e-6 || v > math.Max(res.ChipW, res.ChipH)+1e-6 {
+				t.Errorf("pin coordinate %g outside chip", v)
+			}
+		}
+	}
+}
+
+func TestResultNotFromRun(t *testing.T) {
+	var r Result
+	if _, err := r.CongestionMap(Congestion{Model: ModelIRGrid}); err == nil {
+		t.Error("expected error for synthetic Result")
+	}
+	if _, err := r.JudgeCongestion(); err == nil {
+		t.Error("expected error for synthetic Result")
+	}
+	if r.TwoPinNets() != nil {
+		t.Error("expected nil nets")
+	}
+}
+
+func TestNoRotate(t *testing.T) {
+	opts := demoOpts()
+	opts.NoRotate = true
+	res, err := Run(demoCircuit(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Modules {
+		if m.Rotated {
+			t.Errorf("module %s rotated despite NoRotate", m.Name)
+		}
+	}
+}
+
+func TestSeqPairRepresentationPublic(t *testing.T) {
+	opts := demoOpts()
+	opts.Representation = ReprSeqPair
+	res, err := Run(demoCircuit(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Area <= 0 || res.CongestionCost <= 0 {
+		t.Errorf("seqpair result: %+v", res)
+	}
+	// Congestion analysis still works on seqpair placements.
+	if _, err := res.CongestionMap(Congestion{Model: ModelIRGrid, Pitch: 30}); err != nil {
+		t.Fatal(err)
+	}
+	opts.Representation = "hexagon"
+	if _, err := Run(demoCircuit(), opts); err == nil {
+		t.Error("unknown representation accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package floorplan
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MultiResult is the outcome of a RunBest multi-seed search.
+type MultiResult struct {
+	// Best is the lowest-cost result across all seeds.
+	Best *Result
+	// BestSeed is the seed that produced it.
+	BestSeed int64
+	// Costs holds every seed's final normalized cost, indexed by
+	// seed - firstSeed.
+	Costs []float64
+}
+
+// RunBest anneals the circuit with `seeds` consecutive seeds starting
+// at opts.Seed — the paper's protocol runs every experiment "20 times
+// using different random number generator seeds" — and returns the
+// best result. Runs execute in parallel across CPUs; each individual
+// run is unchanged from Run with that seed, so RunBest(c, o, n) picks
+// exactly the best of {Run(c, o seed=s)}.
+func RunBest(c *Circuit, opts Options, seeds int) (*MultiResult, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("floorplan: seeds must be >= 1, got %d", seeds)
+	}
+	// Validate once up front so workers can't race on a broken input.
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+
+	type outcome struct {
+		idx int
+		res *Result
+		err error
+	}
+	results := make([]outcome, seeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < seeds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts
+			o.Seed = opts.Seed + int64(i)
+			res, err := Run(c, o)
+			results[i] = outcome{idx: i, res: res, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	out := &MultiResult{Costs: make([]float64, seeds)}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out.Costs[r.idx] = r.res.Cost
+		if out.Best == nil || r.res.Cost < out.Best.Cost {
+			out.Best = r.res
+			out.BestSeed = opts.Seed + int64(r.idx)
+		}
+	}
+	return out, nil
+}

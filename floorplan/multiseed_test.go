@@ -1,0 +1,60 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunBest(t *testing.T) {
+	opts := demoOpts()
+	opts.Seed = 100
+	mr, err := RunBest(demoCircuit(), opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Best == nil || len(mr.Costs) != 4 {
+		t.Fatalf("result %+v", mr)
+	}
+	// The best is the minimum of the per-seed costs.
+	min := math.Inf(1)
+	for _, c := range mr.Costs {
+		if c <= 0 {
+			t.Errorf("cost %g", c)
+		}
+		min = math.Min(min, c)
+	}
+	if mr.Best.Cost != min {
+		t.Errorf("best cost %g != min %g", mr.Best.Cost, min)
+	}
+	if mr.BestSeed < 100 || mr.BestSeed > 103 {
+		t.Errorf("best seed %d", mr.BestSeed)
+	}
+}
+
+func TestRunBestMatchesSingleRun(t *testing.T) {
+	// Parallel multi-seed must reproduce the individual runs exactly.
+	opts := demoOpts()
+	opts.Seed = 7
+	mr, err := RunBest(demoCircuit(), opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(demoCircuit(), opts) // seed 7 == first seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Costs[0] != single.Cost {
+		t.Errorf("seed 7 cost: parallel %g vs single %g", mr.Costs[0], single.Cost)
+	}
+}
+
+func TestRunBestValidation(t *testing.T) {
+	if _, err := RunBest(demoCircuit(), demoOpts(), 0); err == nil {
+		t.Error("zero seeds accepted")
+	}
+	bad := demoCircuit()
+	bad.Modules[0].W = -1
+	if _, err := RunBest(bad, demoOpts(), 2); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module irgrid
+
+go 1.22

@@ -1,0 +1,153 @@
+// Package anneal provides the seeded simulated-annealing engine that
+// drives the floorplanner. It follows the classic Wong–Liu schedule:
+// the initial temperature is calibrated so that a configurable fraction
+// of random uphill moves is accepted, the temperature decays
+// geometrically, and a fixed number of moves is attempted per
+// temperature step. A per-temperature hook exposes the intermediate
+// locally-optimized solutions that the paper's Experiment 2 samples
+// ("we extract the intermediate solution at each temperature-dropping
+// step").
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// State is one point of the search space. Implementations must treat
+// states as immutable values: Neighbor returns a perturbed copy and
+// never mutates the receiver.
+type State interface {
+	// Cost returns the scalar objective; lower is better.
+	Cost() float64
+	// Neighbor returns a random neighbouring state.
+	Neighbor(rng *rand.Rand) State
+}
+
+// Config controls the annealing schedule.
+type Config struct {
+	// Seed seeds the engine's private PRNG; runs with equal seeds and
+	// configs are bit-reproducible.
+	Seed int64
+	// InitAccept is the target acceptance probability for the average
+	// uphill move used to calibrate the initial temperature
+	// (default 0.95).
+	InitAccept float64
+	// Cooling is the geometric temperature decay per step in (0, 1)
+	// (default 0.9).
+	Cooling float64
+	// MovesPerTemp is the number of proposed moves at each temperature
+	// (default 100).
+	MovesPerTemp int
+	// MinAcceptRate stops the anneal when the acceptance rate at a
+	// temperature falls below it (default 0.02).
+	MinAcceptRate float64
+	// MaxTemps caps the number of temperature steps (default 200).
+	MaxTemps int
+	// CalibrationMoves is the number of random perturbations used to
+	// estimate the average uphill cost delta (default 50).
+	CalibrationMoves int
+	// OnTemperature, when non-nil, is invoked after each temperature
+	// step with the step index, the temperature, the current state (the
+	// locally-optimized solution at that temperature — what the paper's
+	// Experiment 2 samples) and the best state found so far.
+	OnTemperature func(step int, temp float64, cur, best State)
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitAccept <= 0 || c.InitAccept >= 1 {
+		c.InitAccept = 0.95
+	}
+	if c.Cooling <= 0 || c.Cooling >= 1 {
+		c.Cooling = 0.9
+	}
+	if c.MovesPerTemp <= 0 {
+		c.MovesPerTemp = 100
+	}
+	if c.MinAcceptRate <= 0 {
+		c.MinAcceptRate = 0.02
+	}
+	if c.MaxTemps <= 0 {
+		c.MaxTemps = 200
+	}
+	if c.CalibrationMoves <= 0 {
+		c.CalibrationMoves = 50
+	}
+	return c
+}
+
+// Stats reports what the anneal did.
+type Stats struct {
+	Temps     int     // temperature steps executed
+	Moves     int     // moves proposed
+	Accepted  int     // moves accepted
+	InitTemp  float64 // calibrated initial temperature
+	FinalTemp float64
+	InitCost  float64
+	FinalCost float64 // cost of the returned best state
+}
+
+// Run anneals from the initial state and returns the best state seen.
+func Run(cfg Config, initial State) (State, Stats) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cur := initial
+	curCost := cur.Cost()
+	best, bestCost := cur, curCost
+	st := Stats{InitCost: curCost}
+
+	// Calibrate the initial temperature from the average uphill delta:
+	// exp(-avgUp/T0) = InitAccept  =>  T0 = -avgUp / ln(InitAccept).
+	var upSum float64
+	var upN int
+	probe := cur
+	probeCost := curCost
+	for i := 0; i < cfg.CalibrationMoves; i++ {
+		next := probe.Neighbor(rng)
+		nextCost := next.Cost()
+		if d := nextCost - probeCost; d > 0 {
+			upSum += d
+			upN++
+		}
+		probe, probeCost = next, nextCost
+	}
+	avgUp := 1.0
+	if upN > 0 {
+		avgUp = upSum / float64(upN)
+	}
+	temp := -avgUp / math.Log(cfg.InitAccept)
+	if temp <= 0 || math.IsNaN(temp) || math.IsInf(temp, 0) {
+		temp = 1
+	}
+	st.InitTemp = temp
+
+	for step := 0; step < cfg.MaxTemps; step++ {
+		accepted := 0
+		for m := 0; m < cfg.MovesPerTemp; m++ {
+			next := cur.Neighbor(rng)
+			nextCost := next.Cost()
+			st.Moves++
+			d := nextCost - curCost
+			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				cur, curCost = next, nextCost
+				accepted++
+				if curCost < bestCost {
+					best, bestCost = cur, curCost
+				}
+			}
+		}
+		st.Accepted += accepted
+		st.Temps = step + 1
+		st.FinalTemp = temp
+		if cfg.OnTemperature != nil {
+			cfg.OnTemperature(step, temp, cur, best)
+		}
+		if float64(accepted)/float64(cfg.MovesPerTemp) < cfg.MinAcceptRate {
+			break
+		}
+		temp *= cfg.Cooling
+	}
+	st.FinalCost = bestCost
+	return best, st
+}

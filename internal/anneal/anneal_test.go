@@ -1,0 +1,144 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadState is a 1-D test problem: minimize (x-7)² over integers with
+// ±1 neighbourhood.
+type quadState struct{ x int }
+
+func (s quadState) Cost() float64 {
+	d := float64(s.x - 7)
+	return d * d
+}
+
+func (s quadState) Neighbor(rng *rand.Rand) State {
+	if rng.Intn(2) == 0 {
+		return quadState{s.x + 1}
+	}
+	return quadState{s.x - 1}
+}
+
+func TestRunFindsOptimum(t *testing.T) {
+	best, st := Run(Config{Seed: 1, MovesPerTemp: 50, MaxTemps: 60}, quadState{x: -40})
+	if got := best.(quadState).x; got != 7 {
+		t.Errorf("best x = %d, want 7", got)
+	}
+	if st.FinalCost != 0 {
+		t.Errorf("final cost = %g", st.FinalCost)
+	}
+	if st.Moves == 0 || st.Accepted == 0 || st.Temps == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	cfg := Config{Seed: 99, MovesPerTemp: 30, MaxTemps: 20}
+	b1, s1 := Run(cfg, quadState{x: 100})
+	b2, s2 := Run(cfg, quadState{x: 100})
+	if b1.(quadState).x != b2.(quadState).x {
+		t.Error("same seed gave different best states")
+	}
+	if s1 != s2 {
+		t.Errorf("same seed gave different stats: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestRunDifferentSeedsDiffer(t *testing.T) {
+	// Different seeds should (almost surely) take different paths.
+	_, s1 := Run(Config{Seed: 1, MovesPerTemp: 30, MaxTemps: 10, MinAcceptRate: 1e-9}, quadState{x: 100})
+	_, s2 := Run(Config{Seed: 2, MovesPerTemp: 30, MaxTemps: 10, MinAcceptRate: 1e-9}, quadState{x: 100})
+	if s1.Accepted == s2.Accepted && s1.FinalCost == s2.FinalCost && s1.InitTemp == s2.InitTemp {
+		t.Error("different seeds produced identical trajectories (suspicious)")
+	}
+}
+
+func TestOnTemperatureHook(t *testing.T) {
+	var steps []int
+	var costs []float64
+	var curCosts []float64
+	cfg := Config{
+		Seed: 3, MovesPerTemp: 20, MaxTemps: 15,
+		OnTemperature: func(step int, temp float64, cur, best State) {
+			steps = append(steps, step)
+			costs = append(costs, best.Cost())
+			curCosts = append(curCosts, cur.Cost())
+			if temp <= 0 {
+				t.Errorf("non-positive temperature %g", temp)
+			}
+		},
+	}
+	_, st := Run(cfg, quadState{x: 50})
+	if len(steps) != st.Temps {
+		t.Fatalf("hook called %d times, %d temps", len(steps), st.Temps)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] != steps[i-1]+1 {
+			t.Error("steps not sequential")
+		}
+		if costs[i] > costs[i-1] {
+			t.Error("best cost increased between temperature steps")
+		}
+		// The current state may be worse than the best, never better.
+		if curCosts[i] < costs[i]-1e-12 {
+			t.Error("current cost fell below the running best")
+		}
+	}
+}
+
+func TestBestNeverWorseThanInitial(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		init := quadState{x: 3}
+		best, st := Run(Config{Seed: seed, MovesPerTemp: 10, MaxTemps: 5}, init)
+		if best.Cost() > init.Cost() {
+			t.Errorf("seed %d: best %g worse than initial %g", seed, best.Cost(), init.Cost())
+		}
+		if st.InitCost != init.Cost() {
+			t.Errorf("InitCost = %g", st.InitCost)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.InitAccept != 0.95 || c.Cooling != 0.9 || c.MovesPerTemp != 100 ||
+		c.MinAcceptRate != 0.02 || c.MaxTemps != 200 || c.CalibrationMoves != 50 {
+		t.Errorf("defaults = %+v", c)
+	}
+	// Out-of-range values are replaced too.
+	c2 := Config{InitAccept: 1.5, Cooling: -1}.withDefaults()
+	if c2.InitAccept != 0.95 || c2.Cooling != 0.9 {
+		t.Errorf("out-of-range defaults = %+v", c2)
+	}
+}
+
+// flatState has constant cost: the annealer must terminate and not
+// produce NaN temperatures.
+type flatState struct{}
+
+func (flatState) Cost() float64             { return 5 }
+func (flatState) Neighbor(*rand.Rand) State { return flatState{} }
+
+func TestFlatLandscape(t *testing.T) {
+	best, st := Run(Config{Seed: 4, MovesPerTemp: 10, MaxTemps: 10}, flatState{})
+	if best.Cost() != 5 {
+		t.Error("flat cost changed")
+	}
+	if math.IsNaN(st.InitTemp) || st.InitTemp <= 0 {
+		t.Errorf("bad initial temperature %g", st.InitTemp)
+	}
+}
+
+func TestEarlyStopOnLowAcceptance(t *testing.T) {
+	// A steep landscape at low temperature stops before MaxTemps.
+	_, st := Run(Config{
+		Seed: 5, MovesPerTemp: 40, MaxTemps: 10000,
+		Cooling: 0.5, MinAcceptRate: 0.5,
+	}, quadState{x: 1000})
+	if st.Temps == 10000 {
+		t.Error("anneal never stopped early")
+	}
+}

@@ -1,0 +1,147 @@
+// Package ascii renders congestion maps and floorplans as character
+// rasters for the CLI tools and examples. All rendering is pure string
+// construction so it is testable without a terminal.
+package ascii
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// shades orders characters from empty to most congested.
+var shades = []byte(" .:-=+*#%@")
+
+// HeatMap renders a (possibly irregular) cell grid onto a cols×rows
+// character raster. xLines and yLines are the cell boundaries
+// (ascending); density[row][col] is the per-cell intensity. The
+// brightest character maps to the maximum density.
+func HeatMap(xLines, yLines []float64, density [][]float64, cols, rows int) string {
+	if len(xLines) < 2 || len(yLines) < 2 || cols < 1 || rows < 1 {
+		return "(empty map)\n"
+	}
+	maxD := 0.0
+	for _, row := range density {
+		for _, v := range row {
+			if v > maxD {
+				maxD = v
+			}
+		}
+	}
+	var b strings.Builder
+	w := xLines[len(xLines)-1] - xLines[0]
+	h := yLines[len(yLines)-1] - yLines[0]
+	for ry := rows - 1; ry >= 0; ry-- {
+		line := make([]byte, cols)
+		for rx := 0; rx < cols; rx++ {
+			x := xLines[0] + (float64(rx)+0.5)/float64(cols)*w
+			y := yLines[0] + (float64(ry)+0.5)/float64(rows)*h
+			shade := 0
+			if maxD > 0 {
+				cx := cellIndex(xLines, x)
+				cy := cellIndex(yLines, y)
+				if cy >= 0 && cy < len(density) && cx >= 0 && cx < len(density[cy]) {
+					f := density[cy][cx] / maxD
+					shade = int(f * float64(len(shades)-1))
+					if shade >= len(shades) {
+						shade = len(shades) - 1
+					}
+				}
+			}
+			line[rx] = shades[shade]
+		}
+		fmt.Fprintf(&b, "|%s|\n", line)
+	}
+	return b.String()
+}
+
+// cellIndex locates v among ascending boundaries, clamped.
+func cellIndex(lines []float64, v float64) int {
+	i := sort.SearchFloat64s(lines, v) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i > len(lines)-2 {
+		i = len(lines) - 2
+	}
+	return i
+}
+
+// Box is a labelled rectangle for Floorplan.
+type Box struct {
+	Label          string
+	X1, Y1, X2, Y2 float64
+}
+
+// Floorplan draws labelled module outlines onto a cols×rows raster
+// covering [0,chipW]×[0,chipH]. Overlapping edges share characters;
+// each box interior carries the first letters of its label.
+func Floorplan(chipW, chipH float64, boxes []Box, cols, rows int) string {
+	if chipW <= 0 || chipH <= 0 || cols < 2 || rows < 2 {
+		return "(empty floorplan)\n"
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = make([]byte, cols)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	toX := func(x float64) int {
+		i := int(x / chipW * float64(cols-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= cols {
+			i = cols - 1
+		}
+		return i
+	}
+	toY := func(y float64) int {
+		i := int(y / chipH * float64(rows-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= rows {
+			i = rows - 1
+		}
+		return i
+	}
+	for _, bx := range boxes {
+		x1, x2 := toX(bx.X1), toX(bx.X2)
+		y1, y2 := toY(bx.Y1), toY(bx.Y2)
+		for x := x1; x <= x2; x++ {
+			grid[y1][x] = '-'
+			grid[y2][x] = '-'
+		}
+		for y := y1; y <= y2; y++ {
+			grid[y][x1] = '|'
+			grid[y][x2] = '|'
+		}
+		grid[y1][x1], grid[y1][x2] = '+', '+'
+		grid[y2][x1], grid[y2][x2] = '+', '+'
+		// Label inside, clipped to the box interior.
+		if y2 > y1+1 && x2 > x1+1 {
+			ly := (y1 + y2) / 2
+			avail := x2 - x1 - 1
+			label := bx.Label
+			if len(label) > avail {
+				label = label[:avail]
+			}
+			for i := 0; i < len(label); i++ {
+				grid[ly][x1+1+i] = label[i]
+			}
+		}
+	}
+	var b strings.Builder
+	for ry := rows - 1; ry >= 0; ry-- {
+		b.Write(grid[ry])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Legend describes the shade ramp for humans.
+func Legend() string {
+	return fmt.Sprintf("shade ramp (low→high): %q\n", string(shades))
+}

@@ -1,0 +1,93 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatMapShape(t *testing.T) {
+	x := []float64{0, 50, 100}
+	y := []float64{0, 100}
+	density := [][]float64{{1, 0}}
+	out := HeatMap(x, y, density, 10, 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 12 || l[0] != '|' || l[len(l)-1] != '|' {
+			t.Fatalf("bad line %q", l)
+		}
+	}
+	// Left half hot, right half empty.
+	if lines[0][1] != '@' {
+		t.Errorf("hot cell rendered as %q", lines[0][1])
+	}
+	if lines[0][10] != ' ' {
+		t.Errorf("cold cell rendered as %q", lines[0][10])
+	}
+}
+
+func TestHeatMapIrregularCells(t *testing.T) {
+	// A narrow hot column at x in [90,100].
+	x := []float64{0, 90, 100}
+	y := []float64{0, 100}
+	density := [][]float64{{0, 5}}
+	out := HeatMap(x, y, density, 20, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0][19] != '@' {
+		t.Errorf("right edge should be hot: %q", lines[0])
+	}
+	if lines[0][2] != ' ' {
+		t.Errorf("left side should be empty: %q", lines[0])
+	}
+}
+
+func TestHeatMapEmpty(t *testing.T) {
+	if got := HeatMap(nil, nil, nil, 10, 10); !strings.Contains(got, "empty") {
+		t.Errorf("got %q", got)
+	}
+	// All-zero density renders all blanks without dividing by zero.
+	out := HeatMap([]float64{0, 1}, []float64{0, 1}, [][]float64{{0}}, 4, 2)
+	if strings.ContainsAny(out, "@#%") {
+		t.Errorf("zero map rendered hot: %q", out)
+	}
+}
+
+func TestFloorplanOutlines(t *testing.T) {
+	out := Floorplan(100, 100, []Box{
+		{Label: "cpu", X1: 0, Y1: 0, X2: 50, Y2: 100},
+		{Label: "mem", X1: 50, Y1: 0, X2: 100, Y2: 100},
+	}, 40, 12)
+	if !strings.Contains(out, "cpu") || !strings.Contains(out, "mem") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "-") || !strings.Contains(out, "|") {
+		t.Errorf("outlines missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestFloorplanLabelClipped(t *testing.T) {
+	out := Floorplan(100, 100, []Box{
+		{Label: "averylongmodulename", X1: 0, Y1: 0, X2: 20, Y2: 30},
+	}, 20, 10)
+	if strings.Contains(out, "averylongmodulename") {
+		t.Error("label should have been clipped")
+	}
+}
+
+func TestFloorplanDegenerate(t *testing.T) {
+	if got := Floorplan(0, 10, nil, 10, 10); !strings.Contains(got, "empty") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestLegend(t *testing.T) {
+	if !strings.Contains(Legend(), "@") {
+		t.Error("legend missing ramp")
+	}
+}

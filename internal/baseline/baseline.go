@@ -1,0 +1,190 @@
+// Package baseline implements the two non-probabilistic congestion-
+// model families the paper's introduction surveys (§1), completing the
+// taxonomy next to the probabilistic models in internal/grid and
+// internal/core:
+//
+//   - Empirical models (after Wang & Sarrafzadeh, ISPD'99 [5]): each
+//     net's expected wirelength is smeared uniformly over its bounding
+//     box, and per-cell wire density is read off a uniform grid. Very
+//     cheap, blind to the actual route distribution.
+//   - Global-router based models (after Wang & Sarrafzadeh, ASP-DAC'00
+//     [6]): actually route the nets on a coarse tile grid
+//     (internal/route) and read congestion off the edge utilizations.
+//     Most faithful, most expensive.
+//
+// Both satisfy the floorplanner's Estimator interface so they can be
+// swapped into the annealing cost function and compared head-to-head
+// with the paper's Irregular-Grid model (the validation experiment in
+// internal/exp).
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+	"irgrid/internal/route"
+)
+
+// Empirical is the wirelength-density congestion model.
+type Empirical struct {
+	// Pitch is the evaluation grid pitch in µm.
+	Pitch float64
+	// TopFraction is the most-congested fraction averaged into the
+	// score (default 0.10).
+	TopFraction float64
+}
+
+// Name identifies the model in experiment tables.
+func (m Empirical) Name() string { return "empirical" }
+
+// Score evaluates the chip-level congestion: wire density is
+// accumulated per cell and the top-10% average is returned.
+func (m Empirical) Score(chip geom.Rect, nets []netlist.TwoPin) float64 {
+	cells := m.Evaluate(chip, nets)
+	frac := m.TopFraction
+	if frac <= 0 {
+		frac = 0.10
+	}
+	if len(cells) == 0 {
+		return 0
+	}
+	flat := append([]float64(nil), cells...)
+	sort.Float64s(flat)
+	k := int(math.Ceil(frac * float64(len(flat))))
+	if k < 1 {
+		k = 1
+	}
+	var sum float64
+	for _, v := range flat[len(flat)-k:] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// Evaluate returns the per-cell expected wire density (µm of wire per
+// cell), row-major over a ceil(W/Pitch)×ceil(H/Pitch) grid.
+func (m Empirical) Evaluate(chip geom.Rect, nets []netlist.TwoPin) []float64 {
+	if m.Pitch <= 0 {
+		panic("baseline: Empirical.Pitch must be positive")
+	}
+	cols := int(math.Ceil(chip.W() / m.Pitch))
+	rows := int(math.Ceil(chip.H() / m.Pitch))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	cells := make([]float64, cols*rows)
+	for _, n := range nets {
+		r := n.Range()
+		wl := n.Manhattan()
+		if wl == 0 {
+			continue
+		}
+		// Smear the net's wirelength uniformly over its bounding box;
+		// degenerate boxes (lines) spread along the covered cells.
+		gx1 := clampInt(int((r.X1-chip.X1)/m.Pitch), 0, cols-1)
+		gx2 := clampInt(int((r.X2-chip.X1)/m.Pitch), 0, cols-1)
+		gy1 := clampInt(int((r.Y1-chip.Y1)/m.Pitch), 0, rows-1)
+		gy2 := clampInt(int((r.Y2-chip.Y1)/m.Pitch), 0, rows-1)
+		if r.Area() > 0 {
+			for gy := gy1; gy <= gy2; gy++ {
+				for gx := gx1; gx <= gx2; gx++ {
+					cell := geom.Rect{
+						X1: chip.X1 + float64(gx)*m.Pitch,
+						Y1: chip.Y1 + float64(gy)*m.Pitch,
+						X2: chip.X1 + float64(gx+1)*m.Pitch,
+						Y2: chip.Y1 + float64(gy+1)*m.Pitch,
+					}
+					ov := cell.Intersect(r)
+					if ov.Valid() && !ov.Empty() {
+						cells[gy*cols+gx] += wl * ov.Area() / r.Area()
+					}
+				}
+			}
+			continue
+		}
+		// Line net: spread evenly over the covered cells.
+		nCells := (gx2 - gx1 + 1) * (gy2 - gy1 + 1)
+		share := wl / float64(nCells)
+		for gy := gy1; gy <= gy2; gy++ {
+			for gx := gx1; gx <= gx2; gx++ {
+				cells[gy*cols+gx] += share
+			}
+		}
+	}
+	return cells
+}
+
+// RouterBased estimates congestion by actually global-routing the nets
+// and aggregating edge utilizations.
+type RouterBased struct {
+	// Pitch is the routing tile size in µm.
+	Pitch float64
+	// Capacity is the tracks per tile edge (default 8).
+	Capacity int
+	// Iterations bounds the rip-up-and-reroute loop (default 3 — the
+	// estimator is run inside annealing, so it stays cheap).
+	Iterations int
+	// TopFraction is the most-congested fraction averaged into the
+	// score (default 0.10).
+	TopFraction float64
+}
+
+// Name identifies the model in experiment tables.
+func (m RouterBased) Name() string { return "router-based" }
+
+// Score routes the nets and returns the top-10% average edge
+// utilization.
+func (m RouterBased) Score(chip geom.Rect, nets []netlist.TwoPin) float64 {
+	res, err := m.Route(chip, nets)
+	if err != nil {
+		panic(err) // only config errors, validated below
+	}
+	utils := res.Grid.EdgeUtilizations()
+	if len(utils) == 0 {
+		return 0
+	}
+	sort.Float64s(utils)
+	frac := m.TopFraction
+	if frac <= 0 {
+		frac = 0.10
+	}
+	k := int(math.Ceil(frac * float64(len(utils))))
+	if k < 1 {
+		k = 1
+	}
+	var sum float64
+	for _, v := range utils[len(utils)-k:] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// Route exposes the underlying routing result (used by the validation
+// experiment to read true overflow).
+func (m RouterBased) Route(chip geom.Rect, nets []netlist.TwoPin) (*route.Result, error) {
+	iters := m.Iterations
+	if iters <= 0 {
+		iters = 3
+	}
+	r := route.New(route.Config{
+		Pitch:         m.Pitch,
+		Capacity:      m.Capacity,
+		MaxIterations: iters,
+	})
+	return r.RouteNets(chip, nets)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,132 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+var chip = geom.Rect{X1: 0, Y1: 0, X2: 300, Y2: 300}
+
+func pt(x, y float64) geom.Pt { return geom.Pt{X: x, Y: y} }
+
+func TestEmpiricalConservesWirelength(t *testing.T) {
+	m := Empirical{Pitch: 30}
+	nets := []netlist.TwoPin{
+		{A: pt(15, 15), B: pt(255, 195)},
+		{A: pt(45, 255), B: pt(285, 45)},
+	}
+	cells := m.Evaluate(chip, nets)
+	var total, want float64
+	for _, v := range cells {
+		total += v
+	}
+	for _, n := range nets {
+		want += n.Manhattan()
+	}
+	if math.Abs(total-want)/want > 1e-9 {
+		t.Errorf("smeared wirelength %g, want %g", total, want)
+	}
+}
+
+func TestEmpiricalLineNet(t *testing.T) {
+	m := Empirical{Pitch: 30}
+	nets := []netlist.TwoPin{{A: pt(15, 45), B: pt(255, 45)}}
+	cells := m.Evaluate(chip, nets)
+	var total float64
+	nonzero := 0
+	for _, v := range cells {
+		total += v
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if math.Abs(total-240) > 1e-9 {
+		t.Errorf("line mass %g, want 240", total)
+	}
+	if nonzero != 9 { // tiles 0..8 in x at row 1
+		t.Errorf("line spread over %d cells, want 9", nonzero)
+	}
+}
+
+func TestEmpiricalZeroLengthNet(t *testing.T) {
+	m := Empirical{Pitch: 30}
+	cells := m.Evaluate(chip, []netlist.TwoPin{{A: pt(15, 15), B: pt(15, 15)}})
+	for _, v := range cells {
+		if v != 0 {
+			t.Fatal("point net contributed wire density")
+		}
+	}
+}
+
+func TestEmpiricalScore(t *testing.T) {
+	m := Empirical{Pitch: 30}
+	nets := []netlist.TwoPin{{A: pt(15, 15), B: pt(255, 195)}}
+	s := m.Score(chip, nets)
+	if s <= 0 {
+		t.Errorf("score = %g", s)
+	}
+	// Clustered nets score worse than spread nets.
+	var clustered, spread []netlist.TwoPin
+	for i := 0; i < 8; i++ {
+		clustered = append(clustered, netlist.TwoPin{A: pt(120, 120), B: pt(180, 180)})
+		spread = append(spread, netlist.TwoPin{
+			A: pt(float64(i)*30+15, 15), B: pt(float64(i)*30+45, 285),
+		})
+	}
+	if m.Score(chip, clustered) <= m.Score(chip, spread) {
+		t.Error("clustered nets should score worse")
+	}
+}
+
+func TestEmpiricalPanicsOnBadPitch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Empirical{}.Evaluate(chip, nil)
+}
+
+func TestRouterBasedScore(t *testing.T) {
+	m := RouterBased{Pitch: 30, Capacity: 2}
+	var nets []netlist.TwoPin
+	for i := 0; i < 6; i++ {
+		nets = append(nets, netlist.TwoPin{A: pt(15, 135), B: pt(285, 135)})
+	}
+	s := m.Score(chip, nets)
+	if s <= 0 {
+		t.Errorf("score = %g", s)
+	}
+	// A single net scores lower than six stacked nets.
+	s1 := m.Score(chip, nets[:1])
+	if s1 >= s {
+		t.Errorf("one net (%g) should score below six (%g)", s1, s)
+	}
+}
+
+func TestRouterBasedRouteExposesOverflow(t *testing.T) {
+	m := RouterBased{Pitch: 30, Capacity: 1, Iterations: 1}
+	var nets []netlist.TwoPin
+	for i := 0; i < 12; i++ {
+		nets = append(nets, netlist.TwoPin{A: pt(15, 135), B: pt(285, 135)})
+	}
+	res, err := m.Route(chip, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overflow == 0 {
+		t.Error("12 identical nets at capacity 1 with one iteration should overflow")
+	}
+}
+
+func TestEstimatorNames(t *testing.T) {
+	if (Empirical{}).Name() != "empirical" {
+		t.Error("bad name")
+	}
+	if (RouterBased{}).Name() != "router-based" {
+		t.Error("bad name")
+	}
+}

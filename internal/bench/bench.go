@@ -1,0 +1,199 @@
+// Package bench synthesizes floorplanning circuits that match the
+// published statistics of the five MCNC benchmarks the paper evaluates
+// (apte, xerox, hp, ami33, ami49). The original YAL files are licensed
+// artifacts not shipped with this repository; the congestion models
+// consume only module rectangles and pin incidence, both of which the
+// synthetic circuits reproduce at the same scale (module count, total
+// module area, net count, pin count and net-degree mix), so relative
+// model comparisons are preserved. Generation is fully deterministic:
+// the same name always yields the same circuit.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"irgrid/internal/netlist"
+)
+
+// Spec describes the statistics a synthetic circuit must match.
+type Spec struct {
+	Name      string
+	Modules   int
+	Nets      int
+	Pins      int     // total net terminals; the generator matches this within rounding
+	AreaMM2   float64 // total module area in mm²
+	MaxDegree int     // largest net degree to generate
+	Seed      int64
+}
+
+// Specs lists the five MCNC benchmarks with their published statistics
+// (module/net/pin counts from the MCNC floorplanning suite; total
+// module areas consistent with the packed areas in the paper's Table 1).
+var Specs = []Spec{
+	{Name: "apte", Modules: 9, Nets: 97, Pins: 287, AreaMM2: 46.56, MaxDegree: 10, Seed: 9001},
+	{Name: "xerox", Modules: 10, Nets: 203, Pins: 698, AreaMM2: 19.35, MaxDegree: 10, Seed: 9002},
+	{Name: "hp", Modules: 11, Nets: 83, Pins: 264, AreaMM2: 8.83, MaxDegree: 10, Seed: 9003},
+	{Name: "ami33", Modules: 33, Nets: 123, Pins: 480, AreaMM2: 1.156, MaxDegree: 12, Seed: 9004},
+	{Name: "ami49", Modules: 49, Nets: 408, Pins: 931, AreaMM2: 35.45, MaxDegree: 12, Seed: 9005},
+}
+
+// Names returns the benchmark names in canonical order.
+func Names() []string {
+	out := make([]string, len(Specs))
+	for i, s := range Specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Load returns the named synthetic benchmark circuit. It returns an
+// error for unknown names.
+func Load(name string) (*netlist.Circuit, error) {
+	for _, s := range Specs {
+		if s.Name == name {
+			return Generate(s), nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, Names())
+}
+
+// MustLoad is Load that panics on error; for tests and examples.
+func MustLoad(name string) *netlist.Circuit {
+	c, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SoftVariant returns a copy of the circuit whose non-pad modules are
+// soft with the given aspect-ratio range. It supports soft-module
+// experiments on the benchmark suite without regenerating netlists.
+func SoftVariant(c *netlist.Circuit, minAspect, maxAspect float64) *netlist.Circuit {
+	out := &netlist.Circuit{
+		Name:    c.Name + "-soft",
+		Modules: append([]netlist.Module(nil), c.Modules...),
+		Nets:    c.Nets,
+	}
+	for i := range out.Modules {
+		if !out.Modules[i].Pad {
+			out.Modules[i].MinAspect = minAspect
+			out.Modules[i].MaxAspect = maxAspect
+		}
+	}
+	return out
+}
+
+// Generate builds a circuit matching spec. Module areas follow a
+// log-normal spread (real MCNC blocks span more than an order of
+// magnitude) rescaled to the exact total; aspect ratios lie in
+// [0.4, 2.5]; net degrees follow the heavily 2/3-pin-dominated mix of
+// the MCNC suite, adjusted so the total pin count matches the spec.
+func Generate(spec Spec) *netlist.Circuit {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	c := &netlist.Circuit{Name: spec.Name}
+
+	// --- modules ---
+	areas := make([]float64, spec.Modules)
+	var total float64
+	for i := range areas {
+		// Log-normal-ish spread: exp(N(0, 0.9)) gives ~20x range.
+		areas[i] = math.Exp(rng.NormFloat64() * 0.9)
+		total += areas[i]
+	}
+	scale := spec.AreaMM2 * 1e6 / total // µm² per unit
+	for i := range areas {
+		a := areas[i] * scale
+		aspect := 0.4 + rng.Float64()*2.1 // [0.4, 2.5]
+		w := math.Sqrt(a * aspect)
+		h := a / w
+		c.Modules = append(c.Modules, netlist.Module{
+			Name: fmt.Sprintf("%s_m%02d", spec.Name, i),
+			W:    math.Round(w),
+			H:    math.Round(h),
+		})
+	}
+
+	// --- net degrees ---
+	degrees := netDegrees(rng, spec)
+
+	// --- nets ---
+	for i, d := range degrees {
+		net := netlist.Net{Name: fmt.Sprintf("n%03d", i)}
+		perm := rng.Perm(spec.Modules)
+		for j := 0; j < d; j++ {
+			m := perm[j%spec.Modules]
+			net.Pins = append(net.Pins, netlist.PinRef{
+				Module: m,
+				FX:     snap(rng.Float64()),
+				FY:     snap(rng.Float64()),
+			})
+		}
+		c.Nets = append(c.Nets, net)
+	}
+	return c
+}
+
+// snap quantises a pin offset fraction to 1/20ths so that emitted YAL
+// files stay readable and re-parse to identical values.
+func snap(f float64) float64 { return math.Round(f*20) / 20 }
+
+// netDegrees produces spec.Nets degrees with the MCNC-like mix
+// (2-pin ~55%, 3-pin ~25%, 4-pin ~10%, the rest a thin tail up to
+// MaxDegree) and then adjusts individual degrees so the total equals
+// spec.Pins exactly when feasible.
+func netDegrees(rng *rand.Rand, spec Spec) []int {
+	maxDeg := spec.MaxDegree
+	if maxDeg < 2 {
+		maxDeg = 2
+	}
+	if maxDeg > spec.Modules {
+		maxDeg = spec.Modules
+	}
+	deg := make([]int, spec.Nets)
+	sum := 0
+	for i := range deg {
+		r := rng.Float64()
+		var d int
+		switch {
+		case r < 0.55:
+			d = 2
+		case r < 0.80:
+			d = 3
+		case r < 0.90:
+			d = 4
+		default:
+			d = 5 + rng.Intn(maxDeg-4)
+		}
+		if d > maxDeg {
+			d = maxDeg
+		}
+		deg[i] = d
+		sum += d
+	}
+	// Nudge degrees toward the target pin count.
+	target := spec.Pins
+	lo, hi := 2*spec.Nets, maxDeg*spec.Nets
+	if target < lo {
+		target = lo
+	}
+	if target > hi {
+		target = hi
+	}
+	order := rng.Perm(spec.Nets)
+	for i := 0; sum != target; i = (i + 1) % spec.Nets {
+		j := order[i]
+		if sum < target && deg[j] < maxDeg {
+			deg[j]++
+			sum++
+		} else if sum > target && deg[j] > 2 {
+			deg[j]--
+			sum--
+		}
+	}
+	sort.Ints(deg)
+	return deg
+}

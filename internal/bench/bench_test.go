@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"irgrid/internal/netlist"
+)
+
+func TestAllBenchmarksValid(t *testing.T) {
+	for _, name := range Names() {
+		c := MustLoad(name)
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestStatisticsMatchSpecs(t *testing.T) {
+	for _, s := range Specs {
+		c := Generate(s)
+		if len(c.Modules) != s.Modules {
+			t.Errorf("%s: %d modules, want %d", s.Name, len(c.Modules), s.Modules)
+		}
+		if len(c.Nets) != s.Nets {
+			t.Errorf("%s: %d nets, want %d", s.Name, len(c.Nets), s.Nets)
+		}
+		if got := c.PinCount(); got != s.Pins {
+			t.Errorf("%s: %d pins, want %d", s.Name, got, s.Pins)
+		}
+		area := c.TotalModuleArea() / 1e6
+		if math.Abs(area-s.AreaMM2)/s.AreaMM2 > 0.02 {
+			t.Errorf("%s: area %.3f mm², want %.3f (±2%% for rounding)", s.Name, area, s.AreaMM2)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := MustLoad("ami33")
+	b := MustLoad("ami33")
+	if len(a.Modules) != len(b.Modules) || len(a.Nets) != len(b.Nets) {
+		t.Fatal("structure differs across generations")
+	}
+	for i := range a.Modules {
+		if a.Modules[i] != b.Modules[i] {
+			t.Fatalf("module %d differs: %+v vs %+v", i, a.Modules[i], b.Modules[i])
+		}
+	}
+	for i := range a.Nets {
+		for j := range a.Nets[i].Pins {
+			if a.Nets[i].Pins[j] != b.Nets[i].Pins[j] {
+				t.Fatalf("net %d pin %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestMustLoadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustLoad("nope")
+}
+
+func TestNetDegreeMix(t *testing.T) {
+	// Net degrees must be dominated by 2- and 3-pin nets and bounded.
+	for _, s := range Specs {
+		c := Generate(s)
+		small, total := 0, 0
+		for _, n := range c.Nets {
+			d := n.Degree()
+			if d < 2 || d > s.MaxDegree {
+				t.Fatalf("%s: net %q has degree %d", s.Name, n.Name, d)
+			}
+			if d <= 3 {
+				small++
+			}
+			total++
+		}
+		if frac := float64(small) / float64(total); frac < 0.5 {
+			t.Errorf("%s: only %.0f%% of nets are 2-3 pin", s.Name, frac*100)
+		}
+	}
+}
+
+func TestNetPinsOnDistinctModulesMostly(t *testing.T) {
+	// Pins of one net should favour distinct modules (a net connecting
+	// a module to itself contributes nothing to floorplanning).
+	c := MustLoad("ami49")
+	for _, n := range c.Nets {
+		if n.Degree() > len(c.Modules) {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, p := range n.Pins {
+			if seen[p.Module] {
+				t.Fatalf("net %q repeats module %d", n.Name, p.Module)
+			}
+			seen[p.Module] = true
+		}
+	}
+}
+
+func TestRoundTripThroughYAL(t *testing.T) {
+	c := MustLoad("apte")
+	var buf bytes.Buffer
+	if err := netlist.WriteYAL(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := netlist.ReadYAL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Modules) != len(c.Modules) || len(got.Nets) != len(c.Nets) {
+		t.Fatal("round trip changed structure")
+	}
+	if got.PinCount() != c.PinCount() {
+		t.Errorf("pins %d vs %d", got.PinCount(), c.PinCount())
+	}
+}
+
+func TestModuleAspectRatios(t *testing.T) {
+	for _, name := range Names() {
+		c := MustLoad(name)
+		for _, m := range c.Modules {
+			ar := m.W / m.H
+			if ar < 0.2 || ar > 5.1 {
+				t.Errorf("%s %s: aspect ratio %.2f out of range", name, m.Name, ar)
+			}
+		}
+	}
+}
+
+func TestSoftVariant(t *testing.T) {
+	c := MustLoad("ami33")
+	s := SoftVariant(c, 0.25, 4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "ami33-soft" {
+		t.Errorf("name = %q", s.Name)
+	}
+	for i, m := range s.Modules {
+		if !m.Pad && !m.Soft() {
+			t.Fatalf("module %d not soft", i)
+		}
+		if m.Area() != c.Modules[i].Area() {
+			t.Fatalf("module %d area changed", i)
+		}
+	}
+	// The original is untouched.
+	for _, m := range c.Modules {
+		if m.Soft() {
+			t.Fatal("SoftVariant mutated the source circuit")
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+
+	"irgrid/internal/nmath"
+)
+
+// This file implements the paper's Theorem 1: the O(1) approximation of
+// Formula 3's boundary-escape sums. Each sum is recast as a
+// hypergeometric-like function h(x, r, R, Q) with R = g1+g2-3,
+// r = g1-1, Q = x+y2 (§4.4), approximated by a normal density whose
+// mean and variance vary with the integration variable, and integrated
+// with Simpson's rule over the IR-grid's edge span.
+
+// approxProb evaluates Theorem 1 for a type-I-oriented IR-grid
+// [x1..x2]×[y1..y2] on a g1×g2 unit lattice.
+//
+// Each edge is scored by whichever of two O(1)-bounded evaluators is
+// cheaper: edges spanning at most the model's exact-span limit use the
+// exact boundary-escape sum (computed by a multiplicative recurrence —
+// one exp then ~4 flops per term, cheaper than quadrature at short
+// spans), and longer edges use the paper's Theorem 1 normal integral
+// via Simpson's rule. Degenerate edges — single-cell spans, where the
+// paper's integral collapses to zero, or g1/g2 = 2, where the normal
+// variance vanishes — always take the exact path.
+func (ev *evaluator) approxProb(g1, g2, x1, x2, y1, y2 int) float64 {
+	ev.lf.Ensure(g1 + g2)
+	n := ev.m.simpsonN()
+	limit := ev.m.exactSpanLimit()
+	var p float64
+
+	// Half-cell continuity correction: the integral stands in for the
+	// discrete sum Σ_{x=x1}^{x2}, whose x2-x1+1 terms are matched by
+	// the interval [x1-½, x2+½]. The paper's Theorem 1 integrates
+	// [x1, x2] literally, which systematically undercounts one cell per
+	// edge; Model.PaperBounds restores the literal behaviour for
+	// fidelity comparisons (BenchmarkAblationIntegralBounds).
+	cc := 0.5
+	if ev.m.PaperBounds {
+		cc = 0
+	}
+
+	// Top-edge escapes.
+	if y2+1 <= g2-1 {
+		if x2-x1 < limit || g2 == 2 {
+			p += ev.exactTopSum(g1, g2, x1, x2, y2)
+		} else if !bandSkip(float64(x1)-cc, float64(x2)+cc,
+			float64(g1-1)/float64(g1+g2-3), float64(y2),
+			float64(g2-2)/float64(g1+g2-4)*float64(g1-1)) {
+			w := float64(g2-1) / float64(g1+g2-2)
+			f := func(x float64) float64 {
+				return function1PDF(g1, g2, x, float64(y2))
+			}
+			p += w * nmath.Simpson(f, float64(x1)-cc, float64(x2)+cc, n)
+		}
+	}
+	// Right-edge escapes.
+	if x2+1 <= g1-1 {
+		if y2-y1 < limit || g1 == 2 {
+			p += ev.exactRightSum(g1, g2, x2, y1, y2)
+		} else if !bandSkip(float64(y1)-cc, float64(y2)+cc,
+			float64(g2-1)/float64(g1+g2-3), float64(x2),
+			float64(g1-2)/float64(g1+g2-4)*float64(g2-1)) {
+			w := float64(g1-1) / float64(g1+g2-2)
+			f := func(y float64) float64 {
+				return function2PDF(g1, g2, float64(x2), y)
+			}
+			p += w * nmath.Simpson(f, float64(y1)-cc, float64(y2)+cc, n)
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// bandSkip reports whether the escape-density integral over [lo, hi]
+// is provably negligible: the integrand at t is a normal density in
+// t - μ(t) = (1-c)·t - c·off whose variance never exceeds varScale/4,
+// so when the whole interval sits more than 8 conservative standard
+// deviations from the mean band the contribution is below 1e-14 and
+// the quadrature can be skipped. This prunes the IR-grids far off the
+// source–sink diagonal, which dominate large routing ranges.
+func bandSkip(lo, hi, c, off, varScale float64) bool {
+	sMax := 8 * math.Sqrt(varScale*0.25)
+	tLo := (1-c)*lo - c*off
+	tHi := (1-c)*hi - c*off
+	if tLo > sMax && tHi > sMax {
+		return true
+	}
+	return tLo < -sMax && tHi < -sMax
+}
+
+// function1PDF is the normal-like density approximating the top-escape
+// term at column x with the IR-grid's top row y2 (§4.4): the
+// hypergeometric-like h(x, r, R, Q) with Q = x+y2, R = g1+g2-3,
+// r = g1-1 approximated by N(μx, σx²) evaluated at x.
+func function1PDF(g1i, g2i int, x, y2 float64) float64 {
+	g1, g2 := float64(g1i), float64(g2i)
+	q := (x + y2) / (g1 + g2 - 3)
+	mu := (g1 - 1) * q
+	s2 := (g2 - 2) / (g1 + g2 - 4) * (g1 - 1) * q * (1 - q)
+	if s2 <= 0 {
+		return 0
+	}
+	return nmath.NormalPDF(x, mu, math.Sqrt(s2))
+}
+
+// function2PDF is the right-escape counterpart: h in y along the
+// IR-grid's right column x2, approximated by N(μy, σy²) at y.
+func function2PDF(g1i, g2i int, x2, y float64) float64 {
+	g1, g2 := float64(g1i), float64(g2i)
+	q := (x2 + y) / (g1 + g2 - 3)
+	mu := (g2 - 1) * q
+	s2 := (g1 - 2) / (g1 + g2 - 4) * (g2 - 1) * q * (1 - q)
+	if s2 <= 0 {
+		return 0
+	}
+	return nmath.NormalPDF(y, mu, math.Sqrt(s2))
+}
+
+// exactTopSum is the exact top-edge escape probability sum
+// Σ_{x=x1}^{x2} Ta(x,y2)·Tb(x,y2+1)/total, evaluated with the exact
+// multiplicative recurrence
+//
+//	T(x+1) = T(x) · (x+y2+1)/(x+1) · (g1-1-x)/(g1+g2-3-x-y2),
+//
+// so only the first term needs log-space binomials.
+func (ev *evaluator) exactTopSum(g1, g2, x1, x2, y2 int) float64 {
+	logTotal := ev.lf.LogChoose(g1+g2-2, g2-1)
+	t := math.Exp(ev.logTa(x1, y2) + ev.logTb(g1, g2, x1, y2+1) - logTotal)
+	p := t
+	for x := x1; x < x2; x++ {
+		t *= float64(x+y2+1) / float64(x+1) *
+			float64(g1-1-x) / float64(g1+g2-3-x-y2)
+		p += t
+	}
+	return p
+}
+
+// exactRightSum is the exact right-edge escape probability sum with
+// the transposed recurrence of exactTopSum.
+func (ev *evaluator) exactRightSum(g1, g2, x2, y1, y2 int) float64 {
+	logTotal := ev.lf.LogChoose(g1+g2-2, g2-1)
+	t := math.Exp(ev.logTa(x2, y1) + ev.logTb(g1, g2, x2+1, y1) - logTotal)
+	p := t
+	for y := y1; y < y2; y++ {
+		t *= float64(x2+y+1) / float64(y+1) *
+			float64(g2-1-y) / float64(g1+g2-3-x2-y)
+		p += t
+	}
+	return p
+}
+
+// Function1Exact returns the exact value of the paper's Function (1):
+// the probability that a route escapes upward from cell (x, y2),
+//
+//	Ta(x, y2)·Tb(x, y2+1) / Ta(g1-1, g2-1),
+//
+// for a type I net on a g1×g2 lattice. It is the "real values" curve of
+// Figure 8.
+func Function1Exact(g1, g2, x, y2 int) float64 {
+	var lf nmath.LogFact
+	lf.Ensure(g1 + g2)
+	if x < 0 || x > g1-1 || y2 < 0 || y2 > g2-1 {
+		return 0
+	}
+	logTotal := lf.LogChoose(g1+g2-2, g2-1)
+	num := lf.LogChoose(x+y2, y2) + lf.LogChoose(g1+g2-2-x-(y2+1), g2-1-(y2+1))
+	return math.Exp(num - logTotal)
+}
+
+// Function1Approx returns the Theorem 1 normal approximation of
+// Function (1) at column x, the "approximating values" curve of
+// Figure 8. It returns NaN at the §4.5 failure points where the
+// implied mean parameter q = (x+y2)/(g1+g2-3) reaches 0 or exceeds the
+// valid range ("the approximating curve shows no value when x = 30").
+func Function1Approx(g1, g2, x, y2 int) float64 {
+	q := float64(x+y2) / float64(g1+g2-3)
+	if q <= 0 || q >= 1 {
+		return math.NaN()
+	}
+	w := float64(g2-1) / float64(g1+g2-2)
+	return w * function1PDF(g1, g2, float64(x), float64(y2))
+}
+
+// ApproxCrossProb exposes the Theorem 1 evaluation for a type I net on
+// a g1×g2 unit lattice with IR-rectangle [x1..x2]×[y1..y2], applying
+// the pin and §4.5 rules exactly as the evaluator does. simpsonN <= 0
+// selects the default.
+func ApproxCrossProb(g1, g2, x1, x2, y1, y2, simpsonN int) float64 {
+	if coversCell(x1, x2, y1, y2, 0, 0) || coversCell(x1, x2, y1, y2, g1-1, g2-1) ||
+		coversCell(x1, x2, y1, y2, g1-2, g2-1) || coversCell(x1, x2, y1, y2, g1-1, g2-2) {
+		return 1
+	}
+	ev := &evaluator{m: Model{Pitch: 1, SimpsonN: simpsonN}}
+	return ev.approxProb(g1, g2, x1, x2, y1, y2)
+}

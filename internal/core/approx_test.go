@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFunction1ApproxDeviationFig8(t *testing.T) {
+	// Figure 8 / §4.5: on a 31×21 type I net with an IR-grid whose top
+	// row is y2 = 15, the approximation of Function (1) tracks the
+	// exact values for x = 10..20 with deviation "generally less than
+	// 0.05".
+	g1, g2 := 31, 21
+	y2 := 15
+	for x := 10; x <= 20; x++ {
+		exact := Function1Exact(g1, g2, x, y2)
+		approx := Function1Approx(g1, g2, x, y2)
+		if math.IsNaN(approx) {
+			t.Fatalf("x=%d: unexpected NaN", x)
+		}
+		if d := math.Abs(exact - approx); d > 0.05 {
+			t.Errorf("x=%d: exact %.4f approx %.4f deviation %.4f > 0.05", x, exact, approx, d)
+		}
+	}
+}
+
+func TestFunction1ApproxFailurePoints(t *testing.T) {
+	// §4.5: the approximation is undefined where q = (x+y2)/(g1+g2-3)
+	// reaches 0 or ≥ 1; Figure 8(d) "shows no value when x = 30".
+	g1, g2 := 31, 21
+	if !math.IsNaN(Function1Approx(g1, g2, 30, 19)) {
+		t.Error("x=30,y2=19 should be a failure point (q=1)")
+	}
+	if !math.IsNaN(Function1Approx(g1, g2, 30, 20)) {
+		t.Error("x=30,y2=20 should be a failure point (q>1)")
+	}
+	if !math.IsNaN(Function1Approx(g1, g2, 0, 0)) {
+		t.Error("x=0,y2=0 should be a failure point (q=0)")
+	}
+	if math.IsNaN(Function1Approx(g1, g2, 15, 10)) {
+		t.Error("interior point should be defined")
+	}
+}
+
+func TestFunction1ApproxDeviationBroad(t *testing.T) {
+	// The 0.05 bound holds across a range of net sizes for interior
+	// points away from the §4.5 failure set.
+	for _, g := range [][2]int{{10, 10}, {31, 21}, {20, 40}, {50, 50}} {
+		g1, g2 := g[0], g[1]
+		for y2 := 1; y2 < g2-1; y2 += 3 {
+			for x := 1; x < g1-1; x += 3 {
+				q := float64(x+y2) / float64(g1+g2-3)
+				if q <= 0.05 || q >= 0.95 {
+					continue // near the failure set
+				}
+				exact := Function1Exact(g1, g2, x, y2)
+				approx := Function1Approx(g1, g2, x, y2)
+				if math.IsNaN(approx) {
+					continue
+				}
+				if d := math.Abs(exact - approx); d > 0.05 {
+					t.Errorf("g=%dx%d x=%d y2=%d: deviation %.4f", g1, g2, x, y2, d)
+				}
+			}
+		}
+	}
+}
+
+// approxSimpson forces the Theorem 1 Simpson path on every
+// non-degenerate edge, bypassing the adaptive exact-span shortcut.
+func approxSimpson(g1, g2, x1, x2, y1, y2 int) float64 {
+	if coversCell(x1, x2, y1, y2, 0, 0) || coversCell(x1, x2, y1, y2, g1-1, g2-1) ||
+		coversCell(x1, x2, y1, y2, g1-2, g2-1) || coversCell(x1, x2, y1, y2, g1-1, g2-2) {
+		return 1
+	}
+	ev := &evaluator{m: Model{Pitch: 1, ExactSpanLimit: -1}}
+	return ev.approxProb(g1, g2, x1, x2, y1, y2)
+}
+
+func TestApproxCrossProbNearExact(t *testing.T) {
+	// Whole-IR-grid probabilities: Theorem 1 integrals (with the
+	// half-cell continuity correction) vs Formula 3. The corrected
+	// integrals track the exact sums within the paper's 0.05 pointwise
+	// budget.
+	type tc struct{ g1, g2, x1, x2, y1, y2 int }
+	cases := []tc{
+		{31, 21, 10, 20, 2, 15},
+		{31, 21, 5, 12, 3, 9},
+		{20, 20, 4, 10, 6, 14},
+		{40, 30, 10, 25, 8, 20},
+		{15, 25, 2, 8, 5, 18},
+		{12, 12, 3, 6, 3, 6},
+		{10, 10, 5, 5, 2, 7}, // single column: exact top edge + Simpson right edge
+		{10, 10, 2, 7, 5, 5}, // single row
+	}
+	for _, c := range cases {
+		exact := ExactCrossProb(c.g1, c.g2, c.x1, c.x2, c.y1, c.y2)
+		simpson := approxSimpson(c.g1, c.g2, c.x1, c.x2, c.y1, c.y2)
+		if d := math.Abs(exact - simpson); d > 0.05 {
+			t.Errorf("%+v: exact %.4f simpson %.4f deviation %.4f", c, exact, simpson, d)
+		}
+		// The adaptive default (exact short edges) must be at least as
+		// close to the exact value as the pure Simpson path.
+		adaptive := ApproxCrossProb(c.g1, c.g2, c.x1, c.x2, c.y1, c.y2, 0)
+		if math.Abs(exact-adaptive) > math.Abs(exact-simpson)+1e-9 {
+			t.Errorf("%+v: adaptive %.4f worse than simpson %.4f (exact %.4f)",
+				c, adaptive, simpson, exact)
+		}
+	}
+}
+
+func TestPaperBoundsUndercount(t *testing.T) {
+	// With the paper's literal Theorem 1 bounds the integral covers one
+	// fewer cell per edge, so it must not exceed the corrected value
+	// and must undershoot the exact sum on interior IR-grids.
+	g1, g2, x1, x2, y1, y2 := 31, 21, 10, 20, 2, 15
+	exact := ExactCrossProb(g1, g2, x1, x2, y1, y2)
+	evPaper := &evaluator{m: Model{Pitch: 1, PaperBounds: true, ExactSpanLimit: -1}}
+	paper := evPaper.approxProb(g1, g2, x1, x2, y1, y2)
+	evCorr := &evaluator{m: Model{Pitch: 1, ExactSpanLimit: -1}}
+	corr := evCorr.approxProb(g1, g2, x1, x2, y1, y2)
+	if paper >= corr {
+		t.Errorf("paper bounds %.4f should be below corrected %.4f", paper, corr)
+	}
+	if math.Abs(corr-exact) >= math.Abs(paper-exact) {
+		t.Errorf("correction did not improve: |%.4f-%.4f| vs |%.4f-%.4f|", corr, exact, paper, exact)
+	}
+}
+
+func TestApproxCrossProbPinAndErrorCells(t *testing.T) {
+	g1, g2 := 10, 10
+	// Pin cells and the §4.5 error cells are assigned 1 directly.
+	for _, c := range [][4]int{
+		{0, 0, 0, 0},                     // source
+		{g1 - 1, g1 - 1, g2 - 1, g2 - 1}, // sink
+		{g1 - 2, g1 - 2, g2 - 1, g2 - 1}, // error cell left of sink
+		{g1 - 1, g1 - 1, g2 - 2, g2 - 2}, // error cell below sink
+		{g1 - 2, g1 - 1, g2 - 2, g2 - 1}, // block containing all of them
+	} {
+		if got := ApproxCrossProb(g1, g2, c[0], c[1], c[2], c[3], 0); got != 1 {
+			t.Errorf("cells %v: got %g, want 1", c, got)
+		}
+	}
+}
+
+func TestApproxCrossProbInUnitRange(t *testing.T) {
+	for _, c := range [][6]int{
+		{31, 21, 10, 20, 2, 15},
+		{8, 8, 1, 3, 1, 3},
+		{50, 40, 5, 45, 5, 35},
+	} {
+		p := ApproxCrossProb(c[0], c[1], c[2], c[3], c[4], c[5], 0)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Errorf("%v: probability %g outside [0,1]", c, p)
+		}
+	}
+}
+
+func TestApproxDegenerateEdgesFallBackToExact(t *testing.T) {
+	// Single-column/row IR-grids and g=2 lattices use the exact sums,
+	// so they must match Formula 3 exactly.
+	// Cases where *both* edges are degenerate, so the whole value is
+	// computed by the exact fallback.
+	cases := [][6]int{
+		{2, 5, 0, 0, 1, 2},   // g1 = 2: top edge single col, right edge g1==2
+		{5, 2, 1, 2, 0, 0},   // g2 = 2
+		{10, 10, 4, 4, 3, 3}, // single cell
+	}
+	for _, c := range cases {
+		exact := ExactCrossProb(c[0], c[1], c[2], c[3], c[4], c[5])
+		approx := ApproxCrossProb(c[0], c[1], c[2], c[3], c[4], c[5], 0)
+		if math.Abs(exact-approx) > 1e-9 {
+			t.Errorf("%v: approx %g != exact %g on degenerate edge", c, approx, exact)
+		}
+	}
+}
+
+func TestSimpsonNConvergence(t *testing.T) {
+	// More Simpson points should not make the approximation worse on a
+	// smooth interior IR-grid.
+	g1, g2, x1, x2, y1, y2 := 31, 21, 10, 20, 2, 15
+	exact := ExactCrossProb(g1, g2, x1, x2, y1, y2)
+	force := func(n int) float64 {
+		ev := &evaluator{m: Model{Pitch: 1, SimpsonN: n, ExactSpanLimit: -1}}
+		return ev.approxProb(g1, g2, x1, x2, y1, y2)
+	}
+	d8 := math.Abs(force(8) - exact)
+	d64 := math.Abs(force(64) - exact)
+	// At n=8 Simpson is already near-converged on this smooth
+	// integrand; n=64 must not be meaningfully worse (the residual is
+	// the normal-approximation error, not quadrature error).
+	if d64 > d8+1e-3 {
+		t.Errorf("Simpson n=64 worse than n=8: %g vs %g", d64, d8)
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+func TestDebugNaN(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		n := netlist.TwoPin{
+			A: geom.Pt{X: 270, Y: float64(i) * 30},
+			B: geom.Pt{X: 330, Y: 570 - float64(i)*30},
+		}
+		// Rebuild the same merged axes as the full net set.
+		full := []netlist.TwoPin{}
+		for k := 0; k < 3; k++ {
+			full = append(full, netlist.TwoPin{
+				A: geom.Pt{X: 270, Y: float64(k) * 30},
+				B: geom.Pt{X: 330, Y: 570 - float64(k)*30},
+			})
+		}
+		m := Model{Pitch: 30}
+		mpAll := m.Evaluate(chip, full)
+		_ = mpAll
+		// Evaluate single net against the full axes by hand:
+		mp := &Map{Chip: chip, XAxis: mpAll.XAxis, YAxis: mpAll.YAxis}
+		mp.Prob = make([]float64, mp.Cols()*mp.Rows())
+		ev := &evaluator{m: m, mp: mp}
+		ev.addNet(n)
+		fmt.Printf("net %d: ", i)
+		for iy := 0; iy < mp.Rows(); iy++ {
+			for ix := 0; ix < mp.Cols(); ix++ {
+				fmt.Printf("%8.4f", mp.At(ix, iy))
+			}
+			fmt.Print(" | ")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+
+	"irgrid/internal/nmath"
+)
+
+// This file implements the exact boundary-escape computation of the
+// paper's Formula 3 in type-I-oriented unit coordinates: the source pin
+// occupies unit cell (0,0), the sink (g1-1, g2-1), and the IR-grid
+// covers cells [x1..x2]×[y1..y2]. Type II nets are reflected into this
+// frame by the caller; TestFormula3TypeIIMatchesPaper cross-checks the
+// reflection against the paper's explicit type II expression.
+
+// exactProb evaluates Formula 3 (type I):
+//
+//	P = [ Σ_{x=x1}^{x2} Ta(x, y2)·Tb(x, y2+1)
+//	    + Σ_{y=y1}^{y2} Ta(x2, y)·Tb(x2+1, y) ] / Ta(g1-1, g2-1)
+//
+// where Ta(x,y) = C(x+y, y) counts monotone routes from the source to
+// cell (x,y) and Tb(x,y) = Ta(g1-1-x, g2-1-y) counts routes from cell
+// (x,y) to the sink (zero outside the routing range). Each term is the
+// number of routes leaving the IR-grid upward through its top edge or
+// rightward through its right edge; a monotone route crosses the
+// rectangle exactly once, so the terms partition the crossing routes.
+//
+// The caller guarantees the IR-grid does not cover a pin cell, so the
+// sums are strictly less than the total and at least one escape
+// direction exists.
+func (ev *evaluator) exactProb(g1, g2, x1, x2, y1, y2 int) float64 {
+	ev.lf.Ensure(g1 + g2)
+	var p float64
+	// Top-edge escapes: from (x, y2) to (x, y2+1). Tb(x, y2+1) is zero
+	// when y2 is the top row of the routing range.
+	if y2+1 <= g2-1 {
+		p += ev.exactTopSum(g1, g2, x1, x2, y2)
+	}
+	// Right-edge escapes: from (x2, y) to (x2+1, y).
+	if x2+1 <= g1-1 {
+		p += ev.exactRightSum(g1, g2, x2, y1, y2)
+	}
+	if p > 1 {
+		p = 1 // guard against rounding above certainty
+	}
+	return p
+}
+
+// logTa returns ln Ta(x, y) = ln C(x+y, y).
+func (ev *evaluator) logTa(x, y int) float64 {
+	if x < 0 || y < 0 {
+		return math.Inf(-1)
+	}
+	return ev.lf.LogChoose(x+y, y)
+}
+
+// logTb returns ln Tb(x, y) = ln Ta(g1-1-x, g2-1-y).
+func (ev *evaluator) logTb(g1, g2, x, y int) float64 {
+	return ev.logTa(g1-1-x, g2-1-y)
+}
+
+// ExactCrossProb exposes the exact Formula 3 evaluation for a type I
+// net on a g1×g2 unit lattice and the IR-rectangle [x1..x2]×[y1..y2];
+// IR-rectangles covering a pin cell return 1 (Algorithm step 3.1). It
+// is the reference implementation used by the accuracy experiment
+// (Figure 8) and by the ablation benchmarks.
+func ExactCrossProb(g1, g2, x1, x2, y1, y2 int) float64 {
+	ev := &evaluator{}
+	if coversCell(x1, x2, y1, y2, 0, 0) || coversCell(x1, x2, y1, y2, g1-1, g2-1) {
+		return 1
+	}
+	return ev.exactProb(g1, g2, x1, x2, y1, y2)
+}
+
+// TypeIICrossProb evaluates the paper's explicit type II Formula 3 on
+// a g1×g2 lattice where the source pin occupies unit cell (0, g2-1)
+// and the sink (g1-1, 0):
+//
+//	P = [ Σ_{x=x1}^{x2} Ta(x, y1)·Tb(x, y1-1)
+//	    + Σ_{y=y1}^{y2} Ta(x2, y)·Tb(x2+1, y) ] / Ta(g1-1, 0)
+//
+// with Ta(x,y) = C(x + (g2-1-y), x) and Tb(x,y) = Ta(g1-1-x, g2-1-y) =
+// C((g1-1-x) + y, g1-1-x). It exists to validate the reflection used
+// by the evaluator; production code paths reflect into type I instead.
+func TypeIICrossProb(g1, g2, x1, x2, y1, y2 int) float64 {
+	if coversCell(x1, x2, y1, y2, 0, g2-1) || coversCell(x1, x2, y1, y2, g1-1, 0) {
+		return 1
+	}
+	var lf nmath.LogFact
+	lf.Ensure(g1 + g2)
+	ta := func(x, y int) float64 {
+		if x < 0 || x > g1-1 || y < 0 || y > g2-1 {
+			return math.Inf(-1)
+		}
+		return lf.LogChoose(x+(g2-1-y), x)
+	}
+	tb := func(x, y int) float64 { return ta(g1-1-x, g2-1-y) }
+	logTotal := ta(g1-1, 0)
+	var p float64
+	// Bottom-edge escapes: routes travel down-right, leaving through
+	// the bottom edge from (x, y1) to (x, y1-1).
+	if y1-1 >= 0 {
+		for x := x1; x <= x2; x++ {
+			p += math.Exp(ta(x, y1) + tb(x, y1-1) - logTotal)
+		}
+	}
+	// Right-edge escapes.
+	if x2+1 <= g1-1 {
+		for y := y1; y <= y2; y++ {
+			p += math.Exp(ta(x2, y) + tb(x2+1, y) - logTotal)
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,626 @@
+// Package core implements the paper's contribution: the Irregular-Grid
+// probabilistic congestion model (§4).
+//
+// Instead of a uniform lattice, the chip is partitioned by cutting
+// lines extended from the boundaries of every net's routing range
+// (§4.2); lines closer than twice the base grid pitch are merged
+// (Algorithm step 2). Because pins lie on cutting lines (pins are
+// snapped to base-grid intersections by the intersection-to-
+// intersection method), every net crosses whole IR-grids, and the
+// probability that a net crosses an IR-grid reduces to the
+// boundary-escape identity of Formula 3: a monotone route crosses an
+// axis-aligned rectangle inside its routing range exactly once through
+// the rectangle's top or right edge (type I; bottom/right for type II).
+//
+// The per-edge sums are either computed exactly (Formula 3, O(IR-grid
+// perimeter)) or approximated in O(1) by the normal-distribution-like
+// integrals of Theorem 1 evaluated with Simpson's rule; IR-grids
+// covering a pin — including the cells adjacent to pins where the
+// normal approximation degenerates (§4.5) — are assigned probability 1
+// directly.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+	"irgrid/internal/nmath"
+)
+
+// Model configures the Irregular-Grid congestion estimator.
+type Model struct {
+	// Pitch is the base grid pitch in µm (the paper uses 30×30 µm² for
+	// most circuits, 60×60 for apte). It defines the unit lattice the
+	// path-counting formulas operate on and the line-merge threshold.
+	Pitch float64
+	// TopFraction is the fraction of the chip's most congested area
+	// units averaged into the score (paper: 0.10). Zero means 0.10.
+	TopFraction float64
+	// Exact selects the exact Formula 3 sums instead of the Theorem 1
+	// approximation. The default (false) is the paper's model.
+	Exact bool
+	// SimpsonN is the number of Simpson subintervals per Theorem 1
+	// integral (constant, making each IR-grid O(1)). Zero means 4,
+	// which is already within quadrature noise of the normal
+	// approximation error (TestSimpsonNConvergence).
+	SimpsonN int
+	// NoMerge disables cutting-line merging (Algorithm step 2); used
+	// by the line-merge ablation only.
+	NoMerge bool
+	// ExactSpanLimit is the edge span (in unit cells) below which the
+	// approximate evaluator uses the exact recurrence sum instead of
+	// the Theorem 1 Simpson integral: short exact sums are both cheaper
+	// than quadrature and error-free, while long edges keep the O(1)
+	// integral. Zero selects the default (32); negative forces the
+	// Simpson path everywhere (used by accuracy tests and ablations).
+	ExactSpanLimit int
+	// PaperBounds integrates the Theorem 1 approximation over the
+	// paper's literal bounds [x1, x2] instead of the half-cell
+	// continuity-corrected [x1-½, x2+½] that matches the discrete sum.
+	// Off by default; used by the integral-bounds ablation.
+	PaperBounds bool
+}
+
+// Name identifies the model in experiment tables.
+func (m Model) Name() string {
+	if m.Exact {
+		return "ir-grid(exact)"
+	}
+	return "ir-grid"
+}
+
+func (m Model) exactSpanLimit() int {
+	switch {
+	case m.ExactSpanLimit > 0:
+		return m.ExactSpanLimit
+	case m.ExactSpanLimit < 0:
+		return 1 // only truly degenerate single-cell edges
+	default:
+		return 32
+	}
+}
+
+func (m Model) simpsonN() int {
+	if m.SimpsonN <= 0 {
+		return 4
+	}
+	return m.SimpsonN
+}
+
+// Map is the evaluated Irregular-Grid: the cutting-line axes and the
+// accumulated crossing-probability sum F(I) of every IR-grid.
+type Map struct {
+	Chip  geom.Rect
+	XAxis geom.Axis
+	YAxis geom.Axis
+	// Prob[iy*Cols()+ix] is F(I) = Σ_i P_i(I) for IR-grid (ix, iy).
+	Prob []float64
+}
+
+// Cols returns the number of IR-grid columns.
+func (mp *Map) Cols() int { return mp.XAxis.Cells() }
+
+// Rows returns the number of IR-grid rows.
+func (mp *Map) Rows() int { return mp.YAxis.Cells() }
+
+// GridCount returns the total number of IR-grids (Table 4's
+// "# of IR-grid").
+func (mp *Map) GridCount() int { return mp.Cols() * mp.Rows() }
+
+// At returns F(I) for IR-grid (ix, iy).
+func (mp *Map) At(ix, iy int) float64 { return mp.Prob[iy*mp.Cols()+ix] }
+
+// Rect returns the rectangle of IR-grid (ix, iy).
+func (mp *Map) Rect(ix, iy int) geom.Rect {
+	return geom.Rect{X1: mp.XAxis[ix], Y1: mp.YAxis[iy], X2: mp.XAxis[ix+1], Y2: mp.YAxis[iy+1]}
+}
+
+// Density returns the congestion cost per area unit of IR-grid
+// (ix, iy): F(I) divided by the IR-grid area (§4.3).
+func (mp *Map) Density(ix, iy int) float64 {
+	a := mp.Rect(ix, iy).Area()
+	if a <= 0 {
+		return 0
+	}
+	return mp.At(ix, iy) / a
+}
+
+// Evaluate partitions the chip into IR-grids from the nets' routing
+// ranges and accumulates every net's crossing probabilities.
+func (m Model) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
+	if m.Pitch <= 0 {
+		panic("core: Pitch must be positive")
+	}
+	eps := m.Pitch * 1e-9
+
+	// Step 1: cutting lines from routing-range boundaries.
+	xs := make([]float64, 0, 2*len(nets)+2)
+	ys := make([]float64, 0, 2*len(nets)+2)
+	xs = append(xs, chip.X1, chip.X2)
+	ys = append(ys, chip.Y1, chip.Y2)
+	for _, n := range nets {
+		r := n.Range()
+		xs = append(xs, r.X1, r.X2)
+		ys = append(ys, r.Y1, r.Y2)
+	}
+	xAxis := geom.NewAxis(xs, eps)
+	yAxis := geom.NewAxis(ys, eps)
+
+	// Step 2: merge lines closer than twice the base pitch.
+	if !m.NoMerge {
+		xAxis = xAxis.Merge(2 * m.Pitch)
+		yAxis = yAxis.Merge(2 * m.Pitch)
+	}
+
+	mp := &Map{Chip: chip, XAxis: xAxis, YAxis: yAxis}
+	mp.Prob = make([]float64, mp.Cols()*mp.Rows())
+
+	// Step 3: per-net crossing probabilities.
+	ev := &evaluator{m: m, mp: mp}
+	for _, n := range nets {
+		ev.addNet(n)
+	}
+	return mp
+}
+
+// Score returns the chip-level congestion cost: the average congestion
+// of the top-10% most congested area units (Algorithm step 5).
+func (m Model) Score(chip geom.Rect, nets []netlist.TwoPin) float64 {
+	frac := m.TopFraction
+	if frac <= 0 {
+		frac = 0.10
+	}
+	return m.Evaluate(chip, nets).TopScore(frac)
+}
+
+// TopScore returns the area-weighted mean density over the most
+// congested IR-grids covering frac of the chip area: IR-grids are
+// ranked by density; whole grids are taken until the area budget is
+// reached, the last one contributing only its remaining share.
+func (mp *Map) TopScore(frac float64) float64 {
+	type cell struct {
+		d, area float64
+	}
+	cells := make([]cell, 0, len(mp.Prob))
+	for iy := 0; iy < mp.Rows(); iy++ {
+		for ix := 0; ix < mp.Cols(); ix++ {
+			a := mp.Rect(ix, iy).Area()
+			if a <= 0 {
+				continue
+			}
+			cells = append(cells, cell{d: mp.At(ix, iy) / a, area: a})
+		}
+	}
+	if len(cells) == 0 {
+		return 0
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].d > cells[j].d })
+	budget := frac * mp.Chip.Area()
+	if budget <= 0 {
+		return cells[0].d
+	}
+	var sum, used float64
+	for _, c := range cells {
+		a := math.Min(c.area, budget-used)
+		sum += c.d * a
+		used += a
+		if used >= budget {
+			break
+		}
+	}
+	if used == 0 {
+		return 0
+	}
+	return sum / used
+}
+
+// Max returns the largest IR-grid density.
+func (mp *Map) Max() float64 {
+	var mx float64
+	for iy := 0; iy < mp.Rows(); iy++ {
+		for ix := 0; ix < mp.Cols(); ix++ {
+			if d := mp.Density(ix, iy); d > mx {
+				mx = d
+			}
+		}
+	}
+	return mx
+}
+
+// evaluator carries the per-Evaluate scratch state.
+type evaluator struct {
+	m  Model
+	mp *Map
+	lf nmath.LogFact
+
+	// perCell forces the reference per-cell evaluation instead of the
+	// row/column sweeps; used by tests to cross-validate the sweeps.
+	perCell bool
+	scratch []float64
+	colLo   []int
+	colHi   []int
+	rowLo   []int
+	rowHi   []int
+}
+
+// netFrame is a net's routing range expressed on the unit lattice: the
+// range snapped to the surviving cutting lines, its unit-grid
+// dimensions g1×g2, covered IR-grid index ranges, and the type II flag.
+type netFrame struct {
+	cx1, cx2, cy1, cy2 int     // covered IR-grid index ranges
+	x0, y0             float64 // snapped range origin (µm)
+	g1, g2             int     // unit-grid dimensions
+	typeII             bool
+}
+
+// addNet accumulates one 2-pin net into the map.
+func (ev *evaluator) addNet(n netlist.TwoPin) {
+	mp := ev.mp
+	f, ok := ev.frame(n)
+	if !ok {
+		return
+	}
+
+	if f.g1 == 1 || f.g2 == 1 {
+		// Point or line routing range: probability 1 everywhere it
+		// covers.
+		for iy := f.cy1; iy <= f.cy2; iy++ {
+			for ix := f.cx1; ix <= f.cx2; ix++ {
+				mp.Prob[iy*mp.Cols()+ix] += 1
+			}
+		}
+		return
+	}
+
+	ev.lf.Ensure(f.g1 + f.g2)
+	if ev.perCell {
+		for iy := f.cy1; iy <= f.cy2; iy++ {
+			for ix := f.cx1; ix <= f.cx2; ix++ {
+				mp.Prob[iy*mp.Cols()+ix] += ev.irProb(f, ix, iy)
+			}
+		}
+		return
+	}
+	ev.addNetSweep(f)
+}
+
+// addNetSweep computes every covered IR-grid's crossing probability
+// with one recurrence sweep per IR row (top-edge escape sums) and one
+// per IR column (right-edge escape sums), amortizing the log-space
+// start term across all IR-grids in the lane. It produces exactly the
+// same values as irProb (TestSweepMatchesPerCell) at a fraction of the
+// cost: ~4 flops per unit cell instead of two exp calls per IR-grid.
+func (ev *evaluator) addNetSweep(f netFrame) {
+	mp := ev.mp
+	g1, g2 := f.g1, f.g2
+	cols := f.cx2 - f.cx1 + 1
+	rows := f.cy2 - f.cy1 + 1
+	ev.scratch = resizeFloats(ev.scratch, cols*rows)
+	ev.colLo = resizeInts(ev.colLo, cols)
+	ev.colHi = resizeInts(ev.colHi, cols)
+	ev.rowLo = resizeInts(ev.rowLo, rows)
+	ev.rowHi = resizeInts(ev.rowHi, rows)
+
+	// Oriented unit spans per covered IR column and row. Columns share
+	// the x orientation; type II rows are reflected so that the source
+	// pin sits at oriented (0, 0).
+	for i := 0; i < cols; i++ {
+		ix := f.cx1 + i
+		ev.colLo[i] = unitIndexLo(mp.XAxis[ix], f.x0, ev.m.Pitch, g1)
+		ev.colHi[i] = unitIndexHi(mp.XAxis[ix+1], f.x0, ev.m.Pitch, g1)
+	}
+	for j := 0; j < rows; j++ {
+		iy := f.cy1 + j
+		y1 := unitIndexLo(mp.YAxis[iy], f.y0, ev.m.Pitch, g2)
+		y2 := unitIndexHi(mp.YAxis[iy+1], f.y0, ev.m.Pitch, g2)
+		if f.typeII {
+			y1, y2 = g2-1-y2, g2-1-y1
+		}
+		ev.rowLo[j], ev.rowHi[j] = y1, y2
+	}
+
+	limit := ev.m.exactSpanLimit()
+	// Matches the per-cell rule in approxProb: exact when the span's
+	// last-minus-first index stays below the limit.
+	useSimpson := func(span int) bool { return !ev.m.Exact && span-1 >= limit }
+
+	// Top-edge sweeps: for each IR row, T(x) = Ta(x,y2)·Tb(x,y2+1)/total
+	// walks x across the covered columns with the multiplicative
+	// recurrence; each column accumulates its sub-sum. Adjacent columns
+	// may share one boundary unit cell (unaligned cutting lines), which
+	// the cursor rewinds over.
+	logTotal := ev.lf.LogChoose(g1+g2-2, g2-1)
+	for j := 0; j < rows; j++ {
+		y2 := ev.rowHi[j]
+		if y2+1 > g2-1 {
+			continue // top row of the routing range: no upward escape
+		}
+		ratio := func(x int) float64 {
+			return float64(x+y2+1) / float64(x+1) *
+				float64(g1-1-x) / float64(g1+g2-3-x-y2)
+		}
+		cursor := -1 // unit x the running term t corresponds to
+		var t float64
+		for i := 0; i < cols; i++ {
+			lo, hi := ev.colLo[i], ev.colHi[i]
+			if hi < lo {
+				continue
+			}
+			if useSimpson(hi - lo + 1) {
+				if g2 != 2 {
+					ev.scratch[j*cols+i] += ev.simpsonTop(g1, g2, lo, hi, y2)
+					cursor = -1
+					continue
+				}
+				// g2 == 2 degenerates the normal variance: fall
+				// through to the exact sweep.
+			}
+			switch {
+			case cursor < 0:
+				t = math.Exp(ev.logTa(lo, y2) + ev.logTb(g1, g2, lo, y2+1) - logTotal)
+			case cursor == lo:
+				// t already holds T(lo) (shared boundary unit).
+			case cursor == lo-1:
+				t *= ratio(cursor) // advance into the contiguous column
+			case cursor == lo+1:
+				t /= ratio(lo) // rewind over the shared boundary unit
+			default:
+				t = math.Exp(ev.logTa(lo, y2) + ev.logTb(g1, g2, lo, y2+1) - logTotal)
+			}
+			cursor = lo
+			sum := t
+			for x := lo; x < hi; x++ {
+				t *= ratio(x)
+				sum += t
+			}
+			cursor = hi
+			ev.scratch[j*cols+i] += sum
+		}
+	}
+
+	// Right-edge sweeps: per IR column, T(y) = Ta(x2,y)·Tb(x2+1,y)/total.
+	for i := 0; i < cols; i++ {
+		x2 := ev.colHi[i]
+		if x2+1 > g1-1 {
+			continue // rightmost column: no rightward escape
+		}
+		ratio := func(y int) float64 {
+			return float64(x2+y+1) / float64(y+1) *
+				float64(g2-1-y) / float64(g1+g2-3-x2-y)
+		}
+		cursor := -1
+		var t float64
+		// Walk rows in oriented-y order: for type II the physical rows
+		// descend in oriented y, so iterate them reversed.
+		for jj := 0; jj < rows; jj++ {
+			j := jj
+			if f.typeII {
+				j = rows - 1 - jj
+			}
+			lo, hi := ev.rowLo[j], ev.rowHi[j]
+			if hi < lo {
+				continue
+			}
+			if useSimpson(hi - lo + 1) {
+				if g1 != 2 {
+					ev.scratch[j*cols+i] += ev.simpsonRight(g1, g2, x2, lo, hi)
+					cursor = -1
+					continue
+				}
+			}
+			switch {
+			case cursor < 0:
+				t = math.Exp(ev.logTa(x2, lo) + ev.logTb(g1, g2, x2+1, lo) - logTotal)
+			case cursor == lo:
+			case cursor == lo-1:
+				t *= ratio(cursor)
+			case cursor == lo+1:
+				t /= ratio(lo)
+			default:
+				t = math.Exp(ev.logTa(x2, lo) + ev.logTb(g1, g2, x2+1, lo) - logTotal)
+			}
+			cursor = lo
+			sum := t
+			for y := lo; y < hi; y++ {
+				t *= ratio(y)
+				sum += t
+			}
+			cursor = hi
+			ev.scratch[j*cols+i] += sum
+		}
+	}
+
+	// Pin and §4.5 overrides, then fold into the map.
+	for j := 0; j < rows; j++ {
+		y1, y2 := ev.rowLo[j], ev.rowHi[j]
+		for i := 0; i < cols; i++ {
+			x1, x2 := ev.colLo[i], ev.colHi[i]
+			p := ev.scratch[j*cols+i]
+			if coversCell(x1, x2, y1, y2, 0, 0) || coversCell(x1, x2, y1, y2, g1-1, g2-1) {
+				p = 1
+			} else if !ev.m.Exact &&
+				(coversCell(x1, x2, y1, y2, g1-2, g2-1) ||
+					coversCell(x1, x2, y1, y2, g1-1, g2-2)) {
+				p = 1
+			} else if p > 1 {
+				p = 1
+			}
+			mp.Prob[(f.cy1+j)*mp.Cols()+f.cx1+i] += p
+		}
+	}
+}
+
+// simpsonTop evaluates the Theorem 1 top-edge integral for unit span
+// [lo, hi] at top row y2 (used for spans past the exact-span limit).
+func (ev *evaluator) simpsonTop(g1, g2, lo, hi, y2 int) float64 {
+	cc := 0.5
+	if ev.m.PaperBounds {
+		cc = 0
+	}
+	if bandSkip(float64(lo)-cc, float64(hi)+cc,
+		float64(g1-1)/float64(g1+g2-3), float64(y2),
+		float64(g2-2)/float64(g1+g2-4)*float64(g1-1)) {
+		return 0
+	}
+	w := float64(g2-1) / float64(g1+g2-2)
+	f := func(x float64) float64 { return function1PDF(g1, g2, x, float64(y2)) }
+	return w * nmath.Simpson(f, float64(lo)-cc, float64(hi)+cc, ev.m.simpsonN())
+}
+
+// simpsonRight evaluates the Theorem 1 right-edge integral for unit
+// span [lo, hi] at right column x2.
+func (ev *evaluator) simpsonRight(g1, g2, x2, lo, hi int) float64 {
+	cc := 0.5
+	if ev.m.PaperBounds {
+		cc = 0
+	}
+	if bandSkip(float64(lo)-cc, float64(hi)+cc,
+		float64(g2-1)/float64(g1+g2-3), float64(x2),
+		float64(g1-2)/float64(g1+g2-4)*float64(g2-1)) {
+		return 0
+	}
+	w := float64(g1-1) / float64(g1+g2-2)
+	f := func(y float64) float64 { return function2PDF(g1, g2, float64(x2), y) }
+	return w * nmath.Simpson(f, float64(lo)-cc, float64(hi)+cc, ev.m.simpsonN())
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// frame maps the net's routing range onto the IR-grid and unit lattice.
+func (ev *evaluator) frame(n netlist.TwoPin) (netFrame, bool) {
+	mp := ev.mp
+	r := n.Range()
+	var f netFrame
+	f.typeII = n.TypeII()
+	f.cx1, f.cx2 = cellRange(mp.XAxis, r.X1, r.X2)
+	f.cy1, f.cy2 = cellRange(mp.YAxis, r.Y1, r.Y2)
+	if f.cx1 < 0 || f.cy1 < 0 {
+		return f, false
+	}
+	// The modified routing range spans whole IR-grids (Algorithm
+	// step 2 "modify the corresponding routing ranges").
+	f.x0 = mp.XAxis[f.cx1]
+	f.y0 = mp.YAxis[f.cy1]
+	w := mp.XAxis[f.cx2+1] - f.x0
+	h := mp.YAxis[f.cy2+1] - f.y0
+	f.g1 = unitCells(w, ev.m.Pitch)
+	f.g2 = unitCells(h, ev.m.Pitch)
+	// Degenerate *original* ranges stay lines even when the snapped
+	// range is wider: the net's routes never leave the original line.
+	if r.W() < ev.m.Pitch/2 {
+		f.g1 = 1
+	}
+	if r.H() < ev.m.Pitch/2 {
+		f.g2 = 1
+	}
+	return f, true
+}
+
+// irProb returns P_i(I) for IR-grid (ix, iy) within frame f.
+func (ev *evaluator) irProb(f netFrame, ix, iy int) float64 {
+	mp := ev.mp
+	// Unit-cell span of the IR-grid inside the routing range.
+	x1 := unitIndexLo(mp.XAxis[ix], f.x0, ev.m.Pitch, f.g1)
+	x2 := unitIndexHi(mp.XAxis[ix+1], f.x0, ev.m.Pitch, f.g1)
+	y1 := unitIndexLo(mp.YAxis[iy], f.y0, ev.m.Pitch, f.g2)
+	y2 := unitIndexHi(mp.YAxis[iy+1], f.y0, ev.m.Pitch, f.g2)
+	if x2 < x1 || y2 < y1 {
+		return 0
+	}
+	// Orient type II nets by reflecting y so the source pin sits at
+	// unit cell (0,0) and the sink at (g1-1, g2-1).
+	if f.typeII {
+		y1, y2 = f.g2-1-y2, f.g2-1-y1
+	}
+
+	// Algorithm step 3.1 and §4.5: IR-grids covering a pin — widened,
+	// in approximate mode, by the pin-adjacent cells where the normal
+	// approximation degenerates — have probability 1.
+	if coversCell(x1, x2, y1, y2, 0, 0) || coversCell(x1, x2, y1, y2, f.g1-1, f.g2-1) {
+		return 1
+	}
+	if !ev.m.Exact &&
+		(coversCell(x1, x2, y1, y2, f.g1-2, f.g2-1) ||
+			coversCell(x1, x2, y1, y2, f.g1-1, f.g2-2)) {
+		return 1
+	}
+
+	if ev.m.Exact {
+		return ev.exactProb(f.g1, f.g2, x1, x2, y1, y2)
+	}
+	return ev.approxProb(f.g1, f.g2, x1, x2, y1, y2)
+}
+
+// coversCell reports whether the unit-cell span contains cell (cx, cy).
+func coversCell(x1, x2, y1, y2, cx, cy int) bool {
+	return cx >= x1 && cx <= x2 && cy >= y1 && cy <= y2
+}
+
+// cellRange returns the index range of axis cells overlapping [lo, hi];
+// a degenerate interval returns the single containing cell. It returns
+// (-1, -1) for an empty axis.
+func cellRange(a geom.Axis, lo, hi float64) (int, int) {
+	if a.Cells() == 0 {
+		return -1, -1
+	}
+	c1 := a.Locate(lo)
+	c2 := a.Locate(hi)
+	// When hi sits exactly on c2's lower cutting line, the range does
+	// not extend into cell c2.
+	if c2 > c1 && hi <= a[c2] {
+		c2--
+	}
+	return c1, c2
+}
+
+// unitCells converts a snapped routing-range extent into a unit-grid
+// dimension.
+func unitCells(w, pitch float64) int {
+	g := int(math.Round(w / pitch))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// unitIndexLo maps an IR-grid's lower boundary to the first covered
+// unit cell.
+func unitIndexLo(coord, origin, pitch float64, g int) int {
+	i := int(math.Floor((coord-origin)/pitch + 1e-9))
+	return clampInt(i, 0, g-1)
+}
+
+// unitIndexHi maps an IR-grid's upper boundary to the last covered
+// unit cell.
+func unitIndexHi(coord, origin, pitch float64, g int) int {
+	i := int(math.Ceil((coord-origin)/pitch-1e-9)) - 1
+	return clampInt(i, 0, g-1)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

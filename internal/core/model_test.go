@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+var chip = geom.Rect{X1: 0, Y1: 0, X2: 600, Y2: 600}
+
+// snapNets generates random nets with pins on 30 µm intersections, the
+// precondition the intersection-to-intersection pin placement
+// establishes.
+func snapNets(rng *rand.Rand, n int) []netlist.TwoPin {
+	nets := make([]netlist.TwoPin, n)
+	for i := range nets {
+		nets[i] = netlist.TwoPin{
+			A: geom.Pt{X: float64(rng.Intn(21)) * 30, Y: float64(rng.Intn(21)) * 30},
+			B: geom.Pt{X: float64(rng.Intn(21)) * 30, Y: float64(rng.Intn(21)) * 30},
+		}
+	}
+	return nets
+}
+
+func TestEvaluateTilesChip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := Model{Pitch: 30}
+	mp := m.Evaluate(chip, snapNets(rng, 40))
+	// IR-grids tile the chip: areas sum to the chip area.
+	var sum float64
+	for iy := 0; iy < mp.Rows(); iy++ {
+		for ix := 0; ix < mp.Cols(); ix++ {
+			sum += mp.Rect(ix, iy).Area()
+		}
+	}
+	if math.Abs(sum-chip.Area()) > 1e-6 {
+		t.Errorf("IR-grid areas sum to %g, chip area %g", sum, chip.Area())
+	}
+	// Axes start and end at the chip boundary.
+	if mp.XAxis[0] != chip.X1 || mp.XAxis[len(mp.XAxis)-1] != chip.X2 {
+		t.Errorf("x axis %v does not span the chip", mp.XAxis)
+	}
+}
+
+func TestEvaluateCuttingLinesFromRoutingRanges(t *testing.T) {
+	nets := []netlist.TwoPin{
+		{A: geom.Pt{X: 90, Y: 90}, B: geom.Pt{X: 300, Y: 420}},
+	}
+	m := Model{Pitch: 30}
+	mp := m.Evaluate(chip, nets)
+	// Every routing-range boundary creates a cutting line (none are
+	// merged here: all gaps exceed 60).
+	for _, want := range []float64{0, 90, 300, 600} {
+		if mp.XAxis.IndexOf(want, 1e-6) < 0 {
+			t.Errorf("x axis %v missing line at %g", mp.XAxis, want)
+		}
+	}
+	for _, want := range []float64{0, 90, 420, 600} {
+		if mp.YAxis.IndexOf(want, 1e-6) < 0 {
+			t.Errorf("y axis %v missing line at %g", mp.YAxis, want)
+		}
+	}
+}
+
+func TestEvaluateMergesCloseLines(t *testing.T) {
+	nets := []netlist.TwoPin{
+		{A: geom.Pt{X: 90, Y: 90}, B: geom.Pt{X: 300, Y: 300}},
+		{A: geom.Pt{X: 120, Y: 120}, B: geom.Pt{X: 330, Y: 330}}, // 30 < 2*30 from the first
+	}
+	m := Model{Pitch: 30}
+	mp := m.Evaluate(chip, nets)
+	// 120 is within 60 of 90, so it must be merged away.
+	if mp.XAxis.IndexOf(120, 1e-6) >= 0 {
+		t.Errorf("x axis %v should not contain the merged line 120", mp.XAxis)
+	}
+	nm := Model{Pitch: 30, NoMerge: true}
+	mp2 := nm.Evaluate(chip, nets)
+	if mp2.XAxis.IndexOf(120, 1e-6) < 0 {
+		t.Errorf("NoMerge axis %v should contain 120", mp2.XAxis)
+	}
+	if mp2.GridCount() <= mp.GridCount() {
+		t.Errorf("merging should reduce grid count: %d vs %d", mp.GridCount(), mp2.GridCount())
+	}
+}
+
+func TestSingleNetProbabilityBounds(t *testing.T) {
+	nets := []netlist.TwoPin{{A: geom.Pt{X: 90, Y: 90}, B: geom.Pt{X: 450, Y: 390}}}
+	for _, exact := range []bool{false, true} {
+		m := Model{Pitch: 30, Exact: exact}
+		mp := m.Evaluate(chip, nets)
+		r := nets[0].Range()
+		for iy := 0; iy < mp.Rows(); iy++ {
+			for ix := 0; ix < mp.Cols(); ix++ {
+				p := mp.At(ix, iy)
+				if p < -1e-9 || p > 1+1e-9 {
+					t.Fatalf("exact=%v grid (%d,%d): probability %g", exact, ix, iy, p)
+				}
+				cell := mp.Rect(ix, iy)
+				if p > 1e-9 && !r.Overlaps(cell) && !r.ContainsRect(cell) {
+					// Outside the routing range nothing may accumulate.
+					t.Fatalf("exact=%v grid (%d,%d)=%v outside range %v has p=%g",
+						exact, ix, iy, cell, r, p)
+				}
+			}
+		}
+	}
+}
+
+func TestPinIRGridsAreCertain(t *testing.T) {
+	nets := []netlist.TwoPin{{A: geom.Pt{X: 90, Y: 90}, B: geom.Pt{X: 450, Y: 390}}}
+	m := Model{Pitch: 30, Exact: true}
+	mp := m.Evaluate(chip, nets)
+	// The pin IR-grids are the corner cells of the routing range: a pin
+	// sits on cutting lines, so the cell of the range it touches is the
+	// lower-left (source) / upper-right (sink) covered cell.
+	r := nets[0].Range()
+	cx1, cx2 := mp.XAxis.Locate(r.X1), mp.XAxis.Locate(r.X2-1e-9)
+	cy1, cy2 := mp.YAxis.Locate(r.Y1), mp.YAxis.Locate(r.Y2-1e-9)
+	for _, c := range [][2]int{{cx1, cy1}, {cx2, cy2}} {
+		if p := mp.At(c[0], c[1]); math.Abs(p-1) > 1e-9 {
+			t.Errorf("pin IR-grid (%d,%d): probability %g, want 1", c[0], c[1], p)
+		}
+	}
+}
+
+func TestDegenerateNetsInMap(t *testing.T) {
+	nets := []netlist.TwoPin{
+		{A: geom.Pt{X: 90, Y: 300}, B: geom.Pt{X: 390, Y: 300}},  // horizontal line
+		{A: geom.Pt{X: 210, Y: 210}, B: geom.Pt{X: 210, Y: 210}}, // point
+	}
+	m := Model{Pitch: 30}
+	mp := m.Evaluate(chip, nets)
+	// All IR-grids straddling the horizontal line between the pins get
+	// +1 from the line net.
+	iy := mp.YAxis.Locate(300)
+	for ix := mp.XAxis.Locate(90); ix <= mp.XAxis.Locate(389.9); ix++ {
+		if p := mp.At(ix, iy); p < 1-1e-9 {
+			t.Errorf("line-covered IR-grid (%d,%d) = %g", ix, iy, p)
+		}
+	}
+}
+
+func TestExactAndApproxMapsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	nets := snapNets(rng, 60)
+	ex := Model{Pitch: 30, Exact: true}.Evaluate(chip, nets)
+	ap := Model{Pitch: 30}.Evaluate(chip, nets)
+	if ex.GridCount() != ap.GridCount() {
+		t.Fatalf("grid counts differ: %d vs %d", ex.GridCount(), ap.GridCount())
+	}
+	var worst float64
+	for i := range ex.Prob {
+		d := math.Abs(ex.Prob[i] - ap.Prob[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	// Per-IR-grid accumulated error across 60 nets stays small.
+	if worst > 0.6 {
+		t.Errorf("worst per-grid |exact-approx| = %g", worst)
+	}
+	se, sa := ex.TopScore(0.1), ap.TopScore(0.1)
+	if math.Abs(se-sa)/se > 0.15 {
+		t.Errorf("scores diverge: exact %g vs approx %g", se, sa)
+	}
+}
+
+func TestTypeIINetsInMap(t *testing.T) {
+	// A type II net and its mirrored type I twin must produce mirrored
+	// congestion maps.
+	netII := []netlist.TwoPin{{A: geom.Pt{X: 90, Y: 390}, B: geom.Pt{X: 450, Y: 90}}}
+	netI := []netlist.TwoPin{{A: geom.Pt{X: 90, Y: 90}, B: geom.Pt{X: 450, Y: 390}}}
+	mII := Model{Pitch: 30, Exact: true}.Evaluate(chip, netII)
+	mI := Model{Pitch: 30, Exact: true}.Evaluate(chip, netI)
+	if mII.Cols() != mI.Cols() || mII.Rows() != mI.Rows() {
+		t.Fatalf("maps differ in shape")
+	}
+	rows := mI.Rows()
+	// The y-axes are symmetric around the chip center here (90/390
+	// mirror to 210/510? no — both nets span y 90..390 inside 0..600,
+	// and the cutting lines are the same set), so row iy maps to the
+	// row containing the mirrored y-coordinate.
+	for iy := 0; iy < rows; iy++ {
+		yLo, yHi := mI.YAxis.Cell(iy)
+		yMid := (yLo + yHi) / 2
+		mirY := 90 + 390 - yMid // reflect inside the routing range band
+		if mirY < 0 || mirY > 600 {
+			continue
+		}
+		jy := mII.YAxis.Locate(mirY)
+		for ix := 0; ix < mI.Cols(); ix++ {
+			a := mI.At(ix, iy)
+			b := mII.At(ix, jy)
+			if math.Abs(a-b) > 1e-6 {
+				t.Fatalf("mirror mismatch at (%d,%d)->(%d,%d): %g vs %g", ix, iy, ix, jy, a, b)
+			}
+		}
+	}
+}
+
+func TestTopScoreAreaWeighted(t *testing.T) {
+	mp := &Map{
+		Chip:  geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 10},
+		XAxis: geom.Axis{0, 10, 100},
+		YAxis: geom.Axis{0, 10},
+		// Small dense cell (area 100, F=2 → density .02), large sparse
+		// cell (area 900, F=1 → density ~.00111).
+		Prob: []float64{2, 1},
+	}
+	// Top 10% of chip area = 100 µm² — exactly the dense cell.
+	if got := mp.TopScore(0.10); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("TopScore(0.10) = %g, want 0.02", got)
+	}
+	// Top 50% = 500 µm²: 100 dense + 400 of the sparse cell.
+	want := (0.02*100 + (1.0/900)*400) / 500
+	if got := mp.TopScore(0.50); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TopScore(0.50) = %g, want %g", got, want)
+	}
+}
+
+func TestScoreRespondsToClustering(t *testing.T) {
+	// Many nets forced through the same corridor must score worse than
+	// the same number of nets spread out.
+	var clustered, spread []netlist.TwoPin
+	for i := 0; i < 12; i++ {
+		clustered = append(clustered, netlist.TwoPin{
+			A: geom.Pt{X: 270, Y: float64(i%3) * 30},
+			B: geom.Pt{X: 330, Y: 570 - float64(i%3)*30},
+		})
+		spread = append(spread, netlist.TwoPin{
+			A: geom.Pt{X: float64(i) * 30, Y: float64(i) * 30},
+			B: geom.Pt{X: float64(i)*30 + 60, Y: float64(i)*30 + 60},
+		})
+	}
+	m := Model{Pitch: 30}
+	sc := m.Score(chip, clustered)
+	ss := m.Score(chip, spread)
+	if sc <= ss {
+		t.Errorf("clustered %g should exceed spread %g", sc, ss)
+	}
+}
+
+func TestEvaluatePanicsOnBadPitch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Model{}.Evaluate(chip, nil)
+}
+
+func TestEmptyNetListGivesZeroScore(t *testing.T) {
+	m := Model{Pitch: 30}
+	if s := m.Score(chip, nil); s != 0 {
+		t.Errorf("score = %g", s)
+	}
+}
+
+func TestGridCountGrowsWithNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	m := Model{Pitch: 30}
+	few := m.Evaluate(chip, snapNets(rng, 5))
+	many := m.Evaluate(chip, snapNets(rng, 80))
+	if many.GridCount() < few.GridCount() {
+		t.Errorf("grid count should grow with nets: %d vs %d", few.GridCount(), many.GridCount())
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// TestQuickExactMatchesBruteForce drives Formula 3 against blocked-DP
+// path counting on randomly drawn lattices and IR-rectangles.
+func TestQuickExactMatchesBruteForce(t *testing.T) {
+	f := func(a, b, c, d, e, g uint8) bool {
+		g1 := int(a%11) + 2 // 2..12
+		g2 := int(b%11) + 2
+		x1 := int(c) % g1
+		x2 := x1 + int(d)%(g1-x1)
+		y1 := int(e) % g2
+		y2 := y1 + int(g)%(g2-y1)
+		got := ExactCrossProb(g1, g2, x1, x2, y1, y2)
+		want := bruteCrossProb(g1, g2, x1, x2, y1, y2)
+		// Pin-covering rectangles are overridden to 1; brute force
+		// agrees (all routes touch the pin cells).
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickApproxWithinBounds checks the Theorem 1 approximation stays
+// a probability and near the exact value on random interior
+// rectangles.
+func TestQuickApproxWithinBounds(t *testing.T) {
+	f := func(a, b, c, d, e, g uint8) bool {
+		g1 := int(a%30) + 6 // 6..35
+		g2 := int(b%30) + 6
+		x1 := 1 + int(c)%(g1-2)
+		x2 := x1 + int(d)%(g1-1-x1)
+		y1 := 1 + int(e)%(g2-2)
+		y2 := y1 + int(g)%(g2-1-y1)
+		p := ApproxCrossProb(g1, g2, x1, x2, y1, y2, 0)
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return false
+		}
+		exact := ExactCrossProb(g1, g2, x1, x2, y1, y2)
+		// Interior rectangles: within the paper's coarse budget. The
+		// §4.5-adjacent regions are overridden to 1 and always match.
+		return math.Abs(p-exact) < 0.11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTypeIIReflection drives the reflection identity under
+// random rectangles.
+func TestQuickTypeIIReflection(t *testing.T) {
+	f := func(a, b, c, d, e, g uint8) bool {
+		g1 := int(a%9) + 2
+		g2 := int(b%9) + 2
+		x1 := int(c) % g1
+		x2 := x1 + int(d)%(g1-x1)
+		y1 := int(e) % g2
+		y2 := y1 + int(g)%(g2-y1)
+		ii := TypeIICrossProb(g1, g2, x1, x2, y1, y2)
+		ref := ExactCrossProb(g1, g2, x1, x2, g2-1-y2, g2-1-y1)
+		return math.Abs(ii-ref) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMapMassBounds: with n nets, no IR-grid can accumulate more
+// than n crossing probability, and none can be negative.
+func TestQuickMapMassBounds(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) < 4 {
+			return true
+		}
+		if len(seeds) > 40 {
+			seeds = seeds[:40]
+		}
+		var nets []netsAlias
+		for i := 0; i+3 < len(seeds); i += 4 {
+			nets = append(nets, netsAlias{
+				ax: float64(seeds[i]%21) * 30, ay: float64(seeds[i+1]%21) * 30,
+				bx: float64(seeds[i+2]%21) * 30, by: float64(seeds[i+3]%21) * 30,
+			})
+		}
+		mp := Model{Pitch: 30}.Evaluate(chip, toTwoPin(nets))
+		n := float64(len(nets))
+		for _, p := range mp.Prob {
+			if math.IsNaN(p) || p < -1e-9 || p > n+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+type netsAlias struct{ ax, ay, bx, by float64 }
+
+func toTwoPin(ns []netsAlias) []netlist.TwoPin {
+	out := make([]netlist.TwoPin, len(ns))
+	for i, n := range ns {
+		out[i] = netlist.TwoPin{A: geom.Pt{X: n.ax, Y: n.ay}, B: geom.Pt{X: n.bx, Y: n.by}}
+	}
+	return out
+}

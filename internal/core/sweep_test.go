@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// evaluatePerCell runs the model with the reference per-cell evaluator.
+func evaluatePerCell(m Model, chip geom.Rect, nets []netlist.TwoPin) *Map {
+	// Reimplements Model.Evaluate with perCell forced.
+	eps := m.Pitch * 1e-9
+	xs := []float64{chip.X1, chip.X2}
+	ys := []float64{chip.Y1, chip.Y2}
+	for _, n := range nets {
+		r := n.Range()
+		xs = append(xs, r.X1, r.X2)
+		ys = append(ys, r.Y1, r.Y2)
+	}
+	xAxis := geom.NewAxis(xs, eps)
+	yAxis := geom.NewAxis(ys, eps)
+	if !m.NoMerge {
+		xAxis = xAxis.Merge(2 * m.Pitch)
+		yAxis = yAxis.Merge(2 * m.Pitch)
+	}
+	mp := &Map{Chip: chip, XAxis: xAxis, YAxis: yAxis}
+	mp.Prob = make([]float64, mp.Cols()*mp.Rows())
+	ev := &evaluator{m: m, mp: mp, perCell: true}
+	for _, n := range nets {
+		ev.addNet(n)
+	}
+	return mp
+}
+
+func TestSweepMatchesPerCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, cfg := range []Model{
+		{Pitch: 30},
+		{Pitch: 30, Exact: true},
+		{Pitch: 30, ExactSpanLimit: 2}, // force Simpson on most edges
+		{Pitch: 30, NoMerge: true},
+		{Pitch: 17}, // unaligned: cutting lines off the unit lattice
+	} {
+		for trial := 0; trial < 6; trial++ {
+			nets := snapNets(rng, 25)
+			// Add some type II and degenerate nets explicitly.
+			nets = append(nets,
+				netlist.TwoPin{A: geom.Pt{X: 60, Y: 540}, B: geom.Pt{X: 510, Y: 90}},
+				netlist.TwoPin{A: geom.Pt{X: 90, Y: 300}, B: geom.Pt{X: 480, Y: 300}},
+				netlist.TwoPin{A: geom.Pt{X: 240, Y: 240}, B: geom.Pt{X: 240, Y: 240}},
+			)
+			sweep := cfg.Evaluate(chip, nets)
+			ref := evaluatePerCell(cfg, chip, nets)
+			if sweep.GridCount() != ref.GridCount() {
+				t.Fatalf("%+v: grid counts differ", cfg)
+			}
+			for i := range sweep.Prob {
+				if math.IsNaN(sweep.Prob[i]) || math.IsNaN(ref.Prob[i]) ||
+					math.Abs(sweep.Prob[i]-ref.Prob[i]) > 1e-6 {
+					t.Fatalf("cfg %+v trial %d cell %d: sweep %.9f vs per-cell %.9f",
+						cfg, trial, i, sweep.Prob[i], ref.Prob[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSweepHandlesHugeNet(t *testing.T) {
+	// A net spanning the whole chip with a tiny pitch produces long
+	// sweeps; probabilities must stay in [0, 1].
+	big := geom.Rect{X1: 0, Y1: 0, X2: 12000, Y2: 9000}
+	nets := []netlist.TwoPin{
+		{A: geom.Pt{X: 0, Y: 0}, B: geom.Pt{X: 12000, Y: 9000}},
+		{A: geom.Pt{X: 3000, Y: 6000}, B: geom.Pt{X: 9000, Y: 3000}},
+	}
+	m := Model{Pitch: 10}
+	mp := m.Evaluate(big, nets)
+	for i, p := range mp.Prob {
+		if p < -1e-9 || p > 2+1e-9 || math.IsNaN(p) {
+			t.Fatalf("cell %d: probability sum %g out of range", i, p)
+		}
+	}
+}

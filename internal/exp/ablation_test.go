@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAblation(t *testing.T) {
+	a, err := RunAblation("ami33", 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Samples != 4 || len(a.Rows) < 5 {
+		t.Fatalf("ablation: %+v", a)
+	}
+	ref := a.Rows[0]
+	if !strings.Contains(ref.Variant, "reference") {
+		t.Fatalf("first row should be the reference, got %q", ref.Variant)
+	}
+	if ref.CorrRef < 0.999 {
+		t.Errorf("reference self-correlation = %g", ref.CorrRef)
+	}
+	for _, r := range a.Rows {
+		if r.MeanScore <= 0 || r.MeanGrids <= 0 || r.EvalMS < 0 {
+			t.Errorf("%s: bad row %+v", r.Variant, r)
+		}
+		// Every variant must preserve the reference's ranking well —
+		// that is the paper's central robustness claim.
+		if r.CorrRef < 0.9 {
+			t.Errorf("%s: correlation with reference only %g", r.Variant, r.CorrRef)
+		}
+	}
+	// The unmerged variant uses strictly more IR-grids.
+	var merged, unmerged float64
+	for _, r := range a.Rows {
+		switch {
+		case strings.Contains(r.Variant, "no line merge"):
+			unmerged = r.MeanGrids
+		case strings.Contains(r.Variant, "reference"):
+			merged = r.MeanGrids
+		}
+	}
+	if unmerged <= merged {
+		t.Errorf("line merge should reduce IR-grids: %g vs %g", merged, unmerged)
+	}
+	out := FormatAblation(a)
+	if !strings.Contains(out, "Ablation") || !strings.Contains(out, "corr(ref)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunAblationUnknownCircuit(t *testing.T) {
+	if _, err := RunAblation("nope", 4, 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRunSensitivity(t *testing.T) {
+	s, err := RunSensitivity("ami33", 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != len(SensitivityPitches) {
+		t.Fatalf("%d rows", len(s.Rows))
+	}
+	for i, r := range s.Rows {
+		if r.MeanScore <= 0 || r.Cells <= 0 {
+			t.Errorf("pitch %g: bad row %+v", r.Pitch, r)
+		}
+		if i > 0 && r.Cells <= s.Rows[i-1].Cells {
+			t.Errorf("cells should grow as pitch shrinks: %g then %g", s.Rows[i-1].Cells, r.Cells)
+		}
+	}
+	// The finest pitch equals the judging model: perfect correlation.
+	last := s.Rows[len(s.Rows)-1]
+	if last.Pitch != 10 || last.CorrJudge < 0.9999 {
+		t.Errorf("judging-pitch row: %+v", last)
+	}
+	out := FormatSensitivity(s)
+	if !strings.Contains(out, "sensitivity") && !strings.Contains(out, "Grid-size") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunSensitivityUnknownCircuit(t *testing.T) {
+	if _, err := RunSensitivity("nope", 2, 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRunSoftStudy(t *testing.T) {
+	p := tinyProtocol()
+	rows, err := RunSoftStudy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.HardUtil <= 0 || r.HardUtil > 100+1e-9 || r.SoftUtil <= 0 || r.SoftUtil > 100+1e-9 {
+		t.Errorf("utilizations: %+v", r)
+	}
+	// Soft modules can only help utilization under the same budget
+	// (they strictly generalize the hard shapes); allow slack for SA
+	// noise at tiny budgets.
+	if r.SoftUtil < r.HardUtil*0.9 {
+		t.Errorf("soft util %.1f%% much worse than hard %.1f%%", r.SoftUtil, r.HardUtil)
+	}
+	out := FormatSoftStudy(rows)
+	if !strings.Contains(out, "Soft-module") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunRepStudy(t *testing.T) {
+	p := tinyProtocol()
+	rows, err := RunRepStudy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.SlicingArea <= 0 || r.SeqPairArea <= 0 || r.SlicingJudge <= 0 || r.SeqPairJudge <= 0 {
+		t.Errorf("row %+v", r)
+	}
+	out := FormatRepStudy(rows)
+	if !strings.Contains(out, "sequence pair") {
+		t.Errorf("output:\n%s", out)
+	}
+}

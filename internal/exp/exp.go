@@ -1,0 +1,210 @@
+// Package exp reproduces the paper's evaluation: the three experiments
+// of §5 (Tables 1–5 and Figure 9) plus the Figure 8 accuracy study.
+// Each experiment is parameterized by a Protocol so the full 20-seed
+// paper protocol, a quick check, and a smoke test for benchmarks share
+// one code path.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"irgrid/internal/anneal"
+	"irgrid/internal/bench"
+	"irgrid/internal/core"
+	"irgrid/internal/fplan"
+	"irgrid/internal/grid"
+	"irgrid/internal/netlist"
+	"irgrid/internal/nmath"
+)
+
+// JudgingPitch is the grid pitch of the "judging model": the fixed-size
+// grid model with a very small pitch (10×10 µm² in the paper) used as
+// the neutral referee for every experiment.
+const JudgingPitch = 10
+
+// Protocol sizes an experiment run.
+type Protocol struct {
+	// Seeds is the number of independent SA runs per data point
+	// (paper: 20).
+	Seeds int
+	// BaseSeed offsets the per-run seeds so different protocols don't
+	// share trajectories.
+	BaseSeed int64
+	// MovesPerTemp and MaxTemps size each anneal.
+	MovesPerTemp int
+	MaxTemps     int
+	// Circuits lists the benchmark circuits (default: all five MCNC).
+	Circuits []string
+	// Representation selects the floorplan encoding ("" = slicing).
+	Representation string
+	// Parallel runs the seeds of one data point concurrently across
+	// CPUs. Results are identical to the sequential order (each seed's
+	// run is independent and deterministic); only wall-clock time and
+	// the per-run Seconds measurements change, so keep it off when the
+	// paper's runtime columns matter.
+	Parallel bool
+}
+
+// Full is the paper's protocol: 20 seeds per data point.
+func Full() Protocol {
+	return Protocol{Seeds: 20, BaseSeed: 1000, MovesPerTemp: 120, MaxTemps: 80, Circuits: bench.Names()}
+}
+
+// Quick is a reduced protocol for interactive use: the same shape with
+// fewer seeds and shorter anneals.
+func Quick() Protocol {
+	return Protocol{Seeds: 3, BaseSeed: 1000, MovesPerTemp: 40, MaxTemps: 30, Circuits: bench.Names()}
+}
+
+// Smoke is the minimal protocol used by the benchmark harness: one
+// seed, tiny anneals, still exercising every code path.
+func Smoke() Protocol {
+	return Protocol{Seeds: 1, BaseSeed: 1000, MovesPerTemp: 15, MaxTemps: 12, Circuits: bench.Names()}
+}
+
+// PitchFor returns the IR-grid base pitch the paper uses per circuit
+// (Table 2: 60×60 µm² for apte, 30×30 µm² for the rest).
+func PitchFor(circuit string) float64 {
+	if circuit == "apte" {
+		return 60
+	}
+	return 30
+}
+
+func (p Protocol) annealConfig(seed int64) anneal.Config {
+	return anneal.Config{
+		Seed:             seed,
+		MovesPerTemp:     p.MovesPerTemp,
+		MaxTemps:         p.MaxTemps,
+		CalibrationMoves: 20,
+	}
+}
+
+// RunResult is one seeded floorplanning run with its referee score.
+type RunResult struct {
+	Sol     *fplan.Solution
+	Seconds float64
+	Judge   float64 // judging-model congestion of the final floorplan
+	Stats   anneal.Stats
+}
+
+// runOne anneals circuit c once with the given cost weights and
+// congestion estimator, then scores the result with the judging model.
+func (p Protocol) runOne(c *netlist.Circuit, w fplan.Weights, est fplan.Estimator, pinPitch float64, seed int64, onTemp func(int, *fplan.Solution)) (RunResult, error) {
+	r, err := fplan.New(c, fplan.Config{
+		Weights:        w,
+		Estimator:      est,
+		Pitch:          pinPitch,
+		AllowRotate:    true,
+		Representation: p.Representation,
+		Anneal:         p.annealConfig(seed),
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	start := time.Now()
+	sol, stats := r.Run(onTemp)
+	secs := time.Since(start).Seconds()
+	judge := grid.Model{Pitch: JudgingPitch}.Score(sol.Placement.Chip, sol.Nets)
+	return RunResult{Sol: sol, Seconds: secs, Judge: judge, Stats: stats}, nil
+}
+
+// Aggregate is the average/best summary the paper's tables report: the
+// mean over all seeds and the metrics of the single lowest-cost run.
+type Aggregate struct {
+	AvgArea, AvgWire, AvgCgt, AvgTime, AvgJudge      float64
+	BestArea, BestWire, BestCgt, BestTime, BestJudge float64
+	AvgGrids, BestGrids                              float64 // congestion-grid counts where applicable
+}
+
+// aggregate folds seeded runs into an Aggregate; grids extracts the
+// per-run grid count (may be nil).
+func aggregate(runs []RunResult, grids func(RunResult) float64) Aggregate {
+	var a Aggregate
+	var wArea, wWire, wCgt, wTime, wJudge, wGrids nmath.Welford
+	best := 0
+	for i, r := range runs {
+		wArea.Add(r.Sol.Area)
+		wWire.Add(r.Sol.Wirelength)
+		wCgt.Add(r.Sol.Congestion)
+		wTime.Add(r.Seconds)
+		wJudge.Add(r.Judge)
+		if grids != nil {
+			wGrids.Add(grids(r))
+		}
+		if r.Sol.Cost < runs[best].Sol.Cost {
+			best = i
+		}
+	}
+	a.AvgArea, a.AvgWire, a.AvgCgt = wArea.Mean(), wWire.Mean(), wCgt.Mean()
+	a.AvgTime, a.AvgJudge, a.AvgGrids = wTime.Mean(), wJudge.Mean(), wGrids.Mean()
+	b := runs[best]
+	a.BestArea, a.BestWire, a.BestCgt = b.Sol.Area, b.Sol.Wirelength, b.Sol.Congestion
+	a.BestTime, a.BestJudge = b.Seconds, b.Judge
+	if grids != nil {
+		a.BestGrids = grids(b)
+	}
+	return a
+}
+
+// runSeeded executes Protocol.Seeds runs and aggregates them.
+func (p Protocol) runSeeded(c *netlist.Circuit, w fplan.Weights, est fplan.Estimator, pinPitch float64, grids func(RunResult) float64) (Aggregate, error) {
+	runs := make([]RunResult, p.Seeds)
+	if !p.Parallel {
+		for s := 0; s < p.Seeds; s++ {
+			r, err := p.runOne(c, w, est, pinPitch, p.BaseSeed+int64(s), nil)
+			if err != nil {
+				return Aggregate{}, err
+			}
+			runs[s] = r
+		}
+		return aggregate(runs, grids), nil
+	}
+	errs := make([]error, p.Seeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for s := 0; s < p.Seeds; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runs[s], errs[s] = p.runOne(c, w, est, pinPitch, p.BaseSeed+int64(s), nil)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Aggregate{}, err
+		}
+	}
+	return aggregate(runs, grids), nil
+}
+
+// irGridCount evaluates the IR-grid partition of a finished floorplan
+// and returns the IR-grid count (Table 4's "# of IR-grid").
+func irGridCount(m core.Model) func(RunResult) float64 {
+	return func(r RunResult) float64 {
+		mp := m.Evaluate(r.Sol.Placement.Chip, r.Sol.Nets)
+		return float64(mp.GridCount())
+	}
+}
+
+// fixedGridCount returns the fixed-model grid count of the floorplan.
+func fixedGridCount(pitch float64) func(RunResult) float64 {
+	return func(r RunResult) float64 {
+		mp := grid.NewMap(r.Sol.Placement.Chip, pitch)
+		return float64(mp.Cols * mp.Rows)
+	}
+}
+
+func loadCircuit(name string) (*netlist.Circuit, error) {
+	c, err := bench.Load(name)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
+	}
+	return c, nil
+}

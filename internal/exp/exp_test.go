@@ -1,0 +1,273 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"irgrid/internal/bench"
+)
+
+// tinyProtocol keeps the experiment tests fast while exercising every
+// code path; one small circuit unless a test overrides.
+func tinyProtocol() Protocol {
+	return Protocol{
+		Seeds: 2, BaseSeed: 500,
+		MovesPerTemp: 10, MaxTemps: 8,
+		Circuits: []string{"apte"},
+	}
+}
+
+func TestProtocolsAreDistinct(t *testing.T) {
+	full, quick, smoke := Full(), Quick(), Smoke()
+	if full.Seeds != 20 {
+		t.Errorf("full protocol should use the paper's 20 seeds, got %d", full.Seeds)
+	}
+	if quick.Seeds >= full.Seeds || smoke.Seeds >= quick.Seeds {
+		t.Error("protocols should shrink: full > quick > smoke")
+	}
+	for _, p := range []Protocol{full, quick, smoke} {
+		if len(p.Circuits) != len(bench.Names()) {
+			t.Error("protocols should cover all circuits")
+		}
+	}
+}
+
+func TestPitchFor(t *testing.T) {
+	if PitchFor("apte") != 60 {
+		t.Error("apte uses 60x60 um2 per Table 2")
+	}
+	for _, c := range []string{"xerox", "hp", "ami33", "ami49"} {
+		if PitchFor(c) != 30 {
+			t.Errorf("%s should use 30x30 um2", c)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1(tinyProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Circuit != "apte" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.AvgArea <= 0 || r.AvgWire <= 0 || r.AvgJudge <= 0 {
+		t.Errorf("bad aggregates: %+v", r.Aggregate)
+	}
+	if r.AvgCgt != 0 {
+		t.Errorf("Table 1 has no congestion term, got %g", r.AvgCgt)
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "apte") || !strings.Contains(out, "Table 1") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestRunTable2AndTable3(t *testing.T) {
+	p := tinyProtocol()
+	t1, err := RunTable1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := RunTable2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2[0].GridPitch != 60 {
+		t.Errorf("apte pitch = %g", t2[0].GridPitch)
+	}
+	if t2[0].AvgCgt <= 0 {
+		t.Errorf("Table 2 must report the IR cost, got %g", t2[0].AvgCgt)
+	}
+	t3 := Table3(t1, t2)
+	if len(t3) != 1 {
+		t.Fatalf("t3 = %+v", t3)
+	}
+	// Improvements are finite percentages.
+	for _, v := range []float64{t3[0].AvgArea, t3[0].AvgWire, t3[0].AvgJudge} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("bad improvement value %g", v)
+		}
+	}
+	out := FormatTable2(t2) + FormatTable3(t3)
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "Table 3") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestTable3MismatchedRowsTruncate(t *testing.T) {
+	t1 := []Table1Row{{Circuit: "a"}, {Circuit: "b"}}
+	t2 := []Table2Row{{Circuit: "a"}}
+	if got := Table3(t1, t2); len(got) != 1 {
+		t.Errorf("expected truncation, got %d rows", len(got))
+	}
+}
+
+func TestRunTable4And5(t *testing.T) {
+	p := tinyProtocol()
+	p.Circuits = []string{"ami33"}
+	t4, err := RunTable4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.Circuit != "ami33" || t4.AvgGrids <= 0 || t4.AvgCgt <= 0 {
+		t.Errorf("t4 = %+v", t4)
+	}
+	t5, err := RunTable5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5) != 2 || t5[0].GridPitch != 100 || t5[1].GridPitch != 50 {
+		t.Fatalf("t5 = %+v", t5)
+	}
+	// Finer fixed grids have more cells.
+	if t5[1].AvgGrids <= t5[0].AvgGrids {
+		t.Errorf("50um grid should have more cells than 100um: %g vs %g",
+			t5[1].AvgGrids, t5[0].AvgGrids)
+	}
+	sums := SummarizeExperiment3(t4, t5)
+	if len(sums) != 2 {
+		t.Fatalf("sums = %+v", sums)
+	}
+	for _, s := range sums {
+		if s.Speedup <= 0 {
+			t.Errorf("speedup = %g", s.Speedup)
+		}
+	}
+	out := FormatTable4(t4) + FormatTable5(t5) + FormatExperiment3(sums)
+	for _, want := range []string{"Table 4", "Table 5", "Experiment 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRunFigure9(t *testing.T) {
+	p := tinyProtocol()
+	fig, err := RunFigure9(p, "ami33")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Steps) == 0 || len(fig.CurveA) != len(fig.Steps) ||
+		len(fig.CurveB) != len(fig.Steps) || len(fig.CurveC) != len(fig.Steps) {
+		t.Fatalf("curve lengths: %d/%d/%d/%d", len(fig.Steps), len(fig.CurveA), len(fig.CurveB), len(fig.CurveC))
+	}
+	for i := range fig.CurveA {
+		if fig.CurveA[i] < 0 || fig.CurveB[i] < 0 || fig.CurveC[i] < 0 {
+			t.Fatalf("negative congestion at step %d", i)
+		}
+	}
+	// Current-solution trajectories may fluctuate but must end no worse
+	// than they started (the anneal minimizes congestion).
+	if fig.CurveA[len(fig.CurveA)-1] > fig.CurveA[0]+1e-9 {
+		t.Errorf("curve A ended worse than it started: %g -> %g",
+			fig.CurveA[0], fig.CurveA[len(fig.CurveA)-1])
+	}
+	out := FormatFigure9(fig)
+	if !strings.Contains(out, "corr(A,B)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunFigure9UnknownCircuit(t *testing.T) {
+	if _, err := RunFigure9(tinyProtocol(), "nope"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRunFigure8(t *testing.T) {
+	pts := RunFigure8(31, 21, 15, 10, 20)
+	if len(pts) != 11 {
+		t.Fatalf("%d points", len(pts))
+	}
+	worst := 0.0
+	for _, p := range pts {
+		if math.IsNaN(p.Approx) {
+			t.Fatalf("unexpected failure point at x=%d", p.X)
+		}
+		if d := math.Abs(p.Exact - p.Approx); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05 {
+		t.Errorf("worst deviation %g exceeds the paper's 0.05", worst)
+	}
+	// The failure point renders as "(no value)".
+	fail := RunFigure8(31, 21, 19, 29, 30)
+	if !math.IsNaN(fail[1].Approx) {
+		t.Error("x=30,y2=19 should be a failure point")
+	}
+	out := FormatFigure8(fail, "test")
+	if !strings.Contains(out, "no value") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := normalize([]float64{2, 4, 6})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("normalize = %v", got)
+		}
+	}
+	if out := normalize([]float64{3, 3}); out[0] != 0 || out[1] != 0 {
+		t.Error("constant series should normalize to zeros")
+	}
+	if normalize(nil) != nil {
+		t.Error("nil should stay nil")
+	}
+}
+
+func TestAggregateBestIsLowestCost(t *testing.T) {
+	p := tinyProtocol()
+	p.Seeds = 3
+	c, err := loadCircuit("apte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []RunResult
+	for s := 0; s < p.Seeds; s++ {
+		r, err := p.runOne(c, WeightsAreaWire, nil, 60, p.BaseSeed+int64(s), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, r)
+	}
+	agg := aggregate(runs, nil)
+	minCost := runs[0].Sol.Cost
+	bestIdx := 0
+	for i, r := range runs {
+		if r.Sol.Cost < minCost {
+			minCost, bestIdx = r.Sol.Cost, i
+		}
+	}
+	if agg.BestArea != runs[bestIdx].Sol.Area {
+		t.Errorf("best row is not the lowest-cost run")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := tinyProtocol()
+	par := tinyProtocol()
+	par.Parallel = true
+	c, err := loadCircuit("apte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := seq.runSeeded(c, WeightsAreaWire, nil, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.runSeeded(c, WeightsAreaWire, nil, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything except wall-clock must be bit-identical.
+	if a.AvgArea != b.AvgArea || a.AvgWire != b.AvgWire || a.AvgJudge != b.AvgJudge ||
+		a.BestArea != b.BestArea || a.BestWire != b.BestWire {
+		t.Errorf("parallel diverged: %+v vs %+v", a, b)
+	}
+}

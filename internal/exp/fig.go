@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"irgrid/internal/core"
+	"irgrid/internal/fplan"
+	"irgrid/internal/grid"
+	"irgrid/internal/nmath"
+)
+
+// Figure9 holds Experiment 2's data: the congestion-cost trajectories
+// of the intermediate per-temperature solutions (the current,
+// locally-optimized floorplan at each temperature-dropping step, per
+// the paper) under three models. Curve A is the IR-grid model steering
+// the anneal; curves B and C are the judging model at fine (10 µm) and
+// coarse (50 µm) pitches applied to the same snapshots. The paper's
+// claim is that A's shape tracks B more closely than C.
+type Figure9 struct {
+	Circuit string
+	Steps   []int
+	CurveA  []float64 // IR-grid cost (30×30 µm² base pitch)
+	CurveB  []float64 // judging model, 10×10 µm²
+	CurveC  []float64 // judging model, 50×50 µm²
+
+	CorrAB, CorrAC   float64 // Pearson correlation of A with B and C
+	SlopeAB, SlopeAC float64 // mean |Δslope| of normalized curves
+}
+
+// Figure9Pitches are the two judging pitches compared in Experiment 2.
+var Figure9Pitches = [2]float64{10, 50}
+
+// RunFigure9 reproduces Experiment 2 on the given circuit (the paper
+// uses ami33): a congestion-only anneal whose per-temperature best
+// solutions are re-scored by the two judging models.
+func RunFigure9(p Protocol, circuit string) (Figure9, error) {
+	c, err := loadCircuit(circuit)
+	if err != nil {
+		return Figure9{}, err
+	}
+	pitch := PitchFor(circuit)
+	est := core.Model{Pitch: pitch}
+	fig := Figure9{Circuit: circuit}
+	judgeB := grid.Model{Pitch: Figure9Pitches[0]}
+	judgeC := grid.Model{Pitch: Figure9Pitches[1]}
+	_, err = p.runOne(c, WeightsCongestionOnly, est, pitch, p.BaseSeed,
+		func(step int, sol *fplan.Solution) {
+			fig.Steps = append(fig.Steps, step)
+			fig.CurveA = append(fig.CurveA, sol.Congestion)
+			fig.CurveB = append(fig.CurveB, judgeB.Score(sol.Placement.Chip, sol.Nets))
+			fig.CurveC = append(fig.CurveC, judgeC.Score(sol.Placement.Chip, sol.Nets))
+		})
+	if err != nil {
+		return Figure9{}, err
+	}
+	fig.CorrAB = nmath.Pearson(fig.CurveA, fig.CurveB)
+	fig.CorrAC = nmath.Pearson(fig.CurveA, fig.CurveC)
+	a := normalize(fig.CurveA)
+	fig.SlopeAB = nmath.SlopeSimilarity(a, normalize(fig.CurveB))
+	fig.SlopeAC = nmath.SlopeSimilarity(a, normalize(fig.CurveC))
+	return fig, nil
+}
+
+// normalize rescales a series to [0, 1] so slope comparisons are
+// unit-free (the paper rescales curves "for adjusting the ranges of
+// these three values to be near").
+func normalize(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	out := make([]float64, len(xs))
+	if hi == lo {
+		return out
+	}
+	for i, v := range xs {
+		out[i] = (v - lo) / (hi - lo)
+	}
+	return out
+}
+
+// FormatFigure9 renders the Experiment 2 trajectories as aligned
+// columns plus the correlation summary.
+func FormatFigure9(f Figure9) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9. Model trajectories during congestion-only annealing (%s)\n", f.Circuit)
+	fmt.Fprintf(&b, "%5s %14s %14s %14s\n", "step", "A: IR-grid", "B: judge 10um", "C: judge 50um")
+	for i := range f.Steps {
+		fmt.Fprintf(&b, "%5d %14.6g %14.6g %14.6g\n", f.Steps[i], f.CurveA[i], f.CurveB[i], f.CurveC[i])
+	}
+	fmt.Fprintf(&b, "corr(A,B) = %.4f   corr(A,C) = %.4f\n", f.CorrAB, f.CorrAC)
+	fmt.Fprintf(&b, "mean |slope diff| A-B = %.4f   A-C = %.4f (lower = more similar)\n", f.SlopeAB, f.SlopeAC)
+	b.WriteString("(paper: curve A's slopes are more similar to B's than to C's)\n")
+	return b.String()
+}
+
+// Figure8Point is one x-position of the Figure 8 accuracy curves.
+type Figure8Point struct {
+	X      int
+	Exact  float64
+	Approx float64 // NaN at §4.5 failure points
+}
+
+// RunFigure8 reproduces Figure 8's curves: Function (1) exact vs
+// approximated on a type I net divided into 31×21 grids, along the top
+// row y2 of an IR-grid, for x in [x1, x2].
+func RunFigure8(g1, g2, y2, x1, x2 int) []Figure8Point {
+	pts := make([]Figure8Point, 0, x2-x1+1)
+	for x := x1; x <= x2; x++ {
+		pts = append(pts, Figure8Point{
+			X:      x,
+			Exact:  core.Function1Exact(g1, g2, x, y2),
+			Approx: core.Function1Approx(g1, g2, x, y2),
+		})
+	}
+	return pts
+}
+
+// FormatFigure8 renders the accuracy curves and the worst deviation.
+func FormatFigure8(pts []Figure8Point, label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8. Function(1) exact vs approximation (%s)\n", label)
+	fmt.Fprintf(&b, "%4s %12s %12s %12s\n", "x", "exact", "approx", "|dev|")
+	worst := 0.0
+	for _, p := range pts {
+		if math.IsNaN(p.Approx) {
+			fmt.Fprintf(&b, "%4d %12.6f %12s %12s\n", p.X, p.Exact, "(no value)", "-")
+			continue
+		}
+		d := math.Abs(p.Exact - p.Approx)
+		if d > worst {
+			worst = d
+		}
+		fmt.Fprintf(&b, "%4d %12.6f %12.6f %12.6f\n", p.X, p.Exact, p.Approx, d)
+	}
+	fmt.Fprintf(&b, "worst deviation %.4f (paper: generally below 0.05)\n", worst)
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"irgrid/internal/fplan"
+	"irgrid/internal/grid"
+	"irgrid/internal/nmath"
+	"irgrid/internal/slicing"
+)
+
+// Sensitivity quantifies the paper's §4.1 motivation (Figures 3–4):
+// the fixed-size-grid model's estimate depends on the chosen grid
+// resolution, and fidelity to the fine judging model is bought with
+// runtime. Each row scores the same sample of random floorplans with
+// one pitch and reports the Pearson correlation with the judging model
+// plus the mean evaluation time.
+type Sensitivity struct {
+	Circuit string
+	Samples int
+	Rows    []SensitivityRow
+}
+
+// SensitivityRow is one grid pitch's result.
+type SensitivityRow struct {
+	Pitch     float64
+	MeanScore float64
+	CorrJudge float64 // Pearson correlation with the 10 µm judging model
+	Cells     float64 // mean grid-cell count
+	EvalMS    float64
+}
+
+// SensitivityPitches are the swept fixed-grid resolutions.
+var SensitivityPitches = []float64{200, 150, 100, 80, 60, 40, 20, 10}
+
+// RunSensitivity sweeps fixed-grid pitches over random floorplans of
+// the circuit. samples <= 0 defaults to 16.
+func RunSensitivity(circuit string, samples int, seed int64) (Sensitivity, error) {
+	c, err := loadCircuit(circuit)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	if samples <= 0 {
+		samples = 16
+	}
+	r, err := fplan.New(c, fplan.Config{Weights: fplan.Weights{Alpha: 1}, Pitch: PitchFor(circuit)})
+	if err != nil {
+		return Sensitivity{}, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	e := slicing.Initial(len(c.Modules))
+	scores := make([][]float64, len(SensitivityPitches))
+	var judge []float64
+	cells := make([]nmath.Welford, len(SensitivityPitches))
+	times := make([]nmath.Welford, len(SensitivityPitches))
+
+	for s := 0; s < samples; s++ {
+		for k := 0; k < 5; k++ {
+			e.Perturb(rng)
+		}
+		sol := r.Evaluate(e)
+		chip := sol.Placement.Chip
+		judge = append(judge, grid.Model{Pitch: JudgingPitch}.Score(chip, sol.Nets))
+		for i, pitch := range SensitivityPitches {
+			m := grid.Model{Pitch: pitch}
+			start := time.Now()
+			mp := m.Evaluate(chip, sol.Nets)
+			score := mp.TopScore(0.10)
+			times[i].Add(time.Since(start).Seconds() * 1e3)
+			scores[i] = append(scores[i], score)
+			cells[i].Add(float64(mp.Cols * mp.Rows))
+		}
+	}
+
+	out := Sensitivity{Circuit: circuit, Samples: samples}
+	for i, pitch := range SensitivityPitches {
+		var mean nmath.Welford
+		for _, v := range scores[i] {
+			mean.Add(v)
+		}
+		out.Rows = append(out.Rows, SensitivityRow{
+			Pitch:     pitch,
+			MeanScore: mean.Mean(),
+			CorrJudge: nmath.Pearson(scores[i], judge),
+			Cells:     cells[i].Mean(),
+			EvalMS:    times[i].Mean(),
+		})
+	}
+	return out, nil
+}
+
+// FormatSensitivity renders the pitch sweep.
+func FormatSensitivity(s Sensitivity) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Grid-size sensitivity of the fixed model (%s, %d random floorplans)\n", s.Circuit, s.Samples)
+	fmt.Fprintf(&b, "%8s %12s %12s %10s %10s\n", "pitch", "mean score", "corr(judge)", "cells", "eval ms")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%5.0fum %12.5g %12.4f %10.0f %10.3f\n",
+			r.Pitch, r.MeanScore, r.CorrJudge, r.Cells, r.EvalMS)
+	}
+	b.WriteString("(the paper's Figures 3-4 argument: the fixed model's picture shifts with the\npitch, and fidelity to the fine judging model costs cells and runtime)\n")
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"irgrid/internal/baseline"
+	"irgrid/internal/core"
+	"irgrid/internal/fplan"
+	"irgrid/internal/geom"
+	"irgrid/internal/grid"
+	"irgrid/internal/netlist"
+	"irgrid/internal/nmath"
+	"irgrid/internal/slicing"
+)
+
+// Validation is an extension experiment beyond the paper: every
+// congestion estimator is scored on the same sample of random
+// floorplans and correlated against ground truth from the global
+// router (total edge overflow after negotiation). A good congestion
+// model ranks floorplans the way the router does; Pearson and Spearman
+// correlations quantify that. The paper argues this point indirectly
+// through its judging model; routing the nets makes it direct.
+type Validation struct {
+	Circuit string
+	Samples int
+	// Models lists the estimator names in result order.
+	Models []string
+	// Pearson[i] and Spearman[i] correlate model i's scores with the
+	// router overflow across the samples.
+	Pearson  []float64
+	Spearman []float64
+	// Overflows are the ground-truth values per sample.
+	Overflows []float64
+	// Scores[i][j] is model i's score of sample j.
+	Scores [][]float64
+}
+
+// validationModel pairs a name with an estimator.
+type validationModel struct {
+	name string
+	est  fplan.Estimator
+}
+
+func validationModels(pitch float64) []validationModel {
+	return []validationModel{
+		{"ir-grid", core.Model{Pitch: pitch}},
+		{"ir-grid(exact)", core.Model{Pitch: pitch, Exact: true}},
+		{"fixed-grid 50", grid.Model{Pitch: 50}},
+		{"fixed-grid 100", grid.Model{Pitch: 100}},
+		{"fixed-grid-lz 50", grid.LZModel{Pitch: 50}},
+		{"judging 10", grid.Model{Pitch: JudgingPitch}},
+		{"empirical", baseline.Empirical{Pitch: pitch}},
+		{"router-based", baseline.RouterBased{Pitch: pitch * 2, Capacity: 6, Iterations: 2}},
+	}
+}
+
+// RunValidation samples random floorplans of the circuit (a seeded
+// random walk over Polish expressions) and correlates every model's
+// score with the router's true overflow. samples <= 0 defaults to 24.
+func RunValidation(circuit string, samples int, seed int64) (Validation, error) {
+	c, err := loadCircuit(circuit)
+	if err != nil {
+		return Validation{}, err
+	}
+	if samples <= 0 {
+		samples = 24
+	}
+	pitch := PitchFor(circuit)
+	models := validationModels(pitch)
+
+	v := Validation{Circuit: circuit, Samples: samples}
+	for _, m := range models {
+		v.Models = append(v.Models, m.name)
+	}
+	v.Scores = make([][]float64, len(models))
+
+	r, err := fplan.New(c, fplan.Config{
+		Weights: fplan.Weights{Alpha: 1},
+		Pitch:   pitch,
+	})
+	if err != nil {
+		return Validation{}, err
+	}
+
+	// Ground-truth router: finer tiles, free detours, full negotiation,
+	// capacity tight enough that bad floorplans overflow.
+	truth := baseline.RouterBased{Pitch: pitch, Capacity: 4, Iterations: 6}
+
+	rng := rand.New(rand.NewSource(seed))
+	e := slicing.Initial(len(c.Modules))
+	for s := 0; s < samples; s++ {
+		// Random walk: a handful of perturbations between samples so
+		// consecutive floorplans differ meaningfully.
+		for k := 0; k < 5; k++ {
+			e.Perturb(rng)
+		}
+		sol := r.Evaluate(e)
+		chip := sol.Placement.Chip
+		res, err := truth.Route(chip, sol.Nets)
+		if err != nil {
+			return Validation{}, err
+		}
+		v.Overflows = append(v.Overflows, float64(res.Overflow))
+		for i, m := range models {
+			v.Scores[i] = append(v.Scores[i], scoreWith(m.est, chip, sol.Nets))
+		}
+	}
+
+	for i := range models {
+		v.Pearson = append(v.Pearson, nmath.Pearson(v.Scores[i], v.Overflows))
+		v.Spearman = append(v.Spearman, spearman(v.Scores[i], v.Overflows))
+	}
+	return v, nil
+}
+
+func scoreWith(est fplan.Estimator, chip geom.Rect, nets []netlist.TwoPin) float64 {
+	return est.Score(chip, nets)
+}
+
+// spearman computes the Spearman rank correlation (Pearson over ranks,
+// mean ranks for ties).
+func spearman(x, y []float64) float64 {
+	return nmath.Pearson(ranks(x), ranks(y))
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		mean := float64(i+j) / 2
+		for k := i; k <= j; k++ {
+			out[idx[k]] = mean
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// FormatValidation renders the validation experiment.
+func FormatValidation(v Validation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Validation: congestion models vs router overflow (%s, %d random floorplans)\n",
+		v.Circuit, v.Samples)
+	fmt.Fprintf(&b, "%-16s %10s %10s\n", "model", "pearson", "spearman")
+	for i, m := range v.Models {
+		fmt.Fprintf(&b, "%-16s %10.4f %10.4f\n", m, v.Pearson[i], v.Spearman[i])
+	}
+	b.WriteString("(higher = the model ranks floorplans the way the router does)\n")
+	return b.String()
+}

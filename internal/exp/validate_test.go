@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	v, err := RunValidation("ami33", 8, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Samples != 8 || len(v.Overflows) != 8 {
+		t.Fatalf("samples: %d/%d", v.Samples, len(v.Overflows))
+	}
+	if len(v.Models) == 0 || len(v.Pearson) != len(v.Models) || len(v.Spearman) != len(v.Models) {
+		t.Fatalf("model lists inconsistent: %v", v.Models)
+	}
+	for i, m := range v.Models {
+		if math.IsNaN(v.Pearson[i]) || v.Pearson[i] < -1 || v.Pearson[i] > 1 {
+			t.Errorf("%s: pearson %g", m, v.Pearson[i])
+		}
+		if math.IsNaN(v.Spearman[i]) || v.Spearman[i] < -1 || v.Spearman[i] > 1 {
+			t.Errorf("%s: spearman %g", m, v.Spearman[i])
+		}
+		if len(v.Scores[i]) != v.Samples {
+			t.Errorf("%s: %d scores", m, len(v.Scores[i]))
+		}
+	}
+	out := FormatValidation(v)
+	if !strings.Contains(out, "ir-grid") || !strings.Contains(out, "pearson") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunValidationUnknownCircuit(t *testing.T) {
+	if _, err := RunValidation("nope", 4, 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRanks(t *testing.T) {
+	r := ranks([]float64{10, 30, 20})
+	want := []float64{0, 2, 1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v", r)
+		}
+	}
+	// Ties get the mean rank.
+	r = ranks([]float64{5, 5, 1})
+	if r[0] != 1.5 || r[1] != 1.5 || r[2] != 0 {
+		t.Fatalf("tied ranks = %v", r)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 10, 100, 1000, 10000} // monotone, non-linear
+	if got := spearman(x, y); math.Abs(got-1) > 1e-12 {
+		t.Errorf("spearman = %g, want 1", got)
+	}
+}
+
+func TestValidationIRModelCorrelates(t *testing.T) {
+	// The headline sanity check: across random floorplans, the IR-grid
+	// model's score should correlate positively with real router
+	// overflow. Small sample, so just require a clearly positive rank
+	// correlation.
+	if testing.Short() {
+		t.Skip("validation run is slow")
+	}
+	v, err := RunValidation("ami33", 16, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := -1
+	for i, m := range v.Models {
+		if m == "ir-grid" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("ir-grid missing from validation models")
+	}
+	if v.Spearman[idx] < 0.3 {
+		t.Errorf("ir-grid spearman %g; expected clearly positive correlation with router overflow", v.Spearman[idx])
+	}
+}

@@ -1,0 +1,241 @@
+// Package fplan assembles the full floorplanning pipeline the paper's
+// experiments run: a simulated-annealing search over normalized Polish
+// expressions whose cost function is α·Area + β·Wirelength +
+// γ·Congestion (§5), with pins located by the intersection-to-
+// intersection method, multi-pin nets decomposed by Manhattan MST, and
+// the congestion term supplied by a pluggable estimator (the
+// fixed-size-grid model or the Irregular-Grid model).
+package fplan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"irgrid/internal/anneal"
+	"irgrid/internal/geom"
+	"irgrid/internal/mst"
+	"irgrid/internal/netlist"
+	"irgrid/internal/pins"
+	"irgrid/internal/slicing"
+	"irgrid/internal/wl"
+)
+
+// Estimator scores the congestion of a floorplan from its decomposed
+// 2-pin nets; both congestion models implement it.
+type Estimator interface {
+	// Score returns the chip-level congestion cost (the average of the
+	// top-10% most congested grids/area units).
+	Score(chip geom.Rect, nets []netlist.TwoPin) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Weights are the cost-function coefficients.
+type Weights struct {
+	Alpha float64 // area
+	Beta  float64 // wirelength
+	Gamma float64 // congestion
+}
+
+// Config parameterizes a floorplanning run.
+type Config struct {
+	Weights
+	// Estimator supplies the congestion term; it may be nil when
+	// Gamma == 0.
+	Estimator Estimator
+	// Pitch is the base routing-grid pitch in µm used to snap pins to
+	// grid intersections.
+	Pitch float64
+	// AllowRotate permits 90° module rotation (default used by the
+	// experiments: true).
+	AllowRotate bool
+	// Anneal configures the SA schedule; its Seed makes runs
+	// reproducible.
+	Anneal anneal.Config
+	// NormSamples is the number of random perturbations used to
+	// normalize the cost terms (default 20).
+	NormSamples int
+	// Wire selects the wirelength model for the cost term (default
+	// wl.ModelMST, the paper's choice). Congestion estimation always
+	// uses the MST-decomposed 2-pin nets regardless.
+	Wire wl.Model
+	// Representation selects the floorplan encoding the annealer
+	// searches: ReprSlicing (default, the paper's) or ReprSeqPair.
+	Representation string
+}
+
+// Solution is a fully evaluated floorplan.
+type Solution struct {
+	Expr       slicing.Expr
+	Placement  *netlist.Placement
+	Nets       []netlist.TwoPin // MST-decomposed 2-pin nets, pins snapped
+	Area       float64          // chip bounding-box area, µm²
+	Wirelength float64          // total Manhattan wirelength, µm
+	Congestion float64          // estimator score (0 when no estimator)
+	Cost       float64          // normalized weighted cost
+}
+
+// Runner evaluates Polish expressions for one circuit under one config
+// and drives the annealer. A Runner is not safe for concurrent use.
+type Runner struct {
+	Circuit *netlist.Circuit
+	Cfg     Config
+
+	packer                      *slicing.Packer
+	normArea, normWire, normCgt float64
+	pinScratch                  []geom.Pt
+}
+
+// New validates the inputs and prepares a Runner.
+func New(c *netlist.Circuit, cfg Config) (*Runner, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Pitch <= 0 {
+		return nil, fmt.Errorf("fplan: pitch must be positive, got %g", cfg.Pitch)
+	}
+	if cfg.Gamma != 0 && cfg.Estimator == nil {
+		return nil, fmt.Errorf("fplan: Gamma=%g requires an Estimator", cfg.Gamma)
+	}
+	r := &Runner{
+		Circuit: c,
+		Cfg:     cfg,
+		packer:  slicing.NewPacker(c.Modules, cfg.AllowRotate),
+	}
+	if _, err := r.initialLayout(); err != nil {
+		return nil, err
+	}
+	r.calibrate()
+	return r, nil
+}
+
+// calibrate estimates normalization constants for the cost terms by
+// sampling random perturbations of the initial expression, so that the
+// weighted terms are commensurate regardless of circuit scale.
+func (r *Runner) calibrate() {
+	n := r.Cfg.NormSamples
+	if n <= 0 {
+		n = 20
+	}
+	rng := rand.New(rand.NewSource(r.Cfg.Anneal.Seed + 1))
+	l, _ := r.initialLayout() // representation validated in New
+	var sa, sw, sc float64
+	for i := 0; i < n; i++ {
+		s := r.evaluateLayout(l)
+		sa += s.Area
+		sw += s.Wirelength
+		sc += s.Congestion
+		l = l.neighbor(rng)
+	}
+	r.normArea = positive(sa / float64(n))
+	r.normWire = positive(sw / float64(n))
+	r.normCgt = positive(sc / float64(n))
+}
+
+func positive(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// evaluate packs a slicing expression and computes all cost terms.
+func (r *Runner) evaluate(e slicing.Expr) *Solution {
+	return r.evaluateLayout(slicingLayout{e: e, p: r.packer})
+}
+
+// evaluateLayout packs any layout and computes all cost terms.
+func (r *Runner) evaluateLayout(l layout) *Solution {
+	pl, err := l.pack()
+	if err != nil {
+		// Layouts are only produced by validated moves; a failure here
+		// is a programming error.
+		panic(err)
+	}
+	chip := pl.Chip
+	snap := pins.New(chip, r.Cfg.Pitch)
+	var nets []netlist.TwoPin
+	var wire float64
+	pts := r.pinScratch[:0]
+	for _, n := range r.Circuit.Nets {
+		start := len(pts)
+		for _, p := range n.Pins {
+			pts = append(pts, snap.SnapClamped(pl.PinPosition(p), chip))
+		}
+		netPins := pts[start:]
+		wire += r.Cfg.Wire.Eval(netPins)
+		for _, edge := range mst.Tree(netPins) {
+			nets = append(nets, netlist.TwoPin{A: netPins[edge[0]], B: netPins[edge[1]]})
+		}
+	}
+	r.pinScratch = pts[:0]
+	s := &Solution{
+		Expr:       l.expr(),
+		Placement:  pl,
+		Nets:       nets,
+		Area:       chip.Area(),
+		Wirelength: wire,
+	}
+	if r.Cfg.Gamma != 0 && r.Cfg.Estimator != nil {
+		s.Congestion = r.Cfg.Estimator.Score(chip, nets)
+	}
+	return s
+}
+
+// Evaluate scores an arbitrary expression under this Runner's config,
+// including the normalized cost.
+func (r *Runner) Evaluate(e slicing.Expr) *Solution {
+	s := r.evaluate(e)
+	s.Cost = r.cost(s)
+	return s
+}
+
+func (r *Runner) cost(s *Solution) float64 {
+	c := r.Cfg.Alpha*s.Area/r.normArea + r.Cfg.Beta*s.Wirelength/r.normWire
+	if r.Cfg.Gamma != 0 {
+		c += r.Cfg.Gamma * s.Congestion / r.normCgt
+	}
+	return c
+}
+
+// saState adapts (Runner, layout) to anneal.State. States are
+// immutable: Neighbor perturbs a copy.
+type saState struct {
+	r    *Runner
+	l    layout
+	cost float64
+}
+
+func (s *saState) Cost() float64 { return s.cost }
+
+func (s *saState) Neighbor(rng *rand.Rand) anneal.State {
+	l := s.l.neighbor(rng)
+	sol := s.r.evaluateLayout(l)
+	return &saState{r: s.r, l: l, cost: s.r.cost(sol)}
+}
+
+// Run anneals from the representation's canonical initial state and
+// returns the best solution. When onTemp is non-nil it is invoked
+// after every temperature step with the *current* locally-optimized
+// solution — exactly what the paper's Experiment 2 extracts "at each
+// temperature-dropping step".
+func (r *Runner) Run(onTemp func(step int, sol *Solution)) (*Solution, anneal.Stats) {
+	init, err := r.initialLayout()
+	if err != nil {
+		panic(err) // validated in New
+	}
+	resolve := func(l layout) *Solution {
+		sol := r.evaluateLayout(l)
+		sol.Cost = r.cost(sol)
+		return sol
+	}
+	s0 := &saState{r: r, l: init, cost: resolve(init).Cost}
+	cfg := r.Cfg.Anneal
+	if onTemp != nil {
+		cfg.OnTemperature = func(step int, _ float64, cur, _ anneal.State) {
+			onTemp(step, resolve(cur.(*saState).l))
+		}
+	}
+	best, stats := anneal.Run(cfg, s0)
+	return resolve(best.(*saState).l), stats
+}

@@ -1,0 +1,83 @@
+package fplan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"irgrid/internal/netlist"
+	"irgrid/internal/seqpair"
+	"irgrid/internal/slicing"
+)
+
+// Floorplan representations the Runner can anneal over.
+const (
+	// ReprSlicing is the paper's representation: normalized Polish
+	// expressions over a slicing tree (default).
+	ReprSlicing = "slicing"
+	// ReprSeqPair is the sequence-pair representation (Murata et al.),
+	// which covers non-slicing packings. Soft modules pack at nominal
+	// dimensions under this representation.
+	ReprSeqPair = "seqpair"
+)
+
+// layout abstracts the annealer's search state: a packable floorplan
+// encoding with a random neighbour move. Implementations are immutable
+// values — neighbor returns a perturbed copy.
+type layout interface {
+	pack() (*netlist.Placement, error)
+	neighbor(rng *rand.Rand) layout
+	// expr returns the Polish expression for slicing layouts, nil
+	// otherwise (Solution.Expr keeps its meaning for the default
+	// representation).
+	expr() slicing.Expr
+}
+
+// slicingLayout wraps a Polish expression; the Packer is shared across
+// copies (annealing is sequential).
+type slicingLayout struct {
+	e slicing.Expr
+	p *slicing.Packer
+}
+
+func (l slicingLayout) pack() (*netlist.Placement, error) { return l.p.Pack(l.e) }
+
+func (l slicingLayout) neighbor(rng *rand.Rand) layout {
+	e := l.e.Clone()
+	e.Perturb(rng)
+	return slicingLayout{e: e, p: l.p}
+}
+
+func (l slicingLayout) expr() slicing.Expr { return l.e }
+
+// seqpairLayout wraps a sequence pair.
+type seqpairLayout struct {
+	sp          *seqpair.Pair
+	p           *seqpair.Packer
+	allowRotate bool
+}
+
+func (l seqpairLayout) pack() (*netlist.Placement, error) { return l.p.Pack(l.sp) }
+
+func (l seqpairLayout) neighbor(rng *rand.Rand) layout {
+	sp := l.sp.Clone()
+	sp.Perturb(rng, l.allowRotate)
+	return seqpairLayout{sp: sp, p: l.p, allowRotate: l.allowRotate}
+}
+
+func (l seqpairLayout) expr() slicing.Expr { return nil }
+
+// initialLayout builds the representation's canonical starting state.
+func (r *Runner) initialLayout() (layout, error) {
+	switch r.Cfg.Representation {
+	case "", ReprSlicing:
+		return slicingLayout{e: slicing.Initial(len(r.Circuit.Modules)), p: r.packer}, nil
+	case ReprSeqPair:
+		return seqpairLayout{
+			sp:          seqpair.New(len(r.Circuit.Modules)),
+			p:           seqpair.NewPacker(r.Circuit.Modules),
+			allowRotate: r.Cfg.AllowRotate,
+		}, nil
+	default:
+		return nil, fmt.Errorf("fplan: unknown representation %q", r.Cfg.Representation)
+	}
+}

@@ -1,0 +1,231 @@
+// Package geom provides the planar geometry primitives shared by the
+// floorplanner and the congestion models: points, rectangles, closed
+// intervals and sorted coordinate axes.
+//
+// All coordinates are float64 micrometres (µm), matching the units the
+// paper reports (grid pitches of 10–100 µm, chip sides of a few mm).
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pt is a point in the plane, in µm.
+type Pt struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Pt) Add(q Pt) Pt { return Pt{p.X + q.X, p.Y + q.Y} }
+
+// Manhattan returns the L1 distance between p and q.
+func (p Pt) Manhattan(q Pt) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// String implements fmt.Stringer.
+func (p Pt) String() string { return fmt.Sprintf("(%.3g,%.3g)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle given by its lower-left and
+// upper-right corners. A Rect is valid when X1 <= X2 and Y1 <= Y2;
+// degenerate rectangles (zero width or height) are permitted — a net
+// whose pins share a coordinate has a degenerate routing range.
+type Rect struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// RectFromCorners returns the bounding rectangle of two arbitrary points.
+func RectFromCorners(a, b Pt) Rect {
+	return Rect{
+		X1: math.Min(a.X, b.X),
+		Y1: math.Min(a.Y, b.Y),
+		X2: math.Max(a.X, b.X),
+		Y2: math.Max(a.Y, b.Y),
+	}
+}
+
+// W returns the width of r.
+func (r Rect) W() float64 { return r.X2 - r.X1 }
+
+// H returns the height of r.
+func (r Rect) H() float64 { return r.Y2 - r.Y1 }
+
+// Area returns the area of r in µm².
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Empty reports whether r has zero area.
+func (r Rect) Empty() bool { return r.W() <= 0 || r.H() <= 0 }
+
+// Valid reports whether r's corners are ordered.
+func (r Rect) Valid() bool { return r.X1 <= r.X2 && r.Y1 <= r.Y2 }
+
+// Center returns the center point of r.
+func (r Rect) Center() Pt { return Pt{(r.X1 + r.X2) / 2, (r.Y1 + r.Y2) / 2} }
+
+// Contains reports whether p lies in the closed rectangle r.
+func (r Rect) Contains(p Pt) bool {
+	return p.X >= r.X1 && p.X <= r.X2 && p.Y >= r.Y1 && p.Y <= r.Y2
+}
+
+// ContainsRect reports whether s lies entirely inside the closed
+// rectangle r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.X1 >= r.X1 && s.X2 <= r.X2 && s.Y1 >= r.Y1 && s.Y2 <= r.Y2
+}
+
+// Intersect returns the intersection of r and s. The result may be
+// invalid (X1 > X2 or Y1 > Y2) when the rectangles are disjoint; callers
+// should test with Valid or Overlaps.
+func (r Rect) Intersect(s Rect) Rect {
+	return Rect{
+		X1: math.Max(r.X1, s.X1),
+		Y1: math.Max(r.Y1, s.Y1),
+		X2: math.Min(r.X2, s.X2),
+		Y2: math.Min(r.Y2, s.Y2),
+	}
+}
+
+// Overlaps reports whether r and s share interior area (touching edges
+// do not count as overlap).
+func (r Rect) Overlaps(s Rect) bool {
+	return r.X1 < s.X2 && s.X1 < r.X2 && r.Y1 < s.Y2 && s.Y1 < r.Y2
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		X1: math.Min(r.X1, s.X1),
+		Y1: math.Min(r.Y1, s.Y1),
+		X2: math.Max(r.X2, s.X2),
+		Y2: math.Max(r.Y2, s.Y2),
+	}
+}
+
+// Translate returns r shifted by d.
+func (r Rect) Translate(d Pt) Rect {
+	return Rect{r.X1 + d.X, r.Y1 + d.Y, r.X2 + d.X, r.Y2 + d.Y}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.3g,%.3g %.3g,%.3g]", r.X1, r.Y1, r.X2, r.Y2)
+}
+
+// Axis is a strictly increasing sequence of cutting coordinates along
+// one dimension. The irregular grid of the paper is the Cartesian
+// product of an x-Axis and a y-Axis; a uniform grid is the special case
+// of evenly spaced coordinates.
+type Axis []float64
+
+// NewAxis sorts and deduplicates coords (within eps) into an Axis.
+func NewAxis(coords []float64, eps float64) Axis {
+	if len(coords) == 0 {
+		return nil
+	}
+	c := append([]float64(nil), coords...)
+	sort.Float64s(c)
+	out := c[:1]
+	for _, v := range c[1:] {
+		if v-out[len(out)-1] > eps {
+			out = append(out, v)
+		}
+	}
+	return Axis(out)
+}
+
+// UniformAxis returns the axis {lo, lo+pitch, ...} covering [lo, hi].
+// The final coordinate is exactly hi, so the last cell may be narrower
+// than pitch. UniformAxis panics when pitch <= 0 or hi < lo.
+func UniformAxis(lo, hi, pitch float64) Axis {
+	if pitch <= 0 {
+		panic("geom: UniformAxis pitch must be positive")
+	}
+	if hi < lo {
+		panic("geom: UniformAxis requires hi >= lo")
+	}
+	n := int(math.Ceil((hi - lo) / pitch))
+	if n < 1 {
+		n = 1
+	}
+	ax := make(Axis, 0, n+1)
+	for i := 0; i < n; i++ {
+		ax = append(ax, lo+float64(i)*pitch)
+	}
+	return append(ax, hi)
+}
+
+// Cells returns the number of cells (intervals) along the axis.
+func (a Axis) Cells() int {
+	if len(a) < 2 {
+		return 0
+	}
+	return len(a) - 1
+}
+
+// Cell returns the i-th interval [a[i], a[i+1]].
+func (a Axis) Cell(i int) (lo, hi float64) { return a[i], a[i+1] }
+
+// Width returns the width of the i-th cell.
+func (a Axis) Width(i int) float64 { return a[i+1] - a[i] }
+
+// Locate returns the index of the cell containing v, clamped to the
+// valid range. Coordinates exactly on an interior cutting line belong
+// to the cell to their right/above, except the final coordinate which
+// belongs to the last cell.
+func (a Axis) Locate(v float64) int {
+	n := a.Cells()
+	if n == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s([]float64(a), v)
+	// SearchFloat64s returns the first index with a[i] >= v.
+	if i < len(a) && a[i] == v {
+		// v is on cutting line i: cell i, unless it is the last line.
+		if i == n {
+			return n - 1
+		}
+		return i
+	}
+	i-- // v lies strictly inside cell i-1..i
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// IndexOf returns the index of the cutting line at coordinate v within
+// eps, or -1 when no line matches.
+func (a Axis) IndexOf(v, eps float64) int {
+	i := sort.SearchFloat64s([]float64(a), v-eps)
+	if i < len(a) && math.Abs(a[i]-v) <= eps {
+		return i
+	}
+	return -1
+}
+
+// Merge removes interior cutting lines that are closer than minGap to
+// their predecessor, as required by step 2 of the paper's algorithm
+// ("remove any two lines whose interval is smaller than the double of
+// the width/length of a grid"). The first and last lines (the chip
+// boundary) are always kept; when an interior line falls too close to
+// the previously kept line it is dropped, which widens the affected
+// IR-grids and moves the corresponding routing-range boundary outward.
+func (a Axis) Merge(minGap float64) Axis {
+	if len(a) <= 2 || minGap <= 0 {
+		return a
+	}
+	out := make(Axis, 0, len(a))
+	out = append(out, a[0])
+	last := len(a) - 1
+	for i := 1; i < last; i++ {
+		if a[i]-out[len(out)-1] >= minGap && a[last]-a[i] >= minGap {
+			out = append(out, a[i])
+		}
+	}
+	return append(out, a[last])
+}

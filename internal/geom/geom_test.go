@@ -1,0 +1,294 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPtManhattan(t *testing.T) {
+	cases := []struct {
+		a, b Pt
+		want float64
+	}{
+		{Pt{0, 0}, Pt{0, 0}, 0},
+		{Pt{0, 0}, Pt{3, 4}, 7},
+		{Pt{-1, -2}, Pt{1, 2}, 6},
+		{Pt{5, 0}, Pt{0, 5}, 10},
+	}
+	for _, c := range cases {
+		if got := c.a.Manhattan(c.b); got != c.want {
+			t.Errorf("Manhattan(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Manhattan(c.a); got != c.want {
+			t.Errorf("Manhattan not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestRectFromCorners(t *testing.T) {
+	r := RectFromCorners(Pt{5, 1}, Pt{2, 7})
+	want := Rect{2, 1, 5, 7}
+	if r != want {
+		t.Fatalf("RectFromCorners = %v, want %v", r, want)
+	}
+	if !r.Valid() {
+		t.Error("expected valid rect")
+	}
+	if r.W() != 3 || r.H() != 6 || r.Area() != 18 {
+		t.Errorf("W/H/Area = %g/%g/%g", r.W(), r.H(), r.Area())
+	}
+}
+
+func TestRectDegenerate(t *testing.T) {
+	r := RectFromCorners(Pt{1, 1}, Pt{1, 5})
+	if !r.Valid() {
+		t.Error("line rect should be valid")
+	}
+	if !r.Empty() {
+		t.Error("line rect should be empty (zero area)")
+	}
+	if r.Area() != 0 {
+		t.Errorf("Area = %g, want 0", r.Area())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{0, 0, 10, 5}
+	for _, p := range []Pt{{0, 0}, {10, 5}, {5, 2.5}, {0, 5}} {
+		if !r.Contains(p) {
+			t.Errorf("expected %v to contain %v (closed rect)", r, p)
+		}
+	}
+	for _, p := range []Pt{{-0.1, 0}, {10.1, 5}, {5, 5.1}} {
+		if r.Contains(p) {
+			t.Errorf("expected %v not to contain %v", r, p)
+		}
+	}
+}
+
+func TestRectOverlapsAndIntersect(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{2, 2, 6, 6}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("expected overlap")
+	}
+	got := a.Intersect(b)
+	if got != (Rect{2, 2, 4, 4}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	// Touching rectangles do not overlap.
+	c := Rect{4, 0, 8, 4}
+	if a.Overlaps(c) {
+		t.Error("touching rects must not overlap")
+	}
+	d := Rect{5, 5, 6, 6}
+	if a.Overlaps(d) {
+		t.Error("disjoint rects must not overlap")
+	}
+	if a.Intersect(d).Valid() {
+		t.Error("intersection of disjoint rects should be invalid")
+	}
+}
+
+func TestRectUnionTranslate(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{3, -2, 4, 0.5}
+	u := a.Union(b)
+	if u != (Rect{0, -2, 4, 1}) {
+		t.Errorf("Union = %v", u)
+	}
+	tr := a.Translate(Pt{2, 3})
+	if tr != (Rect{2, 3, 3, 4}) {
+		t.Errorf("Translate = %v", tr)
+	}
+}
+
+func TestNewAxisDedup(t *testing.T) {
+	a := NewAxis([]float64{5, 1, 3, 1.0000001, 3, 5}, 1e-3)
+	want := Axis{1, 3, 5}
+	if len(a) != len(want) {
+		t.Fatalf("axis = %v, want %v", a, want)
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("axis = %v, want %v", a, want)
+		}
+	}
+	if a.Cells() != 2 {
+		t.Errorf("Cells = %d, want 2", a.Cells())
+	}
+}
+
+func TestNewAxisEmpty(t *testing.T) {
+	if a := NewAxis(nil, 1e-9); a != nil {
+		t.Errorf("NewAxis(nil) = %v, want nil", a)
+	}
+	if (Axis{}).Cells() != 0 {
+		t.Error("empty axis should have 0 cells")
+	}
+	if (Axis{1}).Cells() != 0 {
+		t.Error("single-line axis should have 0 cells")
+	}
+}
+
+func TestUniformAxis(t *testing.T) {
+	a := UniformAxis(0, 100, 30)
+	// 0, 30, 60, 90, 100
+	want := Axis{0, 30, 60, 90, 100}
+	if len(a) != len(want) {
+		t.Fatalf("axis = %v, want %v", a, want)
+	}
+	for i := range want {
+		if math.Abs(a[i]-want[i]) > 1e-12 {
+			t.Fatalf("axis = %v, want %v", a, want)
+		}
+	}
+	// Exact division keeps the last cell full-width.
+	b := UniformAxis(0, 90, 30)
+	if b.Cells() != 3 || b[3] != 90 {
+		t.Errorf("axis = %v", b)
+	}
+}
+
+func TestUniformAxisPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { UniformAxis(0, 10, 0) },
+		func() { UniformAxis(10, 0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAxisLocate(t *testing.T) {
+	a := Axis{0, 10, 30, 100}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {5, 0}, {10, 1}, {29, 1}, {30, 2}, {99, 2},
+		{100, 2}, // last line belongs to last cell
+		{150, 2},
+	}
+	for _, c := range cases {
+		if got := a.Locate(c.v); got != c.want {
+			t.Errorf("Locate(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAxisLocateConsistentWithCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := Axis{0, 3, 7.5, 8, 20, 21.25, 40}
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64() * 40
+		c := a.Locate(v)
+		lo, hi := a.Cell(c)
+		if v < lo || v > hi {
+			t.Fatalf("Locate(%g) = cell %d [%g,%g] not containing it", v, c, lo, hi)
+		}
+	}
+}
+
+func TestAxisIndexOf(t *testing.T) {
+	a := Axis{0, 10, 30}
+	if i := a.IndexOf(10, 1e-9); i != 1 {
+		t.Errorf("IndexOf(10) = %d, want 1", i)
+	}
+	if i := a.IndexOf(10.5, 1e-9); i != -1 {
+		t.Errorf("IndexOf(10.5) = %d, want -1", i)
+	}
+	if i := a.IndexOf(29.9999999999, 1e-6); i != 2 {
+		t.Errorf("IndexOf(~30) = %d, want 2", i)
+	}
+}
+
+func TestAxisMerge(t *testing.T) {
+	a := Axis{0, 5, 12, 13, 40, 100}
+	m := a.Merge(10)
+	// 5 is <10 from 0: dropped. 12 is ≥10 from 0: kept. 13 is <10 from
+	// 12: dropped. 40 kept. 100 kept (boundary).
+	want := Axis{0, 12, 40, 100}
+	if len(m) != len(want) {
+		t.Fatalf("Merge = %v, want %v", m, want)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("Merge = %v, want %v", m, want)
+		}
+	}
+}
+
+func TestAxisMergeKeepsBoundaries(t *testing.T) {
+	a := Axis{0, 1, 2, 3}
+	m := a.Merge(100)
+	if len(m) != 2 || m[0] != 0 || m[1] != 3 {
+		t.Fatalf("Merge with huge gap = %v, want [0 3]", m)
+	}
+	// A line too close to the upper boundary is dropped too.
+	b := Axis{0, 50, 98, 100}
+	mb := b.Merge(10)
+	if len(mb) != 3 || mb[1] != 50 {
+		t.Fatalf("Merge = %v, want [0 50 100]", mb)
+	}
+}
+
+func TestAxisMergeNoOp(t *testing.T) {
+	a := Axis{0, 50, 100}
+	m := a.Merge(0)
+	if len(m) != 3 {
+		t.Fatalf("Merge(0) should be a no-op, got %v", m)
+	}
+}
+
+// Property: merging never produces adjacent interior lines closer than
+// minGap, never drops the boundary lines, and output stays sorted.
+func TestAxisMergeProperties(t *testing.T) {
+	f := func(raw []float64, gapSeed uint8) bool {
+		coords := []float64{0, 1000}
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				coords = append(coords, math.Mod(math.Abs(v), 1000))
+			}
+		}
+		a := NewAxis(coords, 1e-9)
+		gap := float64(gapSeed%100) + 1
+		m := a.Merge(gap)
+		if m[0] != a[0] || m[len(m)-1] != a[len(a)-1] {
+			return false
+		}
+		for i := 1; i < len(m); i++ {
+			if m[i] <= m[i-1] {
+				return false
+			}
+			// Interior spacing respects the gap (the final cell may be
+			// narrow only if the whole axis is narrower than the gap).
+			if i < len(m)-1 && m[i]-m[i-1] < gap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxisWidthAndCell(t *testing.T) {
+	a := Axis{0, 10, 25}
+	if a.Width(0) != 10 || a.Width(1) != 15 {
+		t.Errorf("Width = %g,%g", a.Width(0), a.Width(1))
+	}
+	lo, hi := a.Cell(1)
+	if lo != 10 || hi != 25 {
+		t.Errorf("Cell(1) = %g,%g", lo, hi)
+	}
+}

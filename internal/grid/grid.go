@@ -1,0 +1,220 @@
+// Package grid implements the fixed-size-grid probabilistic congestion
+// model of Sham & Young (ISPD'02, the paper's reference [4], building
+// on Lou et al., ISPD'01 [3]): the chip is divided into a uniform array
+// of square grids; for every 2-pin net the probability that a uniformly
+// random monotone shortest Manhattan route crosses each grid is
+// computed from binomial path counts (the paper's Formulas 1–2); grid
+// costs are the per-net probability sums; and the floorplan-level score
+// is the average of the top-10% most congested grids.
+//
+// The same model instantiated with a very fine pitch (10×10 µm² in the
+// paper) is the "judging model" used as the neutral referee in all
+// three experiments.
+package grid
+
+import (
+	"math"
+	"sort"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+	"irgrid/internal/nmath"
+)
+
+// Model is a fixed-pitch probabilistic congestion estimator.
+type Model struct {
+	// Pitch is the square grid side in µm (e.g. 100, 50, or the
+	// judging model's 10).
+	Pitch float64
+	// TopFraction is the fraction of most-congested grids averaged
+	// into the score; the paper uses 0.10. Zero means 0.10.
+	TopFraction float64
+}
+
+// Name identifies the model in experiment tables.
+func (m Model) Name() string { return "fixed-grid" }
+
+// Map is the congestion map produced by Evaluate: a Cols×Rows array of
+// per-grid crossing-probability sums.
+type Map struct {
+	Chip       geom.Rect
+	Pitch      float64
+	Cols, Rows int
+	Cost       []float64 // row-major: Cost[y*Cols+x]
+
+	lf nmath.LogFact
+}
+
+// At returns the accumulated congestion cost of grid (x, y).
+func (mp *Map) At(x, y int) float64 { return mp.Cost[y*mp.Cols+x] }
+
+// NewMap allocates an empty congestion map over the chip.
+func NewMap(chip geom.Rect, pitch float64) *Map {
+	if pitch <= 0 {
+		panic("grid: pitch must be positive")
+	}
+	cols := int(math.Ceil(chip.W() / pitch))
+	rows := int(math.Ceil(chip.H() / pitch))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Map{
+		Chip:  chip,
+		Pitch: pitch,
+		Cols:  cols,
+		Rows:  rows,
+		Cost:  make([]float64, cols*rows),
+	}
+}
+
+// Evaluate builds the congestion map of the chip for the decomposed
+// 2-pin nets.
+func (m Model) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
+	mp := NewMap(chip, m.Pitch)
+	for _, n := range nets {
+		mp.AddNet(n)
+	}
+	return mp
+}
+
+// Score evaluates the chip-level congestion cost: the average of the
+// top-10% most congested grids (paper §3).
+func (m Model) Score(chip geom.Rect, nets []netlist.TwoPin) float64 {
+	frac := m.TopFraction
+	if frac <= 0 {
+		frac = 0.10
+	}
+	return m.Evaluate(chip, nets).TopScore(frac)
+}
+
+// cell returns the grid coordinates of the cell containing p, clamped
+// to the map.
+func (mp *Map) cell(p geom.Pt) (int, int) {
+	x := int((p.X - mp.Chip.X1) / mp.Pitch)
+	y := int((p.Y - mp.Chip.Y1) / mp.Pitch)
+	if x < 0 {
+		x = 0
+	}
+	if x >= mp.Cols {
+		x = mp.Cols - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= mp.Rows {
+		y = mp.Rows - 1
+	}
+	return x, y
+}
+
+// AddNet accumulates the crossing probabilities of one 2-pin net into
+// the map, implementing the paper's Formula 2. A net whose routing
+// range collapses to a point or a line crosses those grids with
+// probability 1. For type II nets the computation reflects the y
+// coordinate and reuses the type I formula; TestTypeIIMatchesPaper
+// checks this against the paper's explicit type II expression.
+func (mp *Map) AddNet(n netlist.TwoPin) {
+	ax, ay := mp.cell(n.A)
+	bx, by := mp.cell(n.B)
+	gx1, gx2 := minInt(ax, bx), maxInt(ax, bx)
+	gy1, gy2 := minInt(ay, by), maxInt(ay, by)
+	g1 := gx2 - gx1 + 1
+	g2 := gy2 - gy1 + 1
+
+	if g1 == 1 || g2 == 1 {
+		// Point or line routing range: every covered grid is crossed
+		// by every route.
+		for y := gy1; y <= gy2; y++ {
+			for x := gx1; x <= gx2; x++ {
+				mp.Cost[y*mp.Cols+x] += 1
+			}
+		}
+		return
+	}
+
+	typeII := n.TypeII()
+	mp.lf.Ensure(g1 + g2)
+	logTotal := mp.lf.LogChoose(g1+g2-2, g2-1)
+	for ly := 0; ly < g2; ly++ {
+		// Local y in type I orientation: reflect for type II nets so
+		// the source pin is at local (0, 0).
+		ty := ly
+		if typeII {
+			ty = g2 - 1 - ly
+		}
+		row := (gy1 + ly) * mp.Cols
+		// Formula 2 (type I): P(x,y) = C(x+y, y)·C(g1+g2-2-x-y, g2-1-y)
+		// / C(g1+g2-2, g2-1). The row is scanned with the exact
+		// recurrence
+		//   P(x+1,y) = P(x,y) · (x+y+1)/(x+1) · (g1-1-x)/(g1+g2-2-x-y),
+		// so only the first cell needs log-space binomials.
+		p := math.Exp(mp.lf.LogChoose(g1+g2-2-ty, g2-1-ty) - logTotal)
+		mp.Cost[row+gx1] += p
+		for lx := 1; lx < g1; lx++ {
+			x := lx - 1
+			p *= float64(x+ty+1) / float64(x+1) *
+				float64(g1-1-x) / float64(g1+g2-2-x-ty)
+			mp.Cost[row+gx1+lx] += p
+		}
+	}
+}
+
+// TopScore returns the average cost of the ceil(frac·N) most congested
+// grids.
+func (mp *Map) TopScore(frac float64) float64 {
+	if len(mp.Cost) == 0 {
+		return 0
+	}
+	k := int(math.Ceil(frac * float64(len(mp.Cost))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(mp.Cost) {
+		k = len(mp.Cost)
+	}
+	tmp := append([]float64(nil), mp.Cost...)
+	sort.Float64s(tmp)
+	var sum float64
+	for _, v := range tmp[len(tmp)-k:] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// Max returns the largest grid cost.
+func (mp *Map) Max() float64 {
+	var mx float64
+	for _, v := range mp.Cost {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Total returns the sum of all grid costs. For a single net this is
+// its expected number of crossed grids.
+func (mp *Map) Total() float64 {
+	var s float64
+	for _, v := range mp.Cost {
+		s += v
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

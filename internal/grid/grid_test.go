@@ -1,0 +1,233 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// pathsThrough counts, by dynamic programming, the number of monotone
+// up-right cell paths from (0,0) to (g1-1,g2-1) that pass through cell
+// (x,y), as a float64. It is the ground truth for Formula 1/2.
+func pathsThrough(g1, g2, x, y int) (through, total float64) {
+	from := make([][]float64, g1) // paths from (0,0) to (i,j)
+	to := make([][]float64, g1)   // paths from (i,j) to (g1-1,g2-1)
+	for i := range from {
+		from[i] = make([]float64, g2)
+		to[i] = make([]float64, g2)
+	}
+	for i := 0; i < g1; i++ {
+		for j := 0; j < g2; j++ {
+			if i == 0 && j == 0 {
+				from[i][j] = 1
+				continue
+			}
+			if i > 0 {
+				from[i][j] += from[i-1][j]
+			}
+			if j > 0 {
+				from[i][j] += from[i][j-1]
+			}
+		}
+	}
+	for i := g1 - 1; i >= 0; i-- {
+		for j := g2 - 1; j >= 0; j-- {
+			if i == g1-1 && j == g2-1 {
+				to[i][j] = 1
+				continue
+			}
+			if i+1 < g1 {
+				to[i][j] += to[i+1][j]
+			}
+			if j+1 < g2 {
+				to[i][j] += to[i][j+1]
+			}
+		}
+	}
+	return from[x][y] * to[x][y], from[g1-1][g2-1]
+}
+
+func TestAddNetMatchesPathCountingTypeI(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 100}
+	for _, dims := range [][2]int{{2, 2}, {3, 5}, {6, 6}, {7, 4}, {10, 10}} {
+		g1, g2 := dims[0], dims[1]
+		mp := NewMap(chip, 10)
+		// Pins in cell centers of (0,0) and (g1-1, g2-1).
+		n := netlist.TwoPin{
+			A: geom.Pt{X: 5, Y: 5},
+			B: geom.Pt{X: float64(g1-1)*10 + 5, Y: float64(g2-1)*10 + 5},
+		}
+		mp.AddNet(n)
+		for x := 0; x < g1; x++ {
+			for y := 0; y < g2; y++ {
+				through, total := pathsThrough(g1, g2, x, y)
+				want := through / total
+				got := mp.At(x, y)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("g=%dx%d cell (%d,%d): got %g, want %g", g1, g2, x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAddNetMatchesPathCountingTypeII(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 100}
+	g1, g2 := 6, 4
+	mp := NewMap(chip, 10)
+	// Type II: first pin upper-left, second lower-right.
+	n := netlist.TwoPin{
+		A: geom.Pt{X: 5, Y: float64(g2-1)*10 + 5},
+		B: geom.Pt{X: float64(g1-1)*10 + 5, Y: 5},
+	}
+	mp.AddNet(n)
+	for x := 0; x < g1; x++ {
+		for y := 0; y < g2; y++ {
+			// Reflect y: a down-right path through (x,y) corresponds to
+			// an up-right path through (x, g2-1-y).
+			through, total := pathsThrough(g1, g2, x, g2-1-y)
+			want := through / total
+			if got := mp.At(x, y); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("cell (%d,%d): got %g, want %g", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestAntiDiagonalMassTypeI(t *testing.T) {
+	// Every monotone route visits exactly one cell per anti-diagonal
+	// x+y = k, so the probabilities on each anti-diagonal sum to 1.
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 200, Y2: 200}
+	for _, dims := range [][2]int{{2, 3}, {5, 5}, {12, 7}, {19, 19}} {
+		g1, g2 := dims[0], dims[1]
+		mp := NewMap(chip, 10)
+		n := netlist.TwoPin{
+			A: geom.Pt{X: 5, Y: 5},
+			B: geom.Pt{X: float64(g1-1)*10 + 5, Y: float64(g2-1)*10 + 5},
+		}
+		mp.AddNet(n)
+		for k := 0; k <= g1+g2-2; k++ {
+			var sum float64
+			for x := 0; x < g1; x++ {
+				y := k - x
+				if y < 0 || y >= g2 {
+					continue
+				}
+				sum += mp.At(x, y)
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("g=%dx%d diagonal %d: mass %g", g1, g2, k, sum)
+			}
+		}
+	}
+}
+
+func TestDegenerateNets(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 100}
+	mp := NewMap(chip, 10)
+	// Horizontal line net: every covered cell has probability 1.
+	mp.AddNet(netlist.TwoPin{A: geom.Pt{X: 5, Y: 45}, B: geom.Pt{X: 75, Y: 45}})
+	for x := 0; x <= 7; x++ {
+		if got := mp.At(x, 4); got != 1 {
+			t.Errorf("line cell (%d,4) = %g", x, got)
+		}
+	}
+	if mp.At(8, 4) != 0 || mp.At(3, 5) != 0 {
+		t.Error("cells outside the line must be 0")
+	}
+	// Point net.
+	mp2 := NewMap(chip, 10)
+	mp2.AddNet(netlist.TwoPin{A: geom.Pt{X: 33, Y: 33}, B: geom.Pt{X: 33, Y: 33}})
+	if mp2.At(3, 3) != 1 || mp2.Total() != 1 {
+		t.Error("point net should hit exactly one cell")
+	}
+}
+
+func TestNetTotalExpectedCells(t *testing.T) {
+	// The expected number of crossed grids is g1+g2-1 for any net
+	// (one cell per anti-diagonal).
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 100}
+	mp := NewMap(chip, 10)
+	mp.AddNet(netlist.TwoPin{A: geom.Pt{X: 5, Y: 5}, B: geom.Pt{X: 65, Y: 45}})
+	g1, g2 := 7, 5
+	if got := mp.Total(); math.Abs(got-float64(g1+g2-1)) > 1e-9 {
+		t.Errorf("Total = %g, want %d", got, g1+g2-1)
+	}
+}
+
+func TestPinsOutsideChipClamp(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 100}
+	mp := NewMap(chip, 10)
+	mp.AddNet(netlist.TwoPin{A: geom.Pt{X: -20, Y: -20}, B: geom.Pt{X: 150, Y: 150}})
+	// Should clamp to corner cells and not panic; total mass is one
+	// cell per diagonal.
+	if got := mp.Total(); math.Abs(got-19) > 1e-9 {
+		t.Errorf("Total = %g, want 19", got)
+	}
+}
+
+func TestTopScore(t *testing.T) {
+	mp := &Map{Cols: 10, Rows: 1, Cost: []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 5}}
+	// Top 10% of 10 cells = 1 cell.
+	if got := mp.TopScore(0.10); got != 5 {
+		t.Errorf("TopScore(0.10) = %g", got)
+	}
+	// Top 20% = 2 cells: (5+0)/2.
+	if got := mp.TopScore(0.20); got != 2.5 {
+		t.Errorf("TopScore(0.20) = %g", got)
+	}
+	// Fraction over 1 clamps to all cells.
+	if got := mp.TopScore(5); got != 0.5 {
+		t.Errorf("TopScore(5) = %g", got)
+	}
+}
+
+func TestModelScoreAndEvaluate(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 100}
+	nets := []netlist.TwoPin{
+		{A: geom.Pt{X: 5, Y: 5}, B: geom.Pt{X: 95, Y: 95}},
+		{A: geom.Pt{X: 5, Y: 95}, B: geom.Pt{X: 95, Y: 5}},
+		{A: geom.Pt{X: 45, Y: 5}, B: geom.Pt{X: 45, Y: 95}},
+	}
+	m := Model{Pitch: 10}
+	mp := m.Evaluate(chip, nets)
+	if mp.Cols != 10 || mp.Rows != 10 {
+		t.Fatalf("map %dx%d", mp.Cols, mp.Rows)
+	}
+	s := m.Score(chip, nets)
+	if s <= 0 {
+		t.Errorf("score = %g", s)
+	}
+	if s > mp.Max()+1e-9 {
+		t.Errorf("score %g exceeds max %g", s, mp.Max())
+	}
+	// The crossing of the two diagonals plus the vertical line makes
+	// the center column congested: max should be > 1.
+	if mp.Max() <= 1 {
+		t.Errorf("max = %g, expected > 1 at crossing", mp.Max())
+	}
+}
+
+func TestScoreMonotoneInNets(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 100}
+	m := Model{Pitch: 10}
+	nets := []netlist.TwoPin{
+		{A: geom.Pt{X: 5, Y: 5}, B: geom.Pt{X: 95, Y: 95}},
+		{A: geom.Pt{X: 5, Y: 15}, B: geom.Pt{X: 95, Y: 85}},
+	}
+	s1 := m.Score(chip, nets[:1])
+	s2 := m.Score(chip, nets)
+	if s2 < s1 {
+		t.Errorf("adding a net decreased the score: %g -> %g", s1, s2)
+	}
+}
+
+func TestNonSquareChip(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 95, Y2: 43}
+	mp := NewMap(chip, 10)
+	if mp.Cols != 10 || mp.Rows != 5 {
+		t.Errorf("map %dx%d, want 10x5", mp.Cols, mp.Rows)
+	}
+}

@@ -1,0 +1,140 @@
+package grid
+
+import (
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// LZModel is a bend-limited variant of the fixed-grid probabilistic
+// model: instead of weighting all monotone staircase routes equally
+// (the paper's assumption, after [3][4]), only 1-bend (L) and 2-bend
+// (Z) shortest routes are considered, each equally likely. Practical
+// global routers strongly prefer few bends, so this variant brackets
+// the route-distribution assumption from the other side; the
+// validation experiment compares both against real routed overflow.
+type LZModel struct {
+	// Pitch is the square grid side in µm.
+	Pitch float64
+	// TopFraction is the fraction of most-congested grids averaged
+	// into the score (default 0.10).
+	TopFraction float64
+}
+
+// Name identifies the model in experiment tables.
+func (m LZModel) Name() string { return "fixed-grid-lz" }
+
+// Evaluate builds the congestion map for the decomposed 2-pin nets.
+func (m LZModel) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
+	mp := NewMap(chip, m.Pitch)
+	for _, n := range nets {
+		mp.AddNetLZ(n)
+	}
+	return mp
+}
+
+// Score returns the chip-level congestion cost.
+func (m LZModel) Score(chip geom.Rect, nets []netlist.TwoPin) float64 {
+	frac := m.TopFraction
+	if frac <= 0 {
+		frac = 0.10
+	}
+	return m.Evaluate(chip, nets).TopScore(frac)
+}
+
+// AddNetLZ accumulates one 2-pin net assuming uniformly random L- or
+// Z-shaped shortest routes. With the routing range spanning cell
+// offsets (0,0)..(mx,my) in type I orientation, the route set is:
+//
+//   - 2 L-routes (right-then-up, up-then-right),
+//   - mx-1 vertical-jog Z-routes (one per interior column), and
+//   - my-1 horizontal-jog Z-routes (one per interior row),
+//
+// so R = mx + my routes in total (mx, my ≥ 1). Per-cell counts have
+// closed forms; TestAddNetLZMatchesEnumeration checks them against
+// explicit route enumeration.
+func (mp *Map) AddNetLZ(n netlist.TwoPin) {
+	ax, ay := mp.cell(n.A)
+	bx, by := mp.cell(n.B)
+	gx1, gx2 := minInt(ax, bx), maxInt(ax, bx)
+	gy1, gy2 := minInt(ay, by), maxInt(ay, by)
+	mx := gx2 - gx1
+	my := gy2 - gy1
+
+	if mx == 0 || my == 0 {
+		// Point or line range: a single route through every cell.
+		for y := gy1; y <= gy2; y++ {
+			for x := gx1; x <= gx2; x++ {
+				mp.Cost[y*mp.Cols+x] += 1
+			}
+		}
+		return
+	}
+
+	typeII := n.TypeII()
+	total := float64(mx + my)
+	for ly := 0; ly <= my; ly++ {
+		ty := ly
+		if typeII {
+			ty = my - ly
+		}
+		row := (gy1 + ly) * mp.Cols
+		for lx := 0; lx <= mx; lx++ {
+			mp.Cost[row+gx1+lx] += lzRoutesThrough(mx, my, lx, ty) / total
+		}
+	}
+}
+
+// lzRoutesThrough counts the L/Z routes from (0,0) to (mx,my) passing
+// through cell (x,y); mx, my >= 1.
+func lzRoutesThrough(mx, my, x, y int) float64 {
+	count := 0
+
+	// L-route A: along y=0 then up the column x=mx.
+	if y == 0 || x == mx {
+		count++
+	}
+	// L-route B: up the column x=0 then along y=my.
+	if x == 0 || y == my {
+		count++
+	}
+	// Vertical-jog Z at interior column c (1..mx-1): cells (x,0) x<=c,
+	// (c,*), (x,my) x>=c.
+	switch {
+	case y == 0:
+		// Columns c >= x qualify: c in [max(1,x), mx-1].
+		lo := maxInt(1, x)
+		if lo <= mx-1 {
+			count += mx - 1 - lo + 1
+		}
+	case y == my:
+		// Columns c <= x: c in [1, min(x, mx-1)].
+		hi := minInt(x, mx-1)
+		if hi >= 1 {
+			count += hi
+		}
+	default:
+		// Interior row: only the jog column itself.
+		if x >= 1 && x <= mx-1 {
+			count++
+		}
+	}
+	// Horizontal-jog Z at interior row r (1..my-1): transpose of the
+	// vertical case.
+	switch {
+	case x == 0:
+		lo := maxInt(1, y)
+		if lo <= my-1 {
+			count += my - 1 - lo + 1
+		}
+	case x == mx:
+		hi := minInt(y, my-1)
+		if hi >= 1 {
+			count += hi
+		}
+	default:
+		if y >= 1 && y <= my-1 {
+			count++
+		}
+	}
+	return float64(count)
+}

@@ -1,0 +1,176 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// enumerateLZ generates every L/Z route on an (mx+1)×(my+1) cell range
+// and counts per-cell passes — the ground truth for lzRoutesThrough.
+func enumerateLZ(mx, my int) [][]float64 {
+	counts := make([][]float64, mx+1)
+	for i := range counts {
+		counts[i] = make([]float64, my+1)
+	}
+	addRoute := func(cells [][2]int) {
+		seen := map[[2]int]bool{}
+		for _, c := range cells {
+			if !seen[c] {
+				counts[c[0]][c[1]]++
+				seen[c] = true
+			}
+		}
+	}
+	// L-route A: right along y=0, up along x=mx.
+	var ra [][2]int
+	for x := 0; x <= mx; x++ {
+		ra = append(ra, [2]int{x, 0})
+	}
+	for y := 0; y <= my; y++ {
+		ra = append(ra, [2]int{mx, y})
+	}
+	addRoute(ra)
+	// L-route B: up along x=0, right along y=my.
+	var rb [][2]int
+	for y := 0; y <= my; y++ {
+		rb = append(rb, [2]int{0, y})
+	}
+	for x := 0; x <= mx; x++ {
+		rb = append(rb, [2]int{x, my})
+	}
+	addRoute(rb)
+	// Vertical-jog Z at interior columns.
+	for c := 1; c <= mx-1; c++ {
+		var r [][2]int
+		for x := 0; x <= c; x++ {
+			r = append(r, [2]int{x, 0})
+		}
+		for y := 0; y <= my; y++ {
+			r = append(r, [2]int{c, y})
+		}
+		for x := c; x <= mx; x++ {
+			r = append(r, [2]int{x, my})
+		}
+		addRoute(r)
+	}
+	// Horizontal-jog Z at interior rows.
+	for rr := 1; rr <= my-1; rr++ {
+		var r [][2]int
+		for y := 0; y <= rr; y++ {
+			r = append(r, [2]int{0, y})
+		}
+		for x := 0; x <= mx; x++ {
+			r = append(r, [2]int{x, rr})
+		}
+		for y := rr; y <= my; y++ {
+			r = append(r, [2]int{mx, y})
+		}
+		addRoute(r)
+	}
+	return counts
+}
+
+func TestLZRoutesThroughMatchesEnumeration(t *testing.T) {
+	for mx := 1; mx <= 8; mx++ {
+		for my := 1; my <= 8; my++ {
+			want := enumerateLZ(mx, my)
+			for x := 0; x <= mx; x++ {
+				for y := 0; y <= my; y++ {
+					got := lzRoutesThrough(mx, my, x, y)
+					if got != want[x][y] {
+						t.Fatalf("m=%dx%d cell (%d,%d): got %g, want %g",
+							mx, my, x, y, got, want[x][y])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLZPinCellsAlwaysCovered(t *testing.T) {
+	f := func(a, b uint8) bool {
+		mx := int(a%15) + 1
+		my := int(b%15) + 1
+		total := float64(mx + my)
+		// Source, sink and the two L corners lie on every route count
+		// correctly: pins are on all routes.
+		return lzRoutesThrough(mx, my, 0, 0) == total &&
+			lzRoutesThrough(mx, my, mx, my) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddNetLZTypeII(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 100}
+	mpI := NewMap(chip, 10)
+	mpI.AddNetLZ(netlist.TwoPin{A: geom.Pt{X: 5, Y: 5}, B: geom.Pt{X: 65, Y: 45}})
+	mpII := NewMap(chip, 10)
+	mpII.AddNetLZ(netlist.TwoPin{A: geom.Pt{X: 5, Y: 45}, B: geom.Pt{X: 65, Y: 5}})
+	// Type II is the vertical mirror of type I within the range rows
+	// 0..4.
+	for x := 0; x < 7; x++ {
+		for y := 0; y < 5; y++ {
+			a := mpI.At(x, y)
+			b := mpII.At(x, 4-y)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("mirror mismatch at (%d,%d): %g vs %g", x, y, a, b)
+			}
+		}
+	}
+}
+
+func TestAddNetLZDegenerate(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 100}
+	mp := NewMap(chip, 10)
+	mp.AddNetLZ(netlist.TwoPin{A: geom.Pt{X: 5, Y: 45}, B: geom.Pt{X: 75, Y: 45}})
+	for x := 0; x <= 7; x++ {
+		if mp.At(x, 4) != 1 {
+			t.Errorf("line cell (%d,4) = %g", x, mp.At(x, 4))
+		}
+	}
+}
+
+func TestLZModelScore(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 100}
+	nets := []netlist.TwoPin{
+		{A: geom.Pt{X: 5, Y: 5}, B: geom.Pt{X: 95, Y: 95}},
+		{A: geom.Pt{X: 5, Y: 95}, B: geom.Pt{X: 95, Y: 5}},
+	}
+	m := LZModel{Pitch: 10}
+	if s := m.Score(chip, nets); s <= 0 {
+		t.Errorf("score = %g", s)
+	}
+	if m.Name() != "fixed-grid-lz" {
+		t.Error("bad name")
+	}
+}
+
+func TestLZVsMonotoneMassDiffer(t *testing.T) {
+	// Both models conserve per-net total probability along the
+	// boundary rows differently: the LZ model concentrates probability
+	// on the range boundary, the monotone model spreads it over the
+	// interior diagonal band. Check the defining signature: interior
+	// cells carry less probability under LZ than under monotone for a
+	// large square range.
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 200, Y2: 200}
+	net := netlist.TwoPin{A: geom.Pt{X: 5, Y: 5}, B: geom.Pt{X: 195, Y: 195}}
+	mono := NewMap(chip, 10)
+	mono.AddNet(net)
+	lz := NewMap(chip, 10)
+	lz.AddNetLZ(net)
+	// Center cell of the 20x20 range.
+	cx, cy := 10, 10
+	if lz.At(cx, cy) >= mono.At(cx, cy) {
+		t.Errorf("interior: lz %g should be below monotone %g", lz.At(cx, cy), mono.At(cx, cy))
+	}
+	// Boundary row y=0 away from the pins: more probable under LZ.
+	if lz.At(10, 0) <= mono.At(10, 0) {
+		t.Errorf("boundary: lz %g should exceed monotone %g", lz.At(10, 0), mono.At(10, 0))
+	}
+}

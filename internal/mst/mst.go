@@ -1,0 +1,102 @@
+// Package mst decomposes multi-pin nets into two-pin nets using a
+// Manhattan-distance minimum spanning tree, as the paper does for the
+// interconnection-related objectives ("we decompose the multi-pin nets
+// into several 2-pin nets by minimum spanning tree").
+package mst
+
+import (
+	"math"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// Tree computes a minimum spanning tree over pts under the Manhattan
+// metric using Prim's algorithm (O(k²) — net degrees are small) and
+// returns the tree edges as index pairs. For fewer than two points it
+// returns nil.
+func Tree(pts []geom.Pt) [][2]int {
+	k := len(pts)
+	if k < 2 {
+		return nil
+	}
+	const unreached = math.MaxFloat64
+	dist := make([]float64, k)
+	parent := make([]int, k)
+	inTree := make([]bool, k)
+	for i := range dist {
+		dist[i] = unreached
+		parent[i] = -1
+	}
+	dist[0] = 0
+	edges := make([][2]int, 0, k-1)
+	for iter := 0; iter < k; iter++ {
+		// Pick the closest unreached point.
+		best, bestD := -1, unreached
+		for i := 0; i < k; i++ {
+			if !inTree[i] && dist[i] < bestD {
+				best, bestD = i, dist[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		inTree[best] = true
+		if parent[best] >= 0 {
+			edges = append(edges, [2]int{parent[best], best})
+		}
+		for i := 0; i < k; i++ {
+			if inTree[i] {
+				continue
+			}
+			if d := pts[best].Manhattan(pts[i]); d < dist[i] {
+				dist[i] = d
+				parent[i] = best
+			}
+		}
+	}
+	return edges
+}
+
+// Weight returns the total Manhattan length of the tree edges over pts.
+func Weight(pts []geom.Pt, edges [][2]int) float64 {
+	var w float64
+	for _, e := range edges {
+		w += pts[e[0]].Manhattan(pts[e[1]])
+	}
+	return w
+}
+
+// Decompose converts every net of the circuit into two-pin nets under
+// the given placement: pin positions are resolved through the
+// placement (optionally pre-snapped by the caller), each multi-pin net
+// is spanned by its Manhattan MST, and each tree edge becomes one
+// two-pin net. Degenerate edges (coincident pins) are kept — they
+// contribute zero wirelength and a point routing range.
+func Decompose(c *netlist.Circuit, pl *netlist.Placement, snap func(geom.Pt) geom.Pt) []netlist.TwoPin {
+	var out []netlist.TwoPin
+	var pts []geom.Pt
+	for _, n := range c.Nets {
+		pts = pts[:0]
+		for _, p := range n.Pins {
+			pos := pl.PinPosition(p)
+			if snap != nil {
+				pos = snap(pos)
+			}
+			pts = append(pts, pos)
+		}
+		for _, e := range Tree(pts) {
+			out = append(out, netlist.TwoPin{A: pts[e[0]], B: pts[e[1]]})
+		}
+	}
+	return out
+}
+
+// TotalWirelength sums the Manhattan lengths of the two-pin nets.
+func TotalWirelength(nets []netlist.TwoPin) float64 {
+	var w float64
+	for _, n := range nets {
+		w += n.Manhattan()
+	}
+	return w
+}

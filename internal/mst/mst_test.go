@@ -1,0 +1,246 @@
+package mst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+func TestTreeTrivial(t *testing.T) {
+	if Tree(nil) != nil {
+		t.Error("empty input should give nil")
+	}
+	if Tree([]geom.Pt{{X: 1, Y: 1}}) != nil {
+		t.Error("single point should give nil")
+	}
+	e := Tree([]geom.Pt{{X: 0, Y: 0}, {X: 3, Y: 4}})
+	if len(e) != 1 {
+		t.Fatalf("edges = %v", e)
+	}
+	if w := Weight([]geom.Pt{{X: 0, Y: 0}, {X: 3, Y: 4}}, e); w != 7 {
+		t.Errorf("weight = %g", w)
+	}
+}
+
+func TestTreeSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(10)
+		pts := make([]geom.Pt, k)
+		for i := range pts {
+			pts[i] = geom.Pt{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+		edges := Tree(pts)
+		if len(edges) != k-1 {
+			t.Fatalf("got %d edges for %d points", len(edges), k)
+		}
+		// Union-find connectivity check.
+		parent := make([]int, k)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			if parent[x] != x {
+				parent[x] = find(parent[x])
+			}
+			return parent[x]
+		}
+		for _, e := range edges {
+			parent[find(e[0])] = find(e[1])
+		}
+		root := find(0)
+		for i := 1; i < k; i++ {
+			if find(i) != root {
+				t.Fatalf("tree does not span point %d", i)
+			}
+		}
+	}
+}
+
+// bruteMST enumerates all spanning trees of up to 7 points via Prüfer
+// sequences and returns the minimal weight.
+func bruteMST(pts []geom.Pt) float64 {
+	k := len(pts)
+	if k < 2 {
+		return 0
+	}
+	if k == 2 {
+		return pts[0].Manhattan(pts[1])
+	}
+	best := math.Inf(1)
+	seqLen := k - 2
+	seq := make([]int, seqLen)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == seqLen {
+			// Decode the Prüfer sequence.
+			deg := make([]int, k)
+			for i := range deg {
+				deg[i] = 1
+			}
+			for _, v := range seq {
+				deg[v]++
+			}
+			var w float64
+			s := append([]int(nil), seq...)
+			used := make([]bool, k)
+			for _, v := range s {
+				for leaf := 0; leaf < k; leaf++ {
+					if deg[leaf] == 1 && !used[leaf] {
+						w += pts[leaf].Manhattan(pts[v])
+						used[leaf] = true
+						deg[v]--
+						break
+					}
+				}
+			}
+			// Connect the last two remaining nodes.
+			last := []int{}
+			for i := 0; i < k; i++ {
+				if !used[i] {
+					last = append(last, i)
+				}
+			}
+			w += pts[last[0]].Manhattan(pts[last[1]])
+			if w < best {
+				best = w
+			}
+			return
+		}
+		for v := 0; v < k; v++ {
+			seq[pos] = v
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestTreeIsMinimalSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		k := 3 + rng.Intn(4) // 3..6 points
+		pts := make([]geom.Pt, k)
+		for i := range pts {
+			pts[i] = geom.Pt{X: float64(rng.Intn(50)), Y: float64(rng.Intn(50))}
+		}
+		got := Weight(pts, Tree(pts))
+		want := bruteMST(pts)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("MST weight %g, brute force %g for %v", got, want, pts)
+		}
+	}
+}
+
+func TestTreeCoincidentPoints(t *testing.T) {
+	pts := []geom.Pt{{X: 5, Y: 5}, {X: 5, Y: 5}, {X: 5, Y: 5}}
+	edges := Tree(pts)
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if Weight(pts, edges) != 0 {
+		t.Error("coincident points should give zero weight")
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	c := &netlist.Circuit{
+		Name: "t",
+		Modules: []netlist.Module{
+			{Name: "a", W: 10, H: 10},
+			{Name: "b", W: 10, H: 10},
+			{Name: "c", W: 10, H: 10},
+		},
+		Nets: []netlist.Net{
+			{Name: "n1", Pins: []netlist.PinRef{
+				{Module: 0, FX: 0.5, FY: 0.5},
+				{Module: 1, FX: 0.5, FY: 0.5},
+				{Module: 2, FX: 0.5, FY: 0.5},
+			}},
+			{Name: "n2", Pins: []netlist.PinRef{
+				{Module: 0, FX: 0, FY: 0},
+				{Module: 1, FX: 1, FY: 1},
+			}},
+		},
+	}
+	pl := &netlist.Placement{
+		Rects: []geom.Rect{
+			{X1: 0, Y1: 0, X2: 10, Y2: 10},
+			{X1: 10, Y1: 0, X2: 20, Y2: 10},
+			{X1: 0, Y1: 10, X2: 10, Y2: 20},
+		},
+		Rotated: make([]bool, 3),
+		Chip:    geom.Rect{X1: 0, Y1: 0, X2: 20, Y2: 20},
+	}
+	two := Decompose(c, pl, nil)
+	// 3-pin net → 2 edges, 2-pin net → 1 edge.
+	if len(two) != 3 {
+		t.Fatalf("got %d two-pin nets", len(two))
+	}
+	// n1's MST over centers (5,5),(15,5),(5,15): edges 10+10.
+	w := TotalWirelength(two[:2])
+	if w != 20 {
+		t.Errorf("n1 wirelength = %g, want 20", w)
+	}
+	// n2 connects (0,0) to (20,10).
+	if two[2].Manhattan() != 30 {
+		t.Errorf("n2 length = %g, want 30", two[2].Manhattan())
+	}
+}
+
+func TestDecomposeSnap(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "t",
+		Modules: []netlist.Module{{Name: "a", W: 10, H: 10}, {Name: "b", W: 10, H: 10}},
+		Nets: []netlist.Net{{Name: "n", Pins: []netlist.PinRef{
+			{Module: 0, FX: 0.33, FY: 0.41},
+			{Module: 1, FX: 0.77, FY: 0.6},
+		}}},
+	}
+	pl := &netlist.Placement{
+		Rects:   []geom.Rect{{X1: 0, Y1: 0, X2: 10, Y2: 10}, {X1: 10, Y1: 0, X2: 20, Y2: 10}},
+		Rotated: make([]bool, 2),
+		Chip:    geom.Rect{X1: 0, Y1: 0, X2: 20, Y2: 10},
+	}
+	snap := func(p geom.Pt) geom.Pt {
+		return geom.Pt{X: math.Round(p.X/5) * 5, Y: math.Round(p.Y/5) * 5}
+	}
+	two := Decompose(c, pl, snap)
+	if len(two) != 1 {
+		t.Fatalf("got %d nets", len(two))
+	}
+	for _, p := range []geom.Pt{two[0].A, two[0].B} {
+		if math.Mod(p.X, 5) != 0 || math.Mod(p.Y, 5) != 0 {
+			t.Errorf("pin %v not snapped", p)
+		}
+	}
+}
+
+func TestDecomposeRotatedPin(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "t",
+		Modules: []netlist.Module{{Name: "a", W: 10, H: 20}, {Name: "b", W: 5, H: 5}},
+		Nets: []netlist.Net{{Name: "n", Pins: []netlist.PinRef{
+			{Module: 0, FX: 1, FY: 0}, // lower-right corner of unrotated cell
+			{Module: 1, FX: 0, FY: 0},
+		}}},
+	}
+	pl := &netlist.Placement{
+		// Module 0 placed rotated: occupies 20x10.
+		Rects:   []geom.Rect{{X1: 0, Y1: 0, X2: 20, Y2: 10}, {X1: 20, Y1: 0, X2: 25, Y2: 5}},
+		Rotated: []bool{true, false},
+		Chip:    geom.Rect{X1: 0, Y1: 0, X2: 25, Y2: 10},
+	}
+	two := Decompose(c, pl, nil)
+	// 90° CCW rotation maps (fx,fy)=(1,0) to (fy,1-fx)=(0,0): the pin
+	// lands at the rotated module's lower-left corner.
+	got := two[0].A
+	want := geom.Pt{X: 0, Y: 0}
+	if got != want {
+		t.Errorf("rotated pin at %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,175 @@
+// Package netlist models the circuits a floorplanner consumes: hard
+// rectangular modules, their pins, and the (multi-pin) nets connecting
+// them. It also provides a reader and writer for a YAL-flavoured
+// interchange format so that real MCNC benchmark data can be dropped in
+// when available (see internal/bench for the synthetic equivalents used
+// by the experiments).
+package netlist
+
+import (
+	"fmt"
+
+	"irgrid/internal/geom"
+)
+
+// Module is a rectangular block. W and H are the unrotated dimensions
+// in µm. A module with MinAspect < MaxAspect is soft: the packer may
+// realize it as any rectangle of the same area whose aspect ratio
+// (width/height) lies in [MinAspect, MaxAspect].
+type Module struct {
+	Name string
+	W, H float64
+	// Pad marks an I/O pad: pads keep their aspect and are excluded
+	// from rotation during floorplanning.
+	Pad bool
+	// MinAspect and MaxAspect bound a soft module's width/height ratio.
+	// Both zero (the default) makes the module hard.
+	MinAspect, MaxAspect float64
+}
+
+// Area returns the module area in µm².
+func (m Module) Area() float64 { return m.W * m.H }
+
+// Soft reports whether the module has a free aspect ratio.
+func (m Module) Soft() bool { return m.MinAspect > 0 && m.MaxAspect > m.MinAspect }
+
+// PinRef identifies one terminal of a net: a module and the pin's
+// offset inside it, expressed as fractions of the module's width and
+// height so the offset survives rotation and resizing.
+type PinRef struct {
+	Module int     // index into Circuit.Modules
+	FX, FY float64 // offset fractions in [0, 1]
+}
+
+// Net is a named multi-pin net.
+type Net struct {
+	Name string
+	Pins []PinRef
+}
+
+// Degree returns the number of pins on the net.
+func (n Net) Degree() int { return len(n.Pins) }
+
+// Circuit is a complete floorplanning instance.
+type Circuit struct {
+	Name    string
+	Modules []Module
+	Nets    []Net
+}
+
+// TotalModuleArea returns the sum of all module areas in µm².
+func (c *Circuit) TotalModuleArea() float64 {
+	var a float64
+	for _, m := range c.Modules {
+		a += m.Area()
+	}
+	return a
+}
+
+// PinCount returns the total number of net terminals.
+func (c *Circuit) PinCount() int {
+	var p int
+	for _, n := range c.Nets {
+		p += len(n.Pins)
+	}
+	return p
+}
+
+// Validate checks structural consistency: non-empty, positive module
+// dimensions, in-range pin references, nets with at least two pins and
+// pin offsets inside their modules.
+func (c *Circuit) Validate() error {
+	if len(c.Modules) == 0 {
+		return fmt.Errorf("netlist: circuit %q has no modules", c.Name)
+	}
+	seen := make(map[string]bool, len(c.Modules))
+	for i, m := range c.Modules {
+		if m.Name == "" {
+			return fmt.Errorf("netlist: module %d has empty name", i)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("netlist: duplicate module name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.W <= 0 || m.H <= 0 {
+			return fmt.Errorf("netlist: module %q has non-positive dimensions %gx%g", m.Name, m.W, m.H)
+		}
+		if m.MinAspect < 0 || m.MaxAspect < 0 || (m.MaxAspect != 0 && m.MaxAspect < m.MinAspect) {
+			return fmt.Errorf("netlist: module %q has invalid aspect range [%g, %g]", m.Name, m.MinAspect, m.MaxAspect)
+		}
+		if m.Soft() && m.Pad {
+			return fmt.Errorf("netlist: module %q cannot be both a pad and soft", m.Name)
+		}
+	}
+	for _, n := range c.Nets {
+		if len(n.Pins) < 2 {
+			return fmt.Errorf("netlist: net %q has %d pin(s); need at least 2", n.Name, len(n.Pins))
+		}
+		for _, p := range n.Pins {
+			if p.Module < 0 || p.Module >= len(c.Modules) {
+				return fmt.Errorf("netlist: net %q references module %d of %d", n.Name, p.Module, len(c.Modules))
+			}
+			if p.FX < 0 || p.FX > 1 || p.FY < 0 || p.FY > 1 {
+				return fmt.Errorf("netlist: net %q pin offset (%g,%g) outside [0,1]", n.Name, p.FX, p.FY)
+			}
+		}
+	}
+	return nil
+}
+
+// ModuleIndex returns the index of the named module, or -1.
+func (c *Circuit) ModuleIndex(name string) int {
+	for i, m := range c.Modules {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Placement assigns every module an absolute rectangle (and records
+// whether it was rotated 90°). It is the output of the packer and the
+// input to pin placement and congestion estimation.
+type Placement struct {
+	Rects   []geom.Rect
+	Rotated []bool
+	Chip    geom.Rect // bounding box of all module rects
+}
+
+// PinPosition returns the absolute position of pin p under the
+// placement, honouring rotation: a rotated module maps the fractional
+// offset (fx, fy) to (fy, 1-fx) in placed coordinates (a 90°
+// counter-clockwise rotation of the cell).
+func (pl *Placement) PinPosition(p PinRef) geom.Pt {
+	r := pl.Rects[p.Module]
+	fx, fy := p.FX, p.FY
+	if pl.Rotated[p.Module] {
+		fx, fy = p.FY, 1-p.FX
+	}
+	return geom.Pt{X: r.X1 + fx*r.W(), Y: r.Y1 + fy*r.H()}
+}
+
+// TwoPin is a decomposed two-terminal net, the unit the probabilistic
+// congestion models operate on. A and B are absolute pin positions.
+type TwoPin struct {
+	A, B geom.Pt
+}
+
+// Range returns the net's routing range: the bounding rectangle of its
+// pins, which contains every multi-bend shortest Manhattan route.
+func (t TwoPin) Range() geom.Rect { return geom.RectFromCorners(t.A, t.B) }
+
+// Manhattan returns the net length under shortest Manhattan routing.
+func (t TwoPin) Manhattan() float64 { return t.A.Manhattan(t.B) }
+
+// TypeII reports whether the net is a type II net in the paper's
+// classification: one pin is upper-left of the other. Degenerate nets
+// (pins sharing a row or column) are reported as type I; the models
+// treat them specially anyway.
+func (t TwoPin) TypeII() bool {
+	a, b := t.A, t.B
+	if a.X > b.X {
+		a, b = b, a
+	}
+	return b.Y < a.Y
+}

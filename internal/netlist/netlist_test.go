@@ -1,0 +1,128 @@
+package netlist
+
+import (
+	"testing"
+
+	"irgrid/internal/geom"
+)
+
+func sample() *Circuit {
+	return &Circuit{
+		Name: "sample",
+		Modules: []Module{
+			{Name: "a", W: 100, H: 200},
+			{Name: "b", W: 50, H: 50},
+			{Name: "io", W: 10, H: 10, Pad: true},
+		},
+		Nets: []Net{
+			{Name: "n1", Pins: []PinRef{{Module: 0, FX: 0.5, FY: 0.5}, {Module: 1, FX: 0, FY: 1}}},
+			{Name: "n2", Pins: []PinRef{{Module: 1, FX: 1, FY: 0.2}, {Module: 2, FX: 0.5, FY: 0.5}, {Module: 0, FX: 0, FY: 0}}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Circuit)
+	}{
+		{"no modules", func(c *Circuit) { c.Modules = nil }},
+		{"empty name", func(c *Circuit) { c.Modules[0].Name = "" }},
+		{"dup name", func(c *Circuit) { c.Modules[1].Name = "a" }},
+		{"zero width", func(c *Circuit) { c.Modules[0].W = 0 }},
+		{"negative height", func(c *Circuit) { c.Modules[0].H = -3 }},
+		{"one-pin net", func(c *Circuit) { c.Nets[0].Pins = c.Nets[0].Pins[:1] }},
+		{"bad module ref", func(c *Circuit) { c.Nets[0].Pins[0].Module = 9 }},
+		{"offset out of range", func(c *Circuit) { c.Nets[0].Pins[0].FX = 1.5 }},
+	}
+	for _, tc := range cases {
+		c := sample()
+		tc.mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestTotalsAndLookups(t *testing.T) {
+	c := sample()
+	if got := c.TotalModuleArea(); got != 100*200+50*50+100 {
+		t.Errorf("TotalModuleArea = %g", got)
+	}
+	if got := c.PinCount(); got != 5 {
+		t.Errorf("PinCount = %d", got)
+	}
+	if c.ModuleIndex("b") != 1 || c.ModuleIndex("zzz") != -1 {
+		t.Error("ModuleIndex broken")
+	}
+	if c.Nets[1].Degree() != 3 {
+		t.Error("Degree broken")
+	}
+}
+
+func TestPinPosition(t *testing.T) {
+	pl := &Placement{
+		Rects:   []geom.Rect{{X1: 10, Y1: 20, X2: 110, Y2: 220}},
+		Rotated: []bool{false},
+	}
+	p := pl.PinPosition(PinRef{Module: 0, FX: 0.5, FY: 0.25})
+	if p != (geom.Pt{X: 60, Y: 70}) {
+		t.Errorf("PinPosition = %v", p)
+	}
+}
+
+func TestPinPositionRotated(t *testing.T) {
+	// A 100x200 module rotated occupies 200x100. (fx,fy) → (fy,1-fx).
+	pl := &Placement{
+		Rects:   []geom.Rect{{X1: 0, Y1: 0, X2: 200, Y2: 100}},
+		Rotated: []bool{true},
+	}
+	// Corner (1,0) (lower-right pre-rotation) → (0,0) lower-left.
+	if p := pl.PinPosition(PinRef{Module: 0, FX: 1, FY: 0}); p != (geom.Pt{X: 0, Y: 0}) {
+		t.Errorf("corner = %v", p)
+	}
+	// Corner (0,0) → (0,1): upper-left.
+	if p := pl.PinPosition(PinRef{Module: 0, FX: 0, FY: 0}); p != (geom.Pt{X: 0, Y: 100}) {
+		t.Errorf("corner = %v", p)
+	}
+}
+
+func TestTwoPinRangeAndType(t *testing.T) {
+	// Type I: second pin upper-right.
+	n := TwoPin{A: geom.Pt{X: 0, Y: 0}, B: geom.Pt{X: 10, Y: 20}}
+	if n.TypeII() {
+		t.Error("up-right net misclassified as type II")
+	}
+	if n.Range() != (geom.Rect{X1: 0, Y1: 0, X2: 10, Y2: 20}) {
+		t.Errorf("Range = %v", n.Range())
+	}
+	if n.Manhattan() != 30 {
+		t.Errorf("Manhattan = %g", n.Manhattan())
+	}
+	// Type II: left pin above right pin; orientation must not depend on
+	// pin order.
+	m := TwoPin{A: geom.Pt{X: 0, Y: 20}, B: geom.Pt{X: 10, Y: 0}}
+	if !m.TypeII() {
+		t.Error("down-right net not classified as type II")
+	}
+	mSwap := TwoPin{A: m.B, B: m.A}
+	if !mSwap.TypeII() {
+		t.Error("TypeII must be symmetric in pin order")
+	}
+	// Degenerate nets are reported type I.
+	for _, d := range []TwoPin{
+		{A: geom.Pt{X: 0, Y: 0}, B: geom.Pt{X: 10, Y: 0}},
+		{A: geom.Pt{X: 0, Y: 0}, B: geom.Pt{X: 0, Y: 10}},
+		{A: geom.Pt{X: 3, Y: 3}, B: geom.Pt{X: 3, Y: 3}},
+	} {
+		if d.TypeII() {
+			t.Errorf("degenerate net %v classified type II", d)
+		}
+	}
+}

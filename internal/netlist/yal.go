@@ -1,0 +1,268 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a reader and writer for a YAL-flavoured textual
+// interchange format. It is a pragmatic subset of the MCNC "Yet Another
+// Language" benchmark format: enough structure to round-trip the data
+// the congestion experiments need (module dimensions, pin offsets, net
+// connectivity) while remaining hand-editable. Real MCNC YAL files can
+// be converted mechanically; the synthetic benchmarks in internal/bench
+// are emitted in this format by cmd/benchgen.
+//
+// Grammar (line oriented, ';' terminated statements, '#' comments):
+//
+//	CIRCUIT <name>;
+//	MODULE <name>;
+//	  TYPE GENERAL|PAD;
+//	  DIMENSIONS <w> <h>;
+//	  IOLIST;
+//	    <pinName> <fx> <fy>;   # offsets as fractions of module size
+//	  ENDIOLIST;
+//	ENDMODULE;
+//	NETWORK;
+//	  <netName> <module>.<pin> <module>.<pin> ...;
+//	ENDNETWORK;
+
+// WriteYAL serialises the circuit to w in the YAL-subset format. Pin
+// names are generated as p0, p1, ... per module in net order.
+func WriteYAL(w io.Writer, c *Circuit) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# irgrid YAL-subset circuit\nCIRCUIT %s;\n", c.Name)
+
+	// Collect the pins used on each module, in deterministic order.
+	type pin struct {
+		name   string
+		fx, fy float64
+	}
+	modPins := make([][]pin, len(c.Modules))
+	pinName := make(map[PinRef]string)
+	for _, n := range c.Nets {
+		for _, p := range n.Pins {
+			if _, ok := pinName[p]; ok {
+				continue
+			}
+			name := fmt.Sprintf("p%d", len(modPins[p.Module]))
+			pinName[p] = name
+			modPins[p.Module] = append(modPins[p.Module], pin{name, p.FX, p.FY})
+		}
+	}
+
+	for i, m := range c.Modules {
+		fmt.Fprintf(bw, "MODULE %s;\n", m.Name)
+		typ := "GENERAL"
+		if m.Pad {
+			typ = "PAD"
+		}
+		fmt.Fprintf(bw, "  TYPE %s;\n", typ)
+		fmt.Fprintf(bw, "  DIMENSIONS %g %g;\n", m.W, m.H)
+		if m.Soft() {
+			fmt.Fprintf(bw, "  ASPECT %g %g;\n", m.MinAspect, m.MaxAspect)
+		}
+		fmt.Fprintf(bw, "  IOLIST;\n")
+		for _, p := range modPins[i] {
+			fmt.Fprintf(bw, "    %s %g %g;\n", p.name, p.fx, p.fy)
+		}
+		fmt.Fprintf(bw, "  ENDIOLIST;\nENDMODULE;\n")
+	}
+
+	fmt.Fprintf(bw, "NETWORK;\n")
+	for _, n := range c.Nets {
+		fmt.Fprintf(bw, "  %s", n.Name)
+		for _, p := range n.Pins {
+			fmt.Fprintf(bw, " %s.%s", c.Modules[p.Module].Name, pinName[p])
+		}
+		fmt.Fprintf(bw, ";\n")
+	}
+	fmt.Fprintf(bw, "ENDNETWORK;\n")
+	return bw.Flush()
+}
+
+// ReadYAL parses a circuit in the YAL-subset format.
+func ReadYAL(r io.Reader) (*Circuit, error) {
+	c := &Circuit{}
+	type modPin struct{ fx, fy float64 }
+	pins := make(map[string]map[string]modPin) // module -> pin -> offsets
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	var curMod *Module
+	inIOList, inNetwork := false, false
+
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("netlist: yal line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if !strings.HasSuffix(line, ";") {
+			return nil, fail("statement missing ';': %q", line)
+		}
+		fields := strings.Fields(strings.TrimSuffix(line, ";"))
+		if len(fields) == 0 {
+			continue
+		}
+		kw := strings.ToUpper(fields[0])
+
+		switch {
+		case inIOList && kw != "ENDIOLIST":
+			if len(fields) != 3 {
+				return nil, fail("pin wants '<name> <fx> <fy>', got %q", line)
+			}
+			fx, err1 := strconv.ParseFloat(fields[1], 64)
+			fy, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad pin offsets in %q", line)
+			}
+			pins[curMod.Name][fields[0]] = modPin{fx, fy}
+
+		case inNetwork && kw != "ENDNETWORK":
+			if len(fields) < 3 {
+				return nil, fail("net wants '<name> <mod>.<pin> ...', got %q", line)
+			}
+			net := Net{Name: fields[0]}
+			for _, ref := range fields[1:] {
+				dot := strings.LastIndexByte(ref, '.')
+				if dot <= 0 || dot == len(ref)-1 {
+					return nil, fail("bad pin reference %q", ref)
+				}
+				modName, pinName := ref[:dot], ref[dot+1:]
+				mi := c.ModuleIndex(modName)
+				if mi < 0 {
+					return nil, fail("net %q references unknown module %q", net.Name, modName)
+				}
+				mp, ok := pins[modName][pinName]
+				if !ok {
+					return nil, fail("net %q references unknown pin %q on module %q", net.Name, pinName, modName)
+				}
+				net.Pins = append(net.Pins, PinRef{Module: mi, FX: mp.fx, FY: mp.fy})
+			}
+			c.Nets = append(c.Nets, net)
+
+		case kw == "CIRCUIT":
+			if len(fields) != 2 {
+				return nil, fail("CIRCUIT wants a name")
+			}
+			c.Name = fields[1]
+
+		case kw == "MODULE":
+			if curMod != nil {
+				return nil, fail("nested MODULE")
+			}
+			if len(fields) != 2 {
+				return nil, fail("MODULE wants a name")
+			}
+			curMod = &Module{Name: fields[1]}
+			if pins[curMod.Name] == nil {
+				pins[curMod.Name] = make(map[string]modPin)
+			}
+
+		case kw == "TYPE":
+			if curMod == nil {
+				return nil, fail("TYPE outside MODULE")
+			}
+			if len(fields) != 2 {
+				return nil, fail("TYPE wants one argument")
+			}
+			switch strings.ToUpper(fields[1]) {
+			case "GENERAL":
+				curMod.Pad = false
+			case "PAD":
+				curMod.Pad = true
+			default:
+				return nil, fail("unknown module type %q", fields[1])
+			}
+
+		case kw == "DIMENSIONS":
+			if curMod == nil {
+				return nil, fail("DIMENSIONS outside MODULE")
+			}
+			if len(fields) != 3 {
+				return nil, fail("DIMENSIONS wants '<w> <h>'")
+			}
+			w, err1 := strconv.ParseFloat(fields[1], 64)
+			h, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad dimensions in %q", line)
+			}
+			curMod.W, curMod.H = w, h
+
+		case kw == "ASPECT":
+			if curMod == nil {
+				return nil, fail("ASPECT outside MODULE")
+			}
+			if len(fields) != 3 {
+				return nil, fail("ASPECT wants '<min> <max>'")
+			}
+			lo, err1 := strconv.ParseFloat(fields[1], 64)
+			hi, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad aspect range in %q", line)
+			}
+			curMod.MinAspect, curMod.MaxAspect = lo, hi
+
+		case kw == "IOLIST":
+			if curMod == nil {
+				return nil, fail("IOLIST outside MODULE")
+			}
+			inIOList = true
+
+		case kw == "ENDIOLIST":
+			inIOList = false
+
+		case kw == "ENDMODULE":
+			if curMod == nil {
+				return nil, fail("ENDMODULE without MODULE")
+			}
+			c.Modules = append(c.Modules, *curMod)
+			curMod = nil
+
+		case kw == "NETWORK":
+			inNetwork = true
+
+		case kw == "ENDNETWORK":
+			inNetwork = false
+
+		default:
+			return nil, fail("unknown statement %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: yal read: %w", err)
+	}
+	if curMod != nil {
+		return nil, fmt.Errorf("netlist: yal: unterminated MODULE %q", curMod.Name)
+	}
+	if inNetwork {
+		return nil, fmt.Errorf("netlist: yal: unterminated NETWORK")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SortNetsByName orders nets lexicographically; used to make
+// round-tripped circuits comparable.
+func (c *Circuit) SortNetsByName() {
+	sort.Slice(c.Nets, func(i, j int) bool { return c.Nets[i].Name < c.Nets[j].Name })
+}

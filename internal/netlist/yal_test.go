@@ -1,0 +1,133 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestYALRoundTrip(t *testing.T) {
+	c := sample()
+	var buf bytes.Buffer
+	if err := WriteYAL(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadYAL(&buf)
+	if err != nil {
+		t.Fatalf("ReadYAL: %v\n%s", err, buf.String())
+	}
+	if got.Name != c.Name {
+		t.Errorf("name = %q", got.Name)
+	}
+	if len(got.Modules) != len(c.Modules) {
+		t.Fatalf("modules = %d", len(got.Modules))
+	}
+	for i := range c.Modules {
+		if got.Modules[i] != c.Modules[i] {
+			t.Errorf("module %d = %+v, want %+v", i, got.Modules[i], c.Modules[i])
+		}
+	}
+	if len(got.Nets) != len(c.Nets) {
+		t.Fatalf("nets = %d", len(got.Nets))
+	}
+	for i := range c.Nets {
+		if got.Nets[i].Name != c.Nets[i].Name || len(got.Nets[i].Pins) != len(c.Nets[i].Pins) {
+			t.Fatalf("net %d mismatch", i)
+		}
+		for j := range c.Nets[i].Pins {
+			if got.Nets[i].Pins[j] != c.Nets[i].Pins[j] {
+				t.Errorf("net %d pin %d = %+v, want %+v", i, j, got.Nets[i].Pins[j], c.Nets[i].Pins[j])
+			}
+		}
+	}
+}
+
+func TestReadYALHandwritten(t *testing.T) {
+	src := `
+# a hand-written circuit
+CIRCUIT tiny;
+MODULE alpha;
+  TYPE GENERAL;
+  DIMENSIONS 120 80;
+  IOLIST;
+    in0 0 0.5;
+    out0 1 0.5;
+  ENDIOLIST;
+ENDMODULE;
+MODULE beta;
+  TYPE PAD;
+  DIMENSIONS 10 10;
+  IOLIST;
+    p 0.5 0.5;
+  ENDIOLIST;
+ENDMODULE;
+NETWORK;
+  clk alpha.out0 beta.p;
+ENDNETWORK;
+`
+	c, err := ReadYAL(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "tiny" || len(c.Modules) != 2 || len(c.Nets) != 1 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if !c.Modules[1].Pad {
+		t.Error("beta should be a pad")
+	}
+	if c.Nets[0].Pins[0] != (PinRef{Module: 0, FX: 1, FY: 0.5}) {
+		t.Errorf("pin = %+v", c.Nets[0].Pins[0])
+	}
+}
+
+func TestReadYALErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing semicolon", "CIRCUIT x\n"},
+		{"unknown statement", "FROB x;\n"},
+		{"nested module", "MODULE a;\nMODULE b;\n"},
+		{"type outside module", "TYPE GENERAL;\n"},
+		{"bad type", "MODULE a;\nTYPE WEIRD;\n"},
+		{"bad dimensions", "MODULE a;\nDIMENSIONS x y;\n"},
+		{"dimensions outside", "DIMENSIONS 1 2;\n"},
+		{"unterminated module", "MODULE a;\nTYPE GENERAL;\n"},
+		{"unknown module in net", "MODULE a;\nDIMENSIONS 1 2;\nIOLIST;\np 0 0;\nENDIOLIST;\nENDMODULE;\nNETWORK;\nn1 zz.p a.p;\nENDNETWORK;\n"},
+		{"unknown pin in net", "MODULE a;\nDIMENSIONS 1 2;\nIOLIST;\np 0 0;\nENDIOLIST;\nENDMODULE;\nNETWORK;\nn1 a.q a.p;\nENDNETWORK;\n"},
+		{"bad pin ref", "MODULE a;\nDIMENSIONS 1 2;\nIOLIST;\np 0 0;\nENDIOLIST;\nENDMODULE;\nNETWORK;\nn1 ap a.p;\nENDNETWORK;\n"},
+		{"unterminated network", "MODULE a;\nDIMENSIONS 1 2;\nIOLIST;\np 0 0;\nENDIOLIST;\nENDMODULE;\nNETWORK;\n"},
+		{"one-pin net fails validation", "MODULE a;\nDIMENSIONS 1 2;\nIOLIST;\np 0 0;\nENDIOLIST;\nENDMODULE;\nNETWORK;\nn1 a.p;\nENDNETWORK;\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadYAL(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestWriteYALRejectsInvalid(t *testing.T) {
+	c := sample()
+	c.Modules[0].W = -1
+	var buf bytes.Buffer
+	if err := WriteYAL(&buf, c); err == nil {
+		t.Error("expected error for invalid circuit")
+	}
+}
+
+func TestYALCommentsAndBlankLines(t *testing.T) {
+	src := "# leading comment\n\nCIRCUIT c; # trailing comment\nMODULE m;\nDIMENSIONS 5 5;\nIOLIST;\na 0 0;\nb 1 1;\nENDIOLIST;\nENDMODULE;\nNETWORK;\nn m.a m.b;\nENDNETWORK;\n"
+	c, err := ReadYAL(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "c" || len(c.Nets) != 1 {
+		t.Fatalf("parsed %+v", c)
+	}
+}
+
+func TestSortNetsByName(t *testing.T) {
+	c := sample()
+	c.Nets[0].Name, c.Nets[1].Name = "zz", "aa"
+	c.SortNetsByName()
+	if c.Nets[0].Name != "aa" {
+		t.Error("not sorted")
+	}
+}

@@ -1,0 +1,229 @@
+// Package nmath provides the numerical substrate for probabilistic
+// congestion analysis: log-space binomial coefficients (monotone route
+// counts overflow float64 well below realistic grid sizes), the normal
+// density used by the paper's Theorem 1 approximation, Simpson's rule
+// for its definite integrals, and streaming statistics for the
+// experiment harness.
+package nmath
+
+import "math"
+
+var negInf = math.Inf(-1)
+
+// lnInt returns ln(i) for positive i.
+func lnInt(i int) float64 { return math.Log(float64(i)) }
+
+// LogChoose returns ln C(n, k). It returns negative infinity when the
+// coefficient is zero (k < 0 or k > n) so that exp(LogChoose) is the
+// coefficient itself for every integer pair.
+func LogChoose(n, k int) float64 {
+	if k < 0 || n < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// Choose returns C(n, k) as a float64. It is exact whenever the value
+// is exactly representable (≤ 2⁵³) and best-effort (via Lgamma)
+// beyond; +Inf when the true value exceeds float64.
+func Choose(n, k int) float64 {
+	if v, ok := ChooseBig(n, k); ok && v <= 1<<53 {
+		return float64(v)
+	}
+	if k < 0 || n < 0 || k > n {
+		return 0
+	}
+	return math.Exp(LogChoose(n, k))
+}
+
+// ChooseBig returns C(n,k) exactly as a big product when it fits in
+// uint64, and ok=false otherwise. Used by ablation benchmarks comparing
+// exact integer path counting with the log-space pipeline.
+func ChooseBig(n, k int) (v uint64, ok bool) {
+	if k < 0 || n < 0 || k > n {
+		return 0, true
+	}
+	if k > n-k {
+		k = n - k
+	}
+	v = 1
+	for i := 1; i <= k; i++ {
+		// v = v * (n-k+i) / i, keeping the intermediate exact:
+		// v is always divisible by i after multiplying because
+		// C(n-k+i, i) is an integer.
+		m := uint64(n - k + i)
+		hi, lo := mul64(v, m)
+		if hi != 0 {
+			return 0, false
+		}
+		v = lo / uint64(i)
+	}
+	return v, true
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return
+}
+
+// NormalPDF returns the density of N(mu, sigma²) at x.
+func NormalPDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		return 0
+	}
+	z := (x - mu) / sigma
+	return math.Exp(-z*z/2) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// NormalCDF returns P(N(mu, sigma²) <= x).
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// Simpson integrates f over [a, b] with n subintervals (rounded up to
+// even) using composite Simpson's rule. The paper's Theorem 1 integrals
+// are evaluated this way "in constant time": n is fixed, independent of
+// the IR-grid size.
+func Simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if a == b {
+		return 0
+	}
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Welford accumulates streaming mean and variance.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		w.min = math.Min(w.min, x)
+		w.max = math.Max(w.max, x)
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 when n < 2).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples x and y. It returns 0 when the inputs are degenerate
+// (mismatched or short lengths, or zero variance).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	n := float64(len(x))
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// SlopeSimilarity compares the step-to-step slopes of two equally long
+// series, returning the mean absolute slope difference. Experiment 2
+// uses it to quantify "the slopes of curve A and B are more similar
+// than the slopes of curve A and C".
+func SlopeSimilarity(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := 1; i < len(a); i++ {
+		sum += math.Abs((a[i] - a[i-1]) - (b[i] - b[i-1]))
+	}
+	return sum / float64(len(a)-1)
+}

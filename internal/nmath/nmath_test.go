@@ -1,0 +1,291 @@
+package nmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChooseSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {4, 2, 6}, {5, 2, 10},
+		{10, 5, 252}, {12, 6, 924}, {30, 15, 155117520},
+		{5, -1, 0}, {5, 6, 0}, {-1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Choose(c.n, c.k); got != c.want {
+			t.Errorf("Choose(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestChoosePascal(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) in the exactly representable
+	// regime (all coefficients ≤ 2⁵³, i.e. n ≤ 56).
+	for n := 1; n <= 56; n++ {
+		for k := 1; k < n; k++ {
+			lhs := Choose(n, k)
+			rhs := Choose(n-1, k-1) + Choose(n-1, k)
+			if lhs != rhs {
+				t.Fatalf("Pascal fails at C(%d,%d): %g vs %g", n, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestChooseLargeMatchesLog(t *testing.T) {
+	for _, c := range [][2]int{{100, 3}, {200, 100}, {500, 250}, {1000, 17}} {
+		got := Choose(c[0], c[1])
+		want := math.Exp(LogChoose(c[0], c[1]))
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("Choose(%d,%d) = %g, want %g", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestLogChooseEdge(t *testing.T) {
+	if !math.IsInf(LogChoose(5, 6), -1) || !math.IsInf(LogChoose(5, -1), -1) {
+		t.Error("out-of-range LogChoose should be -Inf")
+	}
+	if LogChoose(7, 0) != 0 || LogChoose(7, 7) != 0 {
+		t.Error("LogChoose(n,0) and (n,n) should be 0")
+	}
+	// Symmetry.
+	if d := LogChoose(81, 30) - LogChoose(81, 51); math.Abs(d) > 1e-9 {
+		t.Errorf("symmetry violated: %g", d)
+	}
+}
+
+func TestLogChooseAgainstExact(t *testing.T) {
+	for n := 0; n <= 60; n++ {
+		for k := 0; k <= n; k++ {
+			want := math.Log(Choose(n, k))
+			got := LogChoose(n, k)
+			if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+				t.Fatalf("LogChoose(%d,%d) = %g, want %g", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestChooseBig(t *testing.T) {
+	v, ok := ChooseBig(62, 31)
+	if !ok || v != 465428353255261088 {
+		t.Errorf("ChooseBig(62,31) = %d,%v", v, ok)
+	}
+	if v, ok := ChooseBig(10, 3); !ok || v != 120 {
+		t.Errorf("ChooseBig(10,3) = %d,%v", v, ok)
+	}
+	if _, ok := ChooseBig(200, 100); ok {
+		t.Error("ChooseBig(200,100) should overflow")
+	}
+	if v, ok := ChooseBig(5, 9); !ok || v != 0 {
+		t.Errorf("ChooseBig out of range = %d,%v", v, ok)
+	}
+}
+
+func TestChooseBigMatchesChoose(t *testing.T) {
+	for n := 0; n <= 62; n++ {
+		for k := 0; k <= n; k++ {
+			v, ok := ChooseBig(n, k)
+			if !ok || v > 1<<53 {
+				continue
+			}
+			if float64(v) != Choose(n, k) {
+				t.Fatalf("ChooseBig(%d,%d) = %d, Choose = %g", n, k, v, Choose(n, k))
+			}
+		}
+	}
+}
+
+func TestLogFactMatchesLogChoose(t *testing.T) {
+	var lf LogFact
+	lf.Ensure(500)
+	for _, c := range [][2]int{{0, 0}, {1, 1}, {10, 4}, {62, 31}, {500, 137}, {500, 499}} {
+		got := lf.LogChoose(c[0], c[1])
+		want := LogChoose(c[0], c[1])
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Errorf("LogFact.LogChoose(%d,%d) = %g, want %g", c[0], c[1], got, want)
+		}
+	}
+	if !math.IsInf(lf.LogChoose(10, 11), -1) {
+		t.Error("invalid LogFact.LogChoose should be -Inf")
+	}
+}
+
+func TestLogFactEnsureIdempotent(t *testing.T) {
+	var lf LogFact
+	lf.Ensure(10)
+	v := lf.LogChoose(10, 5)
+	lf.Ensure(5) // shrinking request is a no-op
+	lf.Ensure(20)
+	if lf.LogChoose(10, 5) != v {
+		t.Error("Ensure changed existing values")
+	}
+}
+
+func TestNormalPDFIntegratesToOne(t *testing.T) {
+	got := Simpson(func(x float64) float64 { return NormalPDF(x, 3, 2) }, 3-8*2, 3+8*2, 2000)
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("∫pdf = %g, want 1", got)
+	}
+}
+
+func TestNormalPDFDegenerate(t *testing.T) {
+	if NormalPDF(1, 0, 0) != 0 || NormalPDF(1, 0, -2) != 0 {
+		t.Error("non-positive sigma should yield 0 density")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := NormalCDF(0, 0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(0) = %g", got)
+	}
+	if got := NormalCDF(1.96, 0, 1); math.Abs(got-0.9750021) > 1e-5 {
+		t.Errorf("CDF(1.96) = %g", got)
+	}
+	if NormalCDF(-1, 0, 0) != 0 || NormalCDF(1, 0, 0) != 1 {
+		t.Error("degenerate CDF should be a step")
+	}
+}
+
+func TestSimpsonPolynomialExact(t *testing.T) {
+	// Simpson is exact for cubics.
+	f := func(x float64) float64 { return 2*x*x*x - x*x + 4*x - 7 }
+	got := Simpson(f, -1, 3, 2)
+	want := func(x float64) float64 { return x*x*x*x/2 - x*x*x/3 + 2*x*x - 7*x }
+	w := want(3) - want(-1)
+	if math.Abs(got-w) > 1e-9 {
+		t.Errorf("Simpson cubic = %g, want %g", got, w)
+	}
+}
+
+func TestSimpsonOddNRoundsUp(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	a := Simpson(f, 0, 1, 3)
+	b := Simpson(f, 0, 1, 4)
+	if a != b {
+		t.Errorf("odd n should round up: %g vs %g", a, b)
+	}
+	if Simpson(f, 2, 2, 10) != 0 {
+		t.Error("zero-width integral should be 0")
+	}
+}
+
+func TestSimpsonConvergence(t *testing.T) {
+	f := math.Exp
+	want := math.E - 1
+	prev := math.Abs(Simpson(f, 0, 1, 2) - want)
+	for _, n := range []int{4, 8, 16} {
+		cur := math.Abs(Simpson(f, 0, 1, n) - want)
+		if cur >= prev {
+			t.Errorf("no convergence at n=%d: %g >= %g", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp broken")
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %g", w.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %g", w.Var())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 {
+		t.Error("empty Welford should be all zero")
+	}
+	w.Add(42)
+	if w.Mean() != 42 || w.Var() != 0 {
+		t.Errorf("single-sample: mean=%g var=%g", w.Mean(), w.Var())
+	}
+}
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(len(xs)-1)
+		scale := 1 + math.Abs(v)
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Var()-v)/scale < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %g", got)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, yneg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anti-correlation = %g", got)
+	}
+	if Pearson(x, []float64{1, 1, 1, 1, 1}) != 0 {
+		t.Error("zero-variance series should give 0")
+	}
+	if Pearson(x, x[:3]) != 0 {
+		t.Error("mismatched lengths should give 0")
+	}
+}
+
+func TestSlopeSimilarity(t *testing.T) {
+	a := []float64{0, 1, 2, 3}
+	b := []float64{5, 6, 7, 8} // same slopes, shifted
+	if got := SlopeSimilarity(a, b); got != 0 {
+		t.Errorf("shifted identical slopes = %g, want 0", got)
+	}
+	c := []float64{0, 2, 4, 6} // slope 2 vs 1
+	if got := SlopeSimilarity(a, c); math.Abs(got-1) > 1e-12 {
+		t.Errorf("got %g, want 1", got)
+	}
+	if !math.IsNaN(SlopeSimilarity(a, c[:2])) {
+		t.Error("mismatched lengths should give NaN")
+	}
+}

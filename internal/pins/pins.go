@@ -1,0 +1,57 @@
+// Package pins implements the intersection-to-intersection method used
+// by the paper (after Sham & Young [4]) to locate pins: once module
+// positions are known, every pin is snapped to the nearest intersection
+// of the base routing grid. Snapped pins guarantee that routing-range
+// boundaries — and therefore the cutting lines of the Irregular-Grid —
+// coincide with grid intersections, and that every net crosses whole
+// IR-grids ("the pins must be right on the cutting-lines", §4.2).
+package pins
+
+import (
+	"math"
+
+	"irgrid/internal/geom"
+)
+
+// Snapper snaps points to the intersections of a uniform grid anchored
+// at Origin with the given Pitch.
+type Snapper struct {
+	Origin geom.Pt
+	Pitch  float64
+}
+
+// New returns a Snapper for the chip's base grid. Pitch must be
+// positive.
+func New(chip geom.Rect, pitch float64) Snapper {
+	if pitch <= 0 {
+		panic("pins: pitch must be positive")
+	}
+	return Snapper{Origin: geom.Pt{X: chip.X1, Y: chip.Y1}, Pitch: pitch}
+}
+
+// Snap returns the grid intersection nearest to p.
+func (s Snapper) Snap(p geom.Pt) geom.Pt {
+	return geom.Pt{
+		X: s.Origin.X + math.Round((p.X-s.Origin.X)/s.Pitch)*s.Pitch,
+		Y: s.Origin.Y + math.Round((p.Y-s.Origin.Y)/s.Pitch)*s.Pitch,
+	}
+}
+
+// SnapClamped snaps p and then clamps the result into the chip, so
+// pins on modules at the chip boundary never land outside it.
+func (s Snapper) SnapClamped(p geom.Pt, chip geom.Rect) geom.Pt {
+	q := s.Snap(p)
+	q.X = math.Min(math.Max(q.X, chip.X1), chip.X2)
+	q.Y = math.Min(math.Max(q.Y, chip.Y1), chip.Y2)
+	return q
+}
+
+// CellIndex returns the integer grid-cell coordinates of the cell whose
+// lower-left intersection is the snap of p. Two pins snapped to the
+// same intersection share an index, which the congestion models use to
+// detect point routing ranges.
+func (s Snapper) CellIndex(p geom.Pt) (ix, iy int) {
+	q := s.Snap(p)
+	return int(math.Round((q.X - s.Origin.X) / s.Pitch)),
+		int(math.Round((q.Y - s.Origin.Y) / s.Pitch))
+}

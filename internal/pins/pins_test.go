@@ -1,0 +1,113 @@
+package pins
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"irgrid/internal/geom"
+)
+
+var chip = geom.Rect{X1: 0, Y1: 0, X2: 300, Y2: 210}
+
+func TestSnapBasics(t *testing.T) {
+	s := New(chip, 30)
+	cases := []struct {
+		in, want geom.Pt
+	}{
+		{geom.Pt{X: 0, Y: 0}, geom.Pt{X: 0, Y: 0}},
+		{geom.Pt{X: 14, Y: 14}, geom.Pt{X: 0, Y: 0}},
+		{geom.Pt{X: 16, Y: 16}, geom.Pt{X: 30, Y: 30}},
+		{geom.Pt{X: 45, Y: 75}, geom.Pt{X: 60, Y: 90}}, // .5 rounds away from zero
+		{geom.Pt{X: 299, Y: 209}, geom.Pt{X: 300, Y: 210}},
+	}
+	for _, c := range cases {
+		if got := s.Snap(c.in); got != c.want {
+			t.Errorf("Snap(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSnapNonZeroOrigin(t *testing.T) {
+	c2 := geom.Rect{X1: 7, Y1: 11, X2: 107, Y2: 111}
+	s := New(c2, 10)
+	got := s.Snap(geom.Pt{X: 20, Y: 20})
+	// Nearest intersections are 7+10k, 11+10k: (17, 21).
+	if got != (geom.Pt{X: 17, Y: 21}) {
+		t.Errorf("Snap = %v", got)
+	}
+}
+
+func TestSnapClamped(t *testing.T) {
+	s := New(chip, 30)
+	got := s.SnapClamped(geom.Pt{X: 299, Y: 209}, chip)
+	if got != (geom.Pt{X: 300, Y: 210}) {
+		t.Errorf("got %v", got)
+	}
+	// A point outside the chip clamps back in.
+	got = s.SnapClamped(geom.Pt{X: 400, Y: -5}, chip)
+	if got != (geom.Pt{X: 300, Y: 0}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCellIndex(t *testing.T) {
+	s := New(chip, 30)
+	ix, iy := s.CellIndex(geom.Pt{X: 61, Y: 89})
+	if ix != 2 || iy != 3 {
+		t.Errorf("CellIndex = %d,%d", ix, iy)
+	}
+	ix, iy = s.CellIndex(geom.Pt{X: 0, Y: 0})
+	if ix != 0 || iy != 0 {
+		t.Errorf("CellIndex origin = %d,%d", ix, iy)
+	}
+}
+
+func TestSnapIdempotent(t *testing.T) {
+	s := New(chip, 30)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.Abs(x) > 1e7 || math.Abs(y) > 1e7 {
+			return true
+		}
+		p := s.Snap(geom.Pt{X: x, Y: y})
+		return s.Snap(p) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapDistanceBound(t *testing.T) {
+	s := New(chip, 30)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 1000; i++ {
+		p := geom.Pt{X: rng.Float64() * 300, Y: rng.Float64() * 210}
+		q := s.Snap(p)
+		if math.Abs(q.X-p.X) > 15+1e-9 || math.Abs(q.Y-p.Y) > 15+1e-9 {
+			t.Fatalf("Snap(%v) = %v moved more than pitch/2", p, q)
+		}
+	}
+}
+
+func TestSnapOnIntersection(t *testing.T) {
+	s := New(chip, 30)
+	// Snapped points lie exactly on pitch multiples.
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 1000; i++ {
+		p := geom.Pt{X: rng.Float64() * 300, Y: rng.Float64() * 210}
+		q := s.Snap(p)
+		if math.Mod(q.X, 30) != 0 || math.Mod(q.Y, 30) != 0 {
+			t.Fatalf("Snap(%v) = %v not on intersection", p, q)
+		}
+	}
+}
+
+func TestNewPanicsOnBadPitch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(chip, 0)
+}

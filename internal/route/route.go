@@ -1,0 +1,431 @@
+// Package route implements a capacity-aware grid global router. It
+// plays two roles in the reproduction:
+//
+//  1. It is the "global router based" congestion-model family from the
+//     paper's taxonomy (§1, citing Wang & Sarrafzadeh, ASP-DAC'00):
+//     route the nets on a coarse grid and read congestion off the edge
+//     utilizations (see internal/baseline).
+//  2. It provides post-routing ground truth for validating the
+//     probabilistic models: actual edge overflow after routing is what
+//     the estimators try to predict (the validation experiment in
+//     internal/exp).
+//
+// The router models the chip as a 2-D array of tiles; adjacent tiles
+// are joined by edges with a fixed track capacity. Each 2-pin net is
+// routed by congestion-aware Dijkstra search (history + present cost,
+// PathFinder-style), and a bounded rip-up-and-reroute loop renegotiates
+// overflowing edges.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// Config parameterizes the router.
+type Config struct {
+	// Pitch is the tile size in µm (tiles are Pitch×Pitch squares).
+	Pitch float64
+	// Capacity is the number of tracks per tile edge (default 8).
+	Capacity int
+	// MaxIterations bounds the rip-up-and-reroute negotiation loop
+	// (default 8; 1 = route once, no renegotiation).
+	MaxIterations int
+	// HistoryWeight scales the accumulated-overflow history cost
+	// (default 1.0).
+	HistoryWeight float64
+	// Monotone restricts every route to monotone (shortest Manhattan)
+	// paths inside the net's bounding box, matching the probabilistic
+	// models' routing assumption. When false, routes may detour
+	// anywhere on the chip.
+	Monotone bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 8
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 8
+	}
+	if c.HistoryWeight <= 0 {
+		c.HistoryWeight = 1
+	}
+	return c
+}
+
+// Grid is the routing graph: Cols×Rows tiles with horizontal edges
+// (between x and x+1) and vertical edges (between y and y+1).
+type Grid struct {
+	Chip       geom.Rect
+	Pitch      float64
+	Cols, Rows int
+	Capacity   int
+
+	// usageH[y*(Cols-1)+x] is the number of nets on the edge between
+	// tile (x,y) and (x+1,y); usageV[y*Cols+x] between (x,y) and
+	// (x,y+1).
+	usageH []int
+	usageV []int
+	// historyH/V accumulate past overflow for negotiated congestion.
+	historyH []float64
+	historyV []float64
+}
+
+// NewGrid builds an empty routing grid over the chip.
+func NewGrid(chip geom.Rect, pitch float64, capacity int) *Grid {
+	if pitch <= 0 {
+		panic("route: pitch must be positive")
+	}
+	cols := int(math.Ceil(chip.W() / pitch))
+	rows := int(math.Ceil(chip.H() / pitch))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{
+		Chip: chip, Pitch: pitch, Cols: cols, Rows: rows, Capacity: capacity,
+		usageH:   make([]int, (cols-1)*rows),
+		usageV:   make([]int, cols*(rows-1)),
+		historyH: make([]float64, (cols-1)*rows),
+		historyV: make([]float64, cols*(rows-1)),
+	}
+}
+
+// Tile returns the tile coordinates of point p, clamped to the grid.
+func (g *Grid) Tile(p geom.Pt) (int, int) {
+	x := int((p.X - g.Chip.X1) / g.Pitch)
+	y := int((p.Y - g.Chip.Y1) / g.Pitch)
+	if x < 0 {
+		x = 0
+	}
+	if x >= g.Cols {
+		x = g.Cols - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= g.Rows {
+		y = g.Rows - 1
+	}
+	return x, y
+}
+
+// hIndex addresses the horizontal edge leaving tile (x,y) rightwards.
+func (g *Grid) hIndex(x, y int) int { return y*(g.Cols-1) + x }
+
+// vIndex addresses the vertical edge leaving tile (x,y) upwards.
+func (g *Grid) vIndex(x, y int) int { return y*g.Cols + x }
+
+// UsageH returns the usage of the horizontal edge (x,y)-(x+1,y).
+func (g *Grid) UsageH(x, y int) int { return g.usageH[g.hIndex(x, y)] }
+
+// UsageV returns the usage of the vertical edge (x,y)-(x,y+1).
+func (g *Grid) UsageV(x, y int) int { return g.usageV[g.vIndex(x, y)] }
+
+// Overflow returns the total overflow (usage beyond capacity summed
+// over all edges) and the worst single-edge overflow.
+func (g *Grid) Overflow() (total, max int) {
+	for _, u := range g.usageH {
+		if o := u - g.Capacity; o > 0 {
+			total += o
+			if o > max {
+				max = o
+			}
+		}
+	}
+	for _, u := range g.usageV {
+		if o := u - g.Capacity; o > 0 {
+			total += o
+			if o > max {
+				max = o
+			}
+		}
+	}
+	return total, max
+}
+
+// EdgeUtilizations returns every edge's usage/capacity ratio, the raw
+// signal the router-based congestion estimator aggregates.
+func (g *Grid) EdgeUtilizations() []float64 {
+	out := make([]float64, 0, len(g.usageH)+len(g.usageV))
+	for _, u := range g.usageH {
+		out = append(out, float64(u)/float64(g.Capacity))
+	}
+	for _, u := range g.usageV {
+		out = append(out, float64(u)/float64(g.Capacity))
+	}
+	return out
+}
+
+// Route is one net's realized path: a sequence of tile coordinates.
+type Route struct {
+	Net   int // index into the input net slice
+	Tiles [][2]int
+}
+
+// Wirelength returns the route length in µm (tile steps × pitch).
+func (r Route) Wirelength(pitch float64) float64 {
+	if len(r.Tiles) == 0 {
+		return 0
+	}
+	return float64(len(r.Tiles)-1) * pitch
+}
+
+// Result is the outcome of routing a net set.
+type Result struct {
+	Grid       *Grid
+	Routes     []Route
+	Overflow   int // total edge overflow after the final iteration
+	MaxOver    int // worst single-edge overflow
+	Iterations int // negotiation iterations executed
+	Failed     int // nets with no legal path (never happens on a connected grid)
+}
+
+// Router routes 2-pin nets on a grid.
+type Router struct {
+	cfg Config
+}
+
+// New returns a Router with the given configuration.
+func New(cfg Config) *Router {
+	return &Router{cfg: cfg.withDefaults()}
+}
+
+// RouteNets routes all nets over the chip and returns the final grid
+// state, per-net routes and overflow metrics. Nets are initially
+// ordered by half-perimeter (short first — they have the least routing
+// freedom per the monotone assumption); subsequent negotiation
+// iterations re-route every net against history costs.
+func (r *Router) RouteNets(chip geom.Rect, nets []netlist.TwoPin) (*Result, error) {
+	if r.cfg.Pitch <= 0 {
+		return nil, fmt.Errorf("route: pitch must be positive, got %g", r.cfg.Pitch)
+	}
+	g := NewGrid(chip, r.cfg.Pitch, r.cfg.Capacity)
+	res := &Result{Grid: g, Routes: make([]Route, len(nets))}
+
+	order := make([]int, len(nets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return nets[order[a]].Manhattan() < nets[order[b]].Manhattan()
+	})
+
+	for iter := 0; iter < r.cfg.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		for _, ni := range order {
+			// Rip up the previous route (no-op in iteration 0).
+			r.ripUp(g, res.Routes[ni])
+			rt := r.routeOne(g, nets[ni])
+			rt.Net = ni
+			res.Routes[ni] = rt
+			r.commit(g, rt)
+		}
+		total, max := g.Overflow()
+		res.Overflow, res.MaxOver = total, max
+		if total == 0 {
+			break
+		}
+		// Accumulate history on overflowing edges for the next round.
+		for i, u := range g.usageH {
+			if u > g.Capacity {
+				g.historyH[i] += float64(u - g.Capacity)
+			}
+		}
+		for i, u := range g.usageV {
+			if u > g.Capacity {
+				g.historyV[i] += float64(u - g.Capacity)
+			}
+		}
+	}
+	return res, nil
+}
+
+func (r *Router) ripUp(g *Grid, rt Route) {
+	for i := 1; i < len(rt.Tiles); i++ {
+		a, b := rt.Tiles[i-1], rt.Tiles[i]
+		switch {
+		case a[0] != b[0]: // horizontal step
+			x := minInt(a[0], b[0])
+			g.usageH[g.hIndex(x, a[1])]--
+		default: // vertical step
+			y := minInt(a[1], b[1])
+			g.usageV[g.vIndex(a[0], y)]--
+		}
+	}
+}
+
+func (r *Router) commit(g *Grid, rt Route) {
+	for i := 1; i < len(rt.Tiles); i++ {
+		a, b := rt.Tiles[i-1], rt.Tiles[i]
+		switch {
+		case a[0] != b[0]:
+			x := minInt(a[0], b[0])
+			g.usageH[g.hIndex(x, a[1])]++
+		default:
+			y := minInt(a[1], b[1])
+			g.usageV[g.vIndex(a[0], y)]++
+		}
+	}
+}
+
+// edgeCost is the negotiated cost of adding one net to an edge with
+// the given usage and history.
+func (r *Router) edgeCost(usage int, history float64, capacity int) float64 {
+	cost := 1.0
+	if usage >= capacity {
+		// Quadratic present-congestion penalty pushes nets off full
+		// edges without making them strictly illegal.
+		over := float64(usage-capacity) + 1
+		cost += over * over * 4
+	}
+	return cost + r.cfg.HistoryWeight*history
+}
+
+// routeOne finds a minimum-negotiated-cost path for the net.
+func (r *Router) routeOne(g *Grid, n netlist.TwoPin) Route {
+	sx, sy := g.Tile(n.A)
+	tx, ty := g.Tile(n.B)
+	if sx == tx && sy == ty {
+		return Route{Tiles: [][2]int{{sx, sy}}}
+	}
+
+	// Search window: the net's bounding box for monotone mode, the
+	// whole grid otherwise.
+	loX, hiX, loY, hiY := 0, g.Cols-1, 0, g.Rows-1
+	if r.cfg.Monotone {
+		loX, hiX = minInt(sx, tx), maxInt(sx, tx)
+		loY, hiY = minInt(sy, ty), maxInt(sy, ty)
+	}
+
+	w := hiX - loX + 1
+	h := hiY - loY + 1
+	idx := func(x, y int) int { return (y-loY)*w + (x - loX) }
+	dist := make([]float64, w*h)
+	prev := make([]int32, w*h)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[idx(sx, sy)] = 0
+
+	pq := &costHeap{{cost: 0, x: int16(sx), y: int16(sy)}}
+	dirDX := [4]int{1, -1, 0, 0}
+	dirDY := [4]int{0, 0, 1, -1}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(costNode)
+		cx, cy := int(cur.x), int(cur.y)
+		if cur.cost > dist[idx(cx, cy)] {
+			continue
+		}
+		if cx == tx && cy == ty {
+			break
+		}
+		for d := 0; d < 4; d++ {
+			nx, ny := cx+dirDX[d], cy+dirDY[d]
+			if nx < loX || nx > hiX || ny < loY || ny > hiY {
+				continue
+			}
+			if r.cfg.Monotone && !monotoneStep(sx, sy, tx, ty, cx, cy, nx, ny) {
+				continue
+			}
+			var c float64
+			if d < 2 { // horizontal edge
+				x := minInt(cx, nx)
+				ei := g.hIndex(x, cy)
+				c = r.edgeCost(g.usageH[ei], g.historyH[ei], g.Capacity)
+			} else {
+				y := minInt(cy, ny)
+				ei := g.vIndex(cx, y)
+				c = r.edgeCost(g.usageV[ei], g.historyV[ei], g.Capacity)
+			}
+			nd := cur.cost + c
+			if nd < dist[idx(nx, ny)] {
+				dist[idx(nx, ny)] = nd
+				prev[idx(nx, ny)] = int32(idx(cx, cy))
+				heap.Push(pq, costNode{cost: nd, x: int16(nx), y: int16(ny)})
+			}
+		}
+	}
+
+	// Reconstruct.
+	var tiles [][2]int
+	at := idx(tx, ty)
+	if math.IsInf(dist[at], 1) {
+		return Route{} // unreachable (cannot happen on a connected window)
+	}
+	for at >= 0 {
+		x := at%w + loX
+		y := at/w + loY
+		tiles = append(tiles, [2]int{x, y})
+		at = int(prev[at])
+	}
+	// Reverse into source→sink order.
+	for l, rr := 0, len(tiles)-1; l < rr; l, rr = l+1, rr-1 {
+		tiles[l], tiles[rr] = tiles[rr], tiles[l]
+	}
+	return Route{Tiles: tiles}
+}
+
+// monotoneStep reports whether moving from (cx,cy) to (nx,ny) keeps the
+// path monotone from (sx,sy) towards (tx,ty).
+func monotoneStep(sx, sy, tx, ty, cx, cy, nx, ny int) bool {
+	if nx != cx {
+		if tx >= sx && nx < cx {
+			return false
+		}
+		if tx <= sx && nx > cx {
+			return false
+		}
+	}
+	if ny != cy {
+		if ty >= sy && ny < cy {
+			return false
+		}
+		if ty <= sy && ny > cy {
+			return false
+		}
+	}
+	return true
+}
+
+type costNode struct {
+	cost float64
+	x, y int16
+}
+
+type costHeap []costNode
+
+func (h costHeap) Len() int            { return len(h) }
+func (h costHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h costHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *costHeap) Push(x interface{}) { *h = append(*h, x.(costNode)) }
+func (h *costHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

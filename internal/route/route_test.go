@@ -1,0 +1,269 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+var chip = geom.Rect{X1: 0, Y1: 0, X2: 300, Y2: 300}
+
+func pt(x, y float64) geom.Pt { return geom.Pt{X: x, Y: y} }
+
+// checkRoute validates connectivity and endpoint correctness.
+func checkRoute(t *testing.T, g *Grid, n netlist.TwoPin, rt Route) {
+	t.Helper()
+	if len(rt.Tiles) == 0 {
+		t.Fatal("empty route")
+	}
+	sx, sy := g.Tile(n.A)
+	tx, ty := g.Tile(n.B)
+	first, last := rt.Tiles[0], rt.Tiles[len(rt.Tiles)-1]
+	if first != [2]int{sx, sy} || last != [2]int{tx, ty} {
+		t.Fatalf("route endpoints %v..%v, want (%d,%d)..(%d,%d)", first, last, sx, sy, tx, ty)
+	}
+	for i := 1; i < len(rt.Tiles); i++ {
+		dx := rt.Tiles[i][0] - rt.Tiles[i-1][0]
+		dy := rt.Tiles[i][1] - rt.Tiles[i-1][1]
+		if abs(dx)+abs(dy) != 1 {
+			t.Fatalf("route step %v -> %v is not a unit move", rt.Tiles[i-1], rt.Tiles[i])
+		}
+		if rt.Tiles[i][0] < 0 || rt.Tiles[i][0] >= g.Cols ||
+			rt.Tiles[i][1] < 0 || rt.Tiles[i][1] >= g.Rows {
+			t.Fatalf("route leaves the grid at %v", rt.Tiles[i])
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestRouteSingleNet(t *testing.T) {
+	r := New(Config{Pitch: 30})
+	nets := []netlist.TwoPin{{A: pt(15, 15), B: pt(255, 195)}}
+	res, err := r.RouteNets(chip, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoute(t, res.Grid, nets[0], res.Routes[0])
+	if res.Overflow != 0 {
+		t.Errorf("single net overflowed: %d", res.Overflow)
+	}
+	// An uncongested route is shortest: Manhattan tile distance + 1
+	// tiles.
+	want := 8 + 6 + 1 // |dx|=8, |dy|=6 tiles
+	if len(res.Routes[0].Tiles) != want {
+		t.Errorf("route length %d tiles, want %d", len(res.Routes[0].Tiles), want)
+	}
+}
+
+func TestRouteSameTileNet(t *testing.T) {
+	r := New(Config{Pitch: 30})
+	nets := []netlist.TwoPin{{A: pt(15, 15), B: pt(20, 20)}}
+	res, err := r.RouteNets(chip, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes[0].Tiles) != 1 {
+		t.Errorf("same-tile net should have a 1-tile route, got %v", res.Routes[0].Tiles)
+	}
+	if res.Routes[0].Wirelength(30) != 0 {
+		t.Error("same-tile net should have zero wirelength")
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	r := New(Config{Pitch: 30, Capacity: 2})
+	nets := []netlist.TwoPin{
+		{A: pt(15, 15), B: pt(285, 15)},
+		{A: pt(15, 45), B: pt(285, 45)},
+	}
+	res, err := r.RouteNets(chip, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total edge usage equals total route steps.
+	var usage int
+	for y := 0; y < res.Grid.Rows; y++ {
+		for x := 0; x < res.Grid.Cols-1; x++ {
+			usage += res.Grid.UsageH(x, y)
+		}
+	}
+	for y := 0; y < res.Grid.Rows-1; y++ {
+		for x := 0; x < res.Grid.Cols; x++ {
+			usage += res.Grid.UsageV(x, y)
+		}
+	}
+	var steps int
+	for _, rt := range res.Routes {
+		steps += len(rt.Tiles) - 1
+	}
+	if usage != steps {
+		t.Errorf("edge usage %d != route steps %d", usage, steps)
+	}
+}
+
+func TestCongestionAvoidance(t *testing.T) {
+	// Capacity 1 and three nets sharing a row: negotiation must spread
+	// them onto different rows, ending with zero overflow.
+	r := New(Config{Pitch: 30, Capacity: 1, MaxIterations: 10})
+	nets := []netlist.TwoPin{
+		{A: pt(15, 135), B: pt(285, 135)},
+		{A: pt(15, 135), B: pt(285, 135)},
+		{A: pt(15, 135), B: pt(285, 135)},
+	}
+	res, err := r.RouteNets(chip, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overflow != 0 {
+		t.Errorf("negotiation left overflow %d after %d iterations", res.Overflow, res.Iterations)
+	}
+	for i, rt := range res.Routes {
+		checkRoute(t, res.Grid, nets[i], rt)
+	}
+}
+
+func TestMonotoneModeStaysInBBox(t *testing.T) {
+	r := New(Config{Pitch: 30, Capacity: 1, MaxIterations: 4, Monotone: true})
+	rng := rand.New(rand.NewSource(3))
+	var nets []netlist.TwoPin
+	for i := 0; i < 20; i++ {
+		nets = append(nets, netlist.TwoPin{
+			A: pt(float64(rng.Intn(10))*30+15, float64(rng.Intn(10))*30+15),
+			B: pt(float64(rng.Intn(10))*30+15, float64(rng.Intn(10))*30+15),
+		})
+	}
+	res, err := r.RouteNets(chip, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rt := range res.Routes {
+		checkRoute(t, res.Grid, nets[i], rt)
+		g := res.Grid
+		sx, sy := g.Tile(nets[i].A)
+		tx, ty := g.Tile(nets[i].B)
+		loX, hiX := minInt(sx, tx), maxInt(sx, tx)
+		loY, hiY := minInt(sy, ty), maxInt(sy, ty)
+		// Monotone routes are shortest and inside the bbox.
+		want := hiX - loX + hiY - loY + 1
+		if len(rt.Tiles) != want {
+			t.Fatalf("net %d: monotone route has %d tiles, want %d", i, len(rt.Tiles), want)
+		}
+		for _, tile := range rt.Tiles {
+			if tile[0] < loX || tile[0] > hiX || tile[1] < loY || tile[1] > hiY {
+				t.Fatalf("net %d: tile %v outside bbox", i, tile)
+			}
+		}
+	}
+}
+
+func TestDetourUnderCongestion(t *testing.T) {
+	// Non-monotone mode: with a saturated straight corridor, a net may
+	// detour outside its bbox; its route is then longer than Manhattan.
+	r := New(Config{Pitch: 30, Capacity: 1, MaxIterations: 6})
+	var nets []netlist.TwoPin
+	for i := 0; i < 4; i++ {
+		nets = append(nets, netlist.TwoPin{A: pt(15, 135), B: pt(285, 135)})
+	}
+	res, err := r.RouteNets(chip, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longer := 0
+	for _, rt := range res.Routes {
+		if len(rt.Tiles) > 10 { // Manhattan would be 10 tiles
+			longer++
+		}
+	}
+	if longer == 0 {
+		t.Error("expected at least one detoured net")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	mk := func() *Result {
+		r := New(Config{Pitch: 30, Capacity: 2, MaxIterations: 5})
+		rng := rand.New(rand.NewSource(9))
+		var nets []netlist.TwoPin
+		for i := 0; i < 30; i++ {
+			nets = append(nets, netlist.TwoPin{
+				A: pt(rng.Float64()*300, rng.Float64()*300),
+				B: pt(rng.Float64()*300, rng.Float64()*300),
+			})
+		}
+		res, err := r.RouteNets(chip, nets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a.Overflow != b.Overflow || a.Iterations != b.Iterations {
+		t.Error("routing is not deterministic")
+	}
+	for i := range a.Routes {
+		if len(a.Routes[i].Tiles) != len(b.Routes[i].Tiles) {
+			t.Fatalf("net %d route lengths differ", i)
+		}
+	}
+}
+
+func TestOverflowMetrics(t *testing.T) {
+	g := NewGrid(chip, 30, 1)
+	g.usageH[g.hIndex(2, 3)] = 4 // overflow 3
+	g.usageV[g.vIndex(5, 5)] = 2 // overflow 1
+	total, max := g.Overflow()
+	if total != 4 || max != 3 {
+		t.Errorf("overflow = %d/%d, want 4/3", total, max)
+	}
+}
+
+func TestEdgeUtilizations(t *testing.T) {
+	g := NewGrid(chip, 100, 4)
+	if g.Cols != 3 || g.Rows != 3 {
+		t.Fatalf("grid %dx%d", g.Cols, g.Rows)
+	}
+	g.usageH[g.hIndex(0, 0)] = 2
+	utils := g.EdgeUtilizations()
+	wantLen := (g.Cols-1)*g.Rows + g.Cols*(g.Rows-1)
+	if len(utils) != wantLen {
+		t.Fatalf("%d utilizations, want %d", len(utils), wantLen)
+	}
+	if utils[0] != 0.5 {
+		t.Errorf("util[0] = %g, want 0.5", utils[0])
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	r := New(Config{})
+	if _, err := r.RouteNets(chip, nil); err == nil {
+		t.Error("zero pitch accepted")
+	}
+}
+
+func TestRipUpRestoresUsage(t *testing.T) {
+	r := New(Config{Pitch: 30, Capacity: 8})
+	nets := []netlist.TwoPin{{A: pt(15, 15), B: pt(255, 255)}}
+	res, err := r.RouteNets(chip, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ripUp(res.Grid, res.Routes[0])
+	for _, u := range res.Grid.usageH {
+		if u != 0 {
+			t.Fatal("rip-up left horizontal usage")
+		}
+	}
+	for _, u := range res.Grid.usageV {
+		if u != 0 {
+			t.Fatal("rip-up left vertical usage")
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package seqpair implements the sequence-pair floorplan
+// representation (Murata et al., ICCAD'95): a pair of module
+// permutations (Γ⁺, Γ⁻) encodes the relative placement of arbitrary
+// (non-slicing) packings — module a is left of b when a precedes b in
+// both sequences, and below b when a follows b in Γ⁺ but precedes it
+// in Γ⁻. Packing evaluates longest paths in the implied horizontal and
+// vertical constraint graphs.
+//
+// The paper's floorplanner is slicing (Wong–Liu); this package extends
+// the reproduction with the other classic representation so the
+// congestion models can be exercised on general packings too.
+package seqpair
+
+import (
+	"fmt"
+	"math/rand"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// Pair is a sequence-pair state: two permutations of the module
+// indices plus per-module rotation flags.
+type Pair struct {
+	P1, P2 []int  // Γ⁺ and Γ⁻
+	Rot    []bool // 90° rotation per module
+}
+
+// New returns the identity sequence pair for n modules.
+func New(n int) *Pair {
+	if n < 1 {
+		panic("seqpair: need at least one module")
+	}
+	p := &Pair{P1: make([]int, n), P2: make([]int, n), Rot: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		p.P1[i] = i
+		p.P2[i] = i
+	}
+	return p
+}
+
+// Clone returns a deep copy.
+func (p *Pair) Clone() *Pair {
+	return &Pair{
+		P1:  append([]int(nil), p.P1...),
+		P2:  append([]int(nil), p.P2...),
+		Rot: append([]bool(nil), p.Rot...),
+	}
+}
+
+// Validate checks that both sequences are permutations of 0..n-1.
+func (p *Pair) Validate() error {
+	n := len(p.P1)
+	if len(p.P2) != n || len(p.Rot) != n {
+		return fmt.Errorf("seqpair: length mismatch %d/%d/%d", len(p.P1), len(p.P2), len(p.Rot))
+	}
+	for _, s := range [][]int{p.P1, p.P2} {
+		seen := make([]bool, n)
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return fmt.Errorf("seqpair: not a permutation: %v", s)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// Perturb applies one random move: swap two modules in Γ⁺ only, swap
+// in both sequences, or toggle a rotation.
+func (p *Pair) Perturb(rng *rand.Rand, allowRotate bool) {
+	n := len(p.P1)
+	if n < 2 {
+		return
+	}
+	move := rng.Intn(3)
+	if move == 2 && !allowRotate {
+		move = rng.Intn(2)
+	}
+	switch move {
+	case 0: // swap in Γ⁺
+		i, j := rng.Intn(n), rng.Intn(n)
+		p.P1[i], p.P1[j] = p.P1[j], p.P1[i]
+	case 1: // swap the same two modules in both sequences
+		a, b := rng.Intn(n), rng.Intn(n)
+		swapVal(p.P1, a, b)
+		swapVal(p.P2, a, b)
+	default: // rotate
+		i := rng.Intn(n)
+		p.Rot[i] = !p.Rot[i]
+	}
+}
+
+// swapVal exchanges the positions of values a and b within the
+// permutation.
+func swapVal(perm []int, a, b int) {
+	var ia, ib int
+	for i, v := range perm {
+		if v == a {
+			ia = i
+		}
+		if v == b {
+			ib = i
+		}
+	}
+	perm[ia], perm[ib] = perm[ib], perm[ia]
+}
+
+// Packer evaluates sequence pairs for a fixed module list. Soft
+// modules are packed at their nominal dimensions (aspect optimization
+// under sequence-pair constraints needs an LP and is out of scope);
+// use the slicing representation for soft-module floorplanning.
+type Packer struct {
+	mods []netlist.Module
+	// match[i] is the Γ⁻ position of the module at Γ⁺ position i.
+	posP1, posP2 []int
+	xs, ys       []float64
+}
+
+// NewPacker returns a Packer for the module list.
+func NewPacker(mods []netlist.Module) *Packer {
+	n := len(mods)
+	return &Packer{
+		mods:  mods,
+		posP1: make([]int, n),
+		posP2: make([]int, n),
+		xs:    make([]float64, n),
+		ys:    make([]float64, n),
+	}
+}
+
+// Pack computes the placement implied by the pair: module b goes right
+// of a when a precedes b in both sequences, above when a follows in Γ⁺
+// but precedes in Γ⁻. Positions are the longest-path distances in the
+// constraint graphs, evaluated in Γ⁻ order (a topological order for
+// both relations). O(n²).
+func (p *Packer) Pack(sp *Pair) (*netlist.Placement, error) {
+	n := len(p.mods)
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sp.P1) != n {
+		return nil, fmt.Errorf("seqpair: pair over %d modules, packer has %d", len(sp.P1), n)
+	}
+	for i, v := range sp.P1 {
+		p.posP1[v] = i
+	}
+	for i, v := range sp.P2 {
+		p.posP2[v] = i
+	}
+	dims := func(m int) (w, h float64) {
+		w, h = p.mods[m].W, p.mods[m].H
+		if sp.Rot[m] && !p.mods[m].Pad {
+			w, h = h, w
+		}
+		return
+	}
+
+	for i := range p.xs {
+		p.xs[i], p.ys[i] = 0, 0
+	}
+	// Γ⁻ order is topological for both "left of" and "below".
+	for i := 0; i < n; i++ {
+		b := sp.P2[i]
+		for j := 0; j < i; j++ {
+			a := sp.P2[j]
+			wa, ha := dims(a)
+			if p.posP1[a] < p.posP1[b] {
+				// a left of b
+				if x := p.xs[a] + wa; x > p.xs[b] {
+					p.xs[b] = x
+				}
+			} else {
+				// a below b (posP1[a] > posP1[b], posP2[a] < posP2[b])
+				if y := p.ys[a] + ha; y > p.ys[b] {
+					p.ys[b] = y
+				}
+			}
+		}
+	}
+
+	pl := &netlist.Placement{
+		Rects:   make([]geom.Rect, n),
+		Rotated: make([]bool, n),
+	}
+	var maxX, maxY float64
+	for m := 0; m < n; m++ {
+		w, h := dims(m)
+		pl.Rects[m] = geom.Rect{X1: p.xs[m], Y1: p.ys[m], X2: p.xs[m] + w, Y2: p.ys[m] + h}
+		pl.Rotated[m] = sp.Rot[m] && !p.mods[m].Pad
+		if pl.Rects[m].X2 > maxX {
+			maxX = pl.Rects[m].X2
+		}
+		if pl.Rects[m].Y2 > maxY {
+			maxY = pl.Rects[m].Y2
+		}
+	}
+	pl.Chip = geom.Rect{X1: 0, Y1: 0, X2: maxX, Y2: maxY}
+	return pl, nil
+}

@@ -1,0 +1,208 @@
+package seqpair
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+func mods(dims ...[2]float64) []netlist.Module {
+	out := make([]netlist.Module, len(dims))
+	for i, d := range dims {
+		out[i] = netlist.Module{Name: string(rune('a' + i)), W: d[0], H: d[1]}
+	}
+	return out
+}
+
+func checkNoOverlap(t *testing.T, pl *netlist.Placement) {
+	t.Helper()
+	shrink := func(r geom.Rect) geom.Rect {
+		const eps = 1e-9
+		return geom.Rect{X1: r.X1 + eps, Y1: r.Y1 + eps, X2: r.X2 - eps, Y2: r.Y2 - eps}
+	}
+	for i := range pl.Rects {
+		if !pl.Chip.ContainsRect(pl.Rects[i]) {
+			t.Fatalf("module %d rect %v outside chip %v", i, pl.Rects[i], pl.Chip)
+		}
+		for j := i + 1; j < len(pl.Rects); j++ {
+			if shrink(pl.Rects[i]).Overlaps(shrink(pl.Rects[j])) {
+				t.Fatalf("modules %d and %d overlap: %v vs %v", i, j, pl.Rects[i], pl.Rects[j])
+			}
+		}
+	}
+}
+
+func TestIdentityPairStacksHorizontally(t *testing.T) {
+	// Identity pair: every earlier module is left of every later one.
+	ms := mods([2]float64{2, 5}, [2]float64{3, 4}, [2]float64{1, 1})
+	p := NewPacker(ms)
+	pl, err := p.Pack(New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Chip.W() != 6 || pl.Chip.H() != 5 {
+		t.Errorf("chip = %v", pl.Chip)
+	}
+	if pl.Rects[1].X1 != 2 || pl.Rects[2].X1 != 5 {
+		t.Errorf("placements %v", pl.Rects)
+	}
+	checkNoOverlap(t, pl)
+}
+
+func TestReversedP1StacksVertically(t *testing.T) {
+	// Γ⁺ reversed vs Γ⁻: every earlier Γ⁻ module is below the next.
+	ms := mods([2]float64{2, 5}, [2]float64{3, 4})
+	sp := New(2)
+	sp.P1 = []int{1, 0}
+	p := NewPacker(ms)
+	pl, err := p.Pack(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Module 0 below module 1? a=0 precedes in Γ⁻, follows in Γ⁺ →
+	// 0 below 1.
+	if pl.Rects[1].Y1 != 5 {
+		t.Errorf("module 1 at %v, want y=5", pl.Rects[1])
+	}
+	if pl.Chip.W() != 3 || pl.Chip.H() != 9 {
+		t.Errorf("chip = %v", pl.Chip)
+	}
+	checkNoOverlap(t, pl)
+}
+
+func TestRandomPairsNeverOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{2, 5, 12, 33} {
+		dims := make([][2]float64, n)
+		for i := range dims {
+			dims[i] = [2]float64{1 + rng.Float64()*9, 1 + rng.Float64()*9}
+		}
+		ms := make([]netlist.Module, n)
+		for i, d := range dims {
+			ms[i] = netlist.Module{Name: "m", W: d[0], H: d[1]}
+		}
+		p := NewPacker(ms)
+		sp := New(n)
+		for iter := 0; iter < 300; iter++ {
+			sp.Perturb(rng, true)
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("n=%d iter=%d: %v", n, iter, err)
+			}
+			pl, err := p.Pack(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkNoOverlap(t, pl)
+			// Area lower bound: sum of module areas.
+			var sum float64
+			for _, m := range ms {
+				sum += m.Area()
+			}
+			if pl.Chip.Area() < sum-1e-6 {
+				t.Fatalf("chip area %g below module sum %g", pl.Chip.Area(), sum)
+			}
+		}
+	}
+}
+
+func TestRotationChangesFootprint(t *testing.T) {
+	ms := mods([2]float64{10, 2})
+	sp := New(1)
+	sp.Rot[0] = true
+	p := NewPacker(ms)
+	pl, err := p.Pack(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Rects[0].W() != 2 || pl.Rects[0].H() != 10 {
+		t.Errorf("rotated module = %v", pl.Rects[0])
+	}
+	if !pl.Rotated[0] {
+		t.Error("rotation flag not propagated")
+	}
+}
+
+func TestPadNotRotated(t *testing.T) {
+	ms := mods([2]float64{10, 2})
+	ms[0].Pad = true
+	sp := New(1)
+	sp.Rot[0] = true
+	pl, err := NewPacker(ms).Pack(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Rotated[0] || pl.Rects[0].W() != 10 {
+		t.Errorf("pad was rotated: %v", pl.Rects[0])
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	sp := New(3)
+	sp.P1[0] = 5
+	if err := sp.Validate(); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	sp2 := New(3)
+	sp2.P2 = sp2.P2[:2]
+	if err := sp2.Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	sp3 := New(3)
+	sp3.P1[0], sp3.P1[1] = 1, 1
+	if err := sp3.Validate(); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	sp := New(4)
+	c := sp.Clone()
+	c.P1[0], c.P1[1] = c.P1[1], c.P1[0]
+	c.Rot[2] = true
+	if sp.P1[0] != 0 || sp.Rot[2] {
+		t.Error("clone aliases the original")
+	}
+}
+
+func TestPackerMismatch(t *testing.T) {
+	p := NewPacker(mods([2]float64{1, 1}))
+	if _, err := p.Pack(New(2)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestSeqPairCanBeatSlicingShape(t *testing.T) {
+	// A classic non-slicing "pinwheel" packing of five modules is
+	// representable: verify the representation can reach a tight area
+	// for a pinwheel-friendly instance by random search.
+	ms := mods(
+		[2]float64{4, 2}, [2]float64{2, 4}, [2]float64{4, 2},
+		[2]float64{2, 4}, [2]float64{2, 2},
+	)
+	var sum float64
+	for _, m := range ms {
+		sum += m.Area()
+	}
+	p := NewPacker(ms)
+	rng := rand.New(rand.NewSource(17))
+	sp := New(5)
+	best := math.Inf(1)
+	for i := 0; i < 4000; i++ {
+		sp.Perturb(rng, true)
+		pl, err := p.Pack(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a := pl.Chip.Area(); a < best {
+			best = a
+		}
+	}
+	// The pinwheel packs into 6x6 = 36 = module-area sum exactly;
+	// random search should get within 20%.
+	if best > sum*1.2 {
+		t.Errorf("best area %g too far above the %g lower bound", best, sum)
+	}
+}

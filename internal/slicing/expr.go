@@ -1,0 +1,236 @@
+// Package slicing implements the floorplan representation the paper's
+// floorplanner is built on (§5: "based on simulated annealing algorithm
+// with normalized Polish expression", Wong & Liu, DAC'86 [7]): slicing
+// floorplans encoded as normalized Polish expressions, the three
+// classic perturbation moves M1–M3, and shape-curve packing that places
+// hard (rotatable) modules with minimum area via the Stockmeyer merge.
+package slicing
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Operator encoding inside an Expr: non-negative values are module
+// indices (operands); OpH and OpV are the slicing operators.
+const (
+	// OpH composes two sub-floorplans vertically (B on top of A):
+	// widths max, heights add.
+	OpH = -1
+	// OpV composes two sub-floorplans horizontally (B right of A):
+	// widths add, heights max.
+	OpV = -2
+)
+
+// Expr is a Polish (postfix) expression over module indices and the
+// operators OpH/OpV. A valid expression for n modules has length 2n-1,
+// contains every module index exactly once, satisfies the balloting
+// property (every prefix has more operands than operators), and is
+// normalized (no two consecutive identical operators).
+type Expr []int
+
+// IsOperator reports whether element v is OpH or OpV.
+func IsOperator(v int) bool { return v == OpH || v == OpV }
+
+// Initial returns the canonical starting expression
+// 0 1 V 2 V ... n-1 V, which is normalized (operators are separated by
+// operands) and packs the modules in a single row.
+func Initial(n int) Expr {
+	if n < 1 {
+		panic("slicing: need at least one module")
+	}
+	e := make(Expr, 0, 2*n-1)
+	e = append(e, 0)
+	for i := 1; i < n; i++ {
+		e = append(e, i, OpV)
+	}
+	return e
+}
+
+// Clone returns a deep copy of e.
+func (e Expr) Clone() Expr { return append(Expr(nil), e...) }
+
+// Validate checks the structural invariants of a Polish expression for
+// n modules: length, operand set, balloting and normality.
+func (e Expr) Validate(n int) error {
+	if len(e) != 2*n-1 {
+		return fmt.Errorf("slicing: expression length %d, want %d", len(e), 2*n-1)
+	}
+	seen := make([]bool, n)
+	operands, operators := 0, 0
+	for i, v := range e {
+		if IsOperator(v) {
+			operators++
+			if operators >= operands {
+				return fmt.Errorf("slicing: balloting violated at position %d", i)
+			}
+			if i > 0 && e[i-1] == v {
+				return fmt.Errorf("slicing: not normalized: duplicate operator at position %d", i)
+			}
+		} else {
+			if v < 0 || v >= n {
+				return fmt.Errorf("slicing: operand %d out of range [0,%d)", v, n)
+			}
+			if seen[v] {
+				return fmt.Errorf("slicing: operand %d appears twice", v)
+			}
+			seen[v] = true
+			operands++
+		}
+	}
+	if operands != n {
+		return fmt.Errorf("slicing: %d operands, want %d", operands, n)
+	}
+	return nil
+}
+
+// valid is Validate without the error strings, for the move hot path.
+func (e Expr) valid() bool {
+	operands, operators := 0, 0
+	for i, v := range e {
+		if IsOperator(v) {
+			operators++
+			if operators >= operands {
+				return false
+			}
+			if i > 0 && e[i-1] == v {
+				return false
+			}
+		} else {
+			operands++
+		}
+	}
+	return operands == operators+1
+}
+
+// String renders the expression with H/V operator letters, e.g.
+// "0 1 V 2 H".
+func (e Expr) String() string {
+	var b strings.Builder
+	for i, v := range e {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch v {
+		case OpH:
+			b.WriteByte('H')
+		case OpV:
+			b.WriteByte('V')
+		default:
+			b.WriteString(strconv.Itoa(v))
+		}
+	}
+	return b.String()
+}
+
+// M1 swaps two adjacent operands (adjacent in operand order, possibly
+// separated by operators). It always preserves validity. Returns false
+// only for expressions with fewer than two operands.
+func (e Expr) M1(rng *rand.Rand) bool {
+	idx := e.operandPositions()
+	if len(idx) < 2 {
+		return false
+	}
+	i := rng.Intn(len(idx) - 1)
+	a, b := idx[i], idx[i+1]
+	e[a], e[b] = e[b], e[a]
+	return true
+}
+
+// M2 complements a random maximal chain of consecutive operators
+// (H↔V). It always preserves validity. Returns false when the
+// expression has no operators.
+func (e Expr) M2(rng *rand.Rand) bool {
+	chains := e.operatorChains()
+	if len(chains) == 0 {
+		return false
+	}
+	c := chains[rng.Intn(len(chains))]
+	for i := c[0]; i < c[1]; i++ {
+		if e[i] == OpH {
+			e[i] = OpV
+		} else {
+			e[i] = OpH
+		}
+	}
+	return true
+}
+
+// M3 swaps a random adjacent operand-operator pair, keeping only swaps
+// that preserve balloting and normality. It tries up to len(e)
+// candidate positions; returns false if none is feasible.
+func (e Expr) M3(rng *rand.Rand) bool {
+	n := len(e)
+	if n < 3 {
+		return false
+	}
+	start := rng.Intn(n - 1)
+	for t := 0; t < n-1; t++ {
+		i := (start + t) % (n - 1)
+		a, b := e[i], e[i+1]
+		if IsOperator(a) == IsOperator(b) {
+			continue
+		}
+		e[i], e[i+1] = b, a
+		if e.valid() {
+			return true
+		}
+		e[i], e[i+1] = a, b
+	}
+	return false
+}
+
+// Perturb applies one randomly chosen move (M1/M2/M3 with equal
+// probability), retrying with the other moves if the chosen one is
+// infeasible. It panics only for degenerate single-element expressions
+// where no move exists.
+func (e Expr) Perturb(rng *rand.Rand) {
+	order := rng.Perm(3)
+	for _, m := range order {
+		var ok bool
+		switch m {
+		case 0:
+			ok = e.M1(rng)
+		case 1:
+			ok = e.M2(rng)
+		default:
+			ok = e.M3(rng)
+		}
+		if ok {
+			return
+		}
+	}
+	// Single-module floorplans have no moves; treat as a no-op.
+}
+
+// operandPositions returns the indices of the operands in order.
+func (e Expr) operandPositions() []int {
+	idx := make([]int, 0, (len(e)+1)/2)
+	for i, v := range e {
+		if !IsOperator(v) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// operatorChains returns [start, end) ranges of maximal operator runs.
+func (e Expr) operatorChains() [][2]int {
+	var chains [][2]int
+	i := 0
+	for i < len(e) {
+		if !IsOperator(e[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(e) && IsOperator(e[j]) {
+			j++
+		}
+		chains = append(chains, [2]int{i, j})
+		i = j
+	}
+	return chains
+}

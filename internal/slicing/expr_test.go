@@ -1,0 +1,173 @@
+package slicing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInitialIsValid(t *testing.T) {
+	for n := 1; n <= 60; n++ {
+		e := Initial(n)
+		if err := e.Validate(n); err != nil {
+			t.Fatalf("Initial(%d): %v", n, err)
+		}
+	}
+}
+
+func TestInitialPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=0")
+		}
+	}()
+	Initial(0)
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Expr
+		n    int
+	}{
+		{"short", Expr{0, 1}, 2},
+		{"balloting", Expr{0, OpV, 1}, 2},
+		{"duplicate operand", Expr{0, 0, OpV}, 2},
+		{"out of range", Expr{0, 5, OpV}, 2},
+		{"not normalized", Expr{0, 1, OpV, 2, OpV, OpV, 3}, 4},
+	}
+	for _, c := range cases {
+		if err := c.e.Validate(c.n); err == nil {
+			t.Errorf("%s: Validate accepted %v", c.name, c.e)
+		}
+	}
+}
+
+func TestValidateAcceptsNormalized(t *testing.T) {
+	// 0 1 V 2 H: valid, normalized.
+	e := Expr{0, 1, OpV, 2, OpH}
+	if err := e.Validate(3); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// 0 1 2 V H is normalized too (V then H differ).
+	e2 := Expr{0, 1, 2, OpV, OpH}
+	if err := e2.Validate(3); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	e := Expr{0, 1, OpV, 2, OpH}
+	if got := e.String(); got != "0 1 V 2 H" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	e := Initial(4)
+	c := e.Clone()
+	c[0], c[1] = c[1], c[0]
+	if e[0] != 0 || e[1] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestM1PreservesValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := Initial(10)
+	for i := 0; i < 2000; i++ {
+		if !e.M1(rng) {
+			t.Fatal("M1 failed")
+		}
+		if err := e.Validate(10); err != nil {
+			t.Fatalf("after M1 #%d: %v (%v)", i, err, e)
+		}
+	}
+}
+
+func TestM2PreservesValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := Initial(10)
+	for i := 0; i < 2000; i++ {
+		if !e.M2(rng) {
+			t.Fatal("M2 failed")
+		}
+		if err := e.Validate(10); err != nil {
+			t.Fatalf("after M2 #%d: %v (%v)", i, err, e)
+		}
+	}
+}
+
+func TestM3PreservesValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := Initial(10)
+	// M3 is infeasible on the all-V initial chain (any swap creates
+	// either a balloting violation or adjacent identical operators);
+	// mix the operators first.
+	for i := 0; i < 5; i++ {
+		e.M2(rng)
+	}
+	applied := 0
+	for i := 0; i < 2000; i++ {
+		if e.M3(rng) {
+			applied++
+		}
+		if err := e.Validate(10); err != nil {
+			t.Fatalf("after M3 #%d: %v (%v)", i, err, e)
+		}
+	}
+	if applied == 0 {
+		t.Error("M3 never applied")
+	}
+}
+
+func TestPerturbMixPreservesValidity(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 17, 49} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		e := Initial(n)
+		for i := 0; i < 3000; i++ {
+			e.Perturb(rng)
+			if err := e.Validate(n); err != nil {
+				t.Fatalf("n=%d after perturb #%d: %v (%v)", n, i, err, e)
+			}
+		}
+	}
+}
+
+func TestPerturbReachesBothOperators(t *testing.T) {
+	// The move set must be able to introduce H cuts from the all-V
+	// initial expression.
+	rng := rand.New(rand.NewSource(4))
+	e := Initial(6)
+	sawH := false
+	for i := 0; i < 200 && !sawH; i++ {
+		e.Perturb(rng)
+		for _, v := range e {
+			if v == OpH {
+				sawH = true
+			}
+		}
+	}
+	if !sawH {
+		t.Error("perturbation never produced an H operator")
+	}
+}
+
+func TestPerturbSingleModuleNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := Initial(1)
+	e.Perturb(rng) // must not panic
+	if err := e.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestM1OnTwoModules(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e := Expr{0, 1, OpV}
+	if !e.M1(rng) {
+		t.Fatal("M1 failed")
+	}
+	if e[0] != 1 || e[1] != 0 {
+		t.Errorf("M1 = %v", e)
+	}
+}

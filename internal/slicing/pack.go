@@ -1,0 +1,247 @@
+package slicing
+
+import (
+	"fmt"
+	"math"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// shape is one non-dominated (W, H) realization of a subtree, with
+// enough bookkeeping to recover the children's choices top-down.
+type shape struct {
+	w, h   float64
+	li, ri int  // chosen shape index in left/right child (internal nodes)
+	rot    bool // leaf realized rotated 90°
+}
+
+// node is a slicing-tree node built from the postfix expression.
+type node struct {
+	op          int // module index for leaves; OpH/OpV for internal
+	left, right *node
+	curve       []shape // sorted by w ascending, h strictly descending
+}
+
+// Packer evaluates Polish expressions for a fixed module list. It
+// reuses node storage across calls, so a single Packer is cheap to call
+// from the simulated-annealing hot loop. A Packer is not safe for
+// concurrent use; create one per goroutine.
+type Packer struct {
+	mods        []netlist.Module
+	allowRotate bool
+	nodes       []node // arena, reused between Pack calls
+	stack       []*node
+	leafCurves  [][]shape // precomputed per module
+}
+
+// softShapeSteps is the number of discrete realizations a soft module
+// contributes to its shape curve. All points of an equal-area curve are
+// mutually non-dominated, so more steps only refine the packing.
+const softShapeSteps = 8
+
+// NewPacker returns a Packer for the module list. When allowRotate is
+// true every non-pad hard module may be realized rotated by 90°; soft
+// modules are realized at softShapeSteps aspect ratios spanning their
+// [MinAspect, MaxAspect] range (rotation is subsumed by the range).
+func NewPacker(mods []netlist.Module, allowRotate bool) *Packer {
+	p := &Packer{mods: mods, allowRotate: allowRotate}
+	p.leafCurves = make([][]shape, len(mods))
+	for i, m := range mods {
+		if m.Soft() {
+			p.leafCurves[i] = softCurve(m)
+			continue
+		}
+		c := []shape{{w: m.W, h: m.H}}
+		if allowRotate && !m.Pad && m.W != m.H {
+			c = append(c, shape{w: m.H, h: m.W, rot: true})
+		}
+		// Sort the (at most two) points by width ascending and drop
+		// dominated ones so the curve invariant holds.
+		if len(c) == 2 {
+			if c[0].w > c[1].w {
+				c[0], c[1] = c[1], c[0]
+			}
+			if c[1].h >= c[0].h { // wider and not shorter: dominated
+				c = c[:1]
+			}
+		}
+		p.leafCurves[i] = c
+	}
+	return p
+}
+
+// softCurve discretizes a soft module's equal-area shape curve with
+// geometrically spaced aspect ratios: w = sqrt(area·ar), h = area/w.
+// Points come out width-ascending and height-descending by
+// construction.
+func softCurve(m netlist.Module) []shape {
+	area := m.Area()
+	lo, hi := m.MinAspect, m.MaxAspect
+	c := make([]shape, 0, softShapeSteps)
+	for k := 0; k < softShapeSteps; k++ {
+		f := float64(k) / float64(softShapeSteps-1)
+		ar := lo * math.Pow(hi/lo, f) // geometric interpolation
+		w := math.Sqrt(area * ar)
+		c = append(c, shape{w: w, h: area / w})
+	}
+	return c
+}
+
+// Pack evaluates the expression and returns the minimum-area placement
+// it encodes, along with the chip bounding box. The returned Placement
+// is freshly allocated; the Packer's internal arena is reused.
+func (p *Packer) Pack(e Expr) (*netlist.Placement, error) {
+	root, err := p.build(e)
+	if err != nil {
+		return nil, err
+	}
+	// Choose the minimum-area corner of the root curve.
+	best, bestArea := 0, math.Inf(1)
+	for i, s := range root.curve {
+		if a := s.w * s.h; a < bestArea {
+			best, bestArea = i, a
+		}
+	}
+	pl := &netlist.Placement{
+		Rects:   make([]geom.Rect, len(p.mods)),
+		Rotated: make([]bool, len(p.mods)),
+	}
+	p.place(root, best, 0, 0, pl)
+	s := root.curve[best]
+	pl.Chip = geom.Rect{X1: 0, Y1: 0, X2: s.w, Y2: s.h}
+	return pl, nil
+}
+
+// MinArea evaluates the expression and returns only the minimal
+// bounding-box area, width and height, skipping placement recovery.
+func (p *Packer) MinArea(e Expr) (area, w, h float64, err error) {
+	root, err := p.build(e)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	area = math.Inf(1)
+	for _, s := range root.curve {
+		if a := s.w * s.h; a < area {
+			area, w, h = a, s.w, s.h
+		}
+	}
+	return area, w, h, nil
+}
+
+// build constructs the slicing tree and bottom-up shape curves.
+func (p *Packer) build(e Expr) (*node, error) {
+	// The arena must never reallocate mid-build: node pointers are held
+	// in the stack and in parent links. Size it up front.
+	if cap(p.nodes) < len(e) {
+		p.nodes = make([]node, 0, len(e))
+	}
+	p.nodes = p.nodes[:0]
+	p.stack = p.stack[:0]
+	alloc := func() *node {
+		p.nodes = p.nodes[:len(p.nodes)+1]
+		return &p.nodes[len(p.nodes)-1]
+	}
+	for _, v := range e {
+		nd := alloc()
+		if IsOperator(v) {
+			if len(p.stack) < 2 {
+				return nil, fmt.Errorf("slicing: malformed expression %v", e)
+			}
+			nd.op = v
+			nd.right = p.stack[len(p.stack)-1]
+			nd.left = p.stack[len(p.stack)-2]
+			p.stack = p.stack[:len(p.stack)-2]
+			nd.curve = combine(v, nd.left.curve, nd.right.curve, nd.curve[:0])
+		} else {
+			if v < 0 || v >= len(p.mods) {
+				return nil, fmt.Errorf("slicing: operand %d out of range", v)
+			}
+			nd.op = v
+			nd.left, nd.right = nil, nil
+			nd.curve = append(nd.curve[:0], p.leafCurves[v]...)
+		}
+		p.stack = append(p.stack, nd)
+	}
+	if len(p.stack) != 1 {
+		return nil, fmt.Errorf("slicing: malformed expression %v", e)
+	}
+	return p.stack[0], nil
+}
+
+// combine merges two shape curves under the given operator using the
+// Stockmeyer two-pointer walk, producing at most len(a)+len(b)-1
+// non-dominated points. Input curves are sorted by width strictly
+// ascending / height strictly descending, and the output preserves that
+// invariant by construction.
+//
+// OpV places b to the right of a: W = a.w + b.w, H = max(a.h, b.h).
+// Starting from the narrowest/tallest point of each child and always
+// advancing the child that realizes the height maximum enumerates every
+// potentially optimal pairing with strictly increasing width and
+// strictly decreasing height. OpH (b stacked on a: W = max, H = sum) is
+// the transpose: walk from the widest/shortest ends backwards.
+func combine(op int, a, b, out []shape) []shape {
+	if op == OpV {
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			out = append(out, shape{
+				w:  a[i].w + b[j].w,
+				h:  math.Max(a[i].h, b[j].h),
+				li: i, ri: j,
+			})
+			switch {
+			case a[i].h > b[j].h:
+				i++
+			case a[i].h < b[j].h:
+				j++
+			default:
+				i++
+				j++
+			}
+		}
+		return out
+	}
+	// OpH: walk backwards from the widest point of each child; emitted
+	// widths strictly decrease and heights strictly increase, so the
+	// result is reversed at the end to restore the curve invariant.
+	i, j := len(a)-1, len(b)-1
+	for i >= 0 && j >= 0 {
+		out = append(out, shape{
+			w:  math.Max(a[i].w, b[j].w),
+			h:  a[i].h + b[j].h,
+			li: i, ri: j,
+		})
+		switch {
+		case a[i].w > b[j].w:
+			i--
+		case a[i].w < b[j].w:
+			j--
+		default:
+			i--
+			j--
+		}
+	}
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out
+}
+
+// place walks the tree assigning absolute rectangles, bottom-left
+// packed: OpV puts right child to the right, OpH puts it on top.
+func (p *Packer) place(nd *node, k int, x, y float64, pl *netlist.Placement) {
+	s := nd.curve[k]
+	if nd.left == nil { // leaf
+		pl.Rects[nd.op] = geom.Rect{X1: x, Y1: y, X2: x + s.w, Y2: y + s.h}
+		pl.Rotated[nd.op] = s.rot
+		return
+	}
+	p.place(nd.left, s.li, x, y, pl)
+	ls := nd.left.curve[s.li]
+	if nd.op == OpV {
+		p.place(nd.right, s.ri, x+ls.w, y, pl)
+	} else {
+		p.place(nd.right, s.ri, x, y+ls.h, pl)
+	}
+}

@@ -1,0 +1,346 @@
+package slicing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+func mods(dims ...[2]float64) []netlist.Module {
+	out := make([]netlist.Module, len(dims))
+	for i, d := range dims {
+		out[i] = netlist.Module{Name: string(rune('a' + i)), W: d[0], H: d[1]}
+	}
+	return out
+}
+
+func TestPackSingleModule(t *testing.T) {
+	p := NewPacker(mods([2]float64{3, 7}), false)
+	pl, err := p.Pack(Expr{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Chip.W() != 3 || pl.Chip.H() != 7 {
+		t.Errorf("chip = %v", pl.Chip)
+	}
+	if pl.Rects[0] != pl.Chip {
+		t.Errorf("module rect = %v", pl.Rects[0])
+	}
+}
+
+func TestPackSingleModuleRotationPicksSame(t *testing.T) {
+	// Rotation cannot reduce the area of a single module.
+	p := NewPacker(mods([2]float64{3, 7}), true)
+	a, _, _, err := p.MinArea(Expr{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 21 {
+		t.Errorf("area = %g", a)
+	}
+}
+
+func TestPackTwoModulesV(t *testing.T) {
+	p := NewPacker(mods([2]float64{2, 5}, [2]float64{3, 4}), false)
+	pl, err := p.Pack(Expr{0, 1, OpV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Side by side: width 5, height max(5,4)=5.
+	if pl.Chip.W() != 5 || pl.Chip.H() != 5 {
+		t.Errorf("chip = %v", pl.Chip)
+	}
+	if pl.Rects[1].X1 != 2 {
+		t.Errorf("right module at %v", pl.Rects[1])
+	}
+}
+
+func TestPackTwoModulesH(t *testing.T) {
+	p := NewPacker(mods([2]float64{2, 5}, [2]float64{3, 4}), false)
+	pl, err := p.Pack(Expr{0, 1, OpH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stacked: width max(2,3)=3, height 9; module 1 on top.
+	if pl.Chip.W() != 3 || pl.Chip.H() != 9 {
+		t.Errorf("chip = %v", pl.Chip)
+	}
+	if pl.Rects[1].Y1 != 5 {
+		t.Errorf("top module at %v", pl.Rects[1])
+	}
+}
+
+func TestPackRotationImproves(t *testing.T) {
+	// Two 2x6 modules side by side: unrotated 4x6=24 (V) — with
+	// rotation both can lie flat: 6x2 stacked (H) gives 6x4=24, but V
+	// with rotation gives 12x2=24... pick shapes where rotation wins:
+	// 1x4 and 4x1 side by side: no rotation V: w=5,h=4 → 20;
+	// rotating the first to 4x1: V: w=8,h=1 → 8.
+	p := NewPacker(mods([2]float64{1, 4}, [2]float64{4, 1}), true)
+	a, _, _, err := p.MinArea(Expr{0, 1, OpV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 8 {
+		t.Errorf("area with rotation = %g, want 8", a)
+	}
+	pn := NewPacker(mods([2]float64{1, 4}, [2]float64{4, 1}), false)
+	an, _, _, _ := pn.MinArea(Expr{0, 1, OpV})
+	if an != 20 {
+		t.Errorf("area without rotation = %g, want 20", an)
+	}
+}
+
+func TestPackPadNotRotated(t *testing.T) {
+	m := mods([2]float64{1, 4}, [2]float64{4, 1})
+	m[0].Pad = true
+	p := NewPacker(m, true)
+	pl, err := p.Pack(Expr{0, 1, OpV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Rotated[0] {
+		t.Error("pad was rotated")
+	}
+}
+
+func TestPackMalformed(t *testing.T) {
+	p := NewPacker(mods([2]float64{1, 1}, [2]float64{1, 1}), false)
+	for _, e := range []Expr{{0, OpV}, {0, 1}, {OpV}, {0, 9, OpV}} {
+		if _, err := p.Pack(e); err == nil {
+			t.Errorf("Pack(%v) should fail", e)
+		}
+	}
+}
+
+// checkPlacement verifies the fundamental packing invariants.
+func checkPlacement(t *testing.T, pl *netlist.Placement, ms []netlist.Module, allowRotate bool) {
+	t.Helper()
+	for i, r := range pl.Rects {
+		if !r.Valid() || r.Empty() {
+			t.Fatalf("module %d has bad rect %v", i, r)
+		}
+		w, h := ms[i].W, ms[i].H
+		if pl.Rotated[i] {
+			if !allowRotate || ms[i].Pad {
+				t.Fatalf("module %d illegally rotated", i)
+			}
+			w, h = h, w
+		}
+		if math.Abs(r.W()-w) > 1e-9 || math.Abs(r.H()-h) > 1e-9 {
+			t.Fatalf("module %d dims %gx%g, want %gx%g", i, r.W(), r.H(), w, h)
+		}
+		const eps = 1e-6 // positions and curve widths sum in different orders
+		if r.X1 < pl.Chip.X1-eps || r.X2 > pl.Chip.X2+eps ||
+			r.Y1 < pl.Chip.Y1-eps || r.Y2 > pl.Chip.Y2+eps {
+			t.Fatalf("module %d rect %v outside chip %v", i, r, pl.Chip)
+		}
+	}
+	shrink := func(r geom.Rect) geom.Rect {
+		const eps = 1e-6 // touching edges may differ in low float bits
+		return geom.Rect{X1: r.X1 + eps, Y1: r.Y1 + eps, X2: r.X2 - eps, Y2: r.Y2 - eps}
+	}
+	for i := range pl.Rects {
+		for j := i + 1; j < len(pl.Rects); j++ {
+			if shrink(pl.Rects[i]).Overlaps(shrink(pl.Rects[j])) {
+				t.Fatalf("modules %d and %d overlap: %v vs %v", i, j, pl.Rects[i], pl.Rects[j])
+			}
+		}
+	}
+}
+
+func TestPackRandomExpressionsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{2, 3, 7, 15, 33} {
+		ms := make([]netlist.Module, n)
+		for i := range ms {
+			ms[i] = netlist.Module{
+				Name: "m" + string(rune('0'+i%10)) + string(rune('0'+i/10)),
+				W:    1 + rng.Float64()*9,
+				H:    1 + rng.Float64()*9,
+			}
+		}
+		for _, rot := range []bool{false, true} {
+			p := NewPacker(ms, rot)
+			e := Initial(n)
+			for iter := 0; iter < 300; iter++ {
+				e.Perturb(rng)
+				pl, err := p.Pack(e)
+				if err != nil {
+					t.Fatalf("n=%d iter=%d: %v", n, iter, err)
+				}
+				checkPlacement(t, pl, ms, rot)
+			}
+		}
+	}
+}
+
+func TestPackAreaIsMinOverCurve(t *testing.T) {
+	// MinArea must never exceed the area of the placement Pack returns,
+	// and the two must agree.
+	rng := rand.New(rand.NewSource(9))
+	ms := mods([2]float64{2, 3}, [2]float64{4, 1}, [2]float64{5, 5}, [2]float64{1, 6})
+	p := NewPacker(ms, true)
+	e := Initial(4)
+	for i := 0; i < 200; i++ {
+		e.Perturb(rng)
+		a, _, _, err := p.MinArea(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := p.Pack(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pl.Chip.Area()-a) > 1e-6 {
+			t.Fatalf("Pack area %g != MinArea %g for %v", pl.Chip.Area(), a, e)
+		}
+	}
+}
+
+func TestPackChipBoundsAreTight(t *testing.T) {
+	// The chip must equal the bounding box of the module rects.
+	rng := rand.New(rand.NewSource(11))
+	ms := mods([2]float64{2, 3}, [2]float64{4, 1}, [2]float64{5, 5})
+	p := NewPacker(ms, false)
+	e := Initial(3)
+	for i := 0; i < 100; i++ {
+		e.Perturb(rng)
+		pl, _ := p.Pack(e)
+		bb := pl.Rects[0]
+		for _, r := range pl.Rects[1:] {
+			bb = bb.Union(r)
+		}
+		// The slicing bounding box may exceed the union bbox in one
+		// dimension only when a slack child is shorter than its slot;
+		// for the chip both must still agree on the outer corners.
+		if bb.X2 > pl.Chip.X2+1e-9 || bb.Y2 > pl.Chip.Y2+1e-9 {
+			t.Fatalf("module bbox %v exceeds chip %v", bb, pl.Chip)
+		}
+	}
+}
+
+func TestCurveNonDominated(t *testing.T) {
+	// Internal curves must be strictly increasing in width and
+	// strictly decreasing in height.
+	rng := rand.New(rand.NewSource(13))
+	ms := mods([2]float64{2, 3}, [2]float64{4, 1}, [2]float64{5, 5}, [2]float64{1, 6}, [2]float64{2, 2})
+	p := NewPacker(ms, true)
+	e := Initial(5)
+	for i := 0; i < 100; i++ {
+		e.Perturb(rng)
+		root, err := p.build(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := root.curve
+		for k := 1; k < len(c); k++ {
+			if c[k].w <= c[k-1].w || c[k].h >= c[k-1].h {
+				t.Fatalf("curve not clean at %d: %+v", k, c)
+			}
+		}
+	}
+}
+
+func TestCombineAgainstBruteForce(t *testing.T) {
+	// Compare the Stockmeyer merge against exhaustive pairing for
+	// random small curves.
+	rng := rand.New(rand.NewSource(17))
+	mkCurve := func(n int) []shape {
+		ws := make([]float64, n)
+		hs := make([]float64, n)
+		for i := range ws {
+			ws[i] = rng.Float64()*10 + 1
+			hs[i] = rng.Float64()*10 + 1
+		}
+		// Build a clean curve: sort widths ascending, heights desc.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if ws[j] < ws[i] {
+					ws[i], ws[j] = ws[j], ws[i]
+				}
+				if hs[j] > hs[i] {
+					hs[i], hs[j] = hs[j], hs[i]
+				}
+			}
+		}
+		c := make([]shape, n)
+		for i := range c {
+			// Strictify to satisfy the invariant.
+			c[i] = shape{w: ws[i] + float64(i)*1e-6, h: hs[i] - float64(i)*1e-6}
+		}
+		return c
+	}
+	minAreaBrute := func(op int, a, b []shape) float64 {
+		best := math.Inf(1)
+		for _, x := range a {
+			for _, y := range b {
+				var w, h float64
+				if op == OpV {
+					w, h = x.w+y.w, math.Max(x.h, y.h)
+				} else {
+					w, h = math.Max(x.w, y.w), x.h+y.h
+				}
+				if w*h < best {
+					best = w * h
+				}
+			}
+		}
+		return best
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := mkCurve(1 + rng.Intn(5))
+		b := mkCurve(1 + rng.Intn(5))
+		for _, op := range []int{OpV, OpH} {
+			merged := combine(op, a, b, nil)
+			want := minAreaBrute(op, a, b)
+			got := math.Inf(1)
+			for _, s := range merged {
+				if s.w*s.h < got {
+					got = s.w * s.h
+				}
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("op=%d: stockmeyer min area %g, brute force %g\na=%+v\nb=%+v", op, got, want, a, b)
+			}
+			// Verify the merged curve is clean.
+			for k := 1; k < len(merged); k++ {
+				if merged[k].w <= merged[k-1].w || merged[k].h >= merged[k-1].h {
+					t.Fatalf("op=%d: merged curve not clean: %+v", op, merged)
+				}
+			}
+		}
+	}
+}
+
+func TestPackerReuseIsConsistent(t *testing.T) {
+	// Re-packing the same expression after other expressions must give
+	// identical results (arena reuse must not leak state).
+	rng := rand.New(rand.NewSource(19))
+	ms := mods([2]float64{2, 3}, [2]float64{4, 1}, [2]float64{5, 5}, [2]float64{1, 6})
+	p := NewPacker(ms, true)
+	e := Expr{0, 1, OpV, 2, OpH, 3, OpV}
+	first, err := p.Pack(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := Initial(4)
+	for i := 0; i < 50; i++ {
+		scratch.Perturb(rng)
+		if _, err := p.Pack(scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := p.Pack(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Rects {
+		if first.Rects[i] != again.Rects[i] || first.Rotated[i] != again.Rotated[i] {
+			t.Fatalf("module %d differs after reuse: %v vs %v", i, first.Rects[i], again.Rects[i])
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package slicing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/netlist"
+)
+
+func softMods() []netlist.Module {
+	return []netlist.Module{
+		{Name: "s0", W: 40, H: 40, MinAspect: 0.25, MaxAspect: 4},
+		{Name: "s1", W: 20, H: 80, MinAspect: 0.25, MaxAspect: 4},
+		{Name: "h0", W: 30, H: 50},
+	}
+}
+
+func TestSoftCurveProperties(t *testing.T) {
+	m := netlist.Module{Name: "s", W: 40, H: 40, MinAspect: 0.25, MaxAspect: 4}
+	c := softCurve(m)
+	if len(c) != softShapeSteps {
+		t.Fatalf("%d shapes", len(c))
+	}
+	for k, s := range c {
+		if math.Abs(s.w*s.h-m.Area()) > 1e-6 {
+			t.Errorf("shape %d area %g, want %g", k, s.w*s.h, m.Area())
+		}
+		ar := s.w / s.h
+		if ar < m.MinAspect-1e-9 || ar > m.MaxAspect+1e-9 {
+			t.Errorf("shape %d aspect %g outside [%g,%g]", k, ar, m.MinAspect, m.MaxAspect)
+		}
+		if k > 0 && (s.w <= c[k-1].w || s.h >= c[k-1].h) {
+			t.Errorf("curve not clean at %d", k)
+		}
+	}
+	// The range endpoints are realized.
+	if math.Abs(c[0].w/c[0].h-m.MinAspect) > 1e-9 {
+		t.Errorf("first aspect %g", c[0].w/c[0].h)
+	}
+	if math.Abs(c[len(c)-1].w/c[len(c)-1].h-m.MaxAspect) > 1e-9 {
+		t.Errorf("last aspect %g", c[len(c)-1].w/c[len(c)-1].h)
+	}
+}
+
+func TestSoftPackingRespectsConstraints(t *testing.T) {
+	ms := softMods()
+	p := NewPacker(ms, true)
+	rng := rand.New(rand.NewSource(71))
+	e := Initial(len(ms))
+	for i := 0; i < 200; i++ {
+		e.Perturb(rng)
+		pl, err := p.Pack(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mi, m := range ms {
+			r := pl.Rects[mi]
+			if m.Soft() {
+				if math.Abs(r.Area()-m.Area()) > 1e-6 {
+					t.Fatalf("soft module %s area %g, want %g", m.Name, r.Area(), m.Area())
+				}
+				ar := r.W() / r.H()
+				if ar < m.MinAspect-1e-9 || ar > m.MaxAspect+1e-9 {
+					t.Fatalf("soft module %s aspect %g outside range", m.Name, ar)
+				}
+			} else {
+				const eps = 1e-9
+				okPlain := math.Abs(r.W()-m.W) < eps && math.Abs(r.H()-m.H) < eps
+				okRot := math.Abs(r.W()-m.H) < eps && math.Abs(r.H()-m.W) < eps
+				if !okPlain && !okRot {
+					t.Fatalf("hard module %s realized as %gx%g", m.Name, r.W(), r.H())
+				}
+			}
+		}
+	}
+}
+
+func TestSoftImprovesPacking(t *testing.T) {
+	// Two mismatched-height modules side by side: soft variants deform
+	// to equal heights and waste no area.
+	hard := []netlist.Module{
+		{Name: "a", W: 10, H: 40},
+		{Name: "b", W: 40, H: 10},
+	}
+	soft := []netlist.Module{
+		{Name: "a", W: 10, H: 40, MinAspect: 0.1, MaxAspect: 10},
+		{Name: "b", W: 40, H: 10, MinAspect: 0.1, MaxAspect: 10},
+	}
+	e := Expr{0, 1, OpV}
+	hardArea, _, _, err := NewPacker(hard, false).MinArea(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	softArea, _, _, err := NewPacker(soft, false).MinArea(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if softArea >= hardArea {
+		t.Errorf("soft packing %g not better than hard %g", softArea, hardArea)
+	}
+	// Soft packing approaches the module-area lower bound.
+	lower := 400.0 + 400.0
+	if softArea > lower*1.35 {
+		t.Errorf("soft packing %g too far from lower bound %g", softArea, lower)
+	}
+}
+
+func TestSoftModuleNotRotated(t *testing.T) {
+	ms := softMods()
+	p := NewPacker(ms, true)
+	pl, err := p.Pack(Expr{0, 1, OpV, 2, OpH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi, m := range ms {
+		if m.Soft() && pl.Rotated[mi] {
+			t.Errorf("soft module %s marked rotated", m.Name)
+		}
+	}
+}

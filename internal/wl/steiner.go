@@ -1,0 +1,139 @@
+package wl
+
+import (
+	"sort"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/mst"
+)
+
+// SteinerMST estimates Steiner-tree wirelength by embedding every
+// Manhattan-MST edge as an L-shaped route and letting embedded
+// segments share track: each edge picks whichever of its two corners
+// minimizes the running union length. The result is a connected
+// rectilinear tree, so
+//
+//	HPWL(pins) <= SteinerMST(pins) <= MST(pins)
+//
+// (lower bound: any connected tree spans the bounding box in both
+// dimensions; upper bound: sharing can only remove length). It is the
+// standard cheap rectilinear-Steiner improvement over plain MST
+// wirelength.
+func SteinerMST(pins []geom.Pt) float64 {
+	if len(pins) < 2 {
+		return 0
+	}
+	edges := mst.Tree(pins)
+	var u segUnion
+	for _, e := range edges {
+		a, b := pins[e[0]], pins[e[1]]
+		if a.X == b.X || a.Y == b.Y {
+			u.addEdge(a, b, geom.Pt{}) // straight edge, corner unused
+			continue
+		}
+		// Candidate corners: (b.X, a.Y) and (a.X, b.Y).
+		c1 := geom.Pt{X: b.X, Y: a.Y}
+		c2 := geom.Pt{X: a.X, Y: b.Y}
+		l1 := u.lengthWith(a, b, c1)
+		l2 := u.lengthWith(a, b, c2)
+		if l1 <= l2 {
+			u.addEdge(a, b, c1)
+		} else {
+			u.addEdge(a, b, c2)
+		}
+	}
+	return u.length()
+}
+
+// segUnion accumulates horizontal and vertical segments and measures
+// the length of their union.
+type segUnion struct {
+	h []seg // fixed = y, spans x
+	v []seg // fixed = x, spans y
+}
+
+type seg struct {
+	fixed, lo, hi float64
+}
+
+// addEdge embeds edge a-b through corner c (ignored when the edge is
+// axis-parallel).
+func (u *segUnion) addEdge(a, b, c geom.Pt) {
+	segs := edgeSegs(a, b, c)
+	u.h = append(u.h, segs.h...)
+	u.v = append(u.v, segs.v...)
+}
+
+// lengthWith returns the union length if edge a-b were embedded via
+// corner c.
+func (u *segUnion) lengthWith(a, b, c geom.Pt) float64 {
+	segs := edgeSegs(a, b, c)
+	trial := segUnion{
+		h: append(append([]seg(nil), u.h...), segs.h...),
+		v: append(append([]seg(nil), u.v...), segs.v...),
+	}
+	return trial.length()
+}
+
+type segSet struct{ h, v []seg }
+
+// edgeSegs decomposes edge a-b routed through corner c into axis
+// segments.
+func edgeSegs(a, b, c geom.Pt) segSet {
+	var out segSet
+	add := func(p, q geom.Pt) {
+		switch {
+		case p.Y == q.Y && p.X != q.X:
+			lo, hi := p.X, q.X
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			out.h = append(out.h, seg{fixed: p.Y, lo: lo, hi: hi})
+		case p.X == q.X && p.Y != q.Y:
+			lo, hi := p.Y, q.Y
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			out.v = append(out.v, seg{fixed: p.X, lo: lo, hi: hi})
+		}
+	}
+	if a.X == b.X || a.Y == b.Y {
+		add(a, b)
+		return out
+	}
+	add(a, c)
+	add(c, b)
+	return out
+}
+
+// length measures the union, merging co-linear overlapping spans.
+func (u *segUnion) length() float64 {
+	return mergeLen(u.h) + mergeLen(u.v)
+}
+
+func mergeLen(ss []seg) float64 {
+	if len(ss) == 0 {
+		return 0
+	}
+	sorted := append([]seg(nil), ss...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].fixed != sorted[j].fixed {
+			return sorted[i].fixed < sorted[j].fixed
+		}
+		return sorted[i].lo < sorted[j].lo
+	})
+	var total float64
+	curFixed := sorted[0].fixed
+	curLo, curHi := sorted[0].lo, sorted[0].hi
+	for _, s := range sorted[1:] {
+		if s.fixed != curFixed || s.lo > curHi {
+			total += curHi - curLo
+			curFixed, curLo, curHi = s.fixed, s.lo, s.hi
+			continue
+		}
+		if s.hi > curHi {
+			curHi = s.hi
+		}
+	}
+	return total + (curHi - curLo)
+}

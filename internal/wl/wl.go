@@ -1,0 +1,100 @@
+// Package wl provides the wirelength models floorplanners commonly
+// trade off: half-perimeter (HPWL), star, clique and Manhattan-MST
+// estimates over a net's pin set. The paper computes wirelength from
+// MST-decomposed 2-pin nets (§5); the alternatives here support the
+// wirelength-model ablation (BenchmarkAblationWirelength) and callers
+// who want a cheaper or smoother cost term.
+package wl
+
+import (
+	"irgrid/internal/geom"
+	"irgrid/internal/mst"
+)
+
+// HPWL returns the half-perimeter wirelength of the pin set: the
+// semi-perimeter of the pins' bounding box. It is exact for 2- and
+// 3-pin nets under optimal Steiner routing and a lower bound beyond.
+func HPWL(pins []geom.Pt) float64 {
+	if len(pins) < 2 {
+		return 0
+	}
+	r := geom.RectFromCorners(pins[0], pins[1])
+	for _, p := range pins[2:] {
+		r = r.Union(geom.RectFromCorners(p, p))
+	}
+	return r.W() + r.H()
+}
+
+// MST returns the Manhattan minimum-spanning-tree wirelength of the
+// pin set, the paper's model.
+func MST(pins []geom.Pt) float64 {
+	return mst.Weight(pins, mst.Tree(pins))
+}
+
+// Star returns the star-model wirelength: every pin connects to the
+// pin set's centroid. Smooth in the pin positions, which makes it
+// popular in analytical placers.
+func Star(pins []geom.Pt) float64 {
+	if len(pins) < 2 {
+		return 0
+	}
+	var cx, cy float64
+	for _, p := range pins {
+		cx += p.X
+		cy += p.Y
+	}
+	n := float64(len(pins))
+	c := geom.Pt{X: cx / n, Y: cy / n}
+	var sum float64
+	for _, p := range pins {
+		sum += p.Manhattan(c)
+	}
+	return sum
+}
+
+// Clique returns the clique-model wirelength: the sum of all pairwise
+// Manhattan distances scaled by 2/k so that 2-pin nets keep their exact
+// length. An upper-bound style estimate that over-weights large nets.
+func Clique(pins []geom.Pt) float64 {
+	k := len(pins)
+	if k < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			sum += pins[i].Manhattan(pins[j])
+		}
+	}
+	return sum * 2 / float64(k)
+}
+
+// Model names a wirelength estimator for configuration surfaces.
+type Model string
+
+// Supported wirelength models.
+const (
+	ModelMST    Model = "mst"
+	ModelHPWL   Model = "hpwl"
+	ModelStar   Model = "star"
+	ModelClique Model = "clique"
+	// ModelSteiner is the L-embedded MST with track sharing (SteinerMST).
+	ModelSteiner Model = "steiner"
+)
+
+// Eval dispatches on the model name; unknown models evaluate as MST
+// (the paper's default).
+func (m Model) Eval(pins []geom.Pt) float64 {
+	switch m {
+	case ModelHPWL:
+		return HPWL(pins)
+	case ModelStar:
+		return Star(pins)
+	case ModelClique:
+		return Clique(pins)
+	case ModelSteiner:
+		return SteinerMST(pins)
+	default:
+		return MST(pins)
+	}
+}

@@ -1,0 +1,158 @@
+package wl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"irgrid/internal/geom"
+)
+
+func pins(coords ...float64) []geom.Pt {
+	out := make([]geom.Pt, 0, len(coords)/2)
+	for i := 0; i+1 < len(coords); i += 2 {
+		out = append(out, geom.Pt{X: coords[i], Y: coords[i+1]})
+	}
+	return out
+}
+
+func TestTwoPinAllModelsAgree(t *testing.T) {
+	p := pins(0, 0, 30, 40)
+	want := 70.0
+	for _, m := range []Model{ModelMST, ModelHPWL, ModelStar, ModelClique} {
+		if got := m.Eval(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %g, want %g", m, got, want)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	for _, m := range []Model{ModelMST, ModelHPWL, ModelStar, ModelClique} {
+		if m.Eval(nil) != 0 || m.Eval(pins(5, 5)) != 0 {
+			t.Errorf("%s should be 0 for <2 pins", m)
+		}
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	// L-shaped 3-pin net: bbox 10x20.
+	if got := HPWL(pins(0, 0, 10, 0, 10, 20)); got != 30 {
+		t.Errorf("HPWL = %g", got)
+	}
+}
+
+func TestStarCentroid(t *testing.T) {
+	// 4 pins at square corners, centroid at center: 4 × (5+5) = 40.
+	if got := Star(pins(0, 0, 10, 0, 0, 10, 10, 10)); math.Abs(got-40) > 1e-9 {
+		t.Errorf("Star = %g", got)
+	}
+}
+
+func TestCliqueScaling(t *testing.T) {
+	// 3 collinear pins 0,10,20: pairwise 10+20+10=40, ×2/3.
+	if got := Clique(pins(0, 0, 10, 0, 20, 0)); math.Abs(got-80.0/3) > 1e-9 {
+		t.Errorf("Clique = %g", got)
+	}
+}
+
+func TestOrderingProperties(t *testing.T) {
+	// For any pin set: HPWL <= MST (HPWL is a Steiner lower bound and
+	// MST >= Steiner).
+	f := func(raw []uint16) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		var ps []geom.Pt
+		for i := 0; i+1 < len(raw); i += 2 {
+			ps = append(ps, geom.Pt{X: float64(raw[i] % 1000), Y: float64(raw[i+1] % 1000)})
+		}
+		hp := HPWL(ps)
+		ms := MST(ps)
+		return hp <= ms+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSTMatchesPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		var ps []geom.Pt
+		for i := 0; i < 2+rng.Intn(6); i++ {
+			ps = append(ps, geom.Pt{X: rng.Float64() * 100, Y: rng.Float64() * 100})
+		}
+		if MST(ps) < HPWL(ps)-1e-9 {
+			t.Fatalf("MST %g below HPWL %g for %v", MST(ps), HPWL(ps), ps)
+		}
+	}
+}
+
+func TestUnknownModelFallsBackToMST(t *testing.T) {
+	p := pins(0, 0, 10, 0, 10, 20)
+	if Model("bogus").Eval(p) != MST(p) {
+		t.Error("unknown model should evaluate as MST")
+	}
+}
+
+func TestSteinerMSTBasics(t *testing.T) {
+	// Two pins: Steiner = MST = Manhattan distance.
+	p := pins(0, 0, 30, 40)
+	if got := SteinerMST(p); got != 70 {
+		t.Errorf("2-pin steiner = %g", got)
+	}
+	if SteinerMST(nil) != 0 || SteinerMST(pins(3, 3)) != 0 {
+		t.Error("degenerate inputs should be 0")
+	}
+}
+
+func TestSteinerSharingWins(t *testing.T) {
+	// Three pins in an L: (0,0), (10,0), (0,10) plus (10,10).
+	// MST: 3 edges of length 10+10+10 = 30. A Steiner tree of the four
+	// corners also needs 30 — use a case with real sharing instead:
+	// pins (0,0), (10,5), (0,10): MST edges (0,0)-(10,5) and
+	// (10,5)-(0,10), each length 15 → 30; L-embeddings can share the
+	// vertical track at x=0 or x=10... choose a sharper case:
+	// (0,0), (10,0), (5,5): MST = (0,0)-(10,0)? dist 10; (5,5) to
+	// nearer: 10. Total 20. Steiner: trunk y=0 plus stub x=5: 10+5=15.
+	p := pins(0, 0, 10, 0, 5, 5)
+	st := SteinerMST(p)
+	ms := MST(p)
+	if st > ms+1e-9 {
+		t.Errorf("steiner %g exceeds MST %g", st, ms)
+	}
+	if st < HPWL(p)-1e-9 {
+		t.Errorf("steiner %g below HPWL %g", st, HPWL(p))
+	}
+}
+
+func TestSteinerOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		var ps []geom.Pt
+		for i := 0; i+1 < len(raw); i += 2 {
+			ps = append(ps, geom.Pt{X: float64(raw[i] % 500), Y: float64(raw[i+1] % 500)})
+		}
+		st := SteinerMST(ps)
+		return HPWL(ps)-1e-9 <= st && st <= MST(ps)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteinerModelDispatch(t *testing.T) {
+	p := pins(0, 0, 10, 0, 5, 5)
+	if Model(ModelSteiner).Eval(p) != SteinerMST(p) {
+		t.Error("dispatch broken")
+	}
+}
