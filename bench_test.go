@@ -10,6 +10,7 @@ package irgrid
 
 import (
 	"math"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"irgrid/internal/core"
 	"irgrid/internal/exp"
 	"irgrid/internal/fplan"
+	"irgrid/internal/geom"
 	"irgrid/internal/grid"
 	"irgrid/internal/netlist"
 	"irgrid/internal/nmath"
@@ -108,8 +110,8 @@ var fixture struct {
 	sol  *fplan.Solution
 }
 
-func ami33Solution(b *testing.B) *fplan.Solution {
-	b.Helper()
+func ami33Solution(tb testing.TB) *fplan.Solution {
+	tb.Helper()
 	fixture.once.Do(func() {
 		c := bench.MustLoad("ami33")
 		r, err := fplan.New(c, fplan.Config{
@@ -130,6 +132,7 @@ func ami33Solution(b *testing.B) *fplan.Solution {
 func BenchmarkIRGridScore(b *testing.B) {
 	sol := ami33Solution(b)
 	m := core.Model{Pitch: 30}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if s := m.Score(sol.Placement.Chip, sol.Nets); s <= 0 {
@@ -141,11 +144,61 @@ func BenchmarkIRGridScore(b *testing.B) {
 func BenchmarkIRGridScoreExact(b *testing.B) {
 	sol := ami33Solution(b)
 	m := core.Model{Pitch: 30, Exact: true}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if s := m.Score(sol.Placement.Chip, sol.Nets); s <= 0 {
 			b.Fatal("zero score")
 		}
+	}
+}
+
+// syntheticNets builds a fixed n-net instance on a 3000x2400 chip —
+// large enough to engage the evaluation engine's parallel path — with
+// a mix of long diagonal, short local and degenerate nets.
+func syntheticNets(n int) (geom.Rect, []netlist.TwoPin) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 3000, Y2: 2400}
+	rng := rand.New(rand.NewSource(20040216))
+	nets := make([]netlist.TwoPin, n)
+	for i := range nets {
+		a := geom.Pt{X: rng.Float64() * chip.W(), Y: rng.Float64() * chip.H()}
+		var b geom.Pt
+		switch i % 7 {
+		case 0:
+			b = geom.Pt{X: a.X, Y: rng.Float64() * chip.H()}
+		case 1, 2:
+			b = geom.Pt{
+				X: math.Min(chip.X2, a.X+rng.Float64()*200),
+				Y: math.Max(chip.Y1, a.Y-rng.Float64()*200),
+			}
+		default:
+			b = geom.Pt{X: rng.Float64() * chip.W(), Y: rng.Float64() * chip.H()}
+		}
+		nets[i] = netlist.TwoPin{A: a, B: b}
+	}
+	return chip, nets
+}
+
+// BenchmarkIRGridScore500 measures the steady-state evaluation engine
+// on a 500-net instance, sequential against parallel accumulation
+// (results are bit-identical; only wall time may differ).
+func BenchmarkIRGridScore500(b *testing.B) {
+	chip, nets := syntheticNets(500)
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par4", 4}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			e := core.Model{Pitch: 30, Workers: cfg.workers}.NewEvaluator()
+			e.Score(chip, nets) // warm the arenas and memos
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s := e.Score(chip, nets); s <= 0 {
+					b.Fatal("zero score")
+				}
+			}
+		})
 	}
 }
 

@@ -37,6 +37,7 @@ func main() {
 		top     = flag.Int("top", 5, "number of hotspots to list")
 		heatmap = flag.Bool("heatmap", false, "render an ASCII heat map")
 		csvOut  = flag.String("csv", "", "write the congestion map as CSV to this file ('-' for stdout)")
+		workers = flag.Int("workers", 0, "IR-grid evaluation workers (0 = all CPUs, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 	for i, n := range doc.Nets {
 		nets[i] = congestion.Net{X1: n[0], Y1: n[1], X2: n[2], Y2: n[3]}
 	}
-	opts := congestion.Options{Pitch: *pitch}
+	opts := congestion.Options{Pitch: *pitch, Workers: *workers}
 
 	var mp *congestion.Map
 	var err error

@@ -33,6 +33,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		moves   = flag.Int("moves", 100, "SA moves per temperature")
 		temps   = flag.Int("temps", 100, "maximum SA temperature steps")
+		workers = flag.Int("workers", 0, "congestion evaluation workers (0 = all CPUs, 1 = sequential; results are identical)")
 		judge   = flag.Bool("judge", false, "also score the result with the 10x10 um judging model")
 		asJSON  = flag.Bool("json", false, "emit the floorplan as JSON on stdout")
 		draw    = flag.Bool("draw", false, "render the placement as ASCII art")
@@ -47,6 +48,7 @@ func main() {
 		Alpha: *alpha, Beta: *beta, Gamma: *gamma,
 		Seed:         *seed,
 		MovesPerTemp: *moves, MaxTemps: *temps,
+		Workers: *workers,
 	}
 	if *gamma > 0 {
 		opts.Congestion = floorplan.Congestion{Model: *model, Pitch: *pitch}

@@ -43,6 +43,10 @@ type Options struct {
 	// TopFraction is the most-congested fraction averaged into Score
 	// (default 0.10).
 	TopFraction float64
+	// Workers is the parallelism of the IR model's evaluation engine:
+	// 0 uses GOMAXPROCS, 1 forces sequential evaluation. Results are
+	// bit-identical for every setting. Ignored by the fixed model.
+	Workers int
 }
 
 func (o Options) pitch() float64 {
@@ -134,7 +138,7 @@ func EstimateIR(chipW, chipH float64, nets []Net, opts Options) (*Map, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := core.Model{Pitch: opts.pitch(), Exact: opts.Exact, TopFraction: opts.TopFraction}
+	m := core.Model{Pitch: opts.pitch(), Exact: opts.Exact, TopFraction: opts.TopFraction, Workers: opts.Workers}
 	mp := m.Evaluate(chip, two)
 	out := &Map{
 		Model:  m.Name(),

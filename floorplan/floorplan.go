@@ -227,6 +227,11 @@ type Options struct {
 	// (sequence pair, covering non-slicing packings; soft modules pack
 	// at nominal dimensions there).
 	Representation string
+	// Workers is the parallelism of the congestion evaluation engine:
+	// 0 uses GOMAXPROCS, 1 forces sequential evaluation. Congestion
+	// scores — and hence whole runs — are bit-identical for every
+	// setting. Only the IR-grid models parallelize today.
+	Workers int
 }
 
 // Floorplan representations accepted by Options.Representation.
@@ -294,6 +299,7 @@ func Run(c *Circuit, opts Options) (*Result, error) {
 		AllowRotate:    !opts.NoRotate,
 		Wire:           wl.Model(opts.WirelengthModel),
 		Representation: opts.Representation,
+		Workers:        opts.Workers,
 		Anneal: anneal.Config{
 			Seed:         opts.Seed,
 			MovesPerTemp: opts.MovesPerTemp,

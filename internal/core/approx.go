@@ -25,54 +25,87 @@ import (
 // paper's integral collapses to zero, or g1/g2 = 2, where the normal
 // variance vanishes — always take the exact path.
 func (ev *evaluator) approxProb(g1, g2, x1, x2, y1, y2 int) float64 {
-	ev.lf.Ensure(g1 + g2)
-	n := ev.m.simpsonN()
-	limit := ev.m.exactSpanLimit()
+	ev.ensureLF(g1 + g2)
 	var p float64
+	// Top-edge escapes.
+	if y2+1 <= g2-1 {
+		p += ev.topEdgeSumDirect(g1, g2, x1, x2, y2)
+	}
+	// Right-edge escapes.
+	if x2+1 <= g1-1 {
+		p += ev.rightEdgeSumDirect(g1, g2, x2, y1, y2)
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
 
+// topEdgeSumDirect is the canonical top-edge escape sum for columns
+// [x1, x2] under the model's evaluation policy: the exact recurrence
+// for exact mode, short spans and the degenerate g2 == 2 lattice, the
+// (memoized) Theorem 1 Simpson integral otherwise.
+func (ev *evaluator) topEdgeSumDirect(g1, g2, x1, x2, y2 int) float64 {
+	if ev.m.Exact || x2-x1 < ev.m.exactSpanLimit() || g2 == 2 {
+		return ev.exactTopSum(g1, g2, x1, x2, y2)
+	}
+	return ev.simpsonTop(g1, g2, x1, x2, y2)
+}
+
+// rightEdgeSumDirect is the right-edge counterpart of
+// topEdgeSumDirect for rows [y1, y2] along right column x2.
+func (ev *evaluator) rightEdgeSumDirect(g1, g2, x2, y1, y2 int) float64 {
+	if ev.m.Exact || y2-y1 < ev.m.exactSpanLimit() || g1 == 2 {
+		return ev.exactRightSum(g1, g2, x2, y1, y2)
+	}
+	return ev.simpsonRight(g1, g2, x2, y1, y2)
+}
+
+// simpsonTopDirect evaluates the Theorem 1 top-edge integral for unit
+// span [lo, hi] at top row y2 (zero when the whole span sits provably
+// outside the normal band). Its value is a pure function of
+// (g1, g2, lo, hi, y2) under one model configuration, which is what
+// makes the per-edge memo sound.
+func (ev *evaluator) simpsonTopDirect(g1, g2, lo, hi, y2 int) float64 {
 	// Half-cell continuity correction: the integral stands in for the
-	// discrete sum Σ_{x=x1}^{x2}, whose x2-x1+1 terms are matched by
-	// the interval [x1-½, x2+½]. The paper's Theorem 1 integrates
-	// [x1, x2] literally, which systematically undercounts one cell per
+	// discrete sum Σ_{x=lo}^{hi}, whose hi-lo+1 terms are matched by
+	// the interval [lo-½, hi+½]. The paper's Theorem 1 integrates
+	// [lo, hi] literally, which systematically undercounts one cell per
 	// edge; Model.PaperBounds restores the literal behaviour for
 	// fidelity comparisons (BenchmarkAblationIntegralBounds).
 	cc := 0.5
 	if ev.m.PaperBounds {
 		cc = 0
 	}
+	if bandSkip(float64(lo)-cc, float64(hi)+cc,
+		float64(g1-1)/float64(g1+g2-3), float64(y2),
+		float64(g2-2)/float64(g1+g2-4)*float64(g1-1)) {
+		return 0
+	}
+	w := float64(g2-1) / float64(g1+g2-2)
+	f := func(x float64) float64 {
+		return function1PDF(g1, g2, x, float64(y2))
+	}
+	return w * nmath.Simpson(f, float64(lo)-cc, float64(hi)+cc, ev.m.simpsonN())
+}
 
-	// Top-edge escapes.
-	if y2+1 <= g2-1 {
-		if x2-x1 < limit || g2 == 2 {
-			p += ev.exactTopSum(g1, g2, x1, x2, y2)
-		} else if !bandSkip(float64(x1)-cc, float64(x2)+cc,
-			float64(g1-1)/float64(g1+g2-3), float64(y2),
-			float64(g2-2)/float64(g1+g2-4)*float64(g1-1)) {
-			w := float64(g2-1) / float64(g1+g2-2)
-			f := func(x float64) float64 {
-				return function1PDF(g1, g2, x, float64(y2))
-			}
-			p += w * nmath.Simpson(f, float64(x1)-cc, float64(x2)+cc, n)
-		}
+// simpsonRightDirect evaluates the Theorem 1 right-edge integral for
+// unit span [lo, hi] at right column x2.
+func (ev *evaluator) simpsonRightDirect(g1, g2, x2, lo, hi int) float64 {
+	cc := 0.5
+	if ev.m.PaperBounds {
+		cc = 0
 	}
-	// Right-edge escapes.
-	if x2+1 <= g1-1 {
-		if y2-y1 < limit || g1 == 2 {
-			p += ev.exactRightSum(g1, g2, x2, y1, y2)
-		} else if !bandSkip(float64(y1)-cc, float64(y2)+cc,
-			float64(g2-1)/float64(g1+g2-3), float64(x2),
-			float64(g1-2)/float64(g1+g2-4)*float64(g2-1)) {
-			w := float64(g1-1) / float64(g1+g2-2)
-			f := func(y float64) float64 {
-				return function2PDF(g1, g2, float64(x2), y)
-			}
-			p += w * nmath.Simpson(f, float64(y1)-cc, float64(y2)+cc, n)
-		}
+	if bandSkip(float64(lo)-cc, float64(hi)+cc,
+		float64(g2-1)/float64(g1+g2-3), float64(x2),
+		float64(g1-2)/float64(g1+g2-4)*float64(g2-1)) {
+		return 0
 	}
-	if p > 1 {
-		p = 1
+	w := float64(g1-1) / float64(g1+g2-2)
+	f := func(y float64) float64 {
+		return function2PDF(g1, g2, float64(x2), y)
 	}
-	return p
+	return w * nmath.Simpson(f, float64(lo)-cc, float64(hi)+cc, ev.m.simpsonN())
 }
 
 // bandSkip reports whether the escape-density integral over [lo, hi]

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+	"irgrid/internal/nmath"
+)
+
+// Shard geometry. The per-net accumulation is partitioned into shards
+// whose boundaries depend only on the net count — never on the worker
+// count — and the per-shard partial grids are reduced in shard order.
+// That fixes the floating-point summation tree, so Evaluate is
+// bit-identical for every Workers setting (TestEvaluateParallelDeterminism).
+const (
+	// shardGrain is the target number of nets per shard; it sets the
+	// reduction tree's fan-in and bounds the bookkeeping overhead the
+	// sequential path pays for determinism.
+	shardGrain = 64
+	// maxShards caps the shard count (and with it the number of
+	// partial grids held and the useful worker count).
+	maxShards = 16
+	// parallelMinNets is the net count below which Evaluate stays
+	// sequential: small inputs lose more to goroutine fan-out than
+	// they gain from extra cores.
+	parallelMinNets = 256
+)
+
+// Evaluator is a reusable Irregular-Grid evaluation engine. It owns
+// every buffer an evaluation needs — the cutting-line coordinate
+// buffers, the probability grid, per-worker span scratch and per-edge
+// memo caches, the shared ln-factorial table and the top-score
+// selection scratch — so holding one across calls makes a steady-state
+// evaluation allocation-free. With Model.Workers (or GOMAXPROCS) above
+// one and enough nets, the per-net accumulation is sharded across
+// worker goroutines.
+//
+// An Evaluator is not safe for concurrent use; give each goroutine its
+// own (or use the pooled Model.Evaluate/Model.Score wrappers, which
+// are).
+type Evaluator struct {
+	m Model
+
+	// lf is the shared ln-factorial table. It is pre-grown past every
+	// unit-lattice dimension reachable on the current chip before
+	// worker fan-out, so concurrent workers only ever read it.
+	lf nmath.LogFact
+
+	xs, ys   []float64    // cutting-line coordinate buffers
+	mp       Map          // the arena-backed result map
+	prob     []float64    // backing for mp.Prob
+	partials [][]float64  // per-shard partial grids (shard 0 writes prob)
+	workers  []*evaluator // per-worker scratch + memo
+	cells    []topCell    // top-score selection scratch
+
+	nextShard atomic.Int64
+	wg        sync.WaitGroup
+}
+
+// NewEvaluator returns a reusable evaluation engine for the model.
+func (m Model) NewEvaluator() *Evaluator {
+	if m.Pitch <= 0 {
+		panic("core: Pitch must be positive")
+	}
+	return &Evaluator{m: m}
+}
+
+// Model returns the engine's configuration.
+func (e *Evaluator) Model() Model { return e.m }
+
+// Evaluate partitions the chip into IR-grids from the nets' routing
+// ranges and accumulates every net's crossing probabilities.
+//
+// The returned Map aliases the engine's arena: it is valid only until
+// the next Evaluate or Score call. Use Map.Clone (or Model.Evaluate)
+// for a caller-owned copy.
+func (e *Evaluator) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
+	e.buildAxes(chip, nets)
+	e.prob = resizeFloats(e.prob, e.mp.Cols()*e.mp.Rows())
+	e.mp.Prob = e.prob
+
+	// Pre-grow the shared ln-factorial table past any reachable
+	// g1+g2: snapped routing ranges never exceed the chip extent.
+	e.lf.Ensure(unitCells(chip.W(), e.m.Pitch) + unitCells(chip.H(), e.m.Pitch) + 4)
+
+	shards := shardCount(len(nets))
+	if w := e.workerCount(shards, len(nets)); w > 1 {
+		e.runParallel(nets, shards, w)
+	} else {
+		e.runSequential(nets, shards)
+	}
+	return &e.mp
+}
+
+// Score evaluates the nets and returns the chip-level congestion cost
+// (the average density of the most congested IR-grids covering the
+// model's TopFraction of the chip area). Steady state it allocates
+// nothing.
+func (e *Evaluator) Score(chip geom.Rect, nets []netlist.TwoPin) float64 {
+	mp := e.Evaluate(chip, nets)
+	frac := e.m.TopFraction
+	if frac <= 0 {
+		frac = 0.10
+	}
+	s, cells := mp.topScore(e.cells, frac)
+	e.cells = cells
+	return s
+}
+
+// buildAxes assembles the cutting-line axes (Algorithm steps 1–2)
+// into the engine's reused coordinate buffers.
+func (e *Evaluator) buildAxes(chip geom.Rect, nets []netlist.TwoPin) {
+	eps := e.m.Pitch * 1e-9
+	xs, ys := e.xs[:0], e.ys[:0]
+	xs = append(xs, chip.X1, chip.X2)
+	ys = append(ys, chip.Y1, chip.Y2)
+	for _, n := range nets {
+		r := n.Range()
+		xs = append(xs, r.X1, r.X2)
+		ys = append(ys, r.Y1, r.Y2)
+	}
+	e.xs, e.ys = xs, ys // retain grown capacity
+	xAxis := geom.NewAxisInPlace(xs, eps)
+	yAxis := geom.NewAxisInPlace(ys, eps)
+	if !e.m.NoMerge {
+		xAxis = xAxis.MergeInPlace(2 * e.m.Pitch)
+		yAxis = yAxis.MergeInPlace(2 * e.m.Pitch)
+	}
+	e.mp = Map{Chip: chip, XAxis: xAxis, YAxis: yAxis}
+}
+
+// worker returns the i-th per-worker scratch evaluator, creating it on
+// first use. Worker 0 doubles as the sequential path's evaluator.
+func (e *Evaluator) worker(i int) *evaluator {
+	for len(e.workers) <= i {
+		e.workers = append(e.workers, &evaluator{
+			m:    e.m,
+			lf:   &e.lf,
+			memo: make(map[edgeKey]float64),
+		})
+	}
+	w := e.workers[i]
+	w.mp = &e.mp
+	return w
+}
+
+// shardCount is a pure function of the net count so that the
+// summation tree — and with it the bit pattern of every result — is
+// independent of the worker count.
+func shardCount(n int) int {
+	s := (n + shardGrain - 1) / shardGrain
+	if s < 1 {
+		s = 1
+	}
+	if s > maxShards {
+		s = maxShards
+	}
+	return s
+}
+
+// shardRange returns the half-open net index range of shard s.
+func shardRange(n, shards, s int) (lo, hi int) {
+	return s * n / shards, (s + 1) * n / shards
+}
+
+// workerCount resolves the effective number of worker goroutines.
+func (e *Evaluator) workerCount(shards, nets int) int {
+	if nets < parallelMinNets {
+		return 1
+	}
+	w := e.m.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > shards {
+		w = shards
+	}
+	return w
+}
+
+// shardTarget returns the accumulation grid of shard s: shard 0 folds
+// straight into the result (x + 0 is exact, so this matches a
+// zero-initialized partial bit for bit), later shards into their own
+// partial grid.
+func (e *Evaluator) shardTarget(s int) []float64 {
+	if s == 0 {
+		return e.prob
+	}
+	return e.partials[s-1]
+}
+
+// growPartials sizes the per-shard partial grids for shards 1..shards-1.
+func (e *Evaluator) growPartials(shards int) {
+	for len(e.partials) < shards-1 {
+		e.partials = append(e.partials, nil)
+	}
+	for s := 1; s < shards; s++ {
+		e.partials[s-1] = resizeFloats(e.partials[s-1], len(e.prob))
+	}
+}
+
+// runSequential executes every shard in order on worker 0, reducing
+// each partial as it completes. The shard structure is kept (rather
+// than one flat loop) so the summation tree matches the parallel path.
+func (e *Evaluator) runSequential(nets []netlist.TwoPin, shards int) {
+	e.growPartials(shards)
+	w := e.worker(0)
+	for s := 0; s < shards; s++ {
+		lo, hi := shardRange(len(nets), shards, s)
+		w.out = e.shardTarget(s)
+		for _, n := range nets[lo:hi] {
+			w.addNet(n)
+		}
+		if s > 0 {
+			addInto(e.prob, w.out)
+		}
+	}
+	w.out = nil
+}
+
+// runParallel fans the shards out over `workers` goroutines claiming
+// shard indices from an atomic counter, then reduces the partial
+// grids in shard order. Which worker computes a shard cannot affect
+// the result: per-net values are canonical (the memo caches pure
+// functions), each shard owns its accumulation grid, and the ordered
+// reduction fixes the summation tree.
+func (e *Evaluator) runParallel(nets []netlist.TwoPin, shards, workers int) {
+	e.growPartials(shards)
+	e.nextShard.Store(0)
+	for wi := 0; wi < workers; wi++ {
+		w := e.worker(wi)
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for {
+				s := int(e.nextShard.Add(1)) - 1
+				if s >= shards {
+					w.out = nil
+					return
+				}
+				lo, hi := shardRange(len(nets), shards, s)
+				w.out = e.shardTarget(s)
+				for _, n := range nets[lo:hi] {
+					w.addNet(n)
+				}
+			}
+		}()
+	}
+	e.wg.Wait()
+	for s := 1; s < shards; s++ {
+		addInto(e.prob, e.partials[s-1])
+	}
+}
+
+// addInto accumulates src into dst elementwise.
+func addInto(dst, src []float64) {
+	_ = dst[len(src)-1]
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// reconfigure repoints a pooled engine at a new model configuration.
+// The edge-sum memos cache values that depend on the configuration, so
+// they are flushed; the ln-factorial table is configuration-free and
+// survives.
+func (e *Evaluator) reconfigure(m Model) {
+	e.m = m
+	for _, w := range e.workers {
+		w.m = m
+		clear(w.memo)
+	}
+}
+
+// evalPool recycles engines across the Model.Evaluate / Model.Score
+// compatibility wrappers, so even callers that never hold an Evaluator
+// reuse the ln-factorial table, the axis and grid arenas and — when
+// the model configuration matches — the warm edge-sum memos.
+var evalPool sync.Pool
+
+func pooledEvaluator(m Model) *Evaluator {
+	e, _ := evalPool.Get().(*Evaluator)
+	if e == nil {
+		return m.NewEvaluator()
+	}
+	if e.m != m {
+		e.reconfigure(m)
+	}
+	return e
+}
+
+func putPooledEvaluator(e *Evaluator) { evalPool.Put(e) }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// engineChip and engineNets build a fixed ≥500-net synthetic instance
+// large enough to exercise every shard and both evaluation paths
+// (short exact spans and long Simpson spans).
+func engineChip() geom.Rect { return geom.Rect{X1: 0, Y1: 0, X2: 3000, Y2: 2400} }
+
+func engineNets(n int) []netlist.TwoPin {
+	rng := rand.New(rand.NewSource(20040216)) // fixed: the fixture is part of the test
+	chip := engineChip()
+	nets := make([]netlist.TwoPin, n)
+	for i := range nets {
+		a := geom.Pt{
+			X: chip.X1 + rng.Float64()*chip.W(),
+			Y: chip.Y1 + rng.Float64()*chip.H(),
+		}
+		// Mix of long diagonal nets, short local nets and a few
+		// degenerate (shared row/column) nets.
+		var b geom.Pt
+		switch i % 7 {
+		case 0:
+			b = geom.Pt{X: a.X, Y: chip.Y1 + rng.Float64()*chip.H()}
+		case 1, 2:
+			b = geom.Pt{
+				X: math.Min(chip.X2, a.X+rng.Float64()*200),
+				Y: math.Max(chip.Y1, a.Y-rng.Float64()*200),
+			}
+		default:
+			b = geom.Pt{
+				X: chip.X1 + rng.Float64()*chip.W(),
+				Y: chip.Y1 + rng.Float64()*chip.H(),
+			}
+		}
+		nets[i] = netlist.TwoPin{A: a, B: b}
+	}
+	return nets
+}
+
+// TestEvaluateParallelDeterminism is the engine's core guarantee: the
+// probability map must be bit-identical — not merely close — for every
+// Workers setting, because SA acceptance decisions compare scores
+// across moves and any worker-count dependence would make runs
+// irreproducible.
+func TestEvaluateParallelDeterminism(t *testing.T) {
+	chip := engineChip()
+	nets := engineNets(700)
+	if len(nets) < parallelMinNets {
+		t.Fatalf("fixture too small to engage the parallel path: %d nets", len(nets))
+	}
+
+	ref := Model{Pitch: 4, Workers: 1}.Evaluate(chip, nets)
+	for _, workers := range []int{2, 3, 4, 8, 16} {
+		mp := Model{Pitch: 4, Workers: workers}.Evaluate(chip, nets)
+		if len(mp.Prob) != len(ref.Prob) {
+			t.Fatalf("Workers=%d: %d cells, want %d", workers, len(mp.Prob), len(ref.Prob))
+		}
+		for i := range ref.Prob {
+			if mp.Prob[i] != ref.Prob[i] { // bitwise, no tolerance
+				t.Fatalf("Workers=%d: cell %d = %.17g, sequential %.17g (diff %g)",
+					workers, i, mp.Prob[i], ref.Prob[i], mp.Prob[i]-ref.Prob[i])
+			}
+		}
+	}
+}
+
+// TestEvaluatorReuseIsStable holds one Evaluator across repeated calls
+// (the SA steady state): warm memos and reused arenas must not change
+// a single bit of the output.
+func TestEvaluatorReuseIsStable(t *testing.T) {
+	chip := engineChip()
+	nets := engineNets(500)
+	e := Model{Pitch: 4}.NewEvaluator()
+
+	first := e.Evaluate(chip, nets).Clone()
+	for round := 0; round < 3; round++ {
+		mp := e.Evaluate(chip, nets)
+		for i := range first.Prob {
+			if mp.Prob[i] != first.Prob[i] {
+				t.Fatalf("round %d: cell %d drifted: %.17g vs %.17g",
+					round, i, mp.Prob[i], first.Prob[i])
+			}
+		}
+	}
+	if s1, s2 := e.Score(chip, nets), e.Score(chip, nets); s1 != s2 {
+		t.Fatalf("Score not stable across reuse: %.17g vs %.17g", s1, s2)
+	}
+}
+
+// TestEvaluatorMatchesModelEvaluate pins the compatibility wrappers to
+// the engine: Model.Evaluate/Score must be exactly the pooled-engine
+// result.
+func TestEvaluatorMatchesModelEvaluate(t *testing.T) {
+	chip := engineChip()
+	nets := engineNets(300)
+	m := Model{Pitch: 4, TopFraction: 0.1}
+
+	e := m.NewEvaluator()
+	want := e.Evaluate(chip, nets).Clone()
+	got := m.Evaluate(chip, nets)
+	if got.Cols() != want.Cols() || got.Rows() != want.Rows() {
+		t.Fatalf("grid mismatch: %dx%d vs %dx%d", got.Cols(), got.Rows(), want.Cols(), want.Rows())
+	}
+	for i := range want.Prob {
+		if got.Prob[i] != want.Prob[i] {
+			t.Fatalf("cell %d: wrapper %.17g, engine %.17g", i, got.Prob[i], want.Prob[i])
+		}
+	}
+	if ws, ms := e.Score(chip, nets), m.Score(chip, nets); ws != ms {
+		t.Fatalf("Score: wrapper %.17g, engine %.17g", ms, ws)
+	}
+}
+
+// TestEvaluatorSteadyStateAllocs verifies the arena actually works: a
+// warmed sequential engine must not allocate per Score call.
+func TestEvaluatorSteadyStateAllocs(t *testing.T) {
+	chip := engineChip()
+	nets := engineNets(200) // below parallelMinNets: sequential path
+	e := Model{Pitch: 4, Workers: 1}.NewEvaluator()
+	for i := 0; i < 3; i++ { // warm arenas and memos
+		e.Score(chip, nets)
+	}
+	avg := testing.AllocsPerRun(10, func() { e.Score(chip, nets) })
+	if avg > 0.5 {
+		t.Fatalf("steady-state Score allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestShardRangeCoversAllNets checks the shard partition is exact:
+// contiguous, disjoint and covering [0, n).
+func TestShardRangeCoversAllNets(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 500, 700, 5000} {
+		shards := shardCount(n)
+		if shards < 1 || shards > maxShards {
+			t.Fatalf("n=%d: shardCount=%d out of range", n, shards)
+		}
+		next := 0
+		for s := 0; s < shards; s++ {
+			lo, hi := shardRange(n, shards, s)
+			if lo != next || hi < lo {
+				t.Fatalf("n=%d shard %d: range [%d,%d), expected lo=%d", n, s, lo, hi, next)
+			}
+			next = hi
+		}
+		if next != n {
+			t.Fatalf("n=%d: shards cover [0,%d), want [0,%d)", n, next, n)
+		}
+	}
+}
+
+// TestPooledEvaluatorReconfigures ensures the wrapper pool does not
+// serve memo entries cached under a different model configuration.
+func TestPooledEvaluatorReconfigures(t *testing.T) {
+	chip := engineChip()
+	nets := engineNets(300)
+
+	approx := Model{Pitch: 4}
+	exact := Model{Pitch: 4, Exact: true}
+	wantExact := exact.NewEvaluator().Evaluate(chip, nets).Clone()
+
+	// Interleave configurations through the shared pool; the exact
+	// model must keep producing exact results.
+	for i := 0; i < 3; i++ {
+		approx.Evaluate(chip, nets)
+		got := exact.Evaluate(chip, nets)
+		for j := range wantExact.Prob {
+			if got.Prob[j] != wantExact.Prob[j] {
+				t.Fatalf("iteration %d: pooled exact result drifted at cell %d", i, j)
+			}
+		}
+	}
+}

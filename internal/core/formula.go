@@ -29,7 +29,7 @@ import (
 // sums are strictly less than the total and at least one escape
 // direction exists.
 func (ev *evaluator) exactProb(g1, g2, x1, x2, y1, y2 int) float64 {
-	ev.lf.Ensure(g1 + g2)
+	ev.ensureLF(g1 + g2)
 	var p float64
 	// Top-edge escapes: from (x, y2) to (x, y2+1). Tb(x, y2+1) is zero
 	// when y2 is the top row of the routing range.

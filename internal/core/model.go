@@ -18,11 +18,19 @@
 // covering a pin — including the cells adjacent to pins where the
 // normal approximation degenerates (§4.5) — are assigned probability 1
 // directly.
+//
+// The hot path is the reusable Evaluator (engine.go): it keeps every
+// buffer the evaluation needs — cutting-line axes, the probability
+// grid, per-net span scratch, the ln-factorial table and a memo of
+// per-edge escape sums — alive across calls, so a steady-state
+// simulated-annealing move evaluates with no heap allocation, and it
+// can shard the per-net accumulation across worker goroutines.
+// Model.Evaluate and Model.Score remain as thin wrappers over a pooled
+// Evaluator.
 package core
 
 import (
 	"math"
-	"sort"
 
 	"irgrid/internal/geom"
 	"irgrid/internal/netlist"
@@ -61,6 +69,13 @@ type Model struct {
 	// continuity-corrected [x1-½, x2+½] that matches the discrete sum.
 	// Off by default; used by the integral-bounds ablation.
 	PaperBounds bool
+	// Workers is the number of goroutines Evaluate shards the per-net
+	// accumulation across. Zero uses GOMAXPROCS; 1 forces the
+	// sequential path. The result is bit-identical for every worker
+	// count: nets are partitioned into shards whose boundaries depend
+	// only on the net count, each shard accumulates into its own
+	// partial grid, and the partials are reduced in shard order.
+	Workers int
 }
 
 // Name identifies the model in experiment tables.
@@ -69,6 +84,15 @@ func (m Model) Name() string {
 		return "ir-grid(exact)"
 	}
 	return "ir-grid"
+}
+
+// WithWorkers returns a copy of the model evaluating with the given
+// worker count. The `any` return implements the optional
+// estimator-parallelism hook of higher layers (fplan.Config.Workers)
+// without core importing the pipeline packages.
+func (m Model) WithWorkers(workers int) any {
+	m.Workers = workers
+	return m
 }
 
 func (m Model) exactSpanLimit() int {
@@ -127,93 +151,48 @@ func (mp *Map) Density(ix, iy int) float64 {
 	return mp.At(ix, iy) / a
 }
 
+// Clone returns a deep copy of the map that does not alias the
+// receiver's buffers. Evaluator.Evaluate returns arena-backed maps
+// that are only valid until the next call; Clone detaches them.
+func (mp *Map) Clone() *Map {
+	return &Map{
+		Chip:  mp.Chip,
+		XAxis: append(geom.Axis(nil), mp.XAxis...),
+		YAxis: append(geom.Axis(nil), mp.YAxis...),
+		Prob:  append([]float64(nil), mp.Prob...),
+	}
+}
+
 // Evaluate partitions the chip into IR-grids from the nets' routing
 // ranges and accumulates every net's crossing probabilities.
+//
+// It is a compatibility wrapper over a pooled Evaluator: the returned
+// Map is caller-owned, but the evaluation scratch (axis buffers,
+// ln-factorial table, edge-sum memo) is recycled across calls. Loops
+// that evaluate many times should hold a NewEvaluator instead and skip
+// the copy.
 func (m Model) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
 	if m.Pitch <= 0 {
 		panic("core: Pitch must be positive")
 	}
-	eps := m.Pitch * 1e-9
-
-	// Step 1: cutting lines from routing-range boundaries.
-	xs := make([]float64, 0, 2*len(nets)+2)
-	ys := make([]float64, 0, 2*len(nets)+2)
-	xs = append(xs, chip.X1, chip.X2)
-	ys = append(ys, chip.Y1, chip.Y2)
-	for _, n := range nets {
-		r := n.Range()
-		xs = append(xs, r.X1, r.X2)
-		ys = append(ys, r.Y1, r.Y2)
-	}
-	xAxis := geom.NewAxis(xs, eps)
-	yAxis := geom.NewAxis(ys, eps)
-
-	// Step 2: merge lines closer than twice the base pitch.
-	if !m.NoMerge {
-		xAxis = xAxis.Merge(2 * m.Pitch)
-		yAxis = yAxis.Merge(2 * m.Pitch)
-	}
-
-	mp := &Map{Chip: chip, XAxis: xAxis, YAxis: yAxis}
-	mp.Prob = make([]float64, mp.Cols()*mp.Rows())
-
-	// Step 3: per-net crossing probabilities.
-	ev := &evaluator{m: m, mp: mp}
-	for _, n := range nets {
-		ev.addNet(n)
-	}
+	e := pooledEvaluator(m)
+	mp := e.Evaluate(chip, nets).Clone()
+	putPooledEvaluator(e)
 	return mp
 }
 
 // Score returns the chip-level congestion cost: the average congestion
-// of the top-10% most congested area units (Algorithm step 5).
+// of the top-10% most congested area units (Algorithm step 5). Like
+// Evaluate, it runs on a pooled Evaluator; steady state performs no
+// heap allocation.
 func (m Model) Score(chip geom.Rect, nets []netlist.TwoPin) float64 {
-	frac := m.TopFraction
-	if frac <= 0 {
-		frac = 0.10
+	if m.Pitch <= 0 {
+		panic("core: Pitch must be positive")
 	}
-	return m.Evaluate(chip, nets).TopScore(frac)
-}
-
-// TopScore returns the area-weighted mean density over the most
-// congested IR-grids covering frac of the chip area: IR-grids are
-// ranked by density; whole grids are taken until the area budget is
-// reached, the last one contributing only its remaining share.
-func (mp *Map) TopScore(frac float64) float64 {
-	type cell struct {
-		d, area float64
-	}
-	cells := make([]cell, 0, len(mp.Prob))
-	for iy := 0; iy < mp.Rows(); iy++ {
-		for ix := 0; ix < mp.Cols(); ix++ {
-			a := mp.Rect(ix, iy).Area()
-			if a <= 0 {
-				continue
-			}
-			cells = append(cells, cell{d: mp.At(ix, iy) / a, area: a})
-		}
-	}
-	if len(cells) == 0 {
-		return 0
-	}
-	sort.Slice(cells, func(i, j int) bool { return cells[i].d > cells[j].d })
-	budget := frac * mp.Chip.Area()
-	if budget <= 0 {
-		return cells[0].d
-	}
-	var sum, used float64
-	for _, c := range cells {
-		a := math.Min(c.area, budget-used)
-		sum += c.d * a
-		used += a
-		if used >= budget {
-			break
-		}
-	}
-	if used == 0 {
-		return 0
-	}
-	return sum / used
+	e := pooledEvaluator(m)
+	s := e.Score(chip, nets)
+	putPooledEvaluator(e)
+	return s
 }
 
 // Max returns the largest IR-grid density.
@@ -229,11 +208,15 @@ func (mp *Map) Max() float64 {
 	return mx
 }
 
-// evaluator carries the per-Evaluate scratch state.
+// evaluator carries the per-worker evaluation state: the model
+// configuration, the map being filled, the accumulation target, span
+// scratch, the ln-factorial table and an optional memo of canonical
+// per-edge escape sums.
 type evaluator struct {
-	m  Model
-	mp *Map
-	lf nmath.LogFact
+	m   Model
+	mp  *Map
+	lf  *nmath.LogFact
+	out []float64 // accumulation target; nil means mp.Prob
 
 	// perCell forces the reference per-cell evaluation instead of the
 	// row/column sweeps; used by tests to cross-validate the sweeps.
@@ -243,6 +226,41 @@ type evaluator struct {
 	colHi   []int
 	rowLo   []int
 	rowHi   []int
+
+	// memo caches the Theorem 1 Simpson edge integrals keyed by
+	// (g1, g2, span, offset). MCNC-style netlists repeat routing-range
+	// shapes heavily across nets and across SA moves, so a warm cache
+	// skips the quadratures outright. Only the Simpson sums are cached:
+	// they are canonical pure functions of the key (a hit is bit-equal
+	// to a fresh computation, keeping results deterministic), whereas
+	// the exact short-span sums ride the sweep's multiplicative carry
+	// and cost fewer cycles to recompute than a map probe (profiled:
+	// hashing a cell-level memo dominated the whole evaluation).
+	memo map[edgeKey]float64
+}
+
+// edgeKey identifies one boundary-escape edge sum: the unit-lattice
+// dimensions, the edge span [lo, hi] and the fixed offset (the top row
+// y2 for top edges, the right column x2 for right edges).
+type edgeKey struct {
+	g1, g2, lo, hi, off int32
+	right               bool
+}
+
+// memoCap bounds the per-worker cache; beyond it new shapes are
+// computed without being stored (an SA run revisits a bounded shape
+// population, so in practice the cap is never approached).
+const memoCap = 1 << 16
+
+// ensureLF lazily allocates and grows the ln-factorial table. In
+// parallel evaluation the table is shared read-only: the Evaluator
+// pre-grows it past every reachable n before fan-out, making the
+// Ensure here a no-op length check.
+func (ev *evaluator) ensureLF(n int) {
+	if ev.lf == nil {
+		ev.lf = new(nmath.LogFact)
+	}
+	ev.lf.Ensure(n)
 }
 
 // netFrame is a net's routing range expressed on the unit lattice: the
@@ -255,9 +273,12 @@ type netFrame struct {
 	typeII             bool
 }
 
-// addNet accumulates one 2-pin net into the map.
+// addNet accumulates one 2-pin net into the target grid.
 func (ev *evaluator) addNet(n netlist.TwoPin) {
 	mp := ev.mp
+	if ev.out == nil {
+		ev.out = mp.Prob
+	}
 	f, ok := ev.frame(n)
 	if !ok {
 		return
@@ -266,19 +287,21 @@ func (ev *evaluator) addNet(n netlist.TwoPin) {
 	if f.g1 == 1 || f.g2 == 1 {
 		// Point or line routing range: probability 1 everywhere it
 		// covers.
+		cols := mp.Cols()
 		for iy := f.cy1; iy <= f.cy2; iy++ {
 			for ix := f.cx1; ix <= f.cx2; ix++ {
-				mp.Prob[iy*mp.Cols()+ix] += 1
+				ev.out[iy*cols+ix] += 1
 			}
 		}
 		return
 	}
 
-	ev.lf.Ensure(f.g1 + f.g2)
+	ev.ensureLF(f.g1 + f.g2)
 	if ev.perCell {
+		cols := mp.Cols()
 		for iy := f.cy1; iy <= f.cy2; iy++ {
 			for ix := f.cx1; ix <= f.cx2; ix++ {
-				mp.Prob[iy*mp.Cols()+ix] += ev.irProb(f, ix, iy)
+				ev.out[iy*cols+ix] += ev.irProb(f, ix, iy)
 			}
 		}
 		return
@@ -289,9 +312,13 @@ func (ev *evaluator) addNet(n netlist.TwoPin) {
 // addNetSweep computes every covered IR-grid's crossing probability
 // with one recurrence sweep per IR row (top-edge escape sums) and one
 // per IR column (right-edge escape sums), amortizing the log-space
-// start term across all IR-grids in the lane. It produces exactly the
-// same values as irProb (TestSweepMatchesPerCell) at a fraction of the
-// cost: ~4 flops per unit cell instead of two exp calls per IR-grid.
+// start term across all IR-grids in the lane. It produces the same
+// values as irProb up to quadrature-noise ulps
+// (TestSweepMatchesPerCell) at a fraction of the cost: ~4 flops per
+// unit cell instead of two exp calls per IR-grid. Long edges take the
+// memoized Theorem 1 Simpson integral instead of the recurrence; the
+// sweep is self-contained per net, so results cannot depend on which
+// worker runs it.
 func (ev *evaluator) addNetSweep(f netFrame) {
 	mp := ev.mp
 	g1, g2 := f.g1, f.g2
@@ -432,7 +459,8 @@ func (ev *evaluator) addNetSweep(f netFrame) {
 		}
 	}
 
-	// Pin and §4.5 overrides, then fold into the map.
+	// Pin and §4.5 overrides, then fold into the target grid.
+	mpCols := mp.Cols()
 	for j := 0; j < rows; j++ {
 		y1, y2 := ev.rowLo[j], ev.rowHi[j]
 		for i := 0; i < cols; i++ {
@@ -447,43 +475,41 @@ func (ev *evaluator) addNetSweep(f netFrame) {
 			} else if p > 1 {
 				p = 1
 			}
-			mp.Prob[(f.cy1+j)*mp.Cols()+f.cx1+i] += p
+			ev.out[(f.cy1+j)*mpCols+f.cx1+i] += p
 		}
 	}
 }
 
-// simpsonTop evaluates the Theorem 1 top-edge integral for unit span
-// [lo, hi] at top row y2 (used for spans past the exact-span limit).
+// simpsonTop is simpsonTopDirect through the per-edge memo.
 func (ev *evaluator) simpsonTop(g1, g2, lo, hi, y2 int) float64 {
-	cc := 0.5
-	if ev.m.PaperBounds {
-		cc = 0
+	if ev.memo == nil {
+		return ev.simpsonTopDirect(g1, g2, lo, hi, y2)
 	}
-	if bandSkip(float64(lo)-cc, float64(hi)+cc,
-		float64(g1-1)/float64(g1+g2-3), float64(y2),
-		float64(g2-2)/float64(g1+g2-4)*float64(g1-1)) {
-		return 0
+	k := edgeKey{g1: int32(g1), g2: int32(g2), lo: int32(lo), hi: int32(hi), off: int32(y2)}
+	if v, ok := ev.memo[k]; ok {
+		return v
 	}
-	w := float64(g2-1) / float64(g1+g2-2)
-	f := func(x float64) float64 { return function1PDF(g1, g2, x, float64(y2)) }
-	return w * nmath.Simpson(f, float64(lo)-cc, float64(hi)+cc, ev.m.simpsonN())
+	v := ev.simpsonTopDirect(g1, g2, lo, hi, y2)
+	if len(ev.memo) < memoCap {
+		ev.memo[k] = v
+	}
+	return v
 }
 
-// simpsonRight evaluates the Theorem 1 right-edge integral for unit
-// span [lo, hi] at right column x2.
+// simpsonRight is simpsonRightDirect through the per-edge memo.
 func (ev *evaluator) simpsonRight(g1, g2, x2, lo, hi int) float64 {
-	cc := 0.5
-	if ev.m.PaperBounds {
-		cc = 0
+	if ev.memo == nil {
+		return ev.simpsonRightDirect(g1, g2, x2, lo, hi)
 	}
-	if bandSkip(float64(lo)-cc, float64(hi)+cc,
-		float64(g2-1)/float64(g1+g2-3), float64(x2),
-		float64(g1-2)/float64(g1+g2-4)*float64(g2-1)) {
-		return 0
+	k := edgeKey{g1: int32(g1), g2: int32(g2), lo: int32(lo), hi: int32(hi), off: int32(x2), right: true}
+	if v, ok := ev.memo[k]; ok {
+		return v
 	}
-	w := float64(g1-1) / float64(g1+g2-2)
-	f := func(y float64) float64 { return function2PDF(g1, g2, float64(x2), y) }
-	return w * nmath.Simpson(f, float64(lo)-cc, float64(hi)+cc, ev.m.simpsonN())
+	v := ev.simpsonRightDirect(g1, g2, x2, lo, hi)
+	if len(ev.memo) < memoCap {
+		ev.memo[k] = v
+	}
+	return v
 }
 
 func resizeFloats(s []float64, n int) []float64 {
@@ -534,7 +560,8 @@ func (ev *evaluator) frame(n netlist.TwoPin) (netFrame, bool) {
 	return f, true
 }
 
-// irProb returns P_i(I) for IR-grid (ix, iy) within frame f.
+// irProb returns P_i(I) for IR-grid (ix, iy) within frame f. It is the
+// uncached reference computation the per-cell test path exercises.
 func (ev *evaluator) irProb(f netFrame, ix, iy int) float64 {
 	mp := ev.mp
 	// Unit-cell span of the IR-grid inside the routing range.

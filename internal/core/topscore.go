@@ -1,0 +1,165 @@
+package core
+
+// TopScore's partial selection: only the densest IR-grids covering
+// frac of the chip area are ever consumed, so ranking every cell with
+// a full sort is wasted work. weightedTopSum instead runs an expected
+// O(n) quickselect-style three-way partition that recurses only into
+// the side containing the area-budget boundary.
+
+// topCell is one positive-area IR-grid prepared for selection.
+type topCell struct {
+	d, area float64
+}
+
+// TopScore returns the area-weighted mean density over the most
+// congested IR-grids covering frac of the chip area: IR-grids are
+// ranked by density; whole grids are taken until the area budget is
+// reached, the last one contributing only its remaining share.
+func (mp *Map) TopScore(frac float64) float64 {
+	s, _ := mp.topScore(nil, frac)
+	return s
+}
+
+// topScore is TopScore with a caller-supplied scratch buffer; it
+// returns the (possibly grown) buffer for reuse.
+func (mp *Map) topScore(scratch []topCell, frac float64) (float64, []topCell) {
+	cells := scratch[:0]
+	for iy := 0; iy < mp.Rows(); iy++ {
+		for ix := 0; ix < mp.Cols(); ix++ {
+			a := mp.Rect(ix, iy).Area()
+			if a <= 0 {
+				continue
+			}
+			cells = append(cells, topCell{d: mp.At(ix, iy) / a, area: a})
+		}
+	}
+	if len(cells) == 0 {
+		return 0, cells
+	}
+	budget := frac * mp.Chip.Area()
+	if budget <= 0 {
+		mx := cells[0].d
+		for _, c := range cells[1:] {
+			if c.d > mx {
+				mx = c.d
+			}
+		}
+		return mx, cells
+	}
+	sum, used := weightedTopSum(cells, budget)
+	if used == 0 {
+		return 0, cells
+	}
+	return sum / used, cells
+}
+
+// weightedTopSum consumes the densest cells until `budget` area is
+// used (the last cell contributing a partial share) and returns the
+// density-weighted area sum alongside the area actually used (less
+// than budget only when the cells run out). It reorders cells.
+func weightedTopSum(cells []topCell, budget float64) (sum, used float64) {
+	lo, hi := 0, len(cells)
+	remaining := budget
+	for {
+		if hi-lo <= 16 {
+			// Insertion-sort the remnant descending by density and walk.
+			for i := lo + 1; i < hi; i++ {
+				c := cells[i]
+				j := i - 1
+				for j >= lo && cells[j].d < c.d {
+					cells[j+1] = cells[j]
+					j--
+				}
+				cells[j+1] = c
+			}
+			for i := lo; i < hi; i++ {
+				a := cells[i].area
+				if a > remaining {
+					a = remaining
+				}
+				sum += cells[i].d * a
+				used += a
+				remaining -= a
+				if remaining <= 0 {
+					return sum, used
+				}
+			}
+			return sum, used
+		}
+
+		p := medianOfThreeDensity(cells, lo, hi)
+		// Three-way partition [lo,hi) into > p | == p | < p, tracking
+		// the area and weighted mass of the dense side as it forms.
+		i, k, g := lo, lo, hi
+		var areaG, sumG float64
+		for k < g {
+			switch d := cells[k].d; {
+			case d > p:
+				cells[i], cells[k] = cells[k], cells[i]
+				areaG += cells[i].area
+				sumG += cells[i].d * cells[i].area
+				i++
+				k++
+			case d < p:
+				g--
+				cells[k], cells[g] = cells[g], cells[k]
+			default:
+				k++
+			}
+		}
+
+		if areaG >= remaining {
+			// The budget boundary lies inside the dense side; discard
+			// the scan's partial aggregates and re-select there.
+			hi = i
+			continue
+		}
+		// Consume the dense side whole.
+		sum += sumG
+		used += areaG
+		remaining -= areaG
+		// The pivot-density band: every cell contributes the same
+		// density, so the order within the band cannot matter.
+		var areaE float64
+		for t := i; t < k; t++ {
+			areaE += cells[t].area
+		}
+		if areaE >= remaining {
+			sum += p * remaining
+			used += remaining
+			return sum, used
+		}
+		for t := i; t < k; t++ {
+			sum += cells[t].d * cells[t].area
+		}
+		used += areaE
+		remaining -= areaE
+		lo = k
+	}
+}
+
+// medianOfThreeDensity picks a deterministic pivot density from the
+// first, middle and last cells of [lo, hi).
+func medianOfThreeDensity(cells []topCell, lo, hi int) float64 {
+	a, b, c := cells[lo].d, cells[(lo+hi)/2].d, cells[hi-1].d
+	switch {
+	case a < b:
+		switch {
+		case b < c:
+			return b
+		case a < c:
+			return c
+		default:
+			return a
+		}
+	default:
+		switch {
+		case a < c:
+			return a
+		case b < c:
+			return c
+		default:
+			return b
+		}
+	}
+}

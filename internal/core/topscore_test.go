@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"irgrid/internal/geom"
+)
+
+// These tests lock TopScore's edge-case behavior independently of how
+// the selection is implemented (full sort in the seed, partial
+// quickselect in the engine): zero-area cells are skipped, density
+// ties at the budget boundary contribute exactly the tied density,
+// and frac >= 1 degrades to total mass over total area.
+
+func TestTopScoreSkipsZeroAreaCells(t *testing.T) {
+	// The x axis contains a duplicated cutting line, producing a
+	// zero-width (zero-area) middle cell that must not contribute to —
+	// or poison — the score, even though it carries probability mass.
+	mp := &Map{
+		Chip:  geom.Rect{X1: 0, Y1: 0, X2: 100, Y2: 10},
+		XAxis: geom.Axis{0, 50, 50, 100},
+		YAxis: geom.Axis{0, 10},
+		Prob:  []float64{1, 7, 2},
+	}
+	// Cells: [0,50]x[0,10] F=1 (d=0.002), zero-area F=7, [50,100] F=2
+	// (d=0.004). Top 50% = 500 µm² = exactly the denser cell.
+	if got, want := mp.TopScore(0.5), 0.004; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TopScore(0.5) = %g, want %g", got, want)
+	}
+	// Full budget: mean density over the two real cells.
+	if got, want := mp.TopScore(1), 3.0/1000; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TopScore(1) = %g, want %g", got, want)
+	}
+}
+
+func TestTopScoreTiesAtBudgetBoundary(t *testing.T) {
+	// Four equal-density cells straddle the budget boundary: whichever
+	// of the tied cells selection picks, the score is the tied density.
+	mp := &Map{
+		Chip:  geom.Rect{X1: 0, Y1: 0, X2: 400, Y2: 10},
+		XAxis: geom.Axis{0, 100, 200, 300, 400},
+		YAxis: geom.Axis{0, 10},
+		Prob:  []float64{3, 3, 3, 3},
+	}
+	for _, frac := range []float64{0.10, 0.25, 0.375, 0.5, 0.75} {
+		if got, want := mp.TopScore(frac), 0.003; math.Abs(got-want) > 1e-12 {
+			t.Errorf("TopScore(%g) = %g, want %g", frac, got, want)
+		}
+	}
+	// A strictly denser cell plus ties below the boundary: the dense
+	// cell is consumed whole, the remainder at the tied density.
+	mp.Prob[1] = 6 // density 0.006 on cell 1
+	// Budget 0.5 → 2000 µm²: cell 1 (1000 µm², d=.006) + 1000 µm² at .003.
+	want := (0.006*1000 + 0.003*1000) / 2000
+	if got := mp.TopScore(0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TopScore(0.5) with dense cell = %g, want %g", got, want)
+	}
+}
+
+func TestTopScoreFracAboveOne(t *testing.T) {
+	mp := &Map{
+		Chip:  geom.Rect{X1: 0, Y1: 0, X2: 300, Y2: 10},
+		XAxis: geom.Axis{0, 100, 300},
+		YAxis: geom.Axis{0, 10},
+		Prob:  []float64{5, 1},
+	}
+	// frac >= 1 consumes every cell: total mass / total area.
+	want := (5.0 + 1.0) / 3000
+	for _, frac := range []float64{1, 1.5, 100} {
+		if got := mp.TopScore(frac); math.Abs(got-want) > 1e-12 {
+			t.Errorf("TopScore(%g) = %g, want %g", frac, got, want)
+		}
+	}
+}
+
+func TestTopScoreNonPositiveBudget(t *testing.T) {
+	mp := &Map{
+		Chip:  geom.Rect{X1: 0, Y1: 0, X2: 300, Y2: 10},
+		XAxis: geom.Axis{0, 100, 300},
+		YAxis: geom.Axis{0, 10},
+		Prob:  []float64{1, 4},
+	}
+	// frac == 0 makes the area budget 0: the score degenerates to the
+	// maximum cell density.
+	if got, want := mp.TopScore(0), 4.0/2000; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TopScore(0) = %g, want %g", got, want)
+	}
+}
+
+func TestTopScoreEmptyMap(t *testing.T) {
+	mp := &Map{Chip: geom.Rect{X1: 0, Y1: 0, X2: 10, Y2: 10}}
+	if got := mp.TopScore(0.1); got != 0 {
+		t.Errorf("TopScore on empty map = %g, want 0", got)
+	}
+}
+
+// TestTopScoreMatchesSortedReference cross-checks the selection
+// against a straightforward fully-sorted reference on random maps.
+func TestTopScoreMatchesSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		nx, ny := 2+rng.Intn(12), 2+rng.Intn(12)
+		xAxis := randomAxis(rng, nx, 600)
+		yAxis := randomAxis(rng, ny, 400)
+		mp := &Map{
+			Chip:  geom.Rect{X1: xAxis[0], Y1: yAxis[0], X2: xAxis[len(xAxis)-1], Y2: yAxis[len(yAxis)-1]},
+			XAxis: xAxis,
+			YAxis: yAxis,
+			Prob:  make([]float64, (len(xAxis)-1)*(len(yAxis)-1)),
+		}
+		for i := range mp.Prob {
+			mp.Prob[i] = rng.Float64() * 5
+		}
+		for _, frac := range []float64{0.05, 0.1, 0.33, 0.9, 1} {
+			got := mp.TopScore(frac)
+			want := sortedTopScore(mp, frac)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("trial %d frac %g: TopScore %.15g, sorted reference %.15g", trial, frac, got, want)
+			}
+		}
+	}
+}
+
+func randomAxis(rng *rand.Rand, cells int, span float64) geom.Axis {
+	cuts := make([]float64, cells+1)
+	for i := range cuts {
+		cuts[i] = rng.Float64() * span
+	}
+	sort.Float64s(cuts)
+	return geom.Axis(cuts)
+}
+
+// sortedTopScore is the seed implementation: rank every positive-area
+// cell by density, take whole cells until the budget, the last
+// partially.
+func sortedTopScore(mp *Map, frac float64) float64 {
+	type cell struct{ d, area float64 }
+	var cells []cell
+	for iy := 0; iy < mp.Rows(); iy++ {
+		for ix := 0; ix < mp.Cols(); ix++ {
+			a := mp.Rect(ix, iy).Area()
+			if a <= 0 {
+				continue
+			}
+			cells = append(cells, cell{d: mp.At(ix, iy) / a, area: a})
+		}
+	}
+	if len(cells) == 0 {
+		return 0
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].d > cells[j].d })
+	budget := frac * mp.Chip.Area()
+	if budget <= 0 {
+		return cells[0].d
+	}
+	var sum, used float64
+	for _, c := range cells {
+		a := math.Min(c.area, budget-used)
+		sum += c.d * a
+		used += a
+		if used >= budget {
+			break
+		}
+	}
+	if used == 0 {
+		return 0
+	}
+	return sum / used
+}

@@ -62,6 +62,11 @@ type Config struct {
 	// Representation selects the floorplan encoding the annealer
 	// searches: ReprSlicing (default, the paper's) or ReprSeqPair.
 	Representation string
+	// Workers is the parallelism of the congestion estimator's
+	// evaluation engine, forwarded to estimators that support it:
+	// 0 uses GOMAXPROCS, 1 forces sequential evaluation. Estimator
+	// results are bit-identical for every setting.
+	Workers int
 }
 
 // Solution is a fully evaluated floorplan.
@@ -96,6 +101,16 @@ func New(c *netlist.Circuit, cfg Config) (*Runner, error) {
 	}
 	if cfg.Gamma != 0 && cfg.Estimator == nil {
 		return nil, fmt.Errorf("fplan: Gamma=%g requires an Estimator", cfg.Gamma)
+	}
+	// Forward the Workers knob to estimators that support parallel
+	// evaluation. The interface is structural so fplan needs no
+	// dependency on any concrete estimator package.
+	if cfg.Workers != 0 && cfg.Estimator != nil {
+		if p, ok := cfg.Estimator.(interface{ WithWorkers(int) any }); ok {
+			if est, ok := p.WithWorkers(cfg.Workers).(Estimator); ok {
+				cfg.Estimator = est
+			}
+		}
 	}
 	r := &Runner{
 		Circuit: c,

@@ -135,6 +135,43 @@ func NewAxis(coords []float64, eps float64) Axis {
 	return Axis(out)
 }
 
+// NewAxisInPlace is NewAxis without the defensive copy: it sorts and
+// deduplicates coords in place and returns a prefix of the same
+// backing array as the Axis. Callers that rebuild an axis every
+// evaluation (the congestion engine's hot path) reuse one buffer
+// across calls instead of allocating.
+func NewAxisInPlace(coords []float64, eps float64) Axis {
+	if len(coords) == 0 {
+		return nil
+	}
+	sort.Float64s(coords)
+	out := coords[:1]
+	for _, v := range coords[1:] {
+		if v-out[len(out)-1] > eps {
+			out = append(out, v)
+		}
+	}
+	return Axis(out)
+}
+
+// MergeInPlace is Merge writing its result into the receiver's backing
+// array (the kept lines only ever move left, so the compaction is
+// safe). The receiver must not be used afterwards.
+func (a Axis) MergeInPlace(minGap float64) Axis {
+	if len(a) <= 2 || minGap <= 0 {
+		return a
+	}
+	last := len(a) - 1
+	hi := a[last]
+	out := a[:1]
+	for i := 1; i < last; i++ {
+		if a[i]-out[len(out)-1] >= minGap && hi-a[i] >= minGap {
+			out = append(out, a[i])
+		}
+	}
+	return append(out, hi)
+}
+
 // UniformAxis returns the axis {lo, lo+pitch, ...} covering [lo, hi].
 // The final coordinate is exactly hi, so the last cell may be narrower
 // than pitch. UniformAxis panics when pitch <= 0 or hi < lo.

@@ -292,3 +292,45 @@ func TestAxisWidthAndCell(t *testing.T) {
 		t.Errorf("Cell(1) = %g,%g", lo, hi)
 	}
 }
+
+func TestNewAxisInPlaceMatchesNewAxis(t *testing.T) {
+	for _, coords := range [][]float64{
+		{5, 1, 3, 1.0000001, 3, 5},
+		{0, 600, 90, 300, 90, 300, 120, 330},
+		{2},
+		nil,
+	} {
+		want := NewAxis(coords, 1e-3)
+		buf := append([]float64(nil), coords...)
+		got := NewAxisInPlace(buf, 1e-3)
+		if len(got) != len(want) {
+			t.Fatalf("NewAxisInPlace(%v) = %v, want %v", coords, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("NewAxisInPlace(%v) = %v, want %v", coords, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeInPlaceMatchesMerge(t *testing.T) {
+	for _, a := range []Axis{
+		{0, 30, 50, 90, 120, 600},
+		{0, 10, 20, 30, 40, 50, 60},
+		{0, 600},
+		{0, 1, 599, 600},
+	} {
+		want := a.Merge(60)
+		buf := append(Axis(nil), a...)
+		got := buf.MergeInPlace(60)
+		if len(got) != len(want) {
+			t.Fatalf("MergeInPlace(%v) = %v, want %v", a, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MergeInPlace(%v) = %v, want %v", a, got, want)
+			}
+		}
+	}
+}

@@ -2,8 +2,14 @@ package nmath
 
 // LogFact caches ln(n!) so that log-binomials inside the congestion
 // models' per-cell loops cost three table lookups instead of three
-// Lgamma evaluations. The zero value is ready to use. LogFact is not
-// safe for concurrent use; give each goroutine its own table.
+// Lgamma evaluations. The zero value is ready to use.
+//
+// Growing the table with Ensure is not safe concurrently with any
+// other method. Once grown, the table is read-only: any number of
+// goroutines may call Ensure (with covered arguments) and LogChoose
+// concurrently — the evaluation engine relies on this by pre-growing
+// one shared table past every reachable argument before fanning out
+// its workers.
 type LogFact struct {
 	tab []float64 // tab[n] = ln(n!)
 }
