@@ -1,0 +1,84 @@
+package irgrid
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"irgrid/internal/core"
+	"irgrid/internal/obs"
+)
+
+// overheadRecord compares one telemetry configuration against the
+// untraced baseline in BENCH_trace_overhead.json.
+type overheadRecord struct {
+	Name        string  `json:"name"`
+	Telemetry   string  `json:"telemetry"` // "disabled" | "enabled"
+	Nets        int     `json:"nets"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type overheadDoc struct {
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	NumCPU      int              `json:"num_cpu"`
+	GoVersion   string           `json:"go_version"`
+	Results     []overheadRecord `json:"results"`
+	OverheadPct float64          `json:"overhead_pct"` // enabled vs disabled ns/op
+}
+
+// TestWriteTraceOverheadBenchJSON regenerates BENCH_trace_overhead.json:
+// the BenchmarkIRGridScore workload (ami33 fixture, steady-state
+// engine) measured with telemetry disabled and with a live metrics
+// registry attached, recording the ns/op and allocs/op cost of
+// enabling observability. It runs only when IRGRID_BENCH_JSON is set:
+//
+//	IRGRID_BENCH_JSON=1 go test -run TestWriteTraceOverheadBenchJSON .
+func TestWriteTraceOverheadBenchJSON(t *testing.T) {
+	if os.Getenv("IRGRID_BENCH_JSON") == "" {
+		t.Skip("set IRGRID_BENCH_JSON=1 to regenerate BENCH_trace_overhead.json")
+	}
+
+	doc := overheadDoc{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+
+	sol := ami33Solution(t)
+	measure := func(name, telemetry string, reg *obs.Registry) float64 {
+		e := core.Model{Pitch: 30, Obs: reg}.NewEvaluator()
+		e.Score(sol.Placement.Chip, sol.Nets) // warm arenas and memos
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if s := e.Score(sol.Placement.Chip, sol.Nets); s <= 0 {
+					b.Fatal("zero score")
+				}
+			}
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		doc.Results = append(doc.Results, overheadRecord{
+			Name: name, Telemetry: telemetry, Nets: len(sol.Nets),
+			N: r.N, NsPerOp: ns,
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+		})
+		return ns
+	}
+
+	base := measure("BenchmarkIRGridScore/untraced", "disabled", nil)
+	traced := measure("BenchmarkIRGridScore/traced", "enabled", obs.NewRegistry())
+	doc.OverheadPct = 100 * (traced - base) / base
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_trace_overhead.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_trace_overhead.json:\n%s", buf)
+}

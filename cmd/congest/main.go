@@ -20,6 +20,8 @@ import (
 
 	"irgrid/congestion"
 	"irgrid/internal/ascii"
+	"irgrid/internal/buildinfo"
+	"irgrid/telemetry"
 )
 
 type floorplanDoc struct {
@@ -38,8 +40,15 @@ func main() {
 		heatmap = flag.Bool("heatmap", false, "render an ASCII heat map")
 		csvOut  = flag.String("csv", "", "write the congestion map as CSV to this file ('-' for stdout)")
 		workers = flag.Int("workers", 0, "IR-grid evaluation workers (0 = all CPUs, 1 = sequential; results are identical)")
+		metrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this host:port during evaluation")
+		version = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	var doc floorplanDoc
 	var dec *json.Decoder
@@ -62,6 +71,15 @@ func main() {
 		nets[i] = congestion.Net{X1: n[0], Y1: n[1], X2: n[2], Y2: n[3]}
 	}
 	opts := congestion.Options{Pitch: *pitch, Workers: *workers}
+	if *metrics != "" {
+		opts.Obs = telemetry.NewRegistry()
+		srv, addr, err := telemetry.Serve(*metrics, opts.Obs)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "congest: serving metrics at http://%s/metrics\n", addr)
+	}
 
 	var mp *congestion.Map
 	var err error

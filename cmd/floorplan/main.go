@@ -19,6 +19,8 @@ import (
 
 	"irgrid/floorplan"
 	"irgrid/internal/ascii"
+	"irgrid/internal/buildinfo"
+	"irgrid/telemetry"
 )
 
 func main() {
@@ -37,8 +39,16 @@ func main() {
 		judge   = flag.Bool("judge", false, "also score the result with the 10x10 um judging model")
 		asJSON  = flag.Bool("json", false, "emit the floorplan as JSON on stdout")
 		draw    = flag.Bool("draw", false, "render the placement as ASCII art")
+		trace   = flag.String("trace", "", "write a JSONL run trace to this file (summarize with tracestat)")
+		metrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this host:port during the run")
+		version = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	c, err := loadCircuit(*circuit, *yal)
 	if err != nil {
@@ -54,6 +64,32 @@ func main() {
 		opts.Congestion = floorplan.Congestion{Model: *model, Pitch: *pitch}
 	}
 	opts.PinPitch = *pitch
+
+	// Telemetry is opt-in: a registry exists only when something
+	// consumes it (an HTTP endpoint or a trace's run_end snapshot).
+	if *trace != "" || *metrics != "" {
+		opts.Obs = telemetry.NewRegistry()
+	}
+	if *metrics != "" {
+		srv, addr, err := telemetry.Serve(*metrics, opts.Obs)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "floorplan: serving metrics at http://%s/metrics\n", addr)
+	}
+	if *trace != "" {
+		tr, err := telemetry.CreateTrace(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Trace = tr
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "floorplan: closing trace:", err)
+			}
+		}()
+	}
 
 	res, err := floorplan.Run(c, opts)
 	if err != nil {

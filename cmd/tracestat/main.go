@@ -1,0 +1,208 @@
+// Command tracestat summarizes a JSONL run trace produced by
+// `floorplan -trace`: the cooling curve, the acceptance-rate decay, the
+// convergence of the cost components, and — when the trace carries a
+// metrics snapshot — the Simpson-memo hit rate of the evaluation
+// engine.
+//
+// Example:
+//
+//	floorplan -circuit ami33 -trace ami33.trace.jsonl
+//	tracestat ami33.trace.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"irgrid/telemetry"
+)
+
+func main() {
+	rows := flag.Int("rows", 12, "maximum table rows (temperature steps are subsampled evenly)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	default:
+		fatal(fmt.Errorf("usage: tracestat [trace.jsonl]"))
+	}
+	if err := summarize(r, os.Stdout, *rows); err != nil {
+		fatal(err)
+	}
+}
+
+// trace is a decoded run trace, events bucketed by type.
+type trace struct {
+	start     *telemetry.TraceRecord
+	calib     *telemetry.TraceRecord
+	temps     []telemetry.TraceRecord
+	solutions []telemetry.TraceRecord
+	end       *telemetry.TraceRecord
+}
+
+func parse(r io.Reader) (*trace, error) {
+	var t trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var rec telemetry.TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		switch rec.Ev {
+		case telemetry.EvRunStart:
+			t.start = &rec
+		case telemetry.EvCalibration:
+			t.calib = &rec
+		case telemetry.EvTemp:
+			t.temps = append(t.temps, rec)
+		case telemetry.EvSolution:
+			t.solutions = append(t.solutions, rec)
+		case telemetry.EvRunEnd:
+			t.end = &rec
+		default:
+			return nil, fmt.Errorf("trace line %d: unknown event %q", line, rec.Ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.temps) == 0 && t.start == nil && t.end == nil {
+		return nil, fmt.Errorf("no trace events found")
+	}
+	return &t, nil
+}
+
+func summarize(r io.Reader, w io.Writer, maxRows int) error {
+	t, err := parse(r)
+	if err != nil {
+		return err
+	}
+	if maxRows < 2 {
+		maxRows = 2
+	}
+
+	if s := t.start; s != nil {
+		fmt.Fprintf(w, "run        %s", orUnknown(s.Circuit))
+		if s.Modules > 0 || s.Nets > 0 {
+			fmt.Fprintf(w, " (%d modules, %d nets)", s.Modules, s.Nets)
+		}
+		fmt.Fprintf(w, ", seed %d\n", s.Seed)
+		fmt.Fprintf(w, "cost       %.3g area + %.3g wire + %.3g congestion (%s)\n",
+			s.Alpha, s.Beta, s.Gamma, orUnknown(s.Model))
+		if s.Version != "" {
+			fmt.Fprintf(w, "build      %s\n", s.Version)
+		}
+		if s.Time != "" {
+			fmt.Fprintf(w, "started    %s\n", s.Time)
+		}
+	}
+	if c := t.calib; c != nil {
+		fmt.Fprintf(w, "calibrated T0 %.6g from %d probes (initial cost %.6g)\n",
+			c.InitTemp, c.Moves, c.InitCost)
+	}
+
+	if len(t.temps) > 0 {
+		sol := make(map[int]*telemetry.TraceRecord, len(t.solutions))
+		for i := range t.solutions {
+			sol[t.solutions[i].Step] = &t.solutions[i]
+		}
+		hasSol := len(t.solutions) > 0
+		fmt.Fprintf(w, "\ncooling curve (%d temperature steps", len(t.temps))
+		if len(t.temps) > maxRows {
+			fmt.Fprintf(w, ", showing %d", maxRows)
+		}
+		fmt.Fprint(w, "):\n")
+		fmt.Fprintf(w, "%6s %12s %12s %12s %8s", "step", "temp", "cost", "best", "accept")
+		if hasSol {
+			fmt.Fprintf(w, " %12s %12s %12s", "area", "wire", "congestion")
+		}
+		fmt.Fprintln(w)
+		for _, i := range sample(len(t.temps), maxRows) {
+			r := t.temps[i]
+			fmt.Fprintf(w, "%6d %12.5g %12.6g %12.6g %7.1f%%",
+				r.Step, r.Temp, r.Cost, r.Best, 100*r.AcceptRate)
+			if hasSol {
+				if s := sol[r.Step]; s != nil {
+					fmt.Fprintf(w, " %12.5g %12.6g %12.6g", s.Area, s.Wirelength, s.Congestion)
+				} else {
+					fmt.Fprintf(w, " %12s %12s %12s", "-", "-", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+
+		first, last := t.temps[0], t.temps[len(t.temps)-1]
+		fmt.Fprintf(w, "acceptance decayed %.1f%% -> %.1f%%; best cost %.6g -> %.6g\n",
+			100*first.AcceptRate, 100*last.AcceptRate, first.Best, last.Best)
+	}
+
+	if e := t.end; e != nil {
+		fmt.Fprintf(w, "\nfinal      cost %.6g after %d temps, %d moves (+%d calibration), %d accepted (%d uphill)\n",
+			e.FinalCost, e.Temps, e.Moves, e.CalibrationMoves, e.Accepted, e.UphillAccepted)
+		if e.BestStep >= 0 {
+			fmt.Fprintf(w, "best       last improved at step %d of %d\n", e.BestStep, e.Temps)
+		}
+		if e.Seconds > 0 {
+			fmt.Fprintf(w, "throughput %.0f moves/s over %.2fs\n",
+				float64(e.Moves+e.CalibrationMoves)/e.Seconds, e.Seconds)
+		}
+		if m := e.Metrics; m != nil {
+			if hits, misses := m["eval_simpson_memo_hits_total"], m["eval_simpson_memo_misses_total"]; hits+misses > 0 {
+				fmt.Fprintf(w, "memo       %.1f%% Simpson-memo hit rate (%.0f hits, %.0f misses)\n",
+					100*hits/(hits+misses), hits, misses)
+			}
+			if evals := m["fplan_evals_total"]; evals > 0 {
+				fmt.Fprintf(w, "evals      %.0f full floorplan evaluations\n", evals)
+			}
+		}
+	}
+	return nil
+}
+
+// sample picks up to k indices out of [0, n), always keeping the first
+// and the last, the rest spaced evenly.
+func sample(n, k int) []int {
+	if n <= k {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx := make([]int, k)
+	for i := 0; i < k; i++ {
+		idx[i] = i * (n - 1) / (k - 1)
+	}
+	return idx
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracestat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"irgrid/floorplan"
+	"irgrid/telemetry"
+)
+
+// endToEndTrace runs a real (small) floorplan and returns its trace.
+func endToEndTrace(t *testing.T) []byte {
+	t.Helper()
+	c, err := floorplan.Benchmark("apte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf)
+	_, err = floorplan.Run(c, floorplan.Options{
+		Alpha: 0.4, Beta: 0.2, Gamma: 0.4,
+		// Pitch 10 keeps IR cells wide in unit-cell terms (past the
+		// exact-span limit), so the Simpson-approx path — and hence its
+		// memo — is exercised and shows up in the summary.
+		Congestion:   floorplan.Congestion{Model: floorplan.ModelIRGrid, Pitch: 10},
+		Seed:         1,
+		MovesPerTemp: 6, MaxTemps: 8,
+		Obs:   telemetry.NewRegistry(),
+		Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSummarizeEndToEndTrace(t *testing.T) {
+	raw := endToEndTrace(t)
+	var out bytes.Buffer
+	if err := summarize(bytes.NewReader(raw), &out, 6); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"run        apte",
+		"0.4 area + 0.2 wire + 0.4 congestion (ir-grid)",
+		"calibrated T0",
+		"cooling curve",
+		"acceptance decayed",
+		"final      cost",
+		"Simpson-memo hit rate",
+		"full floorplan evaluations",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// The cooling-curve table is capped at -rows entries plus its two
+	// header lines.
+	lines := strings.Split(s, "\n")
+	var tableRows int
+	inTable := false
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "cooling curve"):
+			inTable = true
+		case inTable && strings.HasPrefix(l, "acceptance decayed"):
+			inTable = false
+		case inTable && strings.HasPrefix(l, "  ") == false && len(l) > 0 && l[0] == ' ':
+			tableRows++
+		}
+	}
+	if tableRows > 6+1 { // header + at most 6 sampled steps
+		t.Errorf("cooling table has %d rows, want <= 7:\n%s", tableRows, s)
+	}
+}
+
+func TestSummarizeRejectsGarbage(t *testing.T) {
+	if err := summarize(strings.NewReader("not json\n"), &bytes.Buffer{}, 10); err == nil {
+		t.Error("expected an error for a non-JSONL input")
+	}
+	if err := summarize(strings.NewReader(""), &bytes.Buffer{}, 10); err == nil {
+		t.Error("expected an error for an empty trace")
+	}
+}
+
+func TestSample(t *testing.T) {
+	got := sample(100, 5)
+	if len(got) != 5 || got[0] != 0 || got[len(got)-1] != 99 {
+		t.Errorf("sample(100, 5) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("sample indices not increasing: %v", got)
+		}
+	}
+	if got := sample(3, 10); len(got) != 3 {
+		t.Errorf("sample(3, 10) = %v", got)
+	}
+}

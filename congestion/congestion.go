@@ -18,6 +18,7 @@ import (
 	"irgrid/internal/geom"
 	"irgrid/internal/grid"
 	"irgrid/internal/netlist"
+	"irgrid/telemetry"
 )
 
 // Net is a two-pin net given by its pin coordinates in µm. Multi-bend
@@ -47,6 +48,10 @@ type Options struct {
 	// 0 uses GOMAXPROCS, 1 forces sequential evaluation. Results are
 	// bit-identical for every setting. Ignored by the fixed model.
 	Workers int
+	// Obs, when non-nil, receives the IR evaluation engine's metrics
+	// (stage timings, Simpson-memo hit/miss counters, grid dimensions).
+	// Telemetry never changes results. Ignored by the fixed model.
+	Obs *telemetry.Registry
 }
 
 func (o Options) pitch() float64 {
@@ -138,7 +143,7 @@ func EstimateIR(chipW, chipH float64, nets []Net, opts Options) (*Map, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := core.Model{Pitch: opts.pitch(), Exact: opts.Exact, TopFraction: opts.TopFraction, Workers: opts.Workers}
+	m := core.Model{Pitch: opts.pitch(), Exact: opts.Exact, TopFraction: opts.TopFraction, Workers: opts.Workers, Obs: opts.Obs}
 	mp := m.Evaluate(chip, two)
 	out := &Map{
 		Model:  m.Name(),

@@ -33,6 +33,7 @@ import (
 	"irgrid/internal/grid"
 	"irgrid/internal/netlist"
 	"irgrid/internal/wl"
+	"irgrid/telemetry"
 )
 
 // Module is a rectangular block with unrotated dimensions in µm. Pad
@@ -232,6 +233,16 @@ type Options struct {
 	// scores — and hence whole runs — are bit-identical for every
 	// setting. Only the IR-grid models parallelize today.
 	Workers int
+	// Obs, when non-nil, receives live run metrics from every layer:
+	// annealer move/temperature instruments, per-evaluation cost
+	// components, and the IR evaluation engine's stage timings and memo
+	// counters. Serve them with telemetry.Serve. Telemetry never
+	// perturbs the search: instrumented runs are bit-identical.
+	Obs *telemetry.Registry
+	// Trace, when non-nil, receives the JSONL run trace (run_start,
+	// calibration, per-temperature temp + solution events, run_end).
+	// Summarize traces with cmd/tracestat.
+	Trace *telemetry.Tracer
 }
 
 // Floorplan representations accepted by Options.Representation.
@@ -249,15 +260,18 @@ type PlacedModule struct {
 
 // Result is a finished floorplan with its metrics.
 type Result struct {
-	Circuit        string
-	ChipW, ChipH   float64
-	Area           float64 // µm²
-	Wirelength     float64 // µm
-	CongestionCost float64 // estimator score; 0 when no estimator
-	Cost           float64 // normalized weighted cost
-	Modules        []PlacedModule
-	Runtime        time.Duration
-	Temperatures   int // SA temperature steps executed
+	Circuit          string
+	ChipW, ChipH     float64
+	Area             float64 // µm²
+	Wirelength       float64 // µm
+	CongestionCost   float64 // estimator score; 0 when no estimator
+	Cost             float64 // normalized weighted cost
+	Modules          []PlacedModule
+	Runtime          time.Duration
+	Temperatures     int // SA temperature steps executed
+	Moves            int // SA search moves proposed (calibration excluded)
+	CalibrationMoves int // cost probes spent calibrating the initial temperature
+	Accepted         int // SA moves accepted
 
 	circuit *netlist.Circuit
 	sol     *fplan.Solution
@@ -300,6 +314,8 @@ func Run(c *Circuit, opts Options) (*Result, error) {
 		Wire:           wl.Model(opts.WirelengthModel),
 		Representation: opts.Representation,
 		Workers:        opts.Workers,
+		Obs:            opts.Obs,
+		Trace:          opts.Trace,
 		Anneal: anneal.Config{
 			Seed:         opts.Seed,
 			MovesPerTemp: opts.MovesPerTemp,
@@ -312,17 +328,20 @@ func Run(c *Circuit, opts Options) (*Result, error) {
 	start := time.Now()
 	sol, stats := runner.Run(nil)
 	res := &Result{
-		Circuit:        ic.Name,
-		ChipW:          sol.Placement.Chip.W(),
-		ChipH:          sol.Placement.Chip.H(),
-		Area:           sol.Area,
-		Wirelength:     sol.Wirelength,
-		CongestionCost: sol.Congestion,
-		Cost:           sol.Cost,
-		Runtime:        time.Since(start),
-		Temperatures:   stats.Temps,
-		circuit:        ic,
-		sol:            sol,
+		Circuit:          ic.Name,
+		ChipW:            sol.Placement.Chip.W(),
+		ChipH:            sol.Placement.Chip.H(),
+		Area:             sol.Area,
+		Wirelength:       sol.Wirelength,
+		CongestionCost:   sol.Congestion,
+		Cost:             sol.Cost,
+		Runtime:          time.Since(start),
+		Temperatures:     stats.Temps,
+		Moves:            stats.Moves,
+		CalibrationMoves: stats.CalibrationMoves,
+		Accepted:         stats.Accepted,
+		circuit:          ic,
+		sol:              sol,
 	}
 	for i, r := range sol.Placement.Rects {
 		res.Modules = append(res.Modules, PlacedModule{

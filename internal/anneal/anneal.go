@@ -12,6 +12,8 @@ package anneal
 import (
 	"math"
 	"math/rand"
+
+	"irgrid/internal/obs"
 )
 
 // State is one point of the search space. Implementations must treat
@@ -52,6 +54,15 @@ type Config struct {
 	// locally-optimized solution at that temperature — what the paper's
 	// Experiment 2 samples) and the best state found so far.
 	OnTemperature func(step int, temp float64, cur, best State)
+	// Obs, when non-nil, receives live run metrics: move/accept
+	// counters and temperature/cost gauges. Telemetry never perturbs
+	// the search — it observes values already computed and never
+	// touches the RNG — so instrumented runs are bit-identical to
+	// uninstrumented ones.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives the JSONL run trace: one
+	// calibration event, then one temp event per temperature step.
+	Trace *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -78,9 +89,24 @@ func (c Config) withDefaults() Config {
 
 // Stats reports what the anneal did.
 type Stats struct {
-	Temps     int     // temperature steps executed
-	Moves     int     // moves proposed
-	Accepted  int     // moves accepted
+	Temps int // temperature steps executed
+	// Moves counts search moves only (the proposals of the temperature
+	// loop). The cost probes of the initial-temperature calibration are
+	// reported separately in CalibrationMoves.
+	Moves int
+	// CalibrationMoves counts the random cost probes spent calibrating
+	// the initial temperature (Config.CalibrationMoves of them): they
+	// evaluate the cost function like a move does, but never alter the
+	// search state.
+	CalibrationMoves int
+	Accepted         int // moves accepted
+	// UphillAccepted counts accepted moves that increased cost (the
+	// hill-climbing activity the temperature controls).
+	UphillAccepted int
+	// BestStep is the temperature-step index at which the returned
+	// best state was last improved; -1 when no move ever beat the
+	// initial state.
+	BestStep  int
 	InitTemp  float64 // calibrated initial temperature
 	FinalTemp float64
 	InitCost  float64
@@ -95,7 +121,19 @@ func Run(cfg Config, initial State) (State, Stats) {
 	cur := initial
 	curCost := cur.Cost()
 	best, bestCost := cur, curCost
-	st := Stats{InitCost: curCost}
+	st := Stats{InitCost: curCost, BestStep: -1}
+
+	// Registry instruments resolve to nil no-ops when cfg.Obs is nil.
+	var (
+		mMoves = cfg.Obs.Counter("anneal_moves_total")
+		mCalib = cfg.Obs.Counter("anneal_calibration_moves_total")
+		mAcc   = cfg.Obs.Counter("anneal_accepted_total")
+		mTemps = cfg.Obs.Counter("anneal_temps_total")
+		gTemp  = cfg.Obs.Gauge("anneal_temperature")
+		gCur   = cfg.Obs.Gauge("anneal_cost_current")
+		gBest  = cfg.Obs.Gauge("anneal_cost_best")
+		gRate  = cfg.Obs.Gauge("anneal_accept_rate")
+	)
 
 	// Calibrate the initial temperature from the average uphill delta:
 	// exp(-avgUp/T0) = InitAccept  =>  T0 = -avgUp / ln(InitAccept).
@@ -106,6 +144,8 @@ func Run(cfg Config, initial State) (State, Stats) {
 	for i := 0; i < cfg.CalibrationMoves; i++ {
 		next := probe.Neighbor(rng)
 		nextCost := next.Cost()
+		st.CalibrationMoves++
+		mCalib.Inc()
 		if d := nextCost - probeCost; d > 0 {
 			upSum += d
 			upN++
@@ -121,6 +161,10 @@ func Run(cfg Config, initial State) (State, Stats) {
 		temp = 1
 	}
 	st.InitTemp = temp
+	cfg.Trace.Emit(obs.CalibrationEvent{
+		Ev: obs.EvCalibration, Moves: st.CalibrationMoves,
+		InitTemp: temp, InitCost: curCost,
+	})
 
 	for step := 0; step < cfg.MaxTemps; step++ {
 		accepted := 0
@@ -128,22 +172,39 @@ func Run(cfg Config, initial State) (State, Stats) {
 			next := cur.Neighbor(rng)
 			nextCost := next.Cost()
 			st.Moves++
+			mMoves.Inc()
 			d := nextCost - curCost
 			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
 				cur, curCost = next, nextCost
 				accepted++
+				if d > 0 {
+					st.UphillAccepted++
+				}
 				if curCost < bestCost {
 					best, bestCost = cur, curCost
+					st.BestStep = step
 				}
 			}
 		}
 		st.Accepted += accepted
 		st.Temps = step + 1
 		st.FinalTemp = temp
+		rate := float64(accepted) / float64(cfg.MovesPerTemp)
+		mAcc.Add(int64(accepted))
+		mTemps.Inc()
+		gTemp.Set(temp)
+		gCur.Set(curCost)
+		gBest.Set(bestCost)
+		gRate.Set(rate)
+		cfg.Trace.Emit(obs.TempEvent{
+			Ev: obs.EvTemp, Step: step, Temp: temp,
+			Cost: curCost, Best: bestCost,
+			Accepted: accepted, Moves: cfg.MovesPerTemp, AcceptRate: rate,
+		})
 		if cfg.OnTemperature != nil {
 			cfg.OnTemperature(step, temp, cur, best)
 		}
-		if float64(accepted)/float64(cfg.MovesPerTemp) < cfg.MinAcceptRate {
+		if rate < cfg.MinAcceptRate {
 			break
 		}
 		temp *= cfg.Cooling

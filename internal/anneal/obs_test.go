@@ -1,0 +1,133 @@
+package anneal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"irgrid/internal/obs"
+)
+
+func TestStatsCountCalibrationMovesSeparately(t *testing.T) {
+	cfg := Config{Seed: 1, MovesPerTemp: 20, MaxTemps: 8, CalibrationMoves: 13}
+	_, st := Run(cfg, quadState{x: 50})
+	if st.CalibrationMoves != 13 {
+		t.Errorf("CalibrationMoves = %d, want 13", st.CalibrationMoves)
+	}
+	// Moves counts search moves only: exactly MovesPerTemp per
+	// executed temperature, with no calibration probes mixed in.
+	if st.Moves != 20*st.Temps {
+		t.Errorf("Moves = %d, want %d (MovesPerTemp × Temps)", st.Moves, 20*st.Temps)
+	}
+}
+
+func TestStatsUphillAndBestStep(t *testing.T) {
+	_, st := Run(Config{Seed: 2, MovesPerTemp: 40, MaxTemps: 40}, quadState{x: 60})
+	if st.UphillAccepted <= 0 {
+		t.Error("a hot anneal should accept some uphill moves")
+	}
+	if st.UphillAccepted > st.Accepted {
+		t.Errorf("UphillAccepted %d > Accepted %d", st.UphillAccepted, st.Accepted)
+	}
+	if st.BestStep < 0 || st.BestStep >= st.Temps {
+		t.Errorf("BestStep = %d with %d temps", st.BestStep, st.Temps)
+	}
+	// A start at the optimum is never improved.
+	_, st = Run(Config{Seed: 2, MovesPerTemp: 10, MaxTemps: 3}, quadState{x: 7})
+	if st.BestStep != -1 {
+		t.Errorf("BestStep = %d, want -1 for an unimproved initial state", st.BestStep)
+	}
+}
+
+func TestRegistryMetricsMatchStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{Seed: 3, MovesPerTemp: 25, MaxTemps: 12, CalibrationMoves: 7, Obs: reg}
+	_, st := Run(cfg, quadState{x: 80})
+	snap := reg.Snapshot()
+	for name, want := range map[string]int{
+		"anneal_moves_total":             st.Moves,
+		"anneal_calibration_moves_total": st.CalibrationMoves,
+		"anneal_accepted_total":          st.Accepted,
+		"anneal_temps_total":             st.Temps,
+	} {
+		if got := int(snap[name]); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if snap["anneal_cost_best"] != st.FinalCost {
+		t.Errorf("anneal_cost_best = %g, want %g", snap["anneal_cost_best"], st.FinalCost)
+	}
+	if snap["anneal_temperature"] != st.FinalTemp {
+		t.Errorf("anneal_temperature = %g, want %g", snap["anneal_temperature"], st.FinalTemp)
+	}
+}
+
+func TestTraceEventsMatchRun(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	cfg := Config{Seed: 4, MovesPerTemp: 15, MaxTemps: 10, Trace: tr}
+	_, st := Run(cfg, quadState{x: 40})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var calib int
+	var temps []obs.TraceRecord
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r obs.TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatal(err)
+		}
+		switch r.Ev {
+		case obs.EvCalibration:
+			calib++
+			if r.InitTemp != st.InitTemp || r.Moves != st.CalibrationMoves {
+				t.Errorf("calibration event %+v vs stats %+v", r, st)
+			}
+		case obs.EvTemp:
+			temps = append(temps, r)
+		}
+	}
+	if calib != 1 {
+		t.Errorf("%d calibration events, want 1", calib)
+	}
+	if len(temps) != st.Temps {
+		t.Fatalf("%d temp events, want %d", len(temps), st.Temps)
+	}
+	for i, r := range temps {
+		if r.Step != i {
+			t.Errorf("temp event %d has step %d", i, r.Step)
+		}
+		if i > 0 && r.Temp >= temps[i-1].Temp {
+			t.Error("temperature did not decay")
+		}
+	}
+	if last := temps[len(temps)-1]; last.Best != st.FinalCost || last.Temp != st.FinalTemp {
+		t.Errorf("last temp event %+v disagrees with stats %+v", last, st)
+	}
+}
+
+// TestInstrumentedRunBitIdentical: attaching a registry and a tracer
+// must not change a single decision of the anneal.
+func TestInstrumentedRunBitIdentical(t *testing.T) {
+	cfg := Config{Seed: 9, MovesPerTemp: 30, MaxTemps: 25}
+	plainBest, plainStats := Run(cfg, quadState{x: 77})
+
+	var buf bytes.Buffer
+	cfg.Obs = obs.NewRegistry()
+	cfg.Trace = obs.NewTracer(&buf)
+	tracedBest, tracedStats := Run(cfg, quadState{x: 77})
+
+	if plainBest.(quadState).x != tracedBest.(quadState).x {
+		t.Errorf("best state differs: %v vs %v", plainBest, tracedBest)
+	}
+	if plainStats != tracedStats {
+		t.Errorf("stats differ:\nplain  %+v\ntraced %+v", plainStats, tracedStats)
+	}
+	cfg.Trace.Close()
+	if buf.Len() == 0 {
+		t.Error("traced run produced an empty trace")
+	}
+}

@@ -1,0 +1,57 @@
+// Package buildinfo reports the binary's build identity (module
+// version, VCS revision, dirty bit) from runtime/debug.ReadBuildInfo,
+// so benchmark records and run traces can be tied to a commit.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// read is stubbed in tests.
+var read = debug.ReadBuildInfo
+
+// Version returns a one-line build identity, e.g.
+//
+//	irgrid (devel) rev 1a2b3c4d5e6f-dirty (2026-08-06T10:00:00Z) go1.24.0
+//
+// Binaries built without VCS stamping (go test, go run on a plain
+// tree) omit the revision part.
+func Version() string {
+	bi, ok := read()
+	if !ok {
+		return "irgrid unknown " + runtime.Version()
+	}
+	var sb strings.Builder
+	sb.WriteString("irgrid")
+	if v := bi.Main.Version; v != "" {
+		sb.WriteString(" " + v)
+	}
+	var rev, when string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			when = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		sb.WriteString(" rev " + rev)
+		if dirty {
+			sb.WriteString("-dirty")
+		}
+		if when != "" {
+			sb.WriteString(" (" + when + ")")
+		}
+	}
+	sb.WriteString(" " + runtime.Version())
+	return sb.String()
+}

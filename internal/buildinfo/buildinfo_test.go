@@ -1,0 +1,44 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestVersionAlwaysIdentifies(t *testing.T) {
+	v := Version()
+	if !strings.HasPrefix(v, "irgrid") || !strings.Contains(v, "go1") {
+		t.Errorf("Version() = %q", v)
+	}
+}
+
+func TestVersionWithVCSStamp(t *testing.T) {
+	orig := read
+	defer func() { read = orig }()
+	read = func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			Main: debug.Module{Version: "v0.2.0"},
+			Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				{Key: "vcs.time", Value: "2026-08-06T10:00:00Z"},
+				{Key: "vcs.modified", Value: "true"},
+			},
+		}, true
+	}
+	v := Version()
+	for _, want := range []string{"v0.2.0", "rev 0123456789ab-dirty", "(2026-08-06T10:00:00Z)"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Version() = %q, missing %q", v, want)
+		}
+	}
+}
+
+func TestVersionWithoutBuildInfo(t *testing.T) {
+	orig := read
+	defer func() { read = orig }()
+	read = func() (*debug.BuildInfo, bool) { return nil, false }
+	if v := Version(); !strings.HasPrefix(v, "irgrid unknown") {
+		t.Errorf("Version() = %q", v)
+	}
+}

@@ -2,12 +2,15 @@ package core
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"irgrid/internal/geom"
 	"irgrid/internal/netlist"
 	"irgrid/internal/nmath"
+	"irgrid/internal/obs"
 )
 
 // Shard geometry. The per-net accumulation is partitioned into shards
@@ -58,6 +61,57 @@ type Evaluator struct {
 
 	nextShard atomic.Int64
 	wg        sync.WaitGroup
+
+	// instr is the engine's resolved telemetry, nil when Model.Obs is
+	// nil; every instrumentation point is guarded by one nil check.
+	instr *evalInstr
+}
+
+// evalInstr holds the engine's resolved registry instruments so the
+// hot path never performs a registry lookup.
+type evalInstr struct {
+	calls      *obs.Counter
+	nets       *obs.Counter
+	axisNs     *obs.Counter
+	accumNs    *obs.Counter
+	topNs      *obs.Counter
+	memoHit    *obs.Counter
+	memoMiss   *obs.Counter
+	exactLanes *obs.Counter
+	cols       *obs.Gauge
+	rows       *obs.Gauge
+	workersG   *obs.Gauge
+	evalNs     *obs.Histogram
+	workerNs   []*obs.Counter // per-worker busy time, grown on demand
+	reg        *obs.Registry
+}
+
+func newEvalInstr(reg *obs.Registry) *evalInstr {
+	return &evalInstr{
+		calls:      reg.Counter("eval_calls_total"),
+		nets:       reg.Counter("eval_nets_total"),
+		axisNs:     reg.Counter("eval_axis_ns_total"),
+		accumNs:    reg.Counter("eval_accumulate_ns_total"),
+		topNs:      reg.Counter("eval_topscore_ns_total"),
+		memoHit:    reg.Counter("eval_simpson_memo_hits_total"),
+		memoMiss:   reg.Counter("eval_simpson_memo_misses_total"),
+		exactLanes: reg.Counter("eval_exact_lanes_total"),
+		cols:       reg.Gauge("eval_grid_cols"),
+		rows:       reg.Gauge("eval_grid_rows"),
+		workersG:   reg.Gauge("eval_workers"),
+		evalNs:     reg.Histogram("eval_ns", obs.DurationBuckets),
+		reg:        reg,
+	}
+}
+
+// workerBusy returns the busy-time counter of worker i, labeled in
+// Prometheus exposition syntax.
+func (in *evalInstr) workerBusy(i int) *obs.Counter {
+	for len(in.workerNs) <= i {
+		name := `eval_worker_busy_ns_total{worker="` + strconv.Itoa(len(in.workerNs)) + `"}`
+		in.workerNs = append(in.workerNs, in.reg.Counter(name))
+	}
+	return in.workerNs[i]
 }
 
 // NewEvaluator returns a reusable evaluation engine for the model.
@@ -65,7 +119,11 @@ func (m Model) NewEvaluator() *Evaluator {
 	if m.Pitch <= 0 {
 		panic("core: Pitch must be positive")
 	}
-	return &Evaluator{m: m}
+	e := &Evaluator{m: m}
+	if m.Obs != nil {
+		e.instr = newEvalInstr(m.Obs)
+	}
+	return e
 }
 
 // Model returns the engine's configuration.
@@ -78,6 +136,11 @@ func (e *Evaluator) Model() Model { return e.m }
 // the next Evaluate or Score call. Use Map.Clone (or Model.Evaluate)
 // for a caller-owned copy.
 func (e *Evaluator) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
+	in := e.instr
+	var tStart time.Time
+	if in != nil {
+		tStart = time.Now()
+	}
 	e.buildAxes(chip, nets)
 	e.prob = resizeFloats(e.prob, e.mp.Cols()*e.mp.Rows())
 	e.mp.Prob = e.prob
@@ -86,13 +149,41 @@ func (e *Evaluator) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
 	// g1+g2: snapped routing ranges never exceed the chip extent.
 	e.lf.Ensure(unitCells(chip.W(), e.m.Pitch) + unitCells(chip.H(), e.m.Pitch) + 4)
 
+	var tAccum time.Time
+	if in != nil {
+		tAccum = time.Now()
+		in.axisNs.Add(tAccum.Sub(tStart).Nanoseconds())
+	}
 	shards := shardCount(len(nets))
-	if w := e.workerCount(shards, len(nets)); w > 1 {
+	w := e.workerCount(shards, len(nets))
+	if w > 1 {
 		e.runParallel(nets, shards, w)
 	} else {
 		e.runSequential(nets, shards)
 	}
+	if in != nil {
+		end := time.Now()
+		in.accumNs.Add(end.Sub(tAccum).Nanoseconds())
+		in.evalNs.Observe(float64(end.Sub(tStart).Nanoseconds()))
+		in.calls.Inc()
+		in.nets.Add(int64(len(nets)))
+		in.cols.Set(float64(e.mp.Cols()))
+		in.rows.Set(float64(e.mp.Rows()))
+		in.workersG.Set(float64(w))
+		e.flushWorkerTallies(in)
+	}
 	return &e.mp
+}
+
+// flushWorkerTallies folds the workers' plain memo/lane tallies into
+// the registry counters and resets them.
+func (e *Evaluator) flushWorkerTallies(in *evalInstr) {
+	for _, w := range e.workers {
+		in.memoHit.Add(w.nHit)
+		in.memoMiss.Add(w.nMiss)
+		in.exactLanes.Add(w.nExactLanes)
+		w.nHit, w.nMiss, w.nExactLanes = 0, 0, 0
+	}
 }
 
 // Score evaluates the nets and returns the chip-level congestion cost
@@ -105,8 +196,16 @@ func (e *Evaluator) Score(chip geom.Rect, nets []netlist.TwoPin) float64 {
 	if frac <= 0 {
 		frac = 0.10
 	}
+	in := e.instr
+	var t0 time.Time
+	if in != nil {
+		t0 = time.Now()
+	}
 	s, cells := mp.topScore(e.cells, frac)
 	e.cells = cells
+	if in != nil {
+		in.topNs.Add(time.Since(t0).Nanoseconds())
+	}
 	return s
 }
 
@@ -232,9 +331,17 @@ func (e *Evaluator) runParallel(nets []netlist.TwoPin, shards, workers int) {
 	e.nextShard.Store(0)
 	for wi := 0; wi < workers; wi++ {
 		w := e.worker(wi)
+		var busy *obs.Counter
+		if e.instr != nil {
+			busy = e.instr.workerBusy(wi)
+		}
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
+			if busy != nil {
+				start := time.Now()
+				defer func() { busy.Add(time.Since(start).Nanoseconds()) }()
+			}
 			for {
 				s := int(e.nextShard.Add(1)) - 1
 				if s >= shards {
@@ -269,6 +376,11 @@ func addInto(dst, src []float64) {
 // survives.
 func (e *Evaluator) reconfigure(m Model) {
 	e.m = m
+	if m.Obs != nil {
+		e.instr = newEvalInstr(m.Obs)
+	} else {
+		e.instr = nil
+	}
 	for _, w := range e.workers {
 		w.m = m
 		clear(w.memo)

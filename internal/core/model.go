@@ -35,6 +35,7 @@ import (
 	"irgrid/internal/geom"
 	"irgrid/internal/netlist"
 	"irgrid/internal/nmath"
+	"irgrid/internal/obs"
 )
 
 // Model configures the Irregular-Grid congestion estimator.
@@ -76,6 +77,16 @@ type Model struct {
 	// only on the net count, each shard accumulates into its own
 	// partial grid, and the partials are reduced in shard order.
 	Workers int
+	// Obs, when non-nil, receives the evaluation engine's metrics:
+	// stage timings (axis build, net accumulation, top-score
+	// selection), Simpson-memo hit/miss counters, grid dimensions and
+	// per-worker busy time. Telemetry observes values the evaluation
+	// already computed and never alters them, so instrumented and
+	// uninstrumented evaluations are bit-identical; with Obs nil the
+	// instrumentation costs a few predictable branches and zero
+	// allocations (TestDisabledTelemetryZeroAlloc,
+	// TestDisabledTelemetryNsBudget).
+	Obs *obs.Registry
 }
 
 // Name identifies the model in experiment tables.
@@ -92,6 +103,14 @@ func (m Model) Name() string {
 // without core importing the pipeline packages.
 func (m Model) WithWorkers(workers int) any {
 	m.Workers = workers
+	return m
+}
+
+// WithObserver returns a copy of the model reporting metrics into reg.
+// Like WithWorkers, the `any` return implements the optional
+// estimator-telemetry hook of higher layers (fplan.Config.Obs).
+func (m Model) WithObserver(reg *obs.Registry) any {
+	m.Obs = reg
 	return m
 }
 
@@ -237,6 +256,13 @@ type evaluator struct {
 	// and cost fewer cycles to recompute than a map probe (profiled:
 	// hashing a cell-level memo dominated the whole evaluation).
 	memo map[edgeKey]float64
+
+	// Telemetry tallies: plain (non-atomic) per-worker counts of memo
+	// hits/misses and exact-recurrence lane sums, bumped unconditionally
+	// in the sweeps (a register increment — cheaper than even a
+	// nil-receiver method call in the lane loop) and flushed to the
+	// engine's registry counters only when telemetry is enabled.
+	nHit, nMiss, nExactLanes int64
 }
 
 // edgeKey identifies one boundary-escape edge sum: the unit-lattice
@@ -403,6 +429,7 @@ func (ev *evaluator) addNetSweep(f netFrame) {
 				sum += t
 			}
 			cursor = hi
+			ev.nExactLanes++
 			ev.scratch[j*cols+i] += sum
 		}
 	}
@@ -455,6 +482,7 @@ func (ev *evaluator) addNetSweep(f netFrame) {
 				sum += t
 			}
 			cursor = hi
+			ev.nExactLanes++
 			ev.scratch[j*cols+i] += sum
 		}
 	}
@@ -483,12 +511,15 @@ func (ev *evaluator) addNetSweep(f netFrame) {
 // simpsonTop is simpsonTopDirect through the per-edge memo.
 func (ev *evaluator) simpsonTop(g1, g2, lo, hi, y2 int) float64 {
 	if ev.memo == nil {
+		ev.nMiss++
 		return ev.simpsonTopDirect(g1, g2, lo, hi, y2)
 	}
 	k := edgeKey{g1: int32(g1), g2: int32(g2), lo: int32(lo), hi: int32(hi), off: int32(y2)}
 	if v, ok := ev.memo[k]; ok {
+		ev.nHit++
 		return v
 	}
+	ev.nMiss++
 	v := ev.simpsonTopDirect(g1, g2, lo, hi, y2)
 	if len(ev.memo) < memoCap {
 		ev.memo[k] = v
@@ -499,12 +530,15 @@ func (ev *evaluator) simpsonTop(g1, g2, lo, hi, y2 int) float64 {
 // simpsonRight is simpsonRightDirect through the per-edge memo.
 func (ev *evaluator) simpsonRight(g1, g2, x2, lo, hi int) float64 {
 	if ev.memo == nil {
+		ev.nMiss++
 		return ev.simpsonRightDirect(g1, g2, x2, lo, hi)
 	}
 	k := edgeKey{g1: int32(g1), g2: int32(g2), lo: int32(lo), hi: int32(hi), off: int32(x2), right: true}
 	if v, ok := ev.memo[k]; ok {
+		ev.nHit++
 		return v
 	}
+	ev.nMiss++
 	v := ev.simpsonRightDirect(g1, g2, x2, lo, hi)
 	if len(ev.memo) < memoCap {
 		ev.memo[k] = v

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-budget tests skip under it because instrumented memory accesses
+// cost an order of magnitude more than native ones.
+const raceEnabled = true

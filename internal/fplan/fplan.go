@@ -10,11 +10,14 @@ package fplan
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"irgrid/internal/anneal"
+	"irgrid/internal/buildinfo"
 	"irgrid/internal/geom"
 	"irgrid/internal/mst"
 	"irgrid/internal/netlist"
+	"irgrid/internal/obs"
 	"irgrid/internal/pins"
 	"irgrid/internal/slicing"
 	"irgrid/internal/wl"
@@ -67,6 +70,17 @@ type Config struct {
 	// 0 uses GOMAXPROCS, 1 forces sequential evaluation. Estimator
 	// results are bit-identical for every setting.
 	Workers int
+	// Obs, when non-nil, receives live metrics from every layer of the
+	// run: fplan evaluation counters and cost-component gauges, the
+	// annealer's move/temperature instruments, and — for estimators that
+	// support the WithObserver hook — the evaluation engine's stage
+	// timings and memo counters. Telemetry only observes values already
+	// computed; instrumented runs are bit-identical to plain ones.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives the JSONL run trace: run_start,
+	// calibration, one temp + solution event pair per temperature step,
+	// and run_end (carrying a metrics snapshot when Obs is also set).
+	Trace *obs.Tracer
 }
 
 // Solution is a fully evaluated floorplan.
@@ -89,6 +103,34 @@ type Runner struct {
 	packer                      *slicing.Packer
 	normArea, normWire, normCgt float64
 	pinScratch                  []geom.Pt
+	instr                       *runnerInstr // nil when Cfg.Obs is nil
+}
+
+// runnerInstr holds the Runner's resolved registry instruments: the
+// per-evaluation cost-component breakdown and move throughput.
+type runnerInstr struct {
+	evals              *obs.Counter // fplan_evals_total
+	area, wire, cgt    *obs.Gauge   // raw terms of the last evaluation
+	normArea, normWire *obs.Gauge   // calibration constants
+	normCgt, cost      *obs.Gauge
+	evalsPerSec        *obs.Gauge
+	costH              *obs.Histogram
+}
+
+func newRunnerInstr(reg *obs.Registry) *runnerInstr {
+	return &runnerInstr{
+		evals:       reg.Counter("fplan_evals_total"),
+		area:        reg.Gauge("fplan_area"),
+		wire:        reg.Gauge("fplan_wirelength"),
+		cgt:         reg.Gauge("fplan_congestion"),
+		normArea:    reg.Gauge("fplan_norm_area"),
+		normWire:    reg.Gauge("fplan_norm_wirelength"),
+		normCgt:     reg.Gauge("fplan_norm_congestion"),
+		cost:        reg.Gauge("fplan_cost"),
+		evalsPerSec: reg.Gauge("fplan_evals_per_second"),
+		costH: reg.Histogram("fplan_cost_hist",
+			[]float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 5, 10}),
+	}
 }
 
 // New validates the inputs and prepares a Runner.
@@ -112,15 +154,32 @@ func New(c *netlist.Circuit, cfg Config) (*Runner, error) {
 			}
 		}
 	}
+	// Likewise forward the metrics registry to estimators that expose
+	// engine-level instrumentation.
+	if cfg.Obs != nil && cfg.Estimator != nil {
+		if p, ok := cfg.Estimator.(interface{ WithObserver(*obs.Registry) any }); ok {
+			if est, ok := p.WithObserver(cfg.Obs).(Estimator); ok {
+				cfg.Estimator = est
+			}
+		}
+	}
 	r := &Runner{
 		Circuit: c,
 		Cfg:     cfg,
 		packer:  slicing.NewPacker(c.Modules, cfg.AllowRotate),
 	}
+	if cfg.Obs != nil {
+		r.instr = newRunnerInstr(cfg.Obs)
+	}
 	if _, err := r.initialLayout(); err != nil {
 		return nil, err
 	}
 	r.calibrate()
+	if in := r.instr; in != nil {
+		in.normArea.Set(r.normArea)
+		in.normWire.Set(r.normWire)
+		in.normCgt.Set(r.normCgt)
+	}
 	return r, nil
 }
 
@@ -194,6 +253,12 @@ func (r *Runner) evaluateLayout(l layout) *Solution {
 	if r.Cfg.Gamma != 0 && r.Cfg.Estimator != nil {
 		s.Congestion = r.Cfg.Estimator.Score(chip, nets)
 	}
+	if in := r.instr; in != nil {
+		in.evals.Inc()
+		in.area.Set(s.Area)
+		in.wire.Set(s.Wirelength)
+		in.cgt.Set(s.Congestion)
+	}
 	return s
 }
 
@@ -209,6 +274,10 @@ func (r *Runner) cost(s *Solution) float64 {
 	c := r.Cfg.Alpha*s.Area/r.normArea + r.Cfg.Beta*s.Wirelength/r.normWire
 	if r.Cfg.Gamma != 0 {
 		c += r.Cfg.Gamma * s.Congestion / r.normCgt
+	}
+	if in := r.instr; in != nil {
+		in.cost.Set(c)
+		in.costH.Observe(c)
 	}
 	return c
 }
@@ -244,13 +313,70 @@ func (r *Runner) Run(onTemp func(step int, sol *Solution)) (*Solution, anneal.St
 		sol.Cost = r.cost(sol)
 		return sol
 	}
+	tr := r.Cfg.Trace
+	start := time.Now()
+	tr.Emit(obs.RunStartEvent{
+		Ev:      obs.EvRunStart,
+		Time:    start.UTC().Format(time.RFC3339),
+		Version: buildinfo.Version(),
+		Circuit: r.Circuit.Name,
+		Modules: len(r.Circuit.Modules),
+		Nets:    len(r.Circuit.Nets),
+		Seed:    r.Cfg.Anneal.Seed,
+		Alpha:   r.Cfg.Alpha, Beta: r.Cfg.Beta, Gamma: r.Cfg.Gamma,
+		Model:   r.estimatorName(),
+		Pitch:   r.Cfg.Pitch,
+		Workers: r.Cfg.Workers,
+	})
 	s0 := &saState{r: r, l: init, cost: resolve(init).Cost}
 	cfg := r.Cfg.Anneal
-	if onTemp != nil {
+	if cfg.Obs == nil {
+		cfg.Obs = r.Cfg.Obs
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = tr
+	}
+	if onTemp != nil || tr != nil {
 		cfg.OnTemperature = func(step int, _ float64, cur, _ anneal.State) {
-			onTemp(step, resolve(cur.(*saState).l))
+			// resolve never touches the annealer's RNG, so the extra
+			// evaluations a trace triggers cannot perturb the search.
+			sol := resolve(cur.(*saState).l)
+			tr.Emit(obs.SolutionEvent{
+				Ev: obs.EvSolution, Step: step,
+				Area: sol.Area, Wirelength: sol.Wirelength, Congestion: sol.Congestion,
+				NormArea:       sol.Area / r.normArea,
+				NormWirelength: sol.Wirelength / r.normWire,
+				NormCongestion: sol.Congestion / r.normCgt,
+				Cost:           sol.Cost,
+			})
+			if onTemp != nil {
+				onTemp(step, sol)
+			}
 		}
 	}
 	best, stats := anneal.Run(cfg, s0)
-	return resolve(best.(*saState).l), stats
+	sol := resolve(best.(*saState).l)
+	elapsed := time.Since(start).Seconds()
+	if in := r.instr; in != nil && elapsed > 0 {
+		in.evalsPerSec.Set(float64(stats.Moves+stats.CalibrationMoves) / elapsed)
+	}
+	tr.Emit(obs.RunEndEvent{
+		Ev:    obs.EvRunEnd,
+		Temps: stats.Temps, Moves: stats.Moves,
+		CalibrationMoves: stats.CalibrationMoves,
+		Accepted:         stats.Accepted, UphillAccepted: stats.UphillAccepted,
+		BestStep: stats.BestStep,
+		InitTemp: stats.InitTemp, FinalTemp: stats.FinalTemp,
+		InitCost: stats.InitCost, FinalCost: stats.FinalCost,
+		Seconds: elapsed,
+		Metrics: r.Cfg.Obs.Snapshot(),
+	})
+	return sol, stats
+}
+
+func (r *Runner) estimatorName() string {
+	if r.Cfg.Estimator == nil {
+		return "none"
+	}
+	return r.Cfg.Estimator.Name()
 }

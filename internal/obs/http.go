@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry's metrics at
+// /metrics in Prometheus text exposition format, and the standard
+// net/http/pprof profiling endpoints under /debug/pprof/. It uses its
+// own mux (nothing is registered on http.DefaultServeMux).
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves Handler(reg) in a background
+// goroutine. It returns the server (Close it to stop) and the bound
+// address, useful with ":0" ports.
+func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

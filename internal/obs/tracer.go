@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Tracer writes a JSONL run trace: one JSON object per line, in emit
+// order. It is safe for concurrent use, and a nil *Tracer discards
+// everything, so instrumented code can emit unconditionally.
+//
+// Tracing never perturbs results: events carry values the run already
+// computed, and the annealer's RNG is never consulted by the tracer
+// (TestTracedRunBitIdentical proves a traced run returns the
+// bit-identical best solution of an untraced one).
+type Tracer struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+	err error
+}
+
+// NewTracer returns a tracer writing JSONL to w. If w is also an
+// io.Closer, Close closes it after flushing.
+func NewTracer(w io.Writer) *Tracer {
+	buf := bufio.NewWriter(w)
+	t := &Tracer{buf: buf, enc: json.NewEncoder(buf)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// CreateTrace creates (truncating) the file at path and returns a
+// tracer writing to it.
+func CreateTrace(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewTracer(f), nil
+}
+
+// Emit appends one event as a JSON line. The first encoding error
+// sticks (see Err); later emits are dropped. No-op on a nil receiver.
+func (t *Tracer) Emit(event any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(event)
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes buffered events and closes the underlying writer when
+// it is closeable. Safe on a nil receiver.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.buf.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTracerEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(TempEvent{Ev: EvTemp, Step: 0, Temp: 10, AcceptRate: 0.9})
+	tr.Emit(TempEvent{Ev: EvTemp, Step: 1, Temp: 9, AcceptRate: 0.8})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var recs []TraceRecord
+	for sc.Scan() {
+		var r TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	if recs[0].Ev != EvTemp || recs[0].Temp != 10 || recs[1].Step != 1 {
+		t.Errorf("decoded %+v", recs)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(TempEvent{Ev: EvTemp})
+	if err := tr.Err(); err != nil {
+		t.Errorf("nil tracer Err = %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil tracer Close = %v", err)
+	}
+}
+
+func TestCreateTraceWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	tr, err := CreateTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit(RunStartEvent{Ev: EvRunStart, Circuit: "tiny", Seed: 7})
+	tr.Emit(RunEndEvent{Ev: EvRunEnd, Temps: 3})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"ev":"run_start"`) || !strings.Contains(lines[1], `"ev":"run_end"`) {
+		t.Errorf("unexpected trace contents:\n%s", raw)
+	}
+}
+
+func TestTracerErrorSticks(t *testing.T) {
+	tr := NewTracer(failWriter{})
+	for i := 0; i < 2000; i++ { // force a flush past the bufio buffer
+		tr.Emit(TempEvent{Ev: EvTemp, Step: i})
+	}
+	if tr.Err() == nil {
+		t.Error("expected a sticky write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, os.ErrClosed }

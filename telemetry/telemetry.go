@@ -1,0 +1,75 @@
+// Package telemetry is the public face of the library's observability
+// subsystem: a lightweight metrics registry (counters, gauges,
+// histograms with Prometheus text exposition), a JSONL run tracer, and
+// an HTTP handler serving /metrics plus net/http/pprof.
+//
+// Telemetry is strictly opt-in and zero-overhead when disabled: every
+// consumer accepts a nil *Registry / nil *Tracer, and instrumented runs
+// are bit-identical to uninstrumented ones — instruments only observe
+// values the pipeline already computed.
+//
+//	reg := telemetry.NewRegistry()
+//	tr, _ := telemetry.CreateTrace("run.trace.jsonl")
+//	defer tr.Close()
+//	srv, addr, _ := telemetry.Serve("localhost:0", reg)
+//	defer srv.Close()
+//	res, _ := floorplan.Run(c, floorplan.Options{..., Obs: reg, Trace: tr})
+package telemetry
+
+import (
+	"io"
+	"net"
+	"net/http"
+
+	"irgrid/internal/obs"
+)
+
+// Registry is a set of named instruments. The zero of *Registry (nil)
+// is a valid no-op sink. See NewRegistry.
+type Registry = obs.Registry
+
+// Counter is a monotonically increasing metric; nil is a no-op.
+type Counter = obs.Counter
+
+// Gauge is a last-value metric; nil is a no-op.
+type Gauge = obs.Gauge
+
+// Histogram is a fixed-bucket distribution metric; nil is a no-op.
+type Histogram = obs.Histogram
+
+// Tracer writes a JSONL event stream; nil is a no-op.
+type Tracer = obs.Tracer
+
+// TraceRecord is the decoding union of all trace event types: unmarshal
+// one trace line into it and dispatch on the Ev field.
+type TraceRecord = obs.TraceRecord
+
+// Trace event discriminators (TraceRecord.Ev values).
+const (
+	EvRunStart    = obs.EvRunStart
+	EvCalibration = obs.EvCalibration
+	EvTemp        = obs.EvTemp
+	EvSolution    = obs.EvSolution
+	EvRunEnd      = obs.EvRunEnd
+)
+
+// NewRegistry returns an enabled metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer returns a tracer emitting JSONL events to w.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// CreateTrace creates (truncating) the file at path and returns a
+// tracer writing to it; Close flushes and closes the file.
+func CreateTrace(path string) (*Tracer, error) { return obs.CreateTrace(path) }
+
+// Handler returns an http.Handler serving the registry's metrics in
+// Prometheus text format at /metrics and the net/http/pprof profiling
+// endpoints under /debug/pprof/.
+func Handler(reg *Registry) http.Handler { return obs.Handler(reg) }
+
+// Serve listens on addr and serves Handler(reg) in the background,
+// returning the server and its bound address (useful with ":0").
+func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	return obs.Serve(addr, reg)
+}
