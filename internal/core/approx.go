@@ -77,16 +77,17 @@ func (ev *evaluator) simpsonTopDirect(g1, g2, lo, hi, y2 int) float64 {
 	if ev.m.PaperBounds {
 		cc = 0
 	}
-	if bandSkip(float64(lo)-cc, float64(hi)+cc,
-		float64(g1-1)/float64(g1+g2-3), float64(y2),
-		float64(g2-2)/float64(g1+g2-4)*float64(g1-1)) {
+	a, b, n, ok := simpsonPlan(float64(lo)-cc, float64(hi)+cc,
+		float64(g1-1)/float64(g1+g2-3), float64(y2), float64(g1+g2-3),
+		float64(g2-2)/float64(g1+g2-4)*float64(g1-1), ev.m.simpsonN())
+	if !ok {
 		return 0
 	}
 	w := float64(g2-1) / float64(g1+g2-2)
 	f := func(x float64) float64 {
 		return function1PDF(g1, g2, x, float64(y2))
 	}
-	return w * nmath.Simpson(f, float64(lo)-cc, float64(hi)+cc, ev.m.simpsonN())
+	return w * nmath.Simpson(f, a, b, n)
 }
 
 // simpsonRightDirect evaluates the Theorem 1 right-edge integral for
@@ -96,33 +97,68 @@ func (ev *evaluator) simpsonRightDirect(g1, g2, x2, lo, hi int) float64 {
 	if ev.m.PaperBounds {
 		cc = 0
 	}
-	if bandSkip(float64(lo)-cc, float64(hi)+cc,
-		float64(g2-1)/float64(g1+g2-3), float64(x2),
-		float64(g1-2)/float64(g1+g2-4)*float64(g2-1)) {
+	a, b, n, ok := simpsonPlan(float64(lo)-cc, float64(hi)+cc,
+		float64(g2-1)/float64(g1+g2-3), float64(x2), float64(g1+g2-3),
+		float64(g1-2)/float64(g1+g2-4)*float64(g2-1), ev.m.simpsonN())
+	if !ok {
 		return 0
 	}
 	w := float64(g1-1) / float64(g1+g2-2)
 	f := func(y float64) float64 {
 		return function2PDF(g1, g2, float64(x2), y)
 	}
-	return w * nmath.Simpson(f, float64(lo)-cc, float64(hi)+cc, ev.m.simpsonN())
+	return w * nmath.Simpson(f, a, b, n)
 }
 
-// bandSkip reports whether the escape-density integral over [lo, hi]
-// is provably negligible: the integrand at t is a normal density in
-// t - μ(t) = (1-c)·t - c·off whose variance never exceeds varScale/4,
-// so when the whole interval sits more than 8 conservative standard
-// deviations from the mean band the contribution is below 1e-14 and
-// the quadrature can be skipped. This prunes the IR-grids far off the
-// source–sink diagonal, which dominate large routing ranges.
-func bandSkip(lo, hi, c, off, varScale float64) bool {
-	sMax := 8 * math.Sqrt(varScale*0.25)
-	tLo := (1-c)*lo - c*off
-	tHi := (1-c)*hi - c*off
-	if tLo > sMax && tHi > sMax {
-		return true
+// simpsonPlanMaxN caps the adaptive Simpson subinterval count: the
+// integration window is at most 16 effective standard deviations wide
+// after band clipping, so 64 steps keep the step below a quarter
+// deviation and the per-edge cost O(1).
+const simpsonPlanMaxN = 64
+
+// simpsonPlan prepares one Theorem 1 edge integral: it clips the
+// interval [a, b] to the band where the integrand is non-negligible and
+// picks a subinterval count that actually resolves the integrand.
+//
+// The integrand at t is a normal density in t − μ(t) = (1−c)·t − c·off
+// with variance σ²(t) = varScale·q(1−q), q = (t+off)/R, which never
+// exceeds varScale/4. Two consequences:
+//
+//   - Mass lies within 8 conservative standard deviations of the band
+//     center t* = c·off/(1−c); outside it the contribution is below
+//     1e-14 and the edge can be skipped entirely (ok = false). This
+//     prunes the IR-grids far off the source–sink diagonal, which
+//     dominate large routing ranges.
+//   - Seen as a function of t the peak has effective width
+//     σ(t*)/(1−c) — the argument moves at rate 1−c — so a fixed
+//     subinterval count under-resolves long edges: escape densities are
+//     often a spike a cell or two wide sitting in a 40-cell span, and a
+//     coarse Simpson step walks straight over it, losing most of the
+//     edge's probability. base subintervals are raised until the step
+//     is at most a quarter of the peak width, capped at
+//     simpsonPlanMaxN so each edge stays O(1).
+func simpsonPlan(a, b, c, off, R, varScale float64, base int) (lo, hi float64, n int, ok bool) {
+	if c >= 1 || varScale <= 0 {
+		return 0, 0, 0, false
 	}
-	return tLo < -sMax && tHi < -sMax
+	sBand := 8 * math.Sqrt(varScale*0.25) / (1 - c)
+	tStar := c * off / (1 - c)
+	lo = math.Max(a, tStar-sBand)
+	hi = math.Min(b, tStar+sBand)
+	if lo >= hi {
+		return 0, 0, 0, false
+	}
+	q := (tStar + off) / R
+	s2 := varScale * q * (1 - q)
+	peakW := math.Max(math.Sqrt(math.Max(s2, 0)), 0.5) / (1 - c)
+	n = base
+	if need := int(math.Ceil((hi - lo) / (peakW / 4))); need > n {
+		n = need
+	}
+	if n > simpsonPlanMaxN {
+		n = simpsonPlanMaxN
+	}
+	return lo, hi, n, true
 }
 
 // function1PDF is the normal-like density approximating the top-escape

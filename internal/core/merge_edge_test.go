@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// Edge-case coverage for the cutting-line construction and the
+// Algorithm step 2 merge rule: coincident pins, pins closer than the
+// 2×pitch merge threshold, single-net circuits and the zero-area
+// module / zero-area routing-range degeneracies.
+
+func interiorGapsRespectMerge(t *testing.T, axis geom.Axis, pitch float64) {
+	t.Helper()
+	last := len(axis) - 1
+	for i := 1; i < last; i++ {
+		if axis[i] <= axis[i-1] {
+			t.Fatalf("axis not strictly increasing at %d: %v", i, axis)
+		}
+		if gap := axis[i] - axis[i-1]; gap < 2*pitch {
+			t.Errorf("interior line %d at %g only %g from previous kept line (< 2×pitch %g)",
+				i, axis[i], gap, 2*pitch)
+		}
+		if gap := axis[last] - axis[i]; gap < 2*pitch {
+			t.Errorf("interior line %d at %g only %g from far boundary (< 2×pitch %g)",
+				i, axis[i], gap, 2*pitch)
+		}
+	}
+}
+
+// TestMergeCoincidentPins: many nets sharing identical pin coordinates
+// must collapse to one set of cutting lines, and the accumulated map
+// is exactly the single-net map scaled by the net count.
+func TestMergeCoincidentPins(t *testing.T) {
+	m := Model{Pitch: 30}
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 600, Y2: 600}
+	net := netlist.TwoPin{A: geom.Pt{X: 120, Y: 90}, B: geom.Pt{X: 450, Y: 480}}
+
+	one := m.Evaluate(chip, []netlist.TwoPin{net})
+	k := 7
+	nets := make([]netlist.TwoPin, k)
+	for i := range nets {
+		nets[i] = net
+	}
+	many := m.Evaluate(chip, nets)
+
+	if one.Cols() != many.Cols() || one.Rows() != many.Rows() {
+		t.Fatalf("coincident nets changed grid: %dx%d vs %dx%d",
+			one.Cols(), one.Rows(), many.Cols(), many.Rows())
+	}
+	interiorGapsRespectMerge(t, many.XAxis, m.Pitch)
+	interiorGapsRespectMerge(t, many.YAxis, m.Pitch)
+	for iy := 0; iy < one.Rows(); iy++ {
+		for ix := 0; ix < one.Cols(); ix++ {
+			want := float64(k) * one.At(ix, iy)
+			if d := math.Abs(many.At(ix, iy) - want); d > 1e-9 {
+				t.Fatalf("cell (%d,%d): %d coincident nets gave %g, want %g",
+					ix, iy, k, many.At(ix, iy), want)
+			}
+		}
+	}
+}
+
+// TestMergeClosePins: cutting lines spawned by pins closer than
+// 2×pitch must be merged away, leaving every interior line at least
+// 2×pitch from its predecessor and from the far chip boundary.
+func TestMergeClosePins(t *testing.T) {
+	m := Model{Pitch: 30}
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 900, Y2: 900}
+	// A ladder of nets whose endpoints step by less than 2×pitch, plus
+	// pins hugging the chip boundary.
+	var nets []netlist.TwoPin
+	for i := 0; i < 16; i++ {
+		d := float64(i) * 25 // < 60 apart line to line
+		nets = append(nets, netlist.TwoPin{
+			A: geom.Pt{X: 100 + d, Y: 80 + d},
+			B: geom.Pt{X: 500 + d/2, Y: 600 + d/3},
+		})
+	}
+	// Routing-range corners within 2×pitch of the far boundary.
+	nets = append(nets,
+		netlist.TwoPin{A: geom.Pt{X: 20, Y: 30}, B: geom.Pt{X: 880, Y: 870}},
+		netlist.TwoPin{A: geom.Pt{X: 850, Y: 845}, B: geom.Pt{X: 899, Y: 899}},
+	)
+	mp := m.Evaluate(chip, nets)
+	interiorGapsRespectMerge(t, mp.XAxis, m.Pitch)
+	interiorGapsRespectMerge(t, mp.YAxis, m.Pitch)
+	if mp.Cols() < 2 || mp.Rows() < 2 {
+		t.Fatalf("merge collapsed the whole grid: %dx%d", mp.Cols(), mp.Rows())
+	}
+}
+
+// TestSingleNetCircuitGeometry: a single net's cutting lines are its
+// routing-range edges plus the chip boundary (post-merge), with
+// probabilities only inside the snapped routing range.
+func TestSingleNetCircuitGeometry(t *testing.T) {
+	m := Model{Pitch: 30}
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 600, Y2: 600}
+	net := netlist.TwoPin{A: geom.Pt{X: 150, Y: 120}, B: geom.Pt{X: 420, Y: 450}}
+	mp := m.Evaluate(chip, []netlist.TwoPin{net})
+
+	for _, want := range []float64{0, 150, 420, 600} {
+		found := false
+		for _, v := range mp.XAxis {
+			if v == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("x axis %v missing cutting line at %g", mp.XAxis, want)
+		}
+	}
+	var inside, outside float64
+	r := net.Range()
+	for iy := 0; iy < mp.Rows(); iy++ {
+		for ix := 0; ix < mp.Cols(); ix++ {
+			c := mp.Rect(ix, iy)
+			mid := geom.Pt{X: (c.X1 + c.X2) / 2, Y: (c.Y1 + c.Y2) / 2}
+			if r.Contains(mid) {
+				inside += mp.At(ix, iy)
+			} else {
+				outside += mp.At(ix, iy)
+			}
+			if p := mp.At(ix, iy); p < 0 || p > 1+1e-12 {
+				t.Errorf("cell (%d,%d): single-net probability %g outside [0,1]", ix, iy, p)
+			}
+		}
+	}
+	if outside != 0 {
+		t.Errorf("probability mass %g leaked outside the routing range", outside)
+	}
+	if inside < 1 {
+		t.Errorf("total in-range mass %g; a route must cross at least one IR-grid", inside)
+	}
+}
+
+// TestZeroAreaDegeneracies: zero-area modules are rejected at circuit
+// validation, and the evaluator-side analogue — a zero-area routing
+// range from coincident pins — degenerates to certainty on its cell.
+func TestZeroAreaDegeneracies(t *testing.T) {
+	c := &netlist.Circuit{
+		Name: "degenerate",
+		Modules: []netlist.Module{
+			{Name: "ok", W: 30, H: 30},
+			{Name: "flat", W: 30, H: 0},
+		},
+	}
+	if err := c.Validate(); err == nil {
+		t.Error("circuit with a zero-area module passed validation")
+	}
+
+	m := Model{Pitch: 30}
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 300, Y2: 300}
+	p := geom.Pt{X: 150, Y: 150}
+	mp := m.Evaluate(chip, []netlist.TwoPin{{A: p, B: p}})
+	var mass float64
+	for iy := 0; iy < mp.Rows(); iy++ {
+		for ix := 0; ix < mp.Cols(); ix++ {
+			v := mp.At(ix, iy)
+			if v != 0 && v != 1 {
+				t.Errorf("cell (%d,%d): point net gave %g, want 0 or 1", ix, iy, v)
+			}
+			mass += v
+		}
+	}
+	if mass == 0 {
+		t.Error("point net covered no IR-grid")
+	}
+	// Pins exactly on the chip corner: routing range of zero area at
+	// the boundary must still evaluate without panicking.
+	corner := geom.Pt{X: 300, Y: 300}
+	_ = m.Evaluate(chip, []netlist.TwoPin{{A: corner, B: corner}})
+}

@@ -50,10 +50,11 @@ type Model struct {
 	// Exact selects the exact Formula 3 sums instead of the Theorem 1
 	// approximation. The default (false) is the paper's model.
 	Exact bool
-	// SimpsonN is the number of Simpson subintervals per Theorem 1
-	// integral (constant, making each IR-grid O(1)). Zero means 4,
-	// which is already within quadrature noise of the normal
-	// approximation error (TestSimpsonNConvergence).
+	// SimpsonN is the baseline number of Simpson subintervals per
+	// Theorem 1 integral. Zero means 4. The evaluator raises the count
+	// (up to a fixed cap, keeping each IR-grid O(1)) whenever the
+	// band-clipped integration window would otherwise under-resolve
+	// the integrand's normal peak; see simpsonPlan.
 	SimpsonN int
 	// NoMerge disables cutting-line merging (Algorithm step 2); used
 	// by the line-merge ablation only.

@@ -1,0 +1,35 @@
+package diff
+
+import (
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/core"
+)
+
+// FuzzEvaluateVsOracle feeds fuzzer-chosen circuit shapes through the
+// full differential comparison, under both the default evaluation
+// policy and with the Theorem 1 quadrature forced onto every
+// multi-cell edge.
+func FuzzEvaluateVsOracle(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(12))
+	f.Add(int64(42), uint8(35), uint8(3))
+	f.Add(int64(7), uint8(20), uint8(40))
+	f.Fuzz(func(t *testing.T, seed int64, size, netCount uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		pitch := 30.0
+		chip := RandomChip(rng, pitch)
+		// Let the fuzzer shrink the chip below RandomChip's floor.
+		if w := pitch * float64(1+int(size)%40); w < chip.W() {
+			chip.X2 = chip.X1 + w
+		}
+		nets := RandomNets(rng, chip, 1+int(netCount)%32, pitch)
+		if r, err := Compare(chip, nets, Opts{Model: core.Model{Pitch: pitch}}); err != nil {
+			t.Fatalf("default policy (%d nets, %dx%d grid): %v", r.Nets, r.Cols, r.Rows, err)
+		}
+		m := core.Model{Pitch: pitch, ExactSpanLimit: -1}
+		if r, err := Compare(chip, nets, Opts{Model: m}); err != nil {
+			t.Fatalf("forced Simpson (%d nets, %dx%d grid): %v", r.Nets, r.Cols, r.Rows, err)
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package diff
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+)
+
+// Report aggregates the measured error envelope across many
+// comparisons; the CI differential job serializes one as an artifact so
+// a perf PR that silently widens the envelope is visible in review.
+type Report struct {
+	Circuits     int                `json:"circuits"`
+	Cells        int                `json:"cells"`
+	ExactCells   int                `json:"exact_cells"`
+	ApproxCells  int                `json:"approx_cells"`
+	MaxExactErr        float64      `json:"max_exact_err"`
+	MaxApproxErr       float64      `json:"max_approx_err"`
+	MaxApproxErrPerNet float64      `json:"max_approx_err_per_net"`
+	MaxScoreErr        float64      `json:"max_score_err"`
+	Failures     []string           `json:"failures,omitempty"`
+	Benches      map[string]*Result `json:"benches,omitempty"`
+}
+
+// Add folds one comparison into the aggregate. A non-nil err is
+// recorded as a failure line.
+func (rp *Report) Add(r *Result, err error) {
+	rp.Circuits++
+	rp.Cells += r.Cols * r.Rows
+	rp.ExactCells += r.ExactCells
+	rp.ApproxCells += r.ApproxCells
+	rp.MaxExactErr = math.Max(rp.MaxExactErr, r.MaxExactErr)
+	rp.MaxApproxErr = math.Max(rp.MaxApproxErr, r.MaxApproxErr)
+	rp.MaxApproxErrPerNet = math.Max(rp.MaxApproxErrPerNet, r.MaxApproxErrPerNet)
+	rp.MaxScoreErr = math.Max(rp.MaxScoreErr, r.ScoreErr)
+	if err != nil {
+		rp.Failures = append(rp.Failures, err.Error())
+	}
+}
+
+// AddBench records a named benchmark comparison alongside the
+// aggregate.
+func (rp *Report) AddBench(name string, r *Result, err error) {
+	if rp.Benches == nil {
+		rp.Benches = make(map[string]*Result)
+	}
+	rp.Benches[name] = r
+	rp.Add(r, err)
+}
+
+// WriteFile serializes the report as indented JSON.
+func (rp *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(rp, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,241 @@
+package oracle
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/core"
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// TestEnumMatchesRational checks levels 1 and 2 of the hierarchy
+// against each other: for every rectangle of every small lattice, the
+// enumerated crossing fraction, the boundary-escape identity and the
+// avoidance DP must agree exactly (big-rational equality).
+func TestEnumMatchesRational(t *testing.T) {
+	max := 6
+	if testing.Short() {
+		max = 5
+	}
+	for g1 := 1; g1 <= max; g1++ {
+		for g2 := 1; g2 <= max; g2++ {
+			tab := NewPathTable(g1, g2)
+			for x1 := 0; x1 < g1; x1++ {
+				for x2 := x1; x2 < g1; x2++ {
+					for y1 := 0; y1 < g2; y1++ {
+						for y2 := y1; y2 < g2; y2++ {
+							enum := CrossProbEnum(g1, g2, x1, x2, y1, y2)
+							rat := tab.CrossProbRat(x1, x2, y1, y2)
+							dp := CrossProbRatDP(g1, g2, x1, x2, y1, y2)
+							if enum.Cmp(rat) != 0 {
+								t.Fatalf("%dx%d rect [%d..%d]x[%d..%d]: enum %v != escape identity %v",
+									g1, g2, x1, x2, y1, y2, enum, rat)
+							}
+							if enum.Cmp(dp) != 0 {
+								t.Fatalf("%dx%d rect [%d..%d]x[%d..%d]: enum %v != avoidance DP %v",
+									g1, g2, x1, x2, y1, y2, enum, dp)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCellCrossCountsMatchPathProducts: the enumerated per-cell visit
+// counts must equal Ta(x,y)·Tb(x,y) — every route through a cell is a
+// route to it times a route from it.
+func TestCellCrossCountsMatchPathProducts(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {1, 7}, {4, 4}, {5, 3}, {7, 6}} {
+		g1, g2 := dims[0], dims[1]
+		counts, total := CellCrossCounts(g1, g2)
+		tab := NewPathTable(g1, g2)
+		if tab.Total().Int64() != total {
+			t.Fatalf("%dx%d: enumerated %d routes, Pascal says %v", g1, g2, total, tab.Total())
+		}
+		prod := new(big.Int)
+		for x := 0; x < g1; x++ {
+			for y := 0; y < g2; y++ {
+				prod.Mul(tab.Ta(x, y), tab.Tb(x, y))
+				if prod.Int64() != counts[x][y] {
+					t.Fatalf("%dx%d cell (%d,%d): enumerated %d routes, Ta·Tb = %v",
+						g1, g2, x, y, counts[x][y], prod)
+				}
+			}
+		}
+	}
+}
+
+// TestRationalMatchesEngineFormula3 drives the engine's log-space
+// Formula 3 evaluation against the big-rational oracle on random
+// rectangles of mid-sized lattices.
+func TestRationalMatchesEngineFormula3(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 2000
+	if testing.Short() {
+		n = 300
+	}
+	for i := 0; i < n; i++ {
+		g1 := 2 + rng.Intn(40)
+		g2 := 2 + rng.Intn(40)
+		x1 := rng.Intn(g1)
+		x2 := x1 + rng.Intn(g1-x1)
+		y1 := rng.Intn(g2)
+		y2 := y1 + rng.Intn(g2-y1)
+		got := core.ExactCrossProb(g1, g2, x1, x2, y1, y2)
+		want := ratToFloat(CrossProbRat(g1, g2, x1, x2, y1, y2))
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%dx%d rect [%d..%d]x[%d..%d]: engine %.17g, oracle %.17g",
+				g1, g2, x1, x2, y1, y2, got, want)
+		}
+	}
+}
+
+// TestApproxWithinDocumentedEps: the Theorem 1 Simpson approximation
+// stays within the documented per-cell ε of the rational oracle on
+// interior rectangles (the §4.5 pin-adjacent cells are overridden to 1
+// on both sides and always match).
+func TestApproxWithinDocumentedEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 800
+	if testing.Short() {
+		n = 150
+	}
+	for i := 0; i < n; i++ {
+		g1 := 6 + rng.Intn(40)
+		g2 := 6 + rng.Intn(40)
+		x1 := 1 + rng.Intn(g1-2)
+		x2 := x1 + rng.Intn(g1-1-x1)
+		y1 := 1 + rng.Intn(g2-2)
+		y2 := y1 + rng.Intn(g2-1-y1)
+		got := core.ApproxCrossProb(g1, g2, x1, x2, y1, y2, 0)
+		want := ratToFloat(CrossProbRat(g1, g2, x1, x2, y1, y2))
+		if d := math.Abs(got - want); d > SimpsonEps {
+			t.Fatalf("%dx%d rect [%d..%d]x[%d..%d]: approx %.6f vs oracle %.6f, |Δ|=%.6f > %g",
+				g1, g2, x1, x2, y1, y2, got, want, d, SimpsonEps)
+		}
+	}
+}
+
+// TestOracleRatMatchesFloat: the oracle's two arithmetic backends must
+// agree to float rounding on identical circuits.
+func TestOracleRatMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 600, Y2: 600}
+	for trial := 0; trial < 10; trial++ {
+		var nets []netlist.TwoPin
+		for i := 0; i < 12; i++ {
+			nets = append(nets, netlist.TwoPin{
+				A: geom.Pt{X: 30 * float64(rng.Intn(21)), Y: 30 * float64(rng.Intn(21))},
+				B: geom.Pt{X: 30 * float64(rng.Intn(21)), Y: 30 * float64(rng.Intn(21))},
+			})
+		}
+		f := Config{Pitch: 30}.Evaluate(chip, nets)
+		r := Config{Pitch: 30, Rat: true}.Evaluate(chip, nets)
+		if len(f.X) != len(r.X) || len(f.Y) != len(r.Y) {
+			t.Fatalf("trial %d: backends disagree on geometry", trial)
+		}
+		for iy := range f.Prob {
+			for ix := range f.Prob[iy] {
+				if d := math.Abs(f.Prob[iy][ix] - r.Prob[iy][ix]); d > 1e-11 {
+					t.Fatalf("trial %d cell (%d,%d): float %.17g vs rat %.17g",
+						trial, ix, iy, f.Prob[iy][ix], r.Prob[iy][ix])
+				}
+			}
+		}
+		if d := math.Abs(f.TopScore(0.10) - r.TopScore(0.10)); d > 1e-11 {
+			t.Fatalf("trial %d: scores diverge by %g", trial, d)
+		}
+	}
+}
+
+// TestOracleDegenerateNets: point and line routing ranges cross every
+// covered IR-grid with probability exactly 1.
+func TestOracleDegenerateNets(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 300, Y2: 300}
+	cases := []struct {
+		name string
+		net  netlist.TwoPin
+	}{
+		{"point", netlist.TwoPin{A: geom.Pt{X: 120, Y: 120}, B: geom.Pt{X: 120, Y: 120}}},
+		{"hline", netlist.TwoPin{A: geom.Pt{X: 60, Y: 150}, B: geom.Pt{X: 240, Y: 150}}},
+		{"vline", netlist.TwoPin{A: geom.Pt{X: 150, Y: 60}, B: geom.Pt{X: 150, Y: 240}}},
+	}
+	for _, tc := range cases {
+		mp := Config{Pitch: 30}.Evaluate(chip, []netlist.TwoPin{tc.net})
+		var mass float64
+		for iy := range mp.Prob {
+			for ix, p := range mp.Prob[iy] {
+				if p != 0 && p != 1 {
+					t.Errorf("%s: cell (%d,%d) has probability %g, want 0 or 1", tc.name, ix, iy, p)
+				}
+				mass += p
+			}
+		}
+		if mass == 0 {
+			t.Errorf("%s: net covered no IR-grid", tc.name)
+		}
+	}
+}
+
+// TestOracleTypeIIReflection: mirroring a type II net across the
+// chip's horizontal midline yields the mirrored probability grid.
+func TestOracleTypeIIReflection(t *testing.T) {
+	chip := geom.Rect{X1: 0, Y1: 0, X2: 600, Y2: 600}
+	n1 := netlist.TwoPin{A: geom.Pt{X: 90, Y: 480}, B: geom.Pt{X: 450, Y: 120}} // type II
+	n2 := netlist.TwoPin{A: geom.Pt{X: 90, Y: 120}, B: geom.Pt{X: 450, Y: 480}} // its type I mirror
+	m1 := Config{Pitch: 30}.Evaluate(chip, []netlist.TwoPin{n1})
+	m2 := Config{Pitch: 30}.Evaluate(chip, []netlist.TwoPin{n2})
+	if len(m1.Y) != len(m2.Y) || len(m1.X) != len(m2.X) {
+		t.Fatal("mirrored nets produced different grid shapes")
+	}
+	rows := m1.Rows()
+	for iy := 0; iy < rows; iy++ {
+		for ix := 0; ix < m1.Cols(); ix++ {
+			a := m1.Prob[iy][ix]
+			b := m2.Prob[rows-1-iy][ix]
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("cell (%d,%d): type II %.17g vs mirrored type I %.17g", ix, iy, a, b)
+			}
+		}
+	}
+}
+
+// FuzzRouteProbability cross-checks the three exact oracles and the
+// engine's Formula 3 on fuzzer-chosen lattices and rectangles.
+func FuzzRouteProbability(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(1), uint8(1), uint8(1), uint8(1))
+	f.Add(uint8(12), uint8(3), uint8(0), uint8(11), uint8(1), uint8(0))
+	f.Add(uint8(30), uint8(30), uint8(7), uint8(12), uint8(20), uint8(5))
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g uint8) {
+		g1 := 1 + int(a)%24
+		g2 := 1 + int(b)%24
+		x1 := int(c) % g1
+		x2 := x1 + int(d)%(g1-x1)
+		y1 := int(e) % g2
+		y2 := y1 + int(g)%(g2-y1)
+
+		rat := CrossProbRat(g1, g2, x1, x2, y1, y2)
+		if dp := CrossProbRatDP(g1, g2, x1, x2, y1, y2); rat.Cmp(dp) != 0 {
+			t.Fatalf("escape identity %v != avoidance DP %v", rat, dp)
+		}
+		if one := big.NewRat(1, 1); rat.Cmp(one) > 0 || rat.Sign() < 0 {
+			t.Fatalf("probability %v outside [0, 1]", rat)
+		}
+		if g1 >= 2 && g2 >= 2 {
+			engine := core.ExactCrossProb(g1, g2, x1, x2, y1, y2)
+			if math.Abs(engine-ratToFloat(rat)) > 1e-12 {
+				t.Fatalf("engine %.17g vs rational %.17g", engine, ratToFloat(rat))
+			}
+		}
+		if total := TotalRoutes(g1, g2); total.IsInt64() && total.Int64() <= 1<<14 {
+			if enum := CrossProbEnum(g1, g2, x1, x2, y1, y2); rat.Cmp(enum) != 0 {
+				t.Fatalf("rational %v != enumeration %v", rat, enum)
+			}
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package oracle
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// This file is level 1 of the oracle hierarchy: literal enumeration of
+// every monotone (staircase) route on a small unit lattice. A route is
+// the sequence of unit cells visited walking from the source cell
+// (0, 0) to the sink cell (g1-1, g2-1) by unit steps right or up; the
+// crossing probability of a rectangle is the fraction of routes that
+// visit at least one of its cells. Nothing here is clever, which is
+// the point.
+
+// maxEnumRoutes bounds the number of routes an enumeration call may
+// visit; beyond it the bounding box is not "small" and the rational
+// oracle should be used instead.
+const maxEnumRoutes = 4 << 20
+
+// VisitRoutes enumerates every monotone route of a g1×g2 lattice in
+// lexicographic step order (right before up), calling visit with the
+// cell sequence. The slice is reused between calls; visit must not
+// retain it. It panics when the lattice has more than maxEnumRoutes
+// routes.
+func VisitRoutes(g1, g2 int, visit func(cells [][2]int)) {
+	if g1 < 1 || g2 < 1 {
+		panic("oracle: lattice dimensions must be positive")
+	}
+	if !TotalRoutes(g1, g2).IsInt64() || TotalRoutes(g1, g2).Int64() > maxEnumRoutes {
+		panic(fmt.Sprintf("oracle: %dx%d lattice too large to enumerate", g1, g2))
+	}
+	path := make([][2]int, 1, g1+g2-1)
+	path[0] = [2]int{0, 0}
+	var walk func(x, y int)
+	walk = func(x, y int) {
+		if x == g1-1 && y == g2-1 {
+			visit(path)
+			return
+		}
+		if x < g1-1 {
+			path = append(path, [2]int{x + 1, y})
+			walk(x+1, y)
+			path = path[:len(path)-1]
+		}
+		if y < g2-1 {
+			path = append(path, [2]int{x, y + 1})
+			walk(x, y+1)
+			path = path[:len(path)-1]
+		}
+	}
+	walk(0, 0)
+}
+
+// CountRoutes returns the enumerated number of monotone routes.
+func CountRoutes(g1, g2 int) int64 {
+	var n int64
+	VisitRoutes(g1, g2, func([][2]int) { n++ })
+	return n
+}
+
+// CrossCountEnum enumerates all routes and counts those visiting at
+// least one cell of the rectangle [x1..x2]×[y1..y2].
+func CrossCountEnum(g1, g2, x1, x2, y1, y2 int) (crossing, total int64) {
+	VisitRoutes(g1, g2, func(cells [][2]int) {
+		total++
+		for _, c := range cells {
+			if c[0] >= x1 && c[0] <= x2 && c[1] >= y1 && c[1] <= y2 {
+				crossing++
+				return
+			}
+		}
+	})
+	return crossing, total
+}
+
+// CrossProbEnum is CrossCountEnum as an exact rational probability.
+func CrossProbEnum(g1, g2, x1, x2, y1, y2 int) *big.Rat {
+	crossing, total := CrossCountEnum(g1, g2, x1, x2, y1, y2)
+	return big.NewRat(crossing, total)
+}
+
+// CellCrossCounts enumerates all routes once and returns, for every
+// unit cell, the number of routes visiting it. Each route visits a
+// cell at most once (monotone steps never revisit), so counts[x][y] /
+// total is the exact single-cell crossing probability — the quantity
+// the fixed-grid model's Formula 2 computes in closed form.
+func CellCrossCounts(g1, g2 int) (counts [][]int64, total int64) {
+	counts = make([][]int64, g1)
+	for x := range counts {
+		counts[x] = make([]int64, g2)
+	}
+	VisitRoutes(g1, g2, func(cells [][2]int) {
+		total++
+		for _, c := range cells {
+			counts[c[0]][c[1]]++
+		}
+	})
+	return counts, total
+}

@@ -1,0 +1,194 @@
+package slicing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomExpr returns a well-shuffled valid expression for n modules.
+func randomExpr(rng *rand.Rand, n int) Expr {
+	e := Initial(n)
+	for i := 0; i < 8*n; i++ {
+		e.Perturb(rng)
+	}
+	return e
+}
+
+// TestMovesPreserveValidityProperty drives long random move sequences
+// over a range of module counts: every mutation must leave a valid
+// normalized expression.
+func TestMovesPreserveValidityProperty(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 60
+	}
+	rng := rand.New(rand.NewSource(101))
+	for n := 2; n <= 14; n++ {
+		e := Initial(n)
+		for i := 0; i < iters; i++ {
+			var applied string
+			switch rng.Intn(3) {
+			case 0:
+				if !e.M1(rng) {
+					continue
+				}
+				applied = "M1"
+			case 1:
+				if !e.M2(rng) {
+					continue
+				}
+				applied = "M2"
+			default:
+				if !e.M3(rng) {
+					continue
+				}
+				applied = "M3"
+			}
+			if err := e.Validate(n); err != nil {
+				t.Fatalf("n=%d iter %d: %s produced invalid expression %q: %v", n, i, applied, e, err)
+			}
+		}
+	}
+}
+
+// TestM1RoundTrip: M1 swaps the i-th adjacent operand pair and leaves
+// every position's operand/operator role unchanged, so replaying it
+// with an identically seeded generator swaps the same pair back.
+func TestM1RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		e := randomExpr(rng, n)
+		orig := e.Clone()
+		seed := rng.Int63()
+		if !e.M1(rand.New(rand.NewSource(seed))) {
+			t.Fatalf("n=%d: M1 infeasible", n)
+		}
+		if err := e.Validate(n); err != nil {
+			t.Fatalf("after M1: %v", err)
+		}
+		if !e.M1(rand.New(rand.NewSource(seed))) {
+			t.Fatal("inverse M1 infeasible")
+		}
+		if e.String() != orig.String() {
+			t.Fatalf("M1 round-trip changed expression: %q -> %q", orig, e)
+		}
+	}
+}
+
+// TestM2RoundTrip: complementing the same operator chain twice is the
+// identity, and chain boundaries don't move under M2.
+func TestM2RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		e := randomExpr(rng, n)
+		orig := e.Clone()
+		seed := rng.Int63()
+		if !e.M2(rand.New(rand.NewSource(seed))) {
+			t.Fatalf("n=%d: M2 infeasible", n)
+		}
+		if err := e.Validate(n); err != nil {
+			t.Fatalf("after M2: %v", err)
+		}
+		if !e.M2(rand.New(rand.NewSource(seed))) {
+			t.Fatal("inverse M2 infeasible")
+		}
+		if e.String() != orig.String() {
+			t.Fatalf("M2 round-trip changed expression: %q -> %q", orig, e)
+		}
+	}
+}
+
+// TestM3RoundTrip: M3 swaps exactly one adjacent operand-operator
+// pair; locating the changed pair and swapping it back must restore
+// the original, passing through only valid expressions.
+func TestM3RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	trips := 0
+	for trial := 0; trial < 400; trial++ {
+		n := 3 + rng.Intn(12)
+		e := randomExpr(rng, n)
+		orig := e.Clone()
+		if !e.M3(rng) {
+			continue
+		}
+		trips++
+		if err := e.Validate(n); err != nil {
+			t.Fatalf("after M3: %v", err)
+		}
+		// The move touches exactly two adjacent positions.
+		first := -1
+		diffs := 0
+		for i := range e {
+			if e[i] != orig[i] {
+				if first < 0 {
+					first = i
+				}
+				diffs++
+			}
+		}
+		if diffs != 2 || e[first] != orig[first+1] || e[first+1] != orig[first] {
+			t.Fatalf("M3 did not swap one adjacent pair: %q -> %q", orig, e)
+		}
+		e[first], e[first+1] = e[first+1], e[first]
+		if e.String() != orig.String() {
+			t.Fatalf("M3 inverse failed: %q -> %q", orig, e)
+		}
+		if err := e.Validate(n); err != nil {
+			t.Fatalf("restored expression invalid: %v", err)
+		}
+	}
+	if trips < 300 {
+		t.Fatalf("M3 was feasible only %d/400 times; property barely exercised", trips)
+	}
+}
+
+// FuzzPolishExpr interprets the fuzz payload as a move script over a
+// fuzzer-chosen module count and checks every intermediate expression
+// stays valid and normalized, and that M1/M2 round-trip.
+func FuzzPolishExpr(f *testing.F) {
+	f.Add(uint8(5), int64(1), []byte{0, 1, 2, 0, 1, 2})
+	f.Add(uint8(2), int64(7), []byte{2, 2, 2, 2})
+	f.Add(uint8(16), int64(42), []byte{0, 2, 1, 0, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed int64, script []byte) {
+		n := 1 + int(nRaw)%16
+		rng := rand.New(rand.NewSource(seed))
+		e := Initial(n)
+		if err := e.Validate(n); err != nil {
+			t.Fatalf("initial: %v", err)
+		}
+		for step, b := range script {
+			switch b % 3 {
+			case 0:
+				s := rng.Int63()
+				if e.M1(rand.New(rand.NewSource(s))) {
+					after := e.String()
+					if !e.M1(rand.New(rand.NewSource(s))) {
+						t.Fatal("M1 inverse infeasible")
+					}
+					before := e.String()
+					if !e.M1(rand.New(rand.NewSource(s))) || e.String() != after {
+						t.Fatalf("M1 not an involution under one seed: %q vs %q (from %q)", e, after, before)
+					}
+				}
+			case 1:
+				s := rng.Int63()
+				if e.M2(rand.New(rand.NewSource(s))) {
+					after := e.String()
+					if !e.M2(rand.New(rand.NewSource(s))) {
+						t.Fatal("M2 inverse infeasible")
+					}
+					if !e.M2(rand.New(rand.NewSource(s))) || e.String() != after {
+						t.Fatal("M2 not an involution under one seed")
+					}
+				}
+			default:
+				e.M3(rng)
+			}
+			if err := e.Validate(n); err != nil {
+				t.Fatalf("step %d (op %d): invalid expression %q: %v", step, b%3, e, err)
+			}
+		}
+	})
+}
