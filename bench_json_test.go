@@ -1,6 +1,7 @@
 package irgrid
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"runtime"
@@ -63,6 +64,30 @@ func TestWriteEvaluateBenchJSON(t *testing.T) {
 		})
 		doc.Results = append(doc.Results, benchRecord{
 			Name: cfg.name, Nets: len(nets), Workers: cfg.workers,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+		})
+	}
+
+	// The cancellation-guarded path: the same steady-state engine with
+	// a live (never-canceled) context armed, as the annealer runs it
+	// under RunContext. Documents the cost of the per-shard ctx checks.
+	{
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		e := core.Model{Pitch: 30, Workers: 1, Ctx: ctx}.NewEvaluator()
+		e.Score(chip, nets)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if s := e.Score(chip, nets); s <= 0 {
+					b.Fatal("zero score")
+				}
+			}
+		})
+		doc.Results = append(doc.Results, benchRecord{
+			Name: "BenchmarkIRGridScore500/seq+ctx", Nets: len(nets), Workers: 1,
 			N:           r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),

@@ -122,7 +122,7 @@ func ami33Solution(tb testing.TB) *fplan.Solution {
 		if err != nil {
 			panic(err)
 		}
-		fixture.sol, _ = r.Run(nil)
+		fixture.sol, _, _ = r.Run(nil, nil)
 	})
 	return fixture.sol
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"irgrid/internal/bench"
+	"irgrid/internal/cli"
 	"irgrid/internal/netlist"
 )
 
@@ -78,6 +79,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchgen:", err)
-	os.Exit(1)
+	cli.Fatal("benchgen", err)
 }

@@ -21,6 +21,7 @@ import (
 	"irgrid/congestion"
 	"irgrid/internal/ascii"
 	"irgrid/internal/buildinfo"
+	"irgrid/internal/cli"
 	"irgrid/telemetry"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		csvOut  = flag.String("csv", "", "write the congestion map as CSV to this file ('-' for stdout)")
 		workers = flag.Int("workers", 0, "IR-grid evaluation workers (0 = all CPUs, 1 = sequential; results are identical)")
 		metrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this host:port during evaluation")
+		timeout = flag.Duration("timeout", 0, "abort the evaluation after this duration (exit 124; also stops on SIGINT/SIGTERM)")
 		version = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -81,14 +83,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "congest: serving metrics at http://%s/metrics\n", addr)
 	}
 
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
+
 	var mp *congestion.Map
 	var err error
 	switch *model {
 	case "ir-grid":
-		mp, err = congestion.EstimateIR(doc.ChipW, doc.ChipH, nets, opts)
+		mp, err = congestion.EstimateIRContext(ctx, doc.ChipW, doc.ChipH, nets, opts)
 	case "ir-grid-exact":
 		opts.Exact = true
-		mp, err = congestion.EstimateIR(doc.ChipW, doc.ChipH, nets, opts)
+		mp, err = congestion.EstimateIRContext(ctx, doc.ChipW, doc.ChipH, nets, opts)
 	case "fixed-grid":
 		mp, err = congestion.EstimateFixed(doc.ChipW, doc.ChipH, nets, opts)
 	case "fixed-grid-lz":
@@ -97,10 +102,10 @@ func main() {
 	case "routed":
 		mp, err = congestion.EstimateRouted(doc.ChipW, doc.ChipH, nets, congestion.RouteOptions{Pitch: *pitch})
 	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+		cli.Fatalf("congest", cli.ExitUsage, "unknown model %q", *model)
 	}
 	if err != nil {
-		fatal(err)
+		cli.Fatal("congest", err, congestion.ErrInvalidInput)
 	}
 
 	fmt.Printf("circuit   %s (%.0f x %.0f um, %d two-pin nets)\n", doc.Circuit, doc.ChipW, doc.ChipH, len(nets))
@@ -192,6 +197,5 @@ func hotspots(mp *congestion.Map, k int) []hotspot {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "congest:", err)
-	os.Exit(1)
+	cli.Fatal("congest", err, congestion.ErrInvalidInput)
 }

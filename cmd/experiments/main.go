@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"irgrid/internal/cli"
 	"irgrid/internal/exp"
 )
 
@@ -32,6 +33,7 @@ func main() {
 		circuit  = flag.String("circuit", "ami33", "circuit for -figure 9")
 		seeds    = flag.Int("seeds", 0, "override the protocol's seed count")
 		parallel = flag.Bool("parallel", false, "run seeds in parallel (identical results; per-run time columns reflect contended cores)")
+		timeout  = flag.Duration("timeout", 0, "abort the experiments after this duration (exit 124; also stops on SIGINT/SIGTERM)")
 	)
 	flag.Parse()
 
@@ -44,12 +46,15 @@ func main() {
 	case "full":
 		p = exp.Full()
 	default:
-		fatal(fmt.Errorf("unknown protocol %q", *protocol))
+		cli.Fatalf("experiments", cli.ExitUsage, "unknown protocol %q", *protocol)
 	}
 	if *seeds > 0 {
 		p.Seeds = *seeds
 	}
 	p.Parallel = *parallel
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
+	p.Ctx = ctx
 
 	if !*all && *table == 0 && *figure == 0 && !*validate && !*ablation && !*sens && !*soft && !*reps {
 		flag.Usage()
@@ -170,6 +175,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	cli.Fatal("experiments", err)
 }

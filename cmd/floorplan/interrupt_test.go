@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"irgrid/floorplan"
+)
+
+// TestInterruptWritesResumableCheckpoint is the end-to-end interrupt
+// contract: SIGTERM a long run, expect exit 130, a "best so far"
+// report, and a valid checkpoint a second invocation can resume.
+func TestInterruptWritesResumableCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a child process")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "floorplan.bin")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	ckpt := filepath.Join(dir, "run.ckpt")
+	var stderr, stdout bytes.Buffer
+	cmd := exec.Command(bin,
+		"-circuit", "ami49", "-gamma", "0.4", "-model", "ir-grid",
+		"-moves", "60", "-temps", "1000000",
+		"-checkpoint", ckpt, "-checkpoint-every", "1")
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the first snapshot, then interrupt.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint after 60s\nstderr: %s", stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("process did not exit with an error status: %v\nstderr: %s", err, stderr.String())
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("exit code = %d, want 130 (interrupted)\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "reporting best floorplan so far") {
+		t.Errorf("stderr missing best-so-far notice:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "circuit") {
+		t.Errorf("interrupted run printed no result:\n%s", stdout.String())
+	}
+
+	// The snapshot must verify and resume.
+	snap, err := floorplan.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint does not load: %v", err)
+	}
+	if snap.Step < 1 {
+		t.Errorf("snapshot step = %d, want >= 1", snap.Step)
+	}
+
+	resume := exec.Command(bin, "-resume", ckpt,
+		"-circuit", "ami49", "-gamma", "0.4", "-model", "ir-grid",
+		"-moves", "60", "-temps", "1") // past the snapshot step: finish immediately
+	out, err := resume.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "circuit") {
+		t.Errorf("resume run printed no result:\n%s", out)
+	}
+}

@@ -8,10 +8,19 @@
 //	floorplan -circuit ami33 -gamma 0.4 -model ir-grid -pitch 30
 //	floorplan -yal mydesign.yal -alpha 0.5 -beta 0.5 -seed 7
 //	floorplan -circuit apte -json > apte.floorplan.json
+//	floorplan -circuit ami49 -timeout 30s -checkpoint run.ckpt
+//	floorplan -circuit ami49 -resume run.ckpt
+//
+// Long runs are interruptible: on SIGINT/SIGTERM (or when -timeout
+// expires) the annealer stops at the next move, reports the best
+// floorplan found so far, writes a final -checkpoint snapshot when one
+// is configured, and exits 130 (interrupt) or 124 (timeout). A later
+// invocation with -resume continues bit-identically from the snapshot.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,45 +29,63 @@ import (
 	"irgrid/floorplan"
 	"irgrid/internal/ascii"
 	"irgrid/internal/buildinfo"
+	"irgrid/internal/cli"
 	"irgrid/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		circuit = flag.String("circuit", "", "built-in benchmark name ("+strings.Join(floorplan.BenchmarkNames(), ", ")+")")
-		yal     = flag.String("yal", "", "path to a YAL-subset circuit file (alternative to -circuit)")
-		alpha   = flag.Float64("alpha", 0.4, "area weight")
-		beta    = flag.Float64("beta", 0.2, "wirelength weight")
-		gamma   = flag.Float64("gamma", 0.4, "congestion weight (0 disables the congestion term)")
-		model   = flag.String("model", floorplan.ModelIRGrid, "congestion model: ir-grid, ir-grid-exact, fixed-grid")
-		pitch   = flag.Float64("pitch", 30, "grid pitch in um")
-		seed    = flag.Int64("seed", 1, "random seed")
-		moves   = flag.Int("moves", 100, "SA moves per temperature")
-		temps   = flag.Int("temps", 100, "maximum SA temperature steps")
-		workers = flag.Int("workers", 0, "congestion evaluation workers (0 = all CPUs, 1 = sequential; results are identical)")
-		judge   = flag.Bool("judge", false, "also score the result with the 10x10 um judging model")
-		asJSON  = flag.Bool("json", false, "emit the floorplan as JSON on stdout")
-		draw    = flag.Bool("draw", false, "render the placement as ASCII art")
-		trace   = flag.String("trace", "", "write a JSONL run trace to this file (summarize with tracestat)")
-		metrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this host:port during the run")
-		version = flag.Bool("version", false, "print the build version and exit")
+		circuit   = flag.String("circuit", "", "built-in benchmark name ("+strings.Join(floorplan.BenchmarkNames(), ", ")+")")
+		yal       = flag.String("yal", "", "path to a YAL-subset circuit file (alternative to -circuit)")
+		alpha     = flag.Float64("alpha", 0.4, "area weight")
+		beta      = flag.Float64("beta", 0.2, "wirelength weight")
+		gamma     = flag.Float64("gamma", 0.4, "congestion weight (0 disables the congestion term)")
+		model     = flag.String("model", floorplan.ModelIRGrid, "congestion model: ir-grid, ir-grid-exact, fixed-grid")
+		pitch     = flag.Float64("pitch", 30, "grid pitch in um")
+		seed      = flag.Int64("seed", 1, "random seed")
+		moves     = flag.Int("moves", 100, "SA moves per temperature")
+		temps     = flag.Int("temps", 100, "maximum SA temperature steps")
+		workers   = flag.Int("workers", 0, "congestion evaluation workers (0 = all CPUs, 1 = sequential; results are identical)")
+		judge     = flag.Bool("judge", false, "also score the result with the 10x10 um judging model")
+		asJSON    = flag.Bool("json", false, "emit the floorplan as JSON on stdout")
+		draw      = flag.Bool("draw", false, "render the placement as ASCII art")
+		trace     = flag.String("trace", "", "write a JSONL run trace to this file (summarize with tracestat)")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof/ on this host:port during the run")
+		timeout   = flag.Duration("timeout", 0, "stop the run after this duration, reporting the best floorplan so far (exit 124)")
+		ckptPath  = flag.String("checkpoint", "", "write a resumable snapshot to this file periodically and on interrupt")
+		ckptEvery = flag.Int("checkpoint-every", 0, "temperature steps between snapshots (default 10 when -checkpoint is set)")
+		resume    = flag.String("resume", "", "continue from a snapshot written by -checkpoint")
+		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
 	if *version {
 		fmt.Println(buildinfo.Version())
-		return
+		return 0
 	}
 
 	c, err := loadCircuit(*circuit, *yal)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "floorplan:", err)
+		// Flag mistakes (neither/both sources, unknown benchmark) are
+		// usage errors; a circuit file that fails to parse is invalid
+		// input, matching the library's typed sentinel.
+		if errors.Is(err, floorplan.ErrInvalidInput) {
+			return cli.ExitInvalidInput
+		}
+		return cli.ExitUsage
 	}
 	opts := floorplan.Options{
 		Alpha: *alpha, Beta: *beta, Gamma: *gamma,
 		Seed:         *seed,
 		MovesPerTemp: *moves, MaxTemps: *temps,
-		Workers: *workers,
+		Workers:         *workers,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
 	}
 	if *gamma > 0 {
 		opts.Congestion = floorplan.Congestion{Model: *model, Pitch: *pitch}
@@ -73,7 +100,8 @@ func main() {
 	if *metrics != "" {
 		srv, addr, err := telemetry.Serve(*metrics, opts.Obs)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "floorplan:", err)
+			return cli.ExitFailure
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "floorplan: serving metrics at http://%s/metrics\n", addr)
@@ -81,7 +109,8 @@ func main() {
 	if *trace != "" {
 		tr, err := telemetry.CreateTrace(*trace)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "floorplan:", err)
+			return cli.ExitFailure
 		}
 		opts.Trace = tr
 		defer func() {
@@ -91,9 +120,39 @@ func main() {
 		}()
 	}
 
-	res, err := floorplan.Run(c, opts)
-	if err != nil {
-		fatal(err)
+	ctx, stop := cli.SignalContext(*timeout)
+	defer stop()
+
+	var res *floorplan.Result
+	var runErr error
+	if *resume != "" {
+		snap, err := floorplan.LoadCheckpoint(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "floorplan:", err)
+			return cli.ExitInvalidInput
+		}
+		if opts.CheckpointPath == "" {
+			// Keep interrupted-and-resumed runs resumable by default.
+			opts.CheckpointPath = *resume
+		}
+		res, runErr = floorplan.Resume(ctx, c, opts, snap)
+	} else {
+		res, runErr = floorplan.RunContext(ctx, c, opts)
+	}
+	interrupted := runErr != nil && (errors.Is(runErr, floorplan.ErrCanceled) || errors.Is(runErr, floorplan.ErrDeadline))
+	if runErr != nil && !interrupted {
+		fmt.Fprintln(os.Stderr, "floorplan:", runErr)
+		return cli.ExitCode(runErr, floorplan.ErrInvalidInput, floorplan.ErrSnapshotMismatch)
+	}
+	exit := 0
+	if interrupted {
+		// The best-so-far result below is valid; the exit code records
+		// the interruption for scripts.
+		exit = cli.ExitCode(runErr)
+		fmt.Fprintf(os.Stderr, "floorplan: %v; reporting best floorplan so far\n", runErr)
+		if opts.CheckpointPath != "" {
+			fmt.Fprintf(os.Stderr, "floorplan: resume with -resume %s\n", opts.CheckpointPath)
+		}
 	}
 
 	if *asJSON {
@@ -108,9 +167,10 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "floorplan:", err)
+			return cli.ExitFailure
 		}
-		return
+		return exit
 	}
 
 	fmt.Printf("circuit      %s\n", res.Circuit)
@@ -123,7 +183,8 @@ func main() {
 	if *judge {
 		j, err := res.JudgeCongestion()
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "floorplan:", err)
+			return cli.ExitFailure
 		}
 		fmt.Printf("judging cgt  %.6f (fixed grid, 10x10 um)\n", j)
 	}
@@ -148,6 +209,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(ascii.Floorplan(res.ChipW, res.ChipH, boxes, 78, 30))
 	}
+	return exit
 }
 
 // jsonResult is the interchange document consumed by cmd/congest.
@@ -178,9 +240,4 @@ func loadCircuit(name, yalPath string) (*floorplan.Circuit, error) {
 	default:
 		return nil, fmt.Errorf("one of -circuit or -yal is required")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "floorplan:", err)
-	os.Exit(1)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -61,6 +62,13 @@ ENDNETWORK;
 	}
 	if _, err := loadCircuit("", filepath.Join(dir, "missing.yal")); err == nil {
 		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(dir, "bad.yal")
+	if err := os.WriteFile(bad, []byte("MODULE a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCircuit("", bad); !errors.Is(err, floorplan.ErrInvalidInput) {
+		t.Errorf("malformed YAL: err = %v, want ErrInvalidInput", err)
 	}
 }
 

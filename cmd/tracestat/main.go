@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"irgrid/internal/cli"
 	"irgrid/telemetry"
 )
 
@@ -203,6 +204,5 @@ func orUnknown(s string) string {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracestat:", err)
-	os.Exit(1)
+	cli.Fatal("tracestat", err)
 }

@@ -1,0 +1,71 @@
+package congestion
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEstimateIRContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mp, err := EstimateIRContext(ctx, 300, 300, demoNets(), Options{Pitch: 30})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if mp != nil {
+		t.Error("canceled estimate returned a (possibly partial) map")
+	}
+}
+
+func TestEstimateIRContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := EstimateIRContext(ctx, 300, 300, demoNets(), Options{Pitch: 30}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestEstimateIRContextLiveMatchesPlain(t *testing.T) {
+	want, err := EstimateIR(300, 300, demoNets(), Options{Pitch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := EstimateIRContext(ctx, 300, 300, demoNets(), Options{Pitch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != want.Score || got.Cells != want.Cells {
+		t.Errorf("cancelable estimate differs: score %g/%g cells %d/%d",
+			got.Score, want.Score, got.Cells, want.Cells)
+	}
+}
+
+func TestEstimateInvalidInput(t *testing.T) {
+	cases := []struct {
+		name string
+		w, h float64
+		nets []Net
+		opts Options
+	}{
+		{"zero-chip", 0, 300, demoNets(), Options{Pitch: 30}},
+		{"nan-chip", math.NaN(), 300, demoNets(), Options{Pitch: 30}},
+		{"inf-chip", 300, math.Inf(1), demoNets(), Options{Pitch: 30}},
+		{"negative-pitch", 300, 300, demoNets(), Options{Pitch: -1}},
+		{"nan-pitch", 300, 300, demoNets(), Options{Pitch: math.NaN()}},
+		{"top-fraction", 300, 300, demoNets(), Options{Pitch: 30, TopFraction: 1.5}},
+		{"nan-net", 300, 300, []Net{{X1: math.NaN(), Y1: 0, X2: 10, Y2: 10}}, Options{Pitch: 30}},
+		{"net-outside-chip", 300, 300, []Net{{X1: -5, Y1: 0, X2: 10, Y2: 10}}, Options{Pitch: 30}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := EstimateIR(tc.w, tc.h, tc.nets, tc.opts); !errors.Is(err, ErrInvalidInput) {
+				t.Errorf("err = %v, want ErrInvalidInput", err)
+			}
+		})
+	}
+}

@@ -10,6 +10,8 @@
 package congestion
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -20,6 +22,11 @@ import (
 	"irgrid/internal/netlist"
 	"irgrid/telemetry"
 )
+
+// ErrInvalidInput reports chip dimensions, pitches or net coordinates
+// that cannot parameterize any estimate (non-positive chip, non-finite
+// values, pins outside the chip). Test with errors.Is.
+var ErrInvalidInput = errors.New("congestion: invalid input")
 
 // Net is a two-pin net given by its pin coordinates in µm. Multi-bend
 // shortest Manhattan routing is assumed: the routing range is the
@@ -119,17 +126,35 @@ func (m *Map) CellAt(x, y float64) (col, row int, ok bool) {
 	return col, row, true
 }
 
-func toInternal(chipW, chipH float64, nets []Net) (geom.Rect, []netlist.TwoPin, error) {
-	if chipW <= 0 || chipH <= 0 {
-		return geom.Rect{}, nil, fmt.Errorf("congestion: chip %gx%g must be positive", chipW, chipH)
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func toInternal(chipW, chipH float64, nets []Net, opts Options) (geom.Rect, []netlist.TwoPin, error) {
+	if !finite(chipW, chipH) || chipW <= 0 || chipH <= 0 {
+		return geom.Rect{}, nil, fmt.Errorf("%w: chip %gx%g must be positive and finite", ErrInvalidInput, chipW, chipH)
+	}
+	if !finite(opts.Pitch) || opts.Pitch < 0 {
+		return geom.Rect{}, nil, fmt.Errorf("%w: pitch %g must be non-negative and finite (zero selects the default)", ErrInvalidInput, opts.Pitch)
+	}
+	if !finite(opts.TopFraction) || opts.TopFraction < 0 || opts.TopFraction > 1 {
+		return geom.Rect{}, nil, fmt.Errorf("%w: top fraction %g must be in [0, 1]", ErrInvalidInput, opts.TopFraction)
 	}
 	chip := geom.Rect{X1: 0, Y1: 0, X2: chipW, Y2: chipH}
 	out := make([]netlist.TwoPin, 0, len(nets))
 	for i, n := range nets {
+		if !finite(n.X1, n.Y1, n.X2, n.Y2) {
+			return geom.Rect{}, nil, fmt.Errorf("%w: net %d has non-finite pin coordinates", ErrInvalidInput, i)
+		}
 		a := geom.Pt{X: n.X1, Y: n.Y1}
 		b := geom.Pt{X: n.X2, Y: n.Y2}
 		if !chip.Contains(a) || !chip.Contains(b) {
-			return geom.Rect{}, nil, fmt.Errorf("congestion: net %d pins outside the %gx%g chip", i, chipW, chipH)
+			return geom.Rect{}, nil, fmt.Errorf("%w: net %d pins outside the %gx%g chip", ErrInvalidInput, i, chipW, chipH)
 		}
 		out = append(out, netlist.TwoPin{A: a, B: b})
 	}
@@ -139,12 +164,31 @@ func toInternal(chipW, chipH float64, nets []Net) (geom.Rect, []netlist.TwoPin, 
 // EstimateIR evaluates the Irregular-Grid model on the nets over a
 // chipW×chipH chip anchored at the origin.
 func EstimateIR(chipW, chipH float64, nets []Net, opts Options) (*Map, error) {
-	chip, two, err := toInternal(chipW, chipH, nets)
+	return EstimateIRContext(context.Background(), chipW, chipH, nets, opts)
+}
+
+// EstimateIRContext is EstimateIR under a context: the evaluation
+// engine checks the context at every shard boundary, and a canceled
+// estimate returns the context's error (context.Canceled or
+// context.DeadlineExceeded) instead of a partial map.
+func EstimateIRContext(ctx context.Context, chipW, chipH float64, nets []Net, opts Options) (*Map, error) {
+	chip, two, err := toInternal(chipW, chipH, nets, opts)
 	if err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m := core.Model{Pitch: opts.pitch(), Exact: opts.Exact, TopFraction: opts.TopFraction, Workers: opts.Workers, Obs: opts.Obs}
+	if ctx.Done() != nil {
+		m.Ctx = ctx
+	}
 	mp := m.Evaluate(chip, two)
+	// A cancellation mid-evaluation leaves mp partial; report the
+	// cancellation rather than a wrong map.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := &Map{
 		Model:  m.Name(),
 		XLines: append([]float64(nil), mp.XAxis...),
@@ -169,7 +213,7 @@ func EstimateIR(chipW, chipH float64, nets []Net, opts Options) (*Map, error) {
 // EstimateFixed evaluates the fixed-size-grid model (the baseline the
 // paper compares against, and — at Pitch 10 — its judging model).
 func EstimateFixed(chipW, chipH float64, nets []Net, opts Options) (*Map, error) {
-	chip, two, err := toInternal(chipW, chipH, nets)
+	chip, two, err := toInternal(chipW, chipH, nets, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -40,7 +40,7 @@ type RouteReport struct {
 // reports the realized congestion. Use it to validate an estimator:
 // an estimate is good when it ranks floorplans the way Overflow does.
 func Route(chipW, chipH float64, nets []Net, opts RouteOptions) (*RouteReport, error) {
-	chip, two, err := toInternal(chipW, chipH, nets)
+	chip, two, err := toInternal(chipW, chipH, nets, Options{Pitch: opts.Pitch})
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +77,7 @@ func Route(chipW, chipH float64, nets []Net, opts RouteOptions) (*RouteReport, e
 // capacity), which is what routers report; it renders on the same heat
 // maps.
 func EstimateRouted(chipW, chipH float64, nets []Net, opts RouteOptions) (*Map, error) {
-	chip, two, err := toInternal(chipW, chipH, nets)
+	chip, two, err := toInternal(chipW, chipH, nets, Options{Pitch: opts.Pitch})
 	if err != nil {
 		return nil, err
 	}

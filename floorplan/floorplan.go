@@ -22,12 +22,15 @@
 package floorplan
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"irgrid/internal/anneal"
 	"irgrid/internal/bench"
+	"irgrid/internal/ckpt"
 	"irgrid/internal/core"
 	"irgrid/internal/fplan"
 	"irgrid/internal/grid"
@@ -82,10 +85,11 @@ func Benchmark(name string) (*Circuit, error) {
 func BenchmarkNames() []string { return bench.Names() }
 
 // LoadYAL parses a circuit in the YAL-subset interchange format.
+// Malformed input fails with an error matching ErrInvalidInput.
 func LoadYAL(r io.Reader) (*Circuit, error) {
 	c, err := netlist.ReadYAL(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
 	return fromInternal(c), nil
 }
@@ -243,6 +247,18 @@ type Options struct {
 	// calibration, per-temperature temp + solution events, run_end).
 	// Summarize traces with cmd/tracestat.
 	Trace *telemetry.Tracer
+	// CheckpointPath, when non-empty, writes a resumable snapshot of
+	// the run to this file every CheckpointEvery temperature steps
+	// (atomically: temp file + rename), and once more if the run is
+	// canceled. Load it with LoadCheckpoint and continue with Resume.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot period in temperature steps
+	// (default 10 when a checkpoint destination is configured).
+	CheckpointEvery int
+	// Checkpoint, when non-nil, receives every boundary snapshot
+	// programmatically (after the CheckpointPath write, when both are
+	// set). Sink errors never abort the run.
+	Checkpoint func(*Snapshot) error
 }
 
 // Floorplan representations accepted by Options.Representation.
@@ -277,18 +293,76 @@ type Result struct {
 	sol     *fplan.Solution
 }
 
-// Run floorplans the circuit.
+// validateOptions rejects option values that cannot parameterize any
+// run — non-finite or negative weights, pitches and schedule sizes —
+// with errors matching ErrInvalidInput. Zero values still mean "use
+// the default" everywhere they did before.
+func validateOptions(opts *Options) error {
+	finite := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %s must be finite, got %g", ErrInvalidInput, name, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("%w: %s must be non-negative, got %g", ErrInvalidInput, name, v)
+		}
+		return nil
+	}
+	if err := finite("Alpha", opts.Alpha); err != nil {
+		return err
+	}
+	if err := finite("Beta", opts.Beta); err != nil {
+		return err
+	}
+	if err := finite("Gamma", opts.Gamma); err != nil {
+		return err
+	}
+	if err := finite("PinPitch", opts.PinPitch); err != nil {
+		return err
+	}
+	if err := finite("Congestion.Pitch", opts.Congestion.Pitch); err != nil {
+		return err
+	}
+	if opts.MovesPerTemp < 0 || opts.MaxTemps < 0 {
+		return fmt.Errorf("%w: MovesPerTemp=%d MaxTemps=%d must be non-negative",
+			ErrInvalidInput, opts.MovesPerTemp, opts.MaxTemps)
+	}
+	if opts.CheckpointEvery < 0 {
+		return fmt.Errorf("%w: CheckpointEvery must be non-negative, got %d", ErrInvalidInput, opts.CheckpointEvery)
+	}
+	return nil
+}
+
+// Run floorplans the circuit. It is RunContext without cancellation.
 func Run(c *Circuit, opts Options) (*Result, error) {
+	return RunContext(context.Background(), c, opts)
+}
+
+// RunContext floorplans the circuit under a context. Cancellation is
+// cooperative: the annealer checks the context at every proposed move
+// and the IR-grid estimator at every evaluation shard boundary. On
+// cancellation RunContext returns the best result found so far
+// together with ErrCanceled (or ErrDeadline when the context's
+// deadline expired) — the partial Result is valid and fully evaluated
+// — and, when checkpointing is configured, writes one final resumable
+// snapshot.
+func RunContext(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
+	return runContext(ctx, c, opts, nil)
+}
+
+func runContext(ctx context.Context, c *Circuit, opts Options, snap *Snapshot) (*Result, error) {
+	if err := validateOptions(&opts); err != nil {
+		return nil, err
+	}
 	ic, err := c.toInternal()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
 	est, err := opts.Congestion.estimator()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
 	if opts.Gamma != 0 && est == nil {
-		return nil, fmt.Errorf("floorplan: Gamma=%g requires Options.Congestion.Model", opts.Gamma)
+		return nil, fmt.Errorf("%w: Gamma=%g requires Options.Congestion.Model", ErrInvalidInput, opts.Gamma)
 	}
 	alpha, beta := opts.Alpha, opts.Beta
 	if alpha == 0 && beta == 0 && opts.Gamma == 0 {
@@ -304,18 +378,38 @@ func Run(c *Circuit, opts Options) (*Result, error) {
 	switch opts.WirelengthModel {
 	case "", string(wl.ModelMST), string(wl.ModelHPWL), string(wl.ModelStar), string(wl.ModelClique), string(wl.ModelSteiner):
 	default:
-		return nil, fmt.Errorf("floorplan: unknown wirelength model %q", opts.WirelengthModel)
+		return nil, fmt.Errorf("%w: unknown wirelength model %q", ErrInvalidInput, opts.WirelengthModel)
+	}
+	checkpoint := opts.Checkpoint
+	if path := opts.CheckpointPath; path != "" {
+		user := checkpoint
+		checkpoint = func(s *Snapshot) error {
+			if err := ckpt.Save(path, s); err != nil {
+				return err
+			}
+			if user != nil {
+				return user(s)
+			}
+			return nil
+		}
+	}
+	every := opts.CheckpointEvery
+	if checkpoint != nil && every <= 0 {
+		every = 10
 	}
 	runner, err := fplan.New(ic, fplan.Config{
-		Weights:        fplan.Weights{Alpha: alpha, Beta: beta, Gamma: opts.Gamma},
-		Estimator:      est,
-		Pitch:          pinPitch,
-		AllowRotate:    !opts.NoRotate,
-		Wire:           wl.Model(opts.WirelengthModel),
-		Representation: opts.Representation,
-		Workers:        opts.Workers,
-		Obs:            opts.Obs,
-		Trace:          opts.Trace,
+		Weights:         fplan.Weights{Alpha: alpha, Beta: beta, Gamma: opts.Gamma},
+		Estimator:       est,
+		Pitch:           pinPitch,
+		AllowRotate:     !opts.NoRotate,
+		Wire:            wl.Model(opts.WirelengthModel),
+		Representation:  opts.Representation,
+		Workers:         opts.Workers,
+		Obs:             opts.Obs,
+		Trace:           opts.Trace,
+		CheckpointEvery: every,
+		Checkpoint:      checkpoint,
+		Resume:          snap,
 		Anneal: anneal.Config{
 			Seed:         opts.Seed,
 			MovesPerTemp: opts.MovesPerTemp,
@@ -323,10 +417,13 @@ func Run(c *Circuit, opts Options) (*Result, error) {
 		},
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
 	start := time.Now()
-	sol, stats := runner.Run(nil)
+	sol, stats, runErr := runner.Run(ctx, nil)
+	if runErr != nil && sol == nil {
+		return nil, runErr
+	}
 	res := &Result{
 		Circuit:          ic.Name,
 		ChipW:            sol.Placement.Chip.W(),
@@ -350,5 +447,5 @@ func Run(c *Circuit, opts Options) (*Result, error) {
 			Rotated: sol.Placement.Rotated[i],
 		})
 	}
-	return res, nil
+	return res, runErr
 }

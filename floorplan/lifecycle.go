@@ -1,0 +1,68 @@
+package floorplan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"irgrid/internal/anneal"
+	"irgrid/internal/ckpt"
+	"irgrid/internal/fplan"
+)
+
+// Typed errors of the public API. Test them with errors.Is.
+var (
+	// ErrCanceled reports a run stopped by context cancellation. The
+	// accompanying Result is the best solution found so far — a valid,
+	// fully evaluated partial result, not garbage.
+	ErrCanceled = anneal.ErrCanceled
+	// ErrDeadline reports a run stopped by an expired context deadline;
+	// like ErrCanceled it accompanies a best-so-far Result.
+	ErrDeadline = anneal.ErrDeadline
+	// ErrInvalidInput reports options or circuits that cannot
+	// parameterize any run: non-finite weights, negative pitches,
+	// structurally broken netlists, unknown model names.
+	ErrInvalidInput = errors.New("floorplan: invalid input")
+	// ErrSnapshotMismatch reports a Resume against a snapshot written
+	// by a different circuit or configuration.
+	ErrSnapshotMismatch = fplan.ErrSnapshotMismatch
+)
+
+// Snapshot is a resumable checkpoint of a run in flight: the anneal
+// schedule position, the exact PRNG position, the current and
+// best-so-far floorplan encodings, and a digest binding it to the
+// circuit and options that produced it. Snapshots are taken only at
+// temperature-step boundaries, so a run resumed from one finishes
+// bit-identical to a run that was never interrupted.
+type Snapshot = fplan.Snapshot
+
+// SaveCheckpoint writes a snapshot to path atomically (temp file in
+// the same directory + rename) inside a versioned, checksummed
+// envelope.
+func SaveCheckpoint(path string, s *Snapshot) error {
+	return ckpt.Save(path, s)
+}
+
+// LoadCheckpoint reads a snapshot written by SaveCheckpoint or a run
+// with Options.CheckpointPath, verifying the envelope's magic, version
+// and checksum.
+func LoadCheckpoint(path string) (*Snapshot, error) {
+	var s Snapshot
+	if err := ckpt.Load(path, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Resume continues an interrupted run from a snapshot. The circuit and
+// options must match the run that wrote the snapshot (verified via an
+// embedded config digest; ErrSnapshotMismatch otherwise) — except
+// MaxTemps, which may differ so a finished or interrupted run can be
+// extended. Checkpointing options apply as in RunContext, so a resumed
+// run can itself be checkpointed and resumed.
+func Resume(ctx context.Context, c *Circuit, opts Options, snap *Snapshot) (*Result, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("%w: nil snapshot", ErrInvalidInput)
+	}
+	return runContext(ctx, c, opts, snap)
+}

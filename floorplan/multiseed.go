@@ -1,6 +1,8 @@
 package floorplan
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,12 +26,25 @@ type MultiResult struct {
 // run is unchanged from Run with that seed, so RunBest(c, o, n) picks
 // exactly the best of {Run(c, o seed=s)}.
 func RunBest(c *Circuit, opts Options, seeds int) (*MultiResult, error) {
+	return RunBestContext(context.Background(), c, opts, seeds)
+}
+
+// RunBestContext is RunBest under a context. On cancellation every
+// in-flight run stops cooperatively and the call returns the best
+// result across everything completed so far — full runs and
+// best-so-far partials alike — together with ErrCanceled or
+// ErrDeadline. Checkpointing options are rejected here: a single
+// checkpoint file cannot represent several concurrent seeds.
+func RunBestContext(ctx context.Context, c *Circuit, opts Options, seeds int) (*MultiResult, error) {
 	if seeds < 1 {
-		return nil, fmt.Errorf("floorplan: seeds must be >= 1, got %d", seeds)
+		return nil, fmt.Errorf("%w: seeds must be >= 1, got %d", ErrInvalidInput, seeds)
+	}
+	if opts.CheckpointPath != "" || opts.Checkpoint != nil {
+		return nil, fmt.Errorf("%w: checkpointing is single-run; use RunContext per seed", ErrInvalidInput)
 	}
 	// Validate once up front so workers can't race on a broken input.
 	if err := c.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
 
 	type outcome struct {
@@ -48,16 +63,24 @@ func RunBest(c *Circuit, opts Options, seeds int) (*MultiResult, error) {
 			defer func() { <-sem }()
 			o := opts
 			o.Seed = opts.Seed + int64(i)
-			res, err := Run(c, o)
+			res, err := RunContext(ctx, c, o)
 			results[i] = outcome{idx: i, res: res, err: err}
 		}(i)
 	}
 	wg.Wait()
 
 	out := &MultiResult{Costs: make([]float64, seeds)}
+	var ctxErr error
 	for _, r := range results {
 		if r.err != nil {
-			return nil, r.err
+			if errors.Is(r.err, ErrCanceled) || errors.Is(r.err, ErrDeadline) {
+				ctxErr = r.err
+			} else {
+				return nil, r.err
+			}
+		}
+		if r.res == nil {
+			continue
 		}
 		out.Costs[r.idx] = r.res.Cost
 		if out.Best == nil || r.res.Cost < out.Best.Cost {
@@ -65,5 +88,8 @@ func RunBest(c *Circuit, opts Options, seeds int) (*MultiResult, error) {
 			out.BestSeed = opts.Seed + int64(r.idx)
 		}
 	}
-	return out, nil
+	if out.Best == nil && ctxErr != nil {
+		return nil, ctxErr
+	}
+	return out, ctxErr
 }

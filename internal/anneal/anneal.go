@@ -10,6 +10,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -63,6 +64,23 @@ type Config struct {
 	// Trace, when non-nil, receives the JSONL run trace: one
 	// calibration event, then one temp event per temperature step.
 	Trace *obs.Tracer
+	// CheckpointEvery, when positive together with Checkpoint, invokes
+	// the checkpoint sink after every CheckpointEvery completed
+	// temperature steps.
+	CheckpointEvery int
+	// Checkpoint, when non-nil, receives boundary snapshots: every
+	// CheckpointEvery steps, and once more on cancellation (the last
+	// completed boundary, so a canceled-and-resumed run replays the
+	// interrupted step and stays bit-identical to an uninterrupted
+	// one). A sink error never aborts the run; it is counted in
+	// Stats.CheckpointErrors and the checkpoint_errors counter.
+	Checkpoint func(*Snapshot) error
+	// Resume, when non-nil, continues a previous run from the snapshot
+	// instead of starting fresh: calibration is skipped, the PRNG is
+	// fast-forwarded to the snapshot's draw position, and the
+	// temperature loop re-enters at Snapshot.Step. The initial state
+	// passed to Run is ignored.
+	Resume *Snapshot
 }
 
 func (c Config) withDefaults() Config {
@@ -111,65 +129,150 @@ type Stats struct {
 	FinalTemp float64
 	InitCost  float64
 	FinalCost float64 // cost of the returned best state
+	// Checkpoints and CheckpointErrors count successful and failed
+	// invocations of the Config.Checkpoint sink.
+	Checkpoints      int
+	CheckpointErrors int
 }
 
 // Run anneals from the initial state and returns the best state seen.
-func Run(cfg Config, initial State) (State, Stats) {
+//
+// The context is checked cooperatively at every proposed move (and
+// between the evaluation inside a move and its acceptance decision, so
+// a cost that an estimator computed after cancellation is never acted
+// on). On cancellation Run returns the best state found so far with
+// ErrCanceled or ErrDeadline — partial results are first-class, not
+// failures — and, when a Checkpoint sink is configured, writes one
+// final boundary snapshot so the run can be resumed.
+func Run(ctx context.Context, cfg Config, initial State) (State, Stats, error) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	cur := initial
-	curCost := cur.Cost()
-	best, bestCost := cur, curCost
-	st := Stats{InitCost: curCost, BestStep: -1}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	src := newCountingSource(cfg.Seed)
+	rng := rand.New(src)
 
 	// Registry instruments resolve to nil no-ops when cfg.Obs is nil.
 	var (
-		mMoves = cfg.Obs.Counter("anneal_moves_total")
-		mCalib = cfg.Obs.Counter("anneal_calibration_moves_total")
-		mAcc   = cfg.Obs.Counter("anneal_accepted_total")
-		mTemps = cfg.Obs.Counter("anneal_temps_total")
-		gTemp  = cfg.Obs.Gauge("anneal_temperature")
-		gCur   = cfg.Obs.Gauge("anneal_cost_current")
-		gBest  = cfg.Obs.Gauge("anneal_cost_best")
-		gRate  = cfg.Obs.Gauge("anneal_accept_rate")
+		mMoves    = cfg.Obs.Counter("anneal_moves_total")
+		mCalib    = cfg.Obs.Counter("anneal_calibration_moves_total")
+		mAcc      = cfg.Obs.Counter("anneal_accepted_total")
+		mTemps    = cfg.Obs.Counter("anneal_temps_total")
+		gTemp     = cfg.Obs.Gauge("anneal_temperature")
+		gCur      = cfg.Obs.Gauge("anneal_cost_current")
+		gBest     = cfg.Obs.Gauge("anneal_cost_best")
+		gRate     = cfg.Obs.Gauge("anneal_accept_rate")
+		mCkpt     = cfg.Obs.Counter("checkpoints_written")
+		mCkptErr  = cfg.Obs.Counter("checkpoint_errors")
+		mCanceled = cfg.Obs.Counter("runs_canceled")
 	)
 
-	// Calibrate the initial temperature from the average uphill delta:
-	// exp(-avgUp/T0) = InitAccept  =>  T0 = -avgUp / ln(InitAccept).
-	var upSum float64
-	var upN int
-	probe := cur
-	probeCost := curCost
-	for i := 0; i < cfg.CalibrationMoves; i++ {
-		next := probe.Neighbor(rng)
-		nextCost := next.Cost()
-		st.CalibrationMoves++
-		mCalib.Inc()
-		if d := nextCost - probeCost; d > 0 {
-			upSum += d
-			upN++
-		}
-		probe, probeCost = next, nextCost
-	}
-	avgUp := 1.0
-	if upN > 0 {
-		avgUp = upSum / float64(upN)
-	}
-	temp := -avgUp / math.Log(cfg.InitAccept)
-	if temp <= 0 || math.IsNaN(temp) || math.IsInf(temp, 0) {
-		temp = 1
-	}
-	st.InitTemp = temp
-	cfg.Trace.Emit(obs.CalibrationEvent{
-		Ev: obs.EvCalibration, Moves: st.CalibrationMoves,
-		InitTemp: temp, InitCost: curCost,
-	})
+	var (
+		cur, best         State
+		curCost, bestCost float64
+		temp              float64
+		st                Stats
+		startStep         int
+		boundary          *Snapshot // last completed step boundary
+	)
 
-	for step := 0; step < cfg.MaxTemps; step++ {
+	// writeCheckpoint hands the boundary snapshot to the sink. Sink
+	// errors (a full disk, an injected I/O fault) never abort the run.
+	writeCheckpoint := func() {
+		if cfg.Checkpoint == nil || boundary == nil {
+			return
+		}
+		if err := cfg.Checkpoint(boundary); err != nil {
+			st.CheckpointErrors++
+			mCkptErr.Inc()
+		} else {
+			st.Checkpoints++
+			mCkpt.Inc()
+		}
+	}
+	// finish concludes an interrupted run: best-so-far plus the typed
+	// cancellation error, with a final resumable boundary snapshot.
+	finish := func(err error) (State, Stats, error) {
+		mCanceled.Inc()
+		writeCheckpoint()
+		st.FinalCost = bestCost
+		return best, st, err
+	}
+
+	if snap := cfg.Resume; snap != nil {
+		src.fastForward(snap.Draws)
+		cur, curCost = snap.Cur, snap.CurCost
+		best, bestCost = snap.Best, snap.BestCost
+		st = snap.Stats
+		temp = snap.Temp
+		startStep = snap.Step
+		boundary = snap
+		if err := ctxErr(ctx); err != nil {
+			return finish(err)
+		}
+	} else {
+		cur = initial
+		curCost = cur.Cost()
+		best, bestCost = cur, curCost
+		st = Stats{InitCost: curCost, BestStep: -1}
+
+		// Calibrate the initial temperature from the average uphill
+		// delta: exp(-avgUp/T0) = InitAccept => T0 = -avgUp / ln(InitAccept).
+		var upSum float64
+		var upN int
+		probe := cur
+		probeCost := curCost
+		for i := 0; i < cfg.CalibrationMoves; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return finish(err)
+			}
+			next := probe.Neighbor(rng)
+			if err := ctxErr(ctx); err != nil {
+				return finish(err)
+			}
+			nextCost := next.Cost()
+			st.CalibrationMoves++
+			mCalib.Inc()
+			if d := nextCost - probeCost; d > 0 {
+				upSum += d
+				upN++
+			}
+			probe, probeCost = next, nextCost
+		}
+		avgUp := 1.0
+		if upN > 0 {
+			avgUp = upSum / float64(upN)
+		}
+		temp = -avgUp / math.Log(cfg.InitAccept)
+		if temp <= 0 || math.IsNaN(temp) || math.IsInf(temp, 0) {
+			temp = 1
+		}
+		st.InitTemp = temp
+		cfg.Trace.Emit(obs.CalibrationEvent{
+			Ev: obs.EvCalibration, Moves: st.CalibrationMoves,
+			InitTemp: temp, InitCost: curCost,
+		})
+		boundary = &Snapshot{
+			Step: 0, Temp: temp, Draws: src.n,
+			Cur: cur, CurCost: curCost,
+			Best: best, BestCost: bestCost,
+			Stats: st,
+		}
+	}
+
+	for step := startStep; step < cfg.MaxTemps; step++ {
 		accepted := 0
 		for m := 0; m < cfg.MovesPerTemp; m++ {
+			if err := ctxErr(ctx); err != nil {
+				return finish(err)
+			}
 			next := cur.Neighbor(rng)
+			// A cancellation can interrupt the evaluation inside
+			// Neighbor (estimators bail at shard boundaries), so the
+			// cost may be partial — re-check before acting on it.
+			if err := ctxErr(ctx); err != nil {
+				return finish(err)
+			}
 			nextCost := next.Cost()
 			st.Moves++
 			mMoves.Inc()
@@ -208,7 +311,16 @@ func Run(cfg Config, initial State) (State, Stats) {
 			break
 		}
 		temp *= cfg.Cooling
+		boundary = &Snapshot{
+			Step: step + 1, Temp: temp, Draws: src.n,
+			Cur: cur, CurCost: curCost,
+			Best: best, BestCost: bestCost,
+			Stats: st,
+		}
+		if cfg.CheckpointEvery > 0 && (step+1)%cfg.CheckpointEvery == 0 {
+			writeCheckpoint()
+		}
 	}
 	st.FinalCost = bestCost
-	return best, st
+	return best, st, nil
 }

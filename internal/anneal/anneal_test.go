@@ -23,7 +23,7 @@ func (s quadState) Neighbor(rng *rand.Rand) State {
 }
 
 func TestRunFindsOptimum(t *testing.T) {
-	best, st := Run(Config{Seed: 1, MovesPerTemp: 50, MaxTemps: 60}, quadState{x: -40})
+	best, st, _ := Run(nil, Config{Seed: 1, MovesPerTemp: 50, MaxTemps: 60}, quadState{x: -40})
 	if got := best.(quadState).x; got != 7 {
 		t.Errorf("best x = %d, want 7", got)
 	}
@@ -37,8 +37,8 @@ func TestRunFindsOptimum(t *testing.T) {
 
 func TestRunReproducible(t *testing.T) {
 	cfg := Config{Seed: 99, MovesPerTemp: 30, MaxTemps: 20}
-	b1, s1 := Run(cfg, quadState{x: 100})
-	b2, s2 := Run(cfg, quadState{x: 100})
+	b1, s1, _ := Run(nil, cfg, quadState{x: 100})
+	b2, s2, _ := Run(nil, cfg, quadState{x: 100})
 	if b1.(quadState).x != b2.(quadState).x {
 		t.Error("same seed gave different best states")
 	}
@@ -49,8 +49,8 @@ func TestRunReproducible(t *testing.T) {
 
 func TestRunDifferentSeedsDiffer(t *testing.T) {
 	// Different seeds should (almost surely) take different paths.
-	_, s1 := Run(Config{Seed: 1, MovesPerTemp: 30, MaxTemps: 10, MinAcceptRate: 1e-9}, quadState{x: 100})
-	_, s2 := Run(Config{Seed: 2, MovesPerTemp: 30, MaxTemps: 10, MinAcceptRate: 1e-9}, quadState{x: 100})
+	_, s1, _ := Run(nil, Config{Seed: 1, MovesPerTemp: 30, MaxTemps: 10, MinAcceptRate: 1e-9}, quadState{x: 100})
+	_, s2, _ := Run(nil, Config{Seed: 2, MovesPerTemp: 30, MaxTemps: 10, MinAcceptRate: 1e-9}, quadState{x: 100})
 	if s1.Accepted == s2.Accepted && s1.FinalCost == s2.FinalCost && s1.InitTemp == s2.InitTemp {
 		t.Error("different seeds produced identical trajectories (suspicious)")
 	}
@@ -71,7 +71,7 @@ func TestOnTemperatureHook(t *testing.T) {
 			}
 		},
 	}
-	_, st := Run(cfg, quadState{x: 50})
+	_, st, _ := Run(nil, cfg, quadState{x: 50})
 	if len(steps) != st.Temps {
 		t.Fatalf("hook called %d times, %d temps", len(steps), st.Temps)
 	}
@@ -92,7 +92,7 @@ func TestOnTemperatureHook(t *testing.T) {
 func TestBestNeverWorseThanInitial(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		init := quadState{x: 3}
-		best, st := Run(Config{Seed: seed, MovesPerTemp: 10, MaxTemps: 5}, init)
+		best, st, _ := Run(nil, Config{Seed: seed, MovesPerTemp: 10, MaxTemps: 5}, init)
 		if best.Cost() > init.Cost() {
 			t.Errorf("seed %d: best %g worse than initial %g", seed, best.Cost(), init.Cost())
 		}
@@ -123,7 +123,7 @@ func (flatState) Cost() float64             { return 5 }
 func (flatState) Neighbor(*rand.Rand) State { return flatState{} }
 
 func TestFlatLandscape(t *testing.T) {
-	best, st := Run(Config{Seed: 4, MovesPerTemp: 10, MaxTemps: 10}, flatState{})
+	best, st, _ := Run(nil, Config{Seed: 4, MovesPerTemp: 10, MaxTemps: 10}, flatState{})
 	if best.Cost() != 5 {
 		t.Error("flat cost changed")
 	}
@@ -134,7 +134,7 @@ func TestFlatLandscape(t *testing.T) {
 
 func TestEarlyStopOnLowAcceptance(t *testing.T) {
 	// A steep landscape at low temperature stops before MaxTemps.
-	_, st := Run(Config{
+	_, st, _ := Run(nil, Config{
 		Seed: 5, MovesPerTemp: 40, MaxTemps: 10000,
 		Cooling: 0.5, MinAcceptRate: 0.5,
 	}, quadState{x: 1000})

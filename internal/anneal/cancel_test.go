@@ -1,0 +1,270 @@
+package anneal
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// trip cancels a context after a fixed number of Cost evaluations,
+// letting a test interrupt a run at an exact point of its trajectory.
+type trip struct {
+	calls    int
+	cancelAt int
+	cancel   context.CancelFunc
+}
+
+// tripState is quadState wired through a trip counter.
+type tripState struct {
+	x int
+	t *trip
+}
+
+func (s tripState) Cost() float64 {
+	s.t.calls++
+	if s.t.calls == s.t.cancelAt {
+		s.t.cancel()
+	}
+	d := float64(s.x - 7)
+	return d * d
+}
+
+func (s tripState) Neighbor(rng *rand.Rand) State {
+	if rng.Intn(2) == 0 {
+		return tripState{s.x + 1, s.t}
+	}
+	return tripState{s.x - 1, s.t}
+}
+
+func TestRunAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	init := quadState{x: 42}
+	best, st, err := Run(ctx, Config{Seed: 1}, init)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// Best-so-far on an immediately-canceled run is the initial state.
+	if best.(quadState) != init {
+		t.Errorf("best = %+v, want the initial state", best)
+	}
+	if st.Moves != 0 || st.Temps != 0 {
+		t.Errorf("canceled-before-start run did work: %+v", st)
+	}
+}
+
+func TestRunDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	best, _, err := Run(ctx, Config{Seed: 1}, quadState{x: 42})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if best == nil {
+		t.Fatal("best is nil; partial results must be first-class")
+	}
+}
+
+func TestRunCancelMidCalibration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Draw 1 initial Cost, then trip inside the 50 calibration probes.
+	tr := &trip{cancelAt: 1 + 10, cancel: cancel}
+	best, st, err := Run(ctx, Config{Seed: 1, CalibrationMoves: 50}, tripState{x: 42, t: tr})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if st.CalibrationMoves == 0 || st.CalibrationMoves >= 50 {
+		t.Errorf("CalibrationMoves = %d, want interrupted mid-calibration", st.CalibrationMoves)
+	}
+	if st.Moves != 0 {
+		t.Errorf("Moves = %d before calibration finished", st.Moves)
+	}
+	if best == nil {
+		t.Fatal("best is nil")
+	}
+}
+
+func TestRunCancelMidTemperature(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{Seed: 1, CalibrationMoves: 20, MovesPerTemp: 100, MaxTemps: 50}
+	// 1 initial + 20 calibration evaluations, then trip at search move 30.
+	tr := &trip{cancelAt: 1 + 20 + 30, cancel: cancel}
+	var sink []*Snapshot
+	cfg.CheckpointEvery = 1
+	cfg.Checkpoint = func(s *Snapshot) error { sink = append(sink, s); return nil }
+	best, st, err := Run(ctx, cfg, tripState{x: 420, t: tr})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if st.Moves == 0 || st.Moves >= 100 {
+		t.Errorf("Moves = %d, want interrupted inside the first temperature", st.Moves)
+	}
+	if best.Cost() > float64((420-7)*(420-7)) {
+		t.Errorf("best cost %g worse than initial", best.Cost())
+	}
+	// The cancellation path must write one final boundary snapshot.
+	if len(sink) == 0 {
+		t.Fatal("no checkpoint written on cancellation")
+	}
+	last := sink[len(sink)-1]
+	if last.Step != 0 {
+		t.Errorf("final snapshot step = %d; a run canceled mid-step must "+
+			"snapshot the last completed boundary (0)", last.Step)
+	}
+}
+
+func TestRunContextNilAndBackground(t *testing.T) {
+	cfg := Config{Seed: 7, MovesPerTemp: 20, MaxTemps: 10}
+	b1, s1, err1 := Run(nil, cfg, quadState{x: 50})
+	b2, s2, err2 := Run(context.Background(), cfg, quadState{x: 50})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v, %v", err1, err2)
+	}
+	if b1.(quadState) != b2.(quadState) || s1 != s2 {
+		t.Error("nil and Background contexts gave different runs")
+	}
+}
+
+// TestResumeBitIdentical is the checkpoint subsystem's core guarantee:
+// a run resumed from a boundary snapshot finishes bit-identical — same
+// best state, same stats — to a run that was never interrupted.
+func TestResumeBitIdentical(t *testing.T) {
+	cfg := Config{Seed: 11, MovesPerTemp: 40, MaxTemps: 30, MinAcceptRate: 1e-9}
+	wantBest, wantStats, err := Run(nil, cfg, quadState{x: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []*Snapshot
+	ck := cfg
+	ck.CheckpointEvery = 7
+	ck.Checkpoint = func(s *Snapshot) error { snaps = append(snaps, s); return nil }
+	if _, _, err := Run(nil, ck, quadState{x: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("only %d snapshots written", len(snaps))
+	}
+
+	for _, snap := range snaps {
+		re := cfg
+		re.Resume = snap
+		gotBest, gotStats, err := Run(nil, re, nil) // initial state is ignored on resume
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotBest.(quadState) != wantBest.(quadState) {
+			t.Errorf("resume from step %d: best %+v, want %+v", snap.Step, gotBest, wantBest)
+		}
+		// Checkpoint counters differ by construction; everything else
+		// must match exactly.
+		gotStats.Checkpoints, gotStats.CheckpointErrors = 0, 0
+		wt := wantStats
+		wt.Checkpoints, wt.CheckpointErrors = 0, 0
+		if gotStats != wt {
+			t.Errorf("resume from step %d: stats %+v, want %+v", snap.Step, gotStats, wt)
+		}
+	}
+}
+
+// TestResumeAfterCancelBitIdentical interrupts a run mid-temperature,
+// resumes from the snapshot the cancellation wrote, and requires the
+// two-part run to land exactly where the uninterrupted run does: the
+// interrupted step is replayed from its boundary RNG state.
+func TestResumeAfterCancelBitIdentical(t *testing.T) {
+	cfg := Config{Seed: 3, CalibrationMoves: 20, MovesPerTemp: 50, MaxTemps: 25, MinAcceptRate: 1e-9}
+	wantBest, wantStats, err := Run(nil, cfg, quadState{x: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Trip deep inside temperature step 4: 1 initial + 20 calibration +
+	// 4*50 full steps + 23 moves into the fifth.
+	tr := &trip{cancelAt: 1 + 20 + 4*50 + 23, cancel: cancel}
+	var last *Snapshot
+	ck := cfg
+	ck.CheckpointEvery = 2
+	ck.Checkpoint = func(s *Snapshot) error { last = s; return nil }
+	_, _, runErr := Run(ctx, ck, tripState{x: 300, t: tr})
+	if !errors.Is(runErr, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", runErr)
+	}
+	if last == nil {
+		t.Fatal("cancellation wrote no snapshot")
+	}
+	if last.Step != 4 {
+		t.Fatalf("snapshot step = %d, want the last completed boundary 4", last.Step)
+	}
+
+	re := cfg
+	re.Resume = last
+	gotBest, gotStats, err := Run(nil, re, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot carries tripState values; compare by position.
+	if gotBest.(tripState).x != wantBest.(quadState).x {
+		t.Errorf("best x = %d, want %d", gotBest.(tripState).x, wantBest.(quadState).x)
+	}
+	gotStats.Checkpoints, gotStats.CheckpointErrors = 0, 0
+	if gotStats != wantStats {
+		t.Errorf("stats %+v, want %+v", gotStats, wantStats)
+	}
+}
+
+func TestCheckpointSinkErrorNeverAborts(t *testing.T) {
+	boom := errors.New("disk full")
+	cfg := Config{
+		Seed: 5, MovesPerTemp: 20, MaxTemps: 10, MinAcceptRate: 1e-9,
+		CheckpointEvery: 2,
+		Checkpoint:      func(*Snapshot) error { return boom },
+	}
+	best, st, err := Run(nil, cfg, quadState{x: 100})
+	if err != nil {
+		t.Fatalf("sink error aborted the run: %v", err)
+	}
+	if st.CheckpointErrors == 0 {
+		t.Error("CheckpointErrors not counted")
+	}
+	if st.Checkpoints != 0 {
+		t.Errorf("Checkpoints = %d with an always-failing sink", st.Checkpoints)
+	}
+	// The search itself is unaffected.
+	plain := cfg
+	plain.Checkpoint, plain.CheckpointEvery = nil, 0
+	wantBest, wantStats, _ := Run(nil, plain, quadState{x: 100})
+	if best.(quadState) != wantBest.(quadState) {
+		t.Error("failing checkpoint sink perturbed the search")
+	}
+	st.CheckpointErrors = 0
+	if st != wantStats {
+		t.Errorf("stats %+v, want %+v", st, wantStats)
+	}
+}
+
+func TestCountingSourceFastForward(t *testing.T) {
+	a := newCountingSource(99)
+	rng := rand.New(a)
+	for i := 0; i < 1000; i++ {
+		rng.Float64()
+		if i%3 == 0 {
+			rng.Intn(17)
+		}
+	}
+	b := newCountingSource(99)
+	b.fastForward(a.n)
+	if b.n != a.n {
+		t.Fatalf("fastForward landed at %d, want %d", b.n, a.n)
+	}
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sources diverged at draw %d", i)
+		}
+	}
+}

@@ -11,7 +11,7 @@ import (
 
 func TestStatsCountCalibrationMovesSeparately(t *testing.T) {
 	cfg := Config{Seed: 1, MovesPerTemp: 20, MaxTemps: 8, CalibrationMoves: 13}
-	_, st := Run(cfg, quadState{x: 50})
+	_, st, _ := Run(nil, cfg, quadState{x: 50})
 	if st.CalibrationMoves != 13 {
 		t.Errorf("CalibrationMoves = %d, want 13", st.CalibrationMoves)
 	}
@@ -23,7 +23,7 @@ func TestStatsCountCalibrationMovesSeparately(t *testing.T) {
 }
 
 func TestStatsUphillAndBestStep(t *testing.T) {
-	_, st := Run(Config{Seed: 2, MovesPerTemp: 40, MaxTemps: 40}, quadState{x: 60})
+	_, st, _ := Run(nil, Config{Seed: 2, MovesPerTemp: 40, MaxTemps: 40}, quadState{x: 60})
 	if st.UphillAccepted <= 0 {
 		t.Error("a hot anneal should accept some uphill moves")
 	}
@@ -34,7 +34,7 @@ func TestStatsUphillAndBestStep(t *testing.T) {
 		t.Errorf("BestStep = %d with %d temps", st.BestStep, st.Temps)
 	}
 	// A start at the optimum is never improved.
-	_, st = Run(Config{Seed: 2, MovesPerTemp: 10, MaxTemps: 3}, quadState{x: 7})
+	_, st, _ = Run(nil, Config{Seed: 2, MovesPerTemp: 10, MaxTemps: 3}, quadState{x: 7})
 	if st.BestStep != -1 {
 		t.Errorf("BestStep = %d, want -1 for an unimproved initial state", st.BestStep)
 	}
@@ -43,7 +43,7 @@ func TestStatsUphillAndBestStep(t *testing.T) {
 func TestRegistryMetricsMatchStats(t *testing.T) {
 	reg := obs.NewRegistry()
 	cfg := Config{Seed: 3, MovesPerTemp: 25, MaxTemps: 12, CalibrationMoves: 7, Obs: reg}
-	_, st := Run(cfg, quadState{x: 80})
+	_, st, _ := Run(nil, cfg, quadState{x: 80})
 	snap := reg.Snapshot()
 	for name, want := range map[string]int{
 		"anneal_moves_total":             st.Moves,
@@ -67,7 +67,7 @@ func TestTraceEventsMatchRun(t *testing.T) {
 	var buf bytes.Buffer
 	tr := obs.NewTracer(&buf)
 	cfg := Config{Seed: 4, MovesPerTemp: 15, MaxTemps: 10, Trace: tr}
-	_, st := Run(cfg, quadState{x: 40})
+	_, st, _ := Run(nil, cfg, quadState{x: 40})
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -113,12 +113,12 @@ func TestTraceEventsMatchRun(t *testing.T) {
 // must not change a single decision of the anneal.
 func TestInstrumentedRunBitIdentical(t *testing.T) {
 	cfg := Config{Seed: 9, MovesPerTemp: 30, MaxTemps: 25}
-	plainBest, plainStats := Run(cfg, quadState{x: 77})
+	plainBest, plainStats, _ := Run(nil, cfg, quadState{x: 77})
 
 	var buf bytes.Buffer
 	cfg.Obs = obs.NewRegistry()
 	cfg.Trace = obs.NewTracer(&buf)
-	tracedBest, tracedStats := Run(cfg, quadState{x: 77})
+	tracedBest, tracedStats, _ := Run(nil, cfg, quadState{x: 77})
 
 	if plainBest.(quadState).x != tracedBest.(quadState).x {
 		t.Errorf("best state differs: %v vs %v", plainBest, tracedBest)

@@ -1,0 +1,95 @@
+package anneal
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+)
+
+// Typed results of an interrupted run. Partial results are first-class:
+// when Run returns one of these errors it still returns the best state
+// found so far and the stats of the work actually done.
+var (
+	// ErrCanceled reports that the run's context was canceled.
+	ErrCanceled = errors.New("run canceled")
+	// ErrDeadline reports that the run's context deadline expired.
+	ErrDeadline = errors.New("run deadline exceeded")
+)
+
+// ctxErr maps a context error onto the package's typed sentinels (nil
+// while the context is live).
+func ctxErr(ctx context.Context) error {
+	switch ctx.Err() {
+	case nil:
+		return nil
+	case context.DeadlineExceeded:
+		return ErrDeadline
+	default:
+		return ErrCanceled
+	}
+}
+
+// Snapshot is the full resumable state of an anneal at a temperature-
+// step boundary: the schedule position, the exact PRNG position (as a
+// draw count from the seed), both search states with their costs, and
+// the accumulated stats. Run(cfg{Resume: snap}) continues the search
+// bit-identically to a run that was never interrupted: snapshots are
+// only ever taken at step boundaries, so a run canceled mid-step and
+// resumed replays the interrupted step from its start with the exact
+// RNG state it originally began with.
+//
+// Cur and Best are anneal.State interfaces; serializing a Snapshot is
+// the caller's job (the fplan layer flattens them to layout encodings).
+type Snapshot struct {
+	// Step is the next temperature step to execute.
+	Step int
+	// Temp is the temperature of that step.
+	Temp float64
+	// Draws is the number of PRNG source values consumed so far; the
+	// resume path re-derives the generator state by fast-forwarding a
+	// fresh Seed-ed source this many steps.
+	Draws uint64
+	// Cur and Best are the current and best-so-far states.
+	Cur, Best State
+	// CurCost and BestCost are their cached costs.
+	CurCost, BestCost float64
+	// Stats is the work accounted so far.
+	Stats Stats
+}
+
+// countingSource wraps the standard PRNG source and counts every value
+// drawn, making the generator's position serializable: a fresh source
+// fast-forwarded Draws steps is bit-identical to the original. Both
+// Int63 and Uint64 advance the underlying generator exactly one step.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	// rand.NewSource's concrete type implements Source64.
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+// fastForward advances the source to draw position n.
+func (s *countingSource) fastForward(n uint64) {
+	for s.n < n {
+		s.n++
+		s.src.Uint64()
+	}
+}

@@ -1,0 +1,124 @@
+// Package ckpt reads and writes durable checkpoint files: versioned,
+// checksummed JSON envelopes written atomically (temp file + fsync +
+// rename), so a crash mid-write can never leave a truncated or
+// corrupt file in place of a good one.
+//
+// The envelope carries a magic string, a format version and the
+// SHA-256 of the payload bytes; Load verifies all three before
+// handing the payload to the caller, returning typed errors
+// (ErrCorrupt, ErrVersion) that callers can branch on.
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"irgrid/internal/faultinject"
+)
+
+// Version is the current checkpoint format version. The compatibility
+// policy is documented in DESIGN.md ("Fault tolerance & lifecycle"):
+// Load accepts exactly the version it was built with; a snapshot from
+// another version fails with ErrVersion rather than being guessed at.
+const Version = 1
+
+// Magic identifies irgrid checkpoint files.
+const Magic = "irgrid-checkpoint"
+
+var (
+	// ErrCorrupt marks a checkpoint whose envelope or checksum does
+	// not verify.
+	ErrCorrupt = errors.New("ckpt: checkpoint corrupt")
+	// ErrVersion marks a checkpoint written by an incompatible format
+	// version.
+	ErrVersion = errors.New("ckpt: unsupported checkpoint version")
+)
+
+// envelope is the on-disk document.
+type envelope struct {
+	Magic   string          `json:"magic"`
+	Version int             `json:"version"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Save atomically writes payload as a checkpoint file at path: the
+// envelope is written to a temporary file in the same directory,
+// synced, and renamed over path. On any error the previous file at
+// path (if one exists) is left untouched.
+func Save(path string, payload any) error {
+	if err := faultinject.Fire(faultinject.CheckpointWrite, 0); err != nil {
+		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("ckpt: encode payload: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	env, err := json.Marshal(envelope{
+		Magic:   Magic,
+		Version: Version,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: raw,
+	})
+	if err != nil {
+		return fmt.Errorf("ckpt: encode envelope: %w", err)
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(env); err != nil {
+		cleanup()
+		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("ckpt: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads the checkpoint at path, verifies the envelope and
+// decodes the payload into out.
+func Load(path string, out any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("ckpt: read %s: %w", path, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	if env.Magic != Magic {
+		return fmt.Errorf("%w: %s: bad magic %q", ErrCorrupt, path, env.Magic)
+	}
+	if env.Version != Version {
+		return fmt.Errorf("%w: %s: version %d, want %d", ErrVersion, path, env.Version, Version)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return fmt.Errorf("%w: %s: payload checksum mismatch", ErrCorrupt, path)
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		return fmt.Errorf("%w: %s: payload: %v", ErrCorrupt, path, err)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"irgrid/internal/faultinject"
+)
+
+type payload struct {
+	Name  string  `json:"name"`
+	Step  int     `json:"step"`
+	Score float64 `json:"score"`
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	in := payload{Name: "apte", Step: 42, Score: 1.25}
+	if err := Save(path, in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %+v, want %+v", out, in)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := Save(path, payload{Step: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, payload{Step: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Step != 2 {
+		t.Errorf("step = %d, want 2", out.Step)
+	}
+	// No temp files left behind.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var out payload
+	err := Load(filepath.Join(t.TempDir(), "nope.ckpt"), &out)
+	if err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+	if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrVersion) {
+		t.Errorf("missing file misreported as corruption: %v", err)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := Save(path, payload{Name: "x", Step: 7}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"payload-bit-flip", func(b []byte) []byte {
+			// Flip a digit inside the payload without breaking the JSON.
+			s := strings.Replace(string(b), `"step":7`, `"step":8`, 1)
+			if s == string(b) {
+				t.Fatal("mutation did not apply")
+			}
+			return []byte(s)
+		}},
+		{"bad-magic", func(b []byte) []byte {
+			return []byte(strings.Replace(string(b), Magic, "other-format", 1))
+		}},
+		{"not-json", func([]byte) []byte { return []byte("hello\n") }},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := filepath.Join(t.TempDir(), "bad.ckpt")
+			if err := os.WriteFile(bad, tc.mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out payload
+			if err := Load(bad, &out); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	raw, _ := json.Marshal(payload{Name: "x"})
+	env, _ := json.Marshal(map[string]any{
+		"magic":   Magic,
+		"version": Version + 1,
+		"sha256":  "0000",
+		"payload": json.RawMessage(raw),
+	})
+	path := filepath.Join(t.TempDir(), "future.ckpt")
+	if err := os.WriteFile(path, env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, &out); !errors.Is(err, ErrVersion) {
+		t.Errorf("err = %v, want ErrVersion", err)
+	}
+}
+
+// TestSaveFaultLeavesPreviousFile arms the checkpoint-write injection
+// point and verifies a failed Save reports the error and leaves the
+// previous checkpoint untouched — the durability contract interrupted
+// runs depend on.
+func TestSaveFaultLeavesPreviousFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := Save(path, payload{Step: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("injected I/O failure")
+	faultinject.Set(func(p faultinject.Point, _ int) error {
+		if p == faultinject.CheckpointWrite {
+			return boom
+		}
+		return nil
+	})
+	defer faultinject.Set(nil)
+
+	if err := Save(path, payload{Step: 2}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	faultinject.Set(nil)
+
+	var out payload
+	if err := Load(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Step != 1 {
+		t.Errorf("failed Save clobbered the previous checkpoint: step = %d", out.Step)
+	}
+}

@@ -1,0 +1,89 @@
+// Package cli unifies process lifecycle across the irgrid commands:
+// one exit-code convention, one error formatter, and one
+// signal-plus-timeout context so every run-capable command interrupts
+// and times out the same way.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"irgrid/internal/anneal"
+)
+
+// Exit codes shared by the irgrid commands.
+const (
+	// ExitFailure is any runtime failure without a more specific code.
+	ExitFailure = 1
+	// ExitUsage reports bad flags or arguments.
+	ExitUsage = 2
+	// ExitInvalidInput reports a structurally invalid circuit or
+	// option set (the library's ErrInvalidInput family).
+	ExitInvalidInput = 3
+	// ExitDeadline reports an expired -timeout, following the
+	// timeout(1) convention.
+	ExitDeadline = 124
+	// ExitCanceled reports an interrupt (SIGINT/SIGTERM), following
+	// the 128+SIGINT shell convention.
+	ExitCanceled = 130
+)
+
+// ExitCode classifies an error: cancellation and deadline sentinels
+// map to their conventional codes, anything matching one of the
+// invalid sentinels to ExitInvalidInput, everything else to
+// ExitFailure. A nil error is 0.
+func ExitCode(err error, invalid ...error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, anneal.ErrDeadline):
+		return ExitDeadline
+	case errors.Is(err, anneal.ErrCanceled):
+		return ExitCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return ExitDeadline
+	case errors.Is(err, context.Canceled):
+		return ExitCanceled
+	}
+	for _, s := range invalid {
+		if s != nil && errors.Is(err, s) {
+			return ExitInvalidInput
+		}
+	}
+	return ExitFailure
+}
+
+// Fatalf prints "prog: message" to stderr and exits with code.
+func Fatalf(prog string, code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, fmt.Sprintf(format, args...))
+	os.Exit(code)
+}
+
+// Fatal prints the error and exits with ExitCode(err, invalid...).
+func Fatal(prog string, err error, invalid ...error) {
+	Fatalf(prog, ExitCode(err, invalid...), "%v", err)
+}
+
+// SignalContext returns a context that is canceled on SIGINT or
+// SIGTERM and, when timeout > 0, after the timeout expires. The stop
+// function releases the signal registration (a second signal then
+// kills the process the default way, so a hung run stays killable).
+func SignalContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	var timeoutCancel context.CancelFunc
+	if timeout > 0 {
+		ctx, timeoutCancel = context.WithTimeout(ctx, timeout)
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	return ctx, func() {
+		stop()
+		if timeoutCancel != nil {
+			timeoutCancel()
+		}
+	}
+}

@@ -7,11 +7,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"irgrid/internal/faultinject"
 	"irgrid/internal/geom"
 	"irgrid/internal/netlist"
 	"irgrid/internal/nmath"
 	"irgrid/internal/obs"
 )
+
+// degradeAfter is the number of recovered shard panics after which an
+// Evaluator stops trusting parallel execution and pins itself to the
+// sequential path (graceful degradation: correctness over throughput).
+const degradeAfter = 3
 
 // Shard geometry. The per-net accumulation is partitioned into shards
 // whose boundaries depend only on the net count — never on the worker
@@ -62,6 +68,17 @@ type Evaluator struct {
 	nextShard atomic.Int64
 	wg        sync.WaitGroup
 
+	// Shard-panic bookkeeping. A panic inside a shard (a worker crash)
+	// is recovered, the shard's partial grid is zeroed and recomputed
+	// sequentially, and after degradeAfter recovered panics the engine
+	// degrades to single-worker mode for the rest of its lifetime. A
+	// panic that repeats on the sequential retry is deterministic — a
+	// genuine invariant violation — and is re-raised.
+	failMu      sync.Mutex
+	failed      []int // shard indices that panicked this Evaluate
+	shardPanics int   // lifetime recovered panic count
+	degraded    bool
+
 	// instr is the engine's resolved telemetry, nil when Model.Obs is
 	// nil; every instrumentation point is guarded by one nil check.
 	instr *evalInstr
@@ -70,37 +87,41 @@ type Evaluator struct {
 // evalInstr holds the engine's resolved registry instruments so the
 // hot path never performs a registry lookup.
 type evalInstr struct {
-	calls      *obs.Counter
-	nets       *obs.Counter
-	axisNs     *obs.Counter
-	accumNs    *obs.Counter
-	topNs      *obs.Counter
-	memoHit    *obs.Counter
-	memoMiss   *obs.Counter
-	exactLanes *obs.Counter
-	cols       *obs.Gauge
-	rows       *obs.Gauge
-	workersG   *obs.Gauge
-	evalNs     *obs.Histogram
-	workerNs   []*obs.Counter // per-worker busy time, grown on demand
-	reg        *obs.Registry
+	calls       *obs.Counter
+	nets        *obs.Counter
+	axisNs      *obs.Counter
+	accumNs     *obs.Counter
+	topNs       *obs.Counter
+	memoHit     *obs.Counter
+	memoMiss    *obs.Counter
+	exactLanes  *obs.Counter
+	cols        *obs.Gauge
+	rows        *obs.Gauge
+	workersG    *obs.Gauge
+	evalNs      *obs.Histogram
+	shardPanics *obs.Counter
+	degraded    *obs.Counter
+	workerNs    []*obs.Counter // per-worker busy time, grown on demand
+	reg         *obs.Registry
 }
 
 func newEvalInstr(reg *obs.Registry) *evalInstr {
 	return &evalInstr{
-		calls:      reg.Counter("eval_calls_total"),
-		nets:       reg.Counter("eval_nets_total"),
-		axisNs:     reg.Counter("eval_axis_ns_total"),
-		accumNs:    reg.Counter("eval_accumulate_ns_total"),
-		topNs:      reg.Counter("eval_topscore_ns_total"),
-		memoHit:    reg.Counter("eval_simpson_memo_hits_total"),
-		memoMiss:   reg.Counter("eval_simpson_memo_misses_total"),
-		exactLanes: reg.Counter("eval_exact_lanes_total"),
-		cols:       reg.Gauge("eval_grid_cols"),
-		rows:       reg.Gauge("eval_grid_rows"),
-		workersG:   reg.Gauge("eval_workers"),
-		evalNs:     reg.Histogram("eval_ns", obs.DurationBuckets),
-		reg:        reg,
+		calls:       reg.Counter("eval_calls_total"),
+		nets:        reg.Counter("eval_nets_total"),
+		axisNs:      reg.Counter("eval_axis_ns_total"),
+		accumNs:     reg.Counter("eval_accumulate_ns_total"),
+		topNs:       reg.Counter("eval_topscore_ns_total"),
+		memoHit:     reg.Counter("eval_simpson_memo_hits_total"),
+		memoMiss:    reg.Counter("eval_simpson_memo_misses_total"),
+		exactLanes:  reg.Counter("eval_exact_lanes_total"),
+		cols:        reg.Gauge("eval_grid_cols"),
+		rows:        reg.Gauge("eval_grid_rows"),
+		workersG:    reg.Gauge("eval_workers"),
+		evalNs:      reg.Histogram("eval_ns", obs.DurationBuckets),
+		shardPanics: reg.Counter("eval_shard_panics"),
+		degraded:    reg.Counter("eval_degraded"),
+		reg:         reg,
 	}
 }
 
@@ -156,10 +177,19 @@ func (e *Evaluator) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
 	}
 	shards := shardCount(len(nets))
 	w := e.workerCount(shards, len(nets))
+	e.growPartials(shards)
+	e.failed = e.failed[:0]
 	if w > 1 {
 		e.runParallel(nets, shards, w)
 	} else {
 		e.runSequential(nets, shards)
+	}
+	e.retryFailed(nets, shards)
+	// Reduce the partial grids in shard order; the fixed reduction
+	// tree keeps results bit-identical for every worker count and
+	// across recovered shard panics.
+	for s := 1; s < shards; s++ {
+		addInto(e.prob, e.partials[s-1])
 	}
 	if in != nil {
 		end := time.Now()
@@ -267,7 +297,7 @@ func shardRange(n, shards, s int) (lo, hi int) {
 
 // workerCount resolves the effective number of worker goroutines.
 func (e *Evaluator) workerCount(shards, nets int) int {
-	if nets < parallelMinNets {
+	if e.degraded || nets < parallelMinNets {
 		return 1
 	}
 	w := e.m.Workers
@@ -301,34 +331,29 @@ func (e *Evaluator) growPartials(shards int) {
 	}
 }
 
-// runSequential executes every shard in order on worker 0, reducing
-// each partial as it completes. The shard structure is kept (rather
-// than one flat loop) so the summation tree matches the parallel path.
+// runSequential executes every shard in order on worker 0, each into
+// its own target grid. The shard structure is kept (rather than one
+// flat loop) so the summation tree matches the parallel path.
 func (e *Evaluator) runSequential(nets []netlist.TwoPin, shards int) {
-	e.growPartials(shards)
 	w := e.worker(0)
+	ctx := e.m.Ctx
 	for s := 0; s < shards; s++ {
-		lo, hi := shardRange(len(nets), shards, s)
-		w.out = e.shardTarget(s)
-		for _, n := range nets[lo:hi] {
-			w.addNet(n)
+		if ctx != nil && ctx.Err() != nil {
+			break
 		}
-		if s > 0 {
-			addInto(e.prob, w.out)
-		}
+		e.runShard(w, nets, shards, s)
 	}
 	w.out = nil
 }
 
 // runParallel fans the shards out over `workers` goroutines claiming
-// shard indices from an atomic counter, then reduces the partial
-// grids in shard order. Which worker computes a shard cannot affect
-// the result: per-net values are canonical (the memo caches pure
-// functions), each shard owns its accumulation grid, and the ordered
-// reduction fixes the summation tree.
+// shard indices from an atomic counter. Which worker computes a shard
+// cannot affect the result: per-net values are canonical (the memo
+// caches pure functions), each shard owns its accumulation grid, and
+// the ordered reduction in Evaluate fixes the summation tree.
 func (e *Evaluator) runParallel(nets []netlist.TwoPin, shards, workers int) {
-	e.growPartials(shards)
 	e.nextShard.Store(0)
+	ctx := e.m.Ctx
 	for wi := 0; wi < workers; wi++ {
 		w := e.worker(wi)
 		var busy *obs.Counter
@@ -343,23 +368,88 @@ func (e *Evaluator) runParallel(nets []netlist.TwoPin, shards, workers int) {
 				defer func() { busy.Add(time.Since(start).Nanoseconds()) }()
 			}
 			for {
+				if ctx != nil && ctx.Err() != nil {
+					w.out = nil
+					return
+				}
 				s := int(e.nextShard.Add(1)) - 1
 				if s >= shards {
 					w.out = nil
 					return
 				}
-				lo, hi := shardRange(len(nets), shards, s)
-				w.out = e.shardTarget(s)
-				for _, n := range nets[lo:hi] {
-					w.addNet(n)
-				}
+				e.runShard(w, nets, shards, s)
 			}
 		}()
 	}
 	e.wg.Wait()
-	for s := 1; s < shards; s++ {
-		addInto(e.prob, e.partials[s-1])
+}
+
+// runShard computes shard s into its target grid, converting a panic
+// (a worker crash, or an injected fault) into a recorded failure that
+// Evaluate retries sequentially.
+func (e *Evaluator) runShard(w *evaluator, nets []netlist.TwoPin, shards, s int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.recordPanic(s)
+		}
+	}()
+	lo, hi := shardRange(len(nets), shards, s)
+	w.out = e.shardTarget(s)
+	if err := faultinject.Fire(faultinject.EvalShard, s); err != nil {
+		panic(err)
 	}
+	for _, n := range nets[lo:hi] {
+		w.addNet(n)
+	}
+}
+
+// recordPanic books a recovered shard panic and trips the degradation
+// latch once the lifetime count reaches degradeAfter.
+func (e *Evaluator) recordPanic(s int) {
+	e.failMu.Lock()
+	e.failed = append(e.failed, s)
+	e.shardPanics++
+	degradeNow := !e.degraded && e.shardPanics >= degradeAfter
+	if degradeNow {
+		e.degraded = true
+	}
+	e.failMu.Unlock()
+	if in := e.instr; in != nil {
+		in.shardPanics.Inc()
+		if degradeNow {
+			in.degraded.Inc()
+		}
+	}
+}
+
+// retryFailed recomputes the shards whose first attempt panicked: the
+// shard's target grid is zeroed (it may hold a partial accumulation)
+// and recomputed sequentially on worker 0, without recovery — a panic
+// that repeats on the deterministic sequential path is a genuine
+// invariant violation and propagates to the caller. Because each
+// shard's values are pure functions of its nets and the reduction
+// order is fixed, a recovered run is bit-identical to an undisturbed
+// one.
+func (e *Evaluator) retryFailed(nets []netlist.TwoPin, shards int) {
+	if len(e.failed) == 0 {
+		return
+	}
+	if ctx := e.m.Ctx; ctx != nil && ctx.Err() != nil {
+		e.failed = e.failed[:0]
+		return // result will be discarded anyway
+	}
+	w := e.worker(0)
+	for _, s := range e.failed {
+		target := e.shardTarget(s)
+		clear(target)
+		lo, hi := shardRange(len(nets), shards, s)
+		w.out = target
+		for _, n := range nets[lo:hi] {
+			w.addNet(n)
+		}
+	}
+	w.out = nil
+	e.failed = e.failed[:0]
 }
 
 // addInto accumulates src into dst elementwise.

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"irgrid/internal/faultinject"
+	"irgrid/internal/obs"
+)
+
+// armShardPanics makes the first n EvalShard firings panic; later
+// firings proceed. The counter is atomic because shards fire from
+// concurrent workers.
+func armShardPanics(t *testing.T, n int64) *atomic.Int64 {
+	t.Helper()
+	var fired atomic.Int64
+	faultinject.Set(func(p faultinject.Point, _ int) error {
+		if p != faultinject.EvalShard {
+			return nil
+		}
+		if fired.Add(1) <= n {
+			panic("injected shard crash")
+		}
+		return nil
+	})
+	t.Cleanup(func() { faultinject.Set(nil) })
+	return &fired
+}
+
+// TestShardPanicRecoveredBitIdentical is the isolation contract: a
+// worker crash inside a shard is recovered, the shard is recomputed
+// sequentially, and the result is bit-identical to an undisturbed run.
+func TestShardPanicRecoveredBitIdentical(t *testing.T) {
+	chip := engineChip()
+	nets := engineNets(700) // engages the parallel path
+	want := Model{Pitch: 4, Workers: 1}.Evaluate(chip, nets)
+
+	reg := obs.NewRegistry()
+	e := Model{Pitch: 4, Workers: 4, Obs: reg}.NewEvaluator()
+	armShardPanics(t, 2) // two shards crash on first attempt
+	got := e.Evaluate(chip, nets)
+	faultinject.Set(nil)
+
+	if got.Cols() != want.Cols() || got.Rows() != want.Rows() {
+		t.Fatalf("grid %dx%d, want %dx%d", got.Cols(), got.Rows(), want.Cols(), want.Rows())
+	}
+	for i, v := range want.Prob {
+		if got.Prob[i] != v {
+			t.Fatalf("cell %d: %g, want %g (recovered run not bit-identical)", i, got.Prob[i], v)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap["eval_shard_panics"] != 2 {
+		t.Errorf("eval_shard_panics = %g, want 2", snap["eval_shard_panics"])
+	}
+	if snap["eval_degraded"] != 0 {
+		t.Errorf("eval_degraded = %g before the degradation threshold", snap["eval_degraded"])
+	}
+	if e.degraded {
+		t.Error("engine degraded below the threshold")
+	}
+
+	// The engine stays reusable and correct after recovery.
+	again := e.Evaluate(chip, nets)
+	for i, v := range want.Prob {
+		if again.Prob[i] != v {
+			t.Fatalf("post-recovery evaluation differs at cell %d", i)
+		}
+	}
+}
+
+// TestDegradationAfterRepeatedPanics: after degradeAfter recovered
+// panics the engine pins itself to the sequential path for the rest of
+// its lifetime — correctness over throughput — and still produces
+// bit-identical results.
+func TestDegradationAfterRepeatedPanics(t *testing.T) {
+	chip := engineChip()
+	nets := engineNets(600)
+	want := Model{Pitch: 4, Workers: 1}.Evaluate(chip, nets)
+
+	reg := obs.NewRegistry()
+	e := Model{Pitch: 4, Workers: 4, Obs: reg}.NewEvaluator()
+	armShardPanics(t, degradeAfter)
+	got := e.Evaluate(chip, nets)
+	faultinject.Set(nil)
+
+	if !e.degraded {
+		t.Fatalf("engine not degraded after %d panics", degradeAfter)
+	}
+	if w := e.workerCount(shardCount(len(nets)), len(nets)); w != 1 {
+		t.Errorf("degraded engine still plans %d workers", w)
+	}
+	snap := reg.Snapshot()
+	if snap["eval_shard_panics"] != float64(degradeAfter) {
+		t.Errorf("eval_shard_panics = %g, want %d", snap["eval_shard_panics"], degradeAfter)
+	}
+	if snap["eval_degraded"] != 1 {
+		t.Errorf("eval_degraded = %g, want 1", snap["eval_degraded"])
+	}
+	for i, v := range want.Prob {
+		if got.Prob[i] != v {
+			t.Fatalf("degraded-run result differs at cell %d", i)
+		}
+	}
+}
+
+// TestAllShardsCrash: even when every shard's first attempt panics,
+// the sequential retry (which bypasses the injection hook, like a real
+// transient crash that does not reproduce) recomputes them all and the
+// caller still gets the bit-exact answer.
+func TestAllShardsCrash(t *testing.T) {
+	chip := engineChip()
+	nets := engineNets(300)
+	e := Model{Pitch: 4, Workers: 1}.NewEvaluator()
+
+	want := Model{Pitch: 4, Workers: 1}.Evaluate(chip, nets)
+	faultinject.Set(func(p faultinject.Point, _ int) error {
+		if p == faultinject.EvalShard {
+			panic("crash every shard")
+		}
+		return nil
+	})
+	defer faultinject.Set(nil)
+	got := e.Evaluate(chip, nets)
+	faultinject.Set(nil)
+	for i, v := range want.Prob {
+		if got.Prob[i] != v {
+			t.Fatalf("all-shards-crashed run differs at cell %d", i)
+		}
+	}
+	if !e.degraded {
+		t.Error("engine should have degraded after crashing every shard")
+	}
+}
+
+// TestInjectedError documents that an error-returning hook on the
+// shard point is converted to a panic (and thus recovered like a
+// crash) rather than silently ignored.
+func TestInjectedError(t *testing.T) {
+	chip := engineChip()
+	nets := engineNets(128)
+	want := Model{Pitch: 4, Workers: 1}.Evaluate(chip, nets)
+
+	var saw atomic.Int64
+	faultinject.Set(func(p faultinject.Point, detail int) error {
+		if p == faultinject.EvalShard && detail == 0 && saw.Add(1) == 1 {
+			return errInjected{}
+		}
+		return nil
+	})
+	defer faultinject.Set(nil)
+	e := Model{Pitch: 4, Workers: 1}.NewEvaluator()
+	got := e.Evaluate(chip, nets)
+	faultinject.Set(nil)
+	for i, v := range want.Prob {
+		if got.Prob[i] != v {
+			t.Fatalf("error-injected run differs at cell %d", i)
+		}
+	}
+	if saw.Load() == 0 {
+		t.Fatal("hook never fired")
+	}
+}
+
+type errInjected struct{}
+
+func (errInjected) Error() string { return "injected EvalShard error" }

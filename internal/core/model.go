@@ -30,6 +30,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"irgrid/internal/geom"
@@ -88,6 +89,14 @@ type Model struct {
 	// allocations (TestDisabledTelemetryZeroAlloc,
 	// TestDisabledTelemetryNsBudget).
 	Obs *obs.Registry
+	// Ctx, when non-nil, is checked cooperatively at shard boundaries
+	// during evaluation: once it is canceled, workers stop claiming
+	// shards and Evaluate returns early with a partial (meaningless)
+	// map. Callers that set Ctx own detecting the cancellation (via
+	// Ctx.Err) and discarding the result; the annealer does exactly
+	// that between a move's evaluation and its acceptance decision.
+	// With Ctx nil the checks cost one predictable branch per shard.
+	Ctx context.Context
 }
 
 // Name identifies the model in experiment tables.
@@ -112,6 +121,15 @@ func (m Model) WithWorkers(workers int) any {
 // estimator-telemetry hook of higher layers (fplan.Config.Obs).
 func (m Model) WithObserver(reg *obs.Registry) any {
 	m.Obs = reg
+	return m
+}
+
+// WithContext returns a copy of the model whose evaluations check ctx
+// at shard boundaries. Like WithWorkers, the `any` return implements
+// the optional estimator-cancellation hook of higher layers
+// (fplan.Runner.Run threads its context through it).
+func (m Model) WithContext(ctx context.Context) any {
+	m.Ctx = ctx
 	return m
 }
 

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -46,6 +47,11 @@ type Protocol struct {
 	// the per-run Seconds measurements change, so keep it off when the
 	// paper's runtime columns matter.
 	Parallel bool
+	// Ctx, when non-nil, bounds every run of the experiment: on
+	// cancellation or deadline the in-flight anneal stops at the next
+	// move and the experiment returns anneal.ErrCanceled/ErrDeadline.
+	// Partially completed tables are discarded, not reported.
+	Ctx context.Context
 }
 
 // Full is the paper's protocol: 20 seeds per data point.
@@ -106,7 +112,10 @@ func (p Protocol) runOne(c *netlist.Circuit, w fplan.Weights, est fplan.Estimato
 		return RunResult{}, err
 	}
 	start := time.Now()
-	sol, stats := r.Run(onTemp)
+	sol, stats, err := r.Run(p.Ctx, onTemp)
+	if err != nil {
+		return RunResult{}, err
+	}
 	secs := time.Since(start).Seconds()
 	judge := grid.Model{Pitch: JudgingPitch}.Score(sol.Placement.Chip, sol.Nets)
 	return RunResult{Sol: sol, Seconds: secs, Judge: judge, Stats: stats}, nil

@@ -1,0 +1,68 @@
+// Package faultinject is a deterministic fault-injection harness for
+// the fault-tolerance tests: hook points compiled into the pipeline's
+// recovery paths (evaluation-shard execution, checkpoint writes) that
+// a test can arm with a deterministic failure policy.
+//
+// The package's contract mirrors internal/obs: zero overhead when
+// disarmed. Every injection point is guarded by a single atomic load
+// (Fire returns immediately while no hook is set), so production code
+// can call Fire unconditionally on paths that must stay fast. Hooks
+// are process-global — tests that arm them must not run in parallel
+// with each other — and Set(nil) disarms.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Point identifies an injection site.
+type Point string
+
+const (
+	// EvalShard fires at the start of every evaluation shard in
+	// core.Evaluator; detail is the shard index. A hook that panics
+	// simulates a shard worker crash.
+	EvalShard Point = "eval.shard"
+	// CheckpointWrite fires before a checkpoint file write in
+	// internal/ckpt; detail is unused. A hook that returns an error
+	// simulates a checkpoint I/O failure.
+	CheckpointWrite Point = "checkpoint.write"
+)
+
+// Hook decides what happens at an injection point: return nil to let
+// the operation proceed, return an error to inject a failure on sites
+// that propagate errors, or panic to simulate a crash on sites that
+// recover panics. Hooks may be called concurrently from evaluation
+// workers and must be race-safe; keep any state in atomics.
+type Hook func(point Point, detail int) error
+
+var (
+	armed atomic.Bool
+	mu    sync.Mutex
+	hook  Hook
+)
+
+// Set arms the harness with h; Set(nil) disarms it. Tests should
+// defer Set(nil).
+func Set(h Hook) {
+	mu.Lock()
+	hook = h
+	armed.Store(h != nil)
+	mu.Unlock()
+}
+
+// Fire triggers the injection point. While the harness is disarmed it
+// is one atomic load and a not-taken branch.
+func Fire(point Point, detail int) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	h := hook
+	mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h(point, detail)
+}

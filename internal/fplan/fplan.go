@@ -8,6 +8,7 @@
 package fplan
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -81,6 +82,18 @@ type Config struct {
 	// calibration, one temp + solution event pair per temperature step,
 	// and run_end (carrying a metrics snapshot when Obs is also set).
 	Trace *obs.Tracer
+	// CheckpointEvery, together with Checkpoint, writes a resumable
+	// snapshot after every CheckpointEvery completed temperature steps
+	// (and once more if the run is canceled).
+	CheckpointEvery int
+	// Checkpoint receives boundary snapshots. A sink error never aborts
+	// the run; it is counted in Stats.CheckpointErrors.
+	Checkpoint func(*Snapshot) error
+	// Resume, when non-nil, continues a previous run from the snapshot
+	// instead of starting fresh. The snapshot's config digest must match
+	// this Runner's (ErrSnapshotMismatch otherwise); MaxTemps may
+	// differ, so a resumed run can extend the original schedule.
+	Resume *Snapshot
 }
 
 // Solution is a fully evaluated floorplan.
@@ -104,6 +117,7 @@ type Runner struct {
 	normArea, normWire, normCgt float64
 	pinScratch                  []geom.Pt
 	instr                       *runnerInstr // nil when Cfg.Obs is nil
+	digest                      string       // configDigest, bound into snapshots
 }
 
 // runnerInstr holds the Runner's resolved registry instruments: the
@@ -174,6 +188,7 @@ func New(c *netlist.Circuit, cfg Config) (*Runner, error) {
 	if _, err := r.initialLayout(); err != nil {
 		return nil, err
 	}
+	r.digest = r.configDigest()
 	r.calibrate()
 	if in := r.instr; in != nil {
 		in.normArea.Set(r.normArea)
@@ -298,15 +313,42 @@ func (s *saState) Neighbor(rng *rand.Rand) anneal.State {
 	return &saState{r: s.r, l: l, cost: s.r.cost(sol)}
 }
 
-// Run anneals from the representation's canonical initial state and
-// returns the best solution. When onTemp is non-nil it is invoked
-// after every temperature step with the *current* locally-optimized
-// solution — exactly what the paper's Experiment 2 extracts "at each
-// temperature-dropping step".
-func (r *Runner) Run(onTemp func(step int, sol *Solution)) (*Solution, anneal.Stats) {
+// Run anneals from the representation's canonical initial state (or
+// from Cfg.Resume) and returns the best solution. When onTemp is
+// non-nil it is invoked after every temperature step with the
+// *current* locally-optimized solution — exactly what the paper's
+// Experiment 2 extracts "at each temperature-dropping step".
+//
+// The context (nil means background) is checked cooperatively at every
+// proposed move and — for estimators supporting the WithContext hook —
+// at evaluation shard boundaries. On cancellation Run returns the best
+// solution found so far together with anneal.ErrCanceled or
+// anneal.ErrDeadline, and writes one final boundary checkpoint when a
+// sink is configured.
+func (r *Runner) Run(ctx context.Context, onTemp func(step int, sol *Solution)) (*Solution, anneal.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	init, err := r.initialLayout()
 	if err != nil {
 		panic(err) // validated in New
+	}
+	// Hand a cancelable context to estimators that can bail at shard
+	// boundaries. The wrap is skipped for non-cancelable contexts so
+	// plain runs keep their evaluation pools warm. restoreEstimator
+	// swaps the plain estimator back before the final best-solution
+	// resolution: a bailed-out evaluation may carry a partial score, and
+	// the returned best-so-far must be fully evaluated even on cancel.
+	restoreEstimator := func() {}
+	if ctx.Done() != nil && r.Cfg.Estimator != nil {
+		if p, ok := r.Cfg.Estimator.(interface{ WithContext(context.Context) any }); ok {
+			if est, ok := p.WithContext(ctx).(Estimator); ok {
+				prev := r.Cfg.Estimator
+				r.Cfg.Estimator = est
+				restoreEstimator = func() { r.Cfg.Estimator = prev }
+				defer restoreEstimator()
+			}
+		}
 	}
 	resolve := func(l layout) *Solution {
 		sol := r.evaluateLayout(l)
@@ -336,6 +378,23 @@ func (r *Runner) Run(onTemp func(step int, sol *Solution)) (*Solution, anneal.St
 	if cfg.Trace == nil {
 		cfg.Trace = tr
 	}
+	cfg.CheckpointEvery = r.Cfg.CheckpointEvery
+	if sink := r.Cfg.Checkpoint; sink != nil {
+		cfg.Checkpoint = func(as *anneal.Snapshot) error {
+			snap, err := r.snapshot(as)
+			if err != nil {
+				return err
+			}
+			return sink(snap)
+		}
+	}
+	if r.Cfg.Resume != nil {
+		as, err := r.annealSnapshot(r.Cfg.Resume)
+		if err != nil {
+			return nil, anneal.Stats{}, err
+		}
+		cfg.Resume = as
+	}
 	if onTemp != nil || tr != nil {
 		cfg.OnTemperature = func(step int, _ float64, cur, _ anneal.State) {
 			// resolve never touches the annealer's RNG, so the extra
@@ -354,7 +413,8 @@ func (r *Runner) Run(onTemp func(step int, sol *Solution)) (*Solution, anneal.St
 			}
 		}
 	}
-	best, stats := anneal.Run(cfg, s0)
+	best, stats, runErr := anneal.Run(ctx, cfg, s0)
+	restoreEstimator()
 	sol := resolve(best.(*saState).l)
 	elapsed := time.Since(start).Seconds()
 	if in := r.instr; in != nil && elapsed > 0 {
@@ -371,7 +431,7 @@ func (r *Runner) Run(onTemp func(step int, sol *Solution)) (*Solution, anneal.St
 		Seconds: elapsed,
 		Metrics: r.Cfg.Obs.Snapshot(),
 	})
-	return sol, stats
+	return sol, stats, runErr
 }
 
 func (r *Runner) estimatorName() string {

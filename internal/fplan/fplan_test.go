@@ -100,7 +100,7 @@ func TestRunImprovesCost(t *testing.T) {
 		t.Fatal(err)
 	}
 	init := r.Evaluate(sliceInitial(4))
-	best, st := r.Run(nil)
+	best, st, _ := r.Run(nil, nil)
 	if best.Cost > init.Cost+1e-9 {
 		t.Errorf("run did not improve: %g -> %g", init.Cost, best.Cost)
 	}
@@ -119,7 +119,7 @@ func TestRunReproducible(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, _ := r.Run(nil)
+		s, _, _ := r.Run(nil, nil)
 		return s
 	}
 	a, b := mk(), mk()
@@ -141,7 +141,7 @@ func TestRunWithCongestionEstimators(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", est.Name(), err)
 		}
-		s, _ := r.Run(nil)
+		s, _, _ := r.Run(nil, nil)
 		if s.Congestion <= 0 {
 			t.Errorf("%s: congestion = %g", est.Name(), s.Congestion)
 		}
@@ -157,7 +157,7 @@ func TestOnTempHookDeliversSolutions(t *testing.T) {
 	}
 	var n int
 	var lastArea float64
-	_, st := r.Run(func(step int, sol *Solution) {
+	_, st, _ := r.Run(nil, func(step int, sol *Solution) {
 		n++
 		lastArea = sol.Area
 	})
@@ -191,7 +191,7 @@ func TestCongestionOptimizationReducesJudgingCost(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, _ := r.Run(nil)
+		s, _, _ := r.Run(nil, nil)
 		return judge.Score(s.Placement.Chip, s.Nets)
 	}
 
@@ -217,7 +217,7 @@ func TestSeqPairRepresentation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, st := r.Run(nil)
+	sol, st, _ := r.Run(nil, nil)
 	if sol.Area <= 0 || sol.Wirelength <= 0 {
 		t.Fatalf("solution %+v", sol)
 	}
@@ -248,7 +248,7 @@ func TestSeqPairReproducible(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, _ := r.Run(nil)
+		s, _, _ := r.Run(nil, nil)
 		return s.Area
 	}
 	if mk() != mk() {

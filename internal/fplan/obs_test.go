@@ -28,7 +28,7 @@ func TestTracedRunBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, _ := r.Run(nil)
+		s, _, _ := r.Run(nil, nil)
 		return s
 	}
 

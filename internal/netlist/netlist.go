@@ -8,6 +8,7 @@ package netlist
 
 import (
 	"fmt"
+	"math"
 
 	"irgrid/internal/geom"
 )
@@ -75,9 +76,21 @@ func (c *Circuit) PinCount() int {
 	return p
 }
 
-// Validate checks structural consistency: non-empty, positive module
-// dimensions, in-range pin references, nets with at least two pins and
-// pin offsets inside their modules.
+// finite reports whether every value is a finite number. Range checks
+// alone cannot reject NaN (it compares false with everything), so
+// Validate tests finiteness explicitly.
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural consistency: non-empty, positive and
+// finite module dimensions, in-range pin references, nets with at
+// least two pins and pin offsets inside their modules.
 func (c *Circuit) Validate() error {
 	if len(c.Modules) == 0 {
 		return fmt.Errorf("netlist: circuit %q has no modules", c.Name)
@@ -91,10 +104,10 @@ func (c *Circuit) Validate() error {
 			return fmt.Errorf("netlist: duplicate module name %q", m.Name)
 		}
 		seen[m.Name] = true
-		if m.W <= 0 || m.H <= 0 {
-			return fmt.Errorf("netlist: module %q has non-positive dimensions %gx%g", m.Name, m.W, m.H)
+		if !finite(m.W, m.H) || m.W <= 0 || m.H <= 0 {
+			return fmt.Errorf("netlist: module %q has invalid dimensions %gx%g", m.Name, m.W, m.H)
 		}
-		if m.MinAspect < 0 || m.MaxAspect < 0 || (m.MaxAspect != 0 && m.MaxAspect < m.MinAspect) {
+		if !finite(m.MinAspect, m.MaxAspect) || m.MinAspect < 0 || m.MaxAspect < 0 || (m.MaxAspect != 0 && m.MaxAspect < m.MinAspect) {
 			return fmt.Errorf("netlist: module %q has invalid aspect range [%g, %g]", m.Name, m.MinAspect, m.MaxAspect)
 		}
 		if m.Soft() && m.Pad {
@@ -109,7 +122,7 @@ func (c *Circuit) Validate() error {
 			if p.Module < 0 || p.Module >= len(c.Modules) {
 				return fmt.Errorf("netlist: net %q references module %d of %d", n.Name, p.Module, len(c.Modules))
 			}
-			if p.FX < 0 || p.FX > 1 || p.FY < 0 || p.FY > 1 {
+			if !finite(p.FX, p.FY) || p.FX < 0 || p.FX > 1 || p.FY < 0 || p.FY > 1 {
 				return fmt.Errorf("netlist: net %q pin offset (%g,%g) outside [0,1]", n.Name, p.FX, p.FY)
 			}
 		}

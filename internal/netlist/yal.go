@@ -4,9 +4,20 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
+)
+
+// Parser limits. They are far above every real benchmark (ami49 has 49
+// modules and 408 nets) and exist to bound memory on hostile or
+// corrupted inputs rather than to constrain legitimate ones.
+const (
+	maxYALModules    = 1 << 16 // 65536
+	maxYALNets       = 1 << 20
+	maxYALPinsPerNet = 1 << 12 // 4096
+	maxYALNameLen    = 1024
 )
 
 // This file implements a reader and writer for a YAL-flavoured textual
@@ -38,7 +49,13 @@ func WriteYAL(w io.Writer, c *Circuit) error {
 		return err
 	}
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# irgrid YAL-subset circuit\nCIRCUIT %s;\n", c.Name)
+	fmt.Fprintf(bw, "# irgrid YAL-subset circuit\n")
+	if c.Name != "" {
+		// An unnamed circuit writes no CIRCUIT statement at all: the
+		// reader treats the statement as optional, and "CIRCUIT ;"
+		// would not reparse.
+		fmt.Fprintf(bw, "CIRCUIT %s;\n", c.Name)
+	}
 
 	// Collect the pins used on each module, in deterministic order.
 	type pin struct {
@@ -103,6 +120,26 @@ func ReadYAL(r io.Reader) (*Circuit, error) {
 	fail := func(format string, args ...interface{}) error {
 		return fmt.Errorf("netlist: yal line %d: %s", lineNo, fmt.Sprintf(format, args...))
 	}
+	// parseFinite parses a float and rejects NaN and ±Inf: a module
+	// dimension or pin offset that is not a finite number can only
+	// poison every downstream computation (NaN compares false with
+	// everything, so range checks alone cannot catch it).
+	parseFinite := func(what, s string) (float64, error) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fail("bad %s %q", what, s)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fail("%s %q is not finite", what, s)
+		}
+		return v, nil
+	}
+	checkName := func(what, s string) error {
+		if len(s) > maxYALNameLen {
+			return fail("%s name longer than %d bytes", what, maxYALNameLen)
+		}
+		return nil
+	}
 
 	for sc.Scan() {
 		lineNo++
@@ -128,16 +165,34 @@ func ReadYAL(r io.Reader) (*Circuit, error) {
 			if len(fields) != 3 {
 				return nil, fail("pin wants '<name> <fx> <fy>', got %q", line)
 			}
-			fx, err1 := strconv.ParseFloat(fields[1], 64)
-			fy, err2 := strconv.ParseFloat(fields[2], 64)
-			if err1 != nil || err2 != nil {
-				return nil, fail("bad pin offsets in %q", line)
+			if err := checkName("pin", fields[0]); err != nil {
+				return nil, err
+			}
+			if _, dup := pins[curMod.Name][fields[0]]; dup {
+				return nil, fail("duplicate pin %q on module %q", fields[0], curMod.Name)
+			}
+			fx, err := parseFinite("pin offset", fields[1])
+			if err != nil {
+				return nil, err
+			}
+			fy, err := parseFinite("pin offset", fields[2])
+			if err != nil {
+				return nil, err
 			}
 			pins[curMod.Name][fields[0]] = modPin{fx, fy}
 
 		case inNetwork && kw != "ENDNETWORK":
 			if len(fields) < 3 {
 				return nil, fail("net wants '<name> <mod>.<pin> ...', got %q", line)
+			}
+			if len(c.Nets) >= maxYALNets {
+				return nil, fail("more than %d nets", maxYALNets)
+			}
+			if len(fields)-1 > maxYALPinsPerNet {
+				return nil, fail("net %q has %d pins; limit %d", fields[0], len(fields)-1, maxYALPinsPerNet)
+			}
+			if err := checkName("net", fields[0]); err != nil {
+				return nil, err
 			}
 			net := Net{Name: fields[0]}
 			for _, ref := range fields[1:] {
@@ -171,10 +226,17 @@ func ReadYAL(r io.Reader) (*Circuit, error) {
 			if len(fields) != 2 {
 				return nil, fail("MODULE wants a name")
 			}
-			curMod = &Module{Name: fields[1]}
-			if pins[curMod.Name] == nil {
-				pins[curMod.Name] = make(map[string]modPin)
+			if err := checkName("module", fields[1]); err != nil {
+				return nil, err
 			}
+			if len(c.Modules) >= maxYALModules {
+				return nil, fail("more than %d modules", maxYALModules)
+			}
+			if pins[fields[1]] != nil {
+				return nil, fail("duplicate module name %q", fields[1])
+			}
+			curMod = &Module{Name: fields[1]}
+			pins[curMod.Name] = make(map[string]modPin)
 
 		case kw == "TYPE":
 			if curMod == nil {
@@ -199,10 +261,13 @@ func ReadYAL(r io.Reader) (*Circuit, error) {
 			if len(fields) != 3 {
 				return nil, fail("DIMENSIONS wants '<w> <h>'")
 			}
-			w, err1 := strconv.ParseFloat(fields[1], 64)
-			h, err2 := strconv.ParseFloat(fields[2], 64)
-			if err1 != nil || err2 != nil {
-				return nil, fail("bad dimensions in %q", line)
+			w, err := parseFinite("width", fields[1])
+			if err != nil {
+				return nil, err
+			}
+			h, err := parseFinite("height", fields[2])
+			if err != nil {
+				return nil, err
 			}
 			curMod.W, curMod.H = w, h
 
@@ -213,10 +278,13 @@ func ReadYAL(r io.Reader) (*Circuit, error) {
 			if len(fields) != 3 {
 				return nil, fail("ASPECT wants '<min> <max>'")
 			}
-			lo, err1 := strconv.ParseFloat(fields[1], 64)
-			hi, err2 := strconv.ParseFloat(fields[2], 64)
-			if err1 != nil || err2 != nil {
-				return nil, fail("bad aspect range in %q", line)
+			lo, err := parseFinite("aspect bound", fields[1])
+			if err != nil {
+				return nil, err
+			}
+			hi, err := parseFinite("aspect bound", fields[2])
+			if err != nil {
+				return nil, err
 			}
 			curMod.MinAspect, curMod.MaxAspect = lo, hi
 
