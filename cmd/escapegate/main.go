@@ -1,0 +1,249 @@
+// Command escapegate is the compiler-verdict half of the hot-path
+// allocation gate: it runs `go build -gcflags=-m` over the hot
+// packages, extracts the escape-analysis diagnostics ("escapes to
+// heap" / "moved to heap"), and diffs them against the committed
+// allowlist in testdata/escape_allow.json. Every entry in the
+// allowlist is a reviewed, expected escape (constructors, arena
+// growth, error paths); a diagnostic not in the list means a change
+// put a new allocation somewhere the 0 allocs/op benchmarks care
+// about, and the gate fails before the benchmark ever runs.
+//
+// Entries are keyed by (file, message) without line numbers, so
+// unrelated edits that shift lines do not churn the list. The list
+// also pins the toolchain version: escape analysis verdicts differ
+// across compiler releases, so on a version mismatch the gate skips
+// (exit 0 with a notice) unless -strict forces a failure. CI pins the
+// matching toolchain and runs with -strict.
+//
+// Usage:
+//
+//	escapegate [-allow testdata/escape_allow.json] [-update] [-strict] [packages...]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// defaultPackages are the allocation-critical packages: the evaluation
+// engine and the pure-math kernels it leans on.
+var defaultPackages = []string{"./internal/core", "./internal/geom", "./internal/nmath"}
+
+// Escape is one heap-escape diagnostic.
+type Escape struct {
+	File string `json:"file"`
+	What string `json:"what"`
+}
+
+// Allowlist is the committed escape budget.
+type Allowlist struct {
+	// Go pins the toolchain whose verdicts the list records.
+	Go string `json:"go"`
+	// Packages are the package patterns the gate compiles.
+	Packages []string `json:"packages"`
+	// Allow are the reviewed, expected escapes.
+	Allow []Escape `json:"allow"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("escapegate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		allowPath = fs.String("allow", "testdata/escape_allow.json", "path of the committed escape allowlist")
+		update    = fs.Bool("update", false, "rewrite the allowlist from the current compiler verdicts")
+		strict    = fs.Bool("strict", false, "fail (instead of skip) on toolchain version mismatch, and fail on stale allowlist entries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	packages := fs.Args()
+	goVersion := runtime.Version()
+
+	var prev *Allowlist
+	if data, err := os.ReadFile(*allowPath); err == nil {
+		prev = new(Allowlist)
+		if err := json.Unmarshal(data, prev); err != nil {
+			fmt.Fprintf(stderr, "escapegate: parsing %s: %v\n", *allowPath, err)
+			return 1
+		}
+	} else if !*update {
+		fmt.Fprintf(stderr, "escapegate: %v (run with -update to create the allowlist)\n", err)
+		return 1
+	}
+	if len(packages) == 0 {
+		if prev != nil && len(prev.Packages) > 0 {
+			packages = prev.Packages
+		} else {
+			packages = defaultPackages
+		}
+	}
+
+	if prev != nil && prev.Go != goVersion && !*update {
+		if *strict {
+			fmt.Fprintf(stderr, "escapegate: allowlist pins %s but toolchain is %s; regenerate with -update\n", prev.Go, goVersion)
+			return 1
+		}
+		fmt.Fprintf(stdout, "escapegate: skipping — allowlist pins %s, toolchain is %s (CI runs the pinned version)\n", prev.Go, goVersion)
+		return 0
+	}
+
+	escapes, err := compileEscapes(packages)
+	if err != nil {
+		fmt.Fprintf(stderr, "escapegate: %v\n", err)
+		return 1
+	}
+
+	if *update {
+		list := &Allowlist{Go: goVersion, Packages: packages, Allow: escapes}
+		data, err := json.MarshalIndent(list, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "escapegate: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*allowPath, append(data, '\n'), 0o666); err != nil {
+			fmt.Fprintf(stderr, "escapegate: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "escapegate: wrote %d allowed escapes for %s to %s\n", len(escapes), goVersion, *allowPath)
+		return 0
+	}
+
+	unexpected, stale := Diff(escapes, prev.Allow)
+	for _, e := range unexpected {
+		fmt.Fprintf(stderr, "escapegate: NEW escape in %s: %s\n", e.File, e.What)
+	}
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "escapegate: stale allowlist entry (no longer emitted) in %s: %s\n", e.File, e.What)
+	}
+	switch {
+	case len(unexpected) > 0:
+		fmt.Fprintf(stderr, "escapegate: %d new escape(s) — remove the allocation or, if reviewed, add it with -update\n", len(unexpected))
+		return 1
+	case len(stale) > 0 && *strict:
+		fmt.Fprintf(stderr, "escapegate: %d stale entr(ies) — refresh with -update\n", len(stale))
+		return 1
+	}
+	fmt.Fprintf(stdout, "escapegate: ok — %d escapes, all within the committed budget (%d entries)\n", len(escapes), len(prev.Allow))
+	return 0
+}
+
+// compileEscapes builds the packages with -gcflags=-m and returns the
+// deduplicated heap-escape diagnostics. The build cache replays
+// compiler diagnostics, so repeat runs are cheap.
+func compileEscapes(packages []string) ([]Escape, error) {
+	args := append([]string{"build", "-gcflags=-m"}, packages...)
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.Bytes())
+	}
+	return ParseEscapes(&out), nil
+}
+
+// ParseEscapes extracts heap-escape diagnostics from -gcflags=-m
+// output: "file:line:col: X escapes to heap" and "file:line:col:
+// moved to heap: v" lines, deduplicated by (file, message) and sorted.
+// Compiler-synthesized locations (<autogenerated>) are ignored — they
+// shift with unrelated method-set changes and carry no actionable
+// position.
+func ParseEscapes(r io.Reader) []Escape {
+	seen := map[Escape]bool{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasSuffix(line, " escapes to heap") && !strings.Contains(line, ": moved to heap: ") {
+			continue
+		}
+		// file:line:col: message
+		rest := line
+		var file string
+		if i := strings.IndexByte(rest, ':'); i > 0 {
+			file = rest[:i]
+			rest = rest[i+1:]
+		} else {
+			continue
+		}
+		if file == "<autogenerated>" || strings.HasPrefix(file, "#") {
+			continue
+		}
+		// Strip "line:col: " (either may be absent in edge cases).
+		for range 2 {
+			if i := strings.IndexByte(rest, ':'); i >= 0 && isDigits(rest[:i]) {
+				rest = rest[i+1:]
+			}
+		}
+		what := strings.TrimSpace(rest)
+		if what == "" {
+			continue
+		}
+		seen[Escape{File: file, What: what}] = true
+	}
+	out := make([]Escape, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sortEscapes(out)
+	return out
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff splits the observed escapes against the allowlist: unexpected
+// holds observations with no allow entry, stale holds allow entries no
+// longer observed.
+func Diff(observed, allowed []Escape) (unexpected, stale []Escape) {
+	allow := map[Escape]bool{}
+	for _, e := range allowed {
+		allow[e] = true
+	}
+	obs := map[Escape]bool{}
+	for _, e := range observed {
+		obs[e] = true
+		if !allow[e] {
+			unexpected = append(unexpected, e)
+		}
+	}
+	for _, e := range allowed {
+		if !obs[e] {
+			stale = append(stale, e)
+		}
+	}
+	sortEscapes(unexpected)
+	sortEscapes(stale)
+	return unexpected, stale
+}
+
+func sortEscapes(es []Escape) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].File != es[j].File {
+			return es[i].File < es[j].File
+		}
+		return es[i].What < es[j].What
+	})
+}

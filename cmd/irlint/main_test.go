@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles irlint into a temp dir and returns the binary path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "irlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building irlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVetHandshake pins the unitchecker protocol surface the go
+// command probes before trusting a vet tool: the -V=full line must
+// carry a buildID= field, and -flags must emit a JSON array.
+func TestVetHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	line := strings.TrimSpace(string(out))
+	f := strings.Fields(line)
+	if len(f) < 3 || f[1] != "version" || !strings.Contains(line, "buildID=") {
+		t.Errorf("-V=full output %q: want \"irlint version ... buildID=<hash>\"", line)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Errorf("-flags output %q, want []", got)
+	}
+}
+
+// TestGoVetIntegration drives the real go command with irlint as its
+// vet tool over the engine package — the same invocation CI enforces
+// repo-wide.
+func TestGoVetIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go vet run")
+	}
+	bin := buildTool(t)
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/core/")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneCleanTree runs the multichecker over the lint-gated
+// deterministic packages; the committed tree must be clean.
+func TestStandaloneCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping package load")
+	}
+	bin := buildTool(t)
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "./internal/core/", "./internal/fplan/", "./internal/anneal/")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("irlint reported findings on the committed tree: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(root, "LINT_report.json")); err != nil {
+		t.Errorf("committed LINT_report.json missing: %v", err)
+	}
+}

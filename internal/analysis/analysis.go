@@ -1,0 +1,155 @@
+// Package analysis is irlint: a suite of project-specific static
+// analyzers that promote the repo's dynamically-tested invariants —
+// bit-deterministic evaluation, a zero-allocation hot path, nil-safe
+// telemetry, cooperative cancellation — to compile-time guarantees.
+//
+// The API mirrors a subset of golang.org/x/tools/go/analysis (the
+// toolchain baked into this environment has no module network access,
+// so the framework is self-contained on the standard library): an
+// Analyzer owns a Run function over a type-checked Pass, diagnostics
+// are (position, message) pairs, and drivers exist for standalone
+// multichecker use (cmd/irlint PATTERN...), for `go vet -vettool`
+// (the vet unitchecker protocol, internal/analysis/unit) and for
+// golden-file tests (internal/analysis/atest).
+//
+// Suppressions and hot-path markers are source annotations parsed by
+// internal/analysis/annot; see that package for the grammar.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //irlint:allow annotations.
+	Name string
+	// Doc is the one-line description shown by cmd/irlint -list.
+	Doc string
+	// Run analyzes one package, reporting findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Index holds the package's parsed //irlint: annotations.
+	Index *Index
+
+	report func(Diagnostic)
+}
+
+// NewPass assembles a Pass; report receives each diagnostic.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, ix *Index, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Index: ix, report: report}
+}
+
+// Reportf reports a finding at pos unless an //irlint:allow annotation
+// for this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.Index != nil && p.Index.Allowed(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Path returns the package's effective import path: for packages under
+// a testdata/src/ tree (the golden-file analyzer tests) the path
+// relative to that tree, so test fixtures can impersonate the
+// production packages the analyzers gate on.
+func (p *Pass) Path() string { return EffectivePath(p.Pkg.Path()) }
+
+// EffectivePath strips everything up to and including the last
+// "/testdata/src/" segment of an import path.
+func EffectivePath(path string) string {
+	if i := strings.LastIndex(path, "/testdata/src/"); i >= 0 {
+		return path[i+len("/testdata/src/"):]
+	}
+	return path
+}
+
+// DeterministicPackages are the packages whose results must be
+// bit-reproducible: the evaluation engine and its exact oracle, the
+// annealer, the pipeline assembly, checkpointing, and the public
+// congestion API. detmap and detsource enforce their invariants here
+// (subpackages included).
+var DeterministicPackages = []string{
+	"irgrid/internal/core",
+	"irgrid/internal/oracle",
+	"irgrid/internal/anneal",
+	"irgrid/internal/fplan",
+	"irgrid/internal/ckpt",
+	"irgrid/congestion",
+}
+
+// CtxPackages are the packages whose exported API must propagate
+// cooperative cancellation through unbounded loops (the PR 4
+// contract): the annealer, the pipeline, the public floorplan API and
+// the evaluation engine.
+var CtxPackages = []string{
+	"irgrid/internal/anneal",
+	"irgrid/internal/fplan",
+	"irgrid/floorplan",
+	"irgrid/internal/core",
+}
+
+// inPackageSet reports whether the effective path is one of the given
+// packages or a subpackage of one.
+func inPackageSet(path string, set []string) bool {
+	for _, p := range set {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file's name ends in _test.go. The
+// determinism and allocation invariants bind production code; tests
+// are free to use clocks, map iteration and fmt.
+func (p *Pass) isTestFile(f *ast.File) bool {
+	name := p.Fset.Position(f.Package).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// sourceFiles returns the pass's non-test files.
+func (p *Pass) sourceFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !p.isTestFile(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// IsTestVariant reports whether an import path names a test package
+// variant ("pkg.test", "pkg [pkg.test]", or an external _test
+// package); drivers skip those outright — the plain variant already
+// covers the production sources.
+func IsTestVariant(path string) bool {
+	return strings.HasSuffix(path, ".test") ||
+		strings.Contains(path, " [") ||
+		strings.HasSuffix(path, "_test")
+}

@@ -1,0 +1,73 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"irgrid/internal/analysis"
+	"irgrid/internal/analysis/atest"
+)
+
+// Each analyzer runs against at least one positive fixture (inside the
+// gated package set or carrying the gating marker, with want
+// expectations) and at least one negative fixture (same constructs
+// outside the gate, expecting silence).
+
+func TestDetmap(t *testing.T) {
+	atest.Run(t, analysis.Detmap,
+		"irgrid/internal/core/dmfix", // positives + collect-idiom and allow negatives
+		"pkg/dmneg",                  // outside deterministic set: silent
+	)
+}
+
+func TestDetsource(t *testing.T) {
+	atest.Run(t, analysis.Detsource,
+		"irgrid/internal/core/dsfix",
+		"pkg/dsneg",
+	)
+}
+
+func TestHotalloc(t *testing.T) {
+	// Positive and negative cases live side by side in one fixture: the
+	// //irlint:hot marker is the gate, so marked and unmarked functions
+	// with identical constructs cover both directions.
+	atest.Run(t, analysis.Hotalloc, "hotfix")
+}
+
+func TestCtxpropagate(t *testing.T) {
+	atest.Run(t, analysis.Ctxpropagate,
+		"irgrid/internal/anneal/cpfix",
+		"pkg/cpneg",
+	)
+}
+
+func TestObssafe(t *testing.T) {
+	// use holds positives (field access, instrument nil-compares) and
+	// negatives (method calls, Registry nil-gating); the fake obs
+	// package itself must be exempt — run it as its own fixture too.
+	atest.Run(t, analysis.Obssafe,
+		"obsfix/use",
+		"obsfix/internal/obs",
+	)
+}
+
+func TestAnnotcheck(t *testing.T) {
+	atest.Run(t, analysis.Annotcheck, "annotfix")
+}
+
+// TestRegistry pins the suite composition: every analyzer registered
+// exactly once, annotcheck not suppressible.
+func TestRegistry(t *testing.T) {
+	all := analysis.All()
+	want := []string{"detmap", "detsource", "hotalloc", "ctxpropagate", "obssafe", "annotcheck"}
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run function", a.Name)
+		}
+	}
+}

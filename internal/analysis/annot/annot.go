@@ -1,0 +1,134 @@
+// Package annot parses the //irlint: source annotations that the
+// irlint analyzers honor:
+//
+//	//irlint:allow <analyzer>(<reason>)[, <analyzer>(<reason>)...]
+//	//irlint:hot
+//
+// An `allow` annotation suppresses the named analyzer on the line the
+// comment appears on and — for a standalone comment — on the line
+// following its comment group, so it can ride as a trailing comment or
+// sit immediately above the statement it excuses. The reason is
+// mandatory: every suppression is a reviewed decision with a stated
+// justification, never a blanket opt-out.
+//
+// A `hot` annotation marks a function declaration (via its doc
+// comment) as part of the allocation-free hot path; the hotalloc
+// analyzer then flags alloc-introducing constructs inside it.
+//
+// Parsing is strict by design: a malformed directive, an unknown
+// analyzer name or a missing reason is an error, not a silent pass —
+// a typo in a suppression must fail the lint run rather than quietly
+// re-enable it.
+package annot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Prefix introduces an irlint directive comment. Like //go: directives
+// there is no space after the comment marker, which keeps the
+// directives out of rendered documentation.
+const Prefix = "//irlint:"
+
+// Directive is one parsed //irlint: comment.
+type Directive struct {
+	// Hot is true for //irlint:hot.
+	Hot bool
+	// Allows holds the (analyzer, reason) pairs of an
+	// //irlint:allow directive.
+	Allows []Allow
+}
+
+// Allow is one analyzer suppression with its mandatory reason.
+type Allow struct {
+	Analyzer string
+	Reason   string
+}
+
+// KnownAnalyzers is the set of analyzer names an allow annotation may
+// reference. It is populated by the analysis package's registry at
+// init time so annot itself stays dependency-free.
+var KnownAnalyzers = map[string]bool{}
+
+// IsDirective reports whether the comment text (including the //
+// marker) is an irlint directive.
+func IsDirective(text string) bool {
+	return strings.HasPrefix(text, Prefix)
+}
+
+// Parse parses one comment line (including the leading //). It returns
+// (nil, nil) when the comment is not an irlint directive at all, and a
+// non-nil error for a directive that is present but malformed.
+func Parse(text string) (*Directive, error) {
+	if !IsDirective(text) {
+		return nil, nil
+	}
+	body := strings.TrimPrefix(text, Prefix)
+	switch {
+	case body == "hot":
+		return &Directive{Hot: true}, nil
+	case strings.HasPrefix(body, "hot"):
+		return nil, fmt.Errorf("malformed //irlint:hot directive %q: no arguments allowed", text)
+	case strings.HasPrefix(body, "allow "):
+		allows, err := parseAllows(strings.TrimPrefix(body, "allow "))
+		if err != nil {
+			return nil, err
+		}
+		return &Directive{Allows: allows}, nil
+	case body == "allow":
+		return nil, fmt.Errorf("malformed //irlint:allow directive: missing analyzer(reason) list")
+	default:
+		verb := body
+		if i := strings.IndexAny(body, " ("); i >= 0 {
+			verb = body[:i]
+		}
+		return nil, fmt.Errorf("unknown irlint directive %q (want allow or hot)", verb)
+	}
+}
+
+// parseAllows parses "name(reason), name2(reason2)".
+func parseAllows(s string) ([]Allow, error) {
+	var out []Allow
+	rest := strings.TrimSpace(s)
+	if rest == "" {
+		return nil, fmt.Errorf("malformed //irlint:allow directive: missing analyzer(reason) list")
+	}
+	for rest != "" {
+		open := strings.IndexByte(rest, '(')
+		if open <= 0 {
+			return nil, fmt.Errorf("malformed //irlint:allow entry %q: want analyzer(reason)", rest)
+		}
+		name := strings.TrimSpace(rest[:open])
+		// The reason runs to the matching close paren; reasons may not
+		// nest parens, which keeps the grammar unambiguous.
+		close := strings.IndexByte(rest[open:], ')')
+		if close < 0 {
+			return nil, fmt.Errorf("malformed //irlint:allow entry %q: unterminated reason", rest)
+		}
+		close += open
+		reason := strings.TrimSpace(rest[open+1 : close])
+		if name == "" || strings.ContainsAny(name, " \t") {
+			return nil, fmt.Errorf("malformed //irlint:allow entry %q: bad analyzer name", rest)
+		}
+		if !KnownAnalyzers[name] {
+			return nil, fmt.Errorf("//irlint:allow names unknown analyzer %q", name)
+		}
+		if reason == "" {
+			return nil, fmt.Errorf("//irlint:allow %s: missing reason — every suppression must state why", name)
+		}
+		out = append(out, Allow{Analyzer: name, Reason: reason})
+		rest = strings.TrimSpace(rest[close+1:])
+		if rest == "" {
+			break
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return nil, fmt.Errorf("malformed //irlint:allow directive: want ',' between entries, got %q", rest)
+		}
+		rest = strings.TrimSpace(rest[1:])
+		if rest == "" {
+			return nil, fmt.Errorf("malformed //irlint:allow directive: trailing comma")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package annot
+
+import (
+	"strings"
+	"testing"
+)
+
+func init() {
+	// The real set is registered by internal/analysis; tests pin their
+	// own so this package stays dependency-free.
+	KnownAnalyzers["detmap"] = true
+	KnownAnalyzers["detsource"] = true
+	KnownAnalyzers["hotalloc"] = true
+}
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		hot  bool
+		want []Allow
+	}{
+		{in: "//irlint:hot", hot: true},
+		{in: "//irlint:allow detmap(keys sorted below)", want: []Allow{{"detmap", "keys sorted below"}}},
+		{in: "//irlint:allow detsource(obs timing only)", want: []Allow{{"detsource", "obs timing only"}}},
+		{
+			in:   "//irlint:allow detmap(order folded), detsource(obs timing only)",
+			want: []Allow{{"detmap", "order folded"}, {"detsource", "obs timing only"}},
+		},
+		{in: "//irlint:allow hotalloc( cold path, spaces trimmed )", want: []Allow{{"hotalloc", "cold path, spaces trimmed"}}},
+	}
+	for _, c := range cases {
+		d, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): unexpected error: %v", c.in, err)
+			continue
+		}
+		if d == nil {
+			t.Errorf("Parse(%q): not recognized as a directive", c.in)
+			continue
+		}
+		if d.Hot != c.hot {
+			t.Errorf("Parse(%q): Hot = %v, want %v", c.in, d.Hot, c.hot)
+		}
+		if len(d.Allows) != len(c.want) {
+			t.Errorf("Parse(%q): %d allows, want %d", c.in, len(d.Allows), len(c.want))
+			continue
+		}
+		for i, a := range d.Allows {
+			if a != c.want[i] {
+				t.Errorf("Parse(%q): allow[%d] = %+v, want %+v", c.in, i, a, c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseNonDirective(t *testing.T) {
+	for _, in := range []string{
+		"// plain comment",
+		"// irlint:allow detmap(spaced prefix is not a directive)",
+		"//go:noinline",
+		"//nolint:all",
+	} {
+		d, err := Parse(in)
+		if d != nil || err != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil (not a directive)", in, d, err)
+		}
+	}
+}
+
+// TestParseMalformed pins the strictness contract: a malformed
+// directive is an error, never a silent pass.
+func TestParseMalformed(t *testing.T) {
+	cases := []struct {
+		in      string
+		errWant string // substring of the error
+	}{
+		{"//irlint:frobnicate", "unknown irlint directive"},
+		{"//irlint:", "unknown irlint directive"},
+		{"//irlint:allowdetmap(x)", "unknown irlint directive"},
+		{"//irlint:allow", "missing analyzer(reason) list"},
+		{"//irlint:allow ", "missing analyzer(reason) list"},
+		{"//irlint:allow detmap", "want analyzer(reason)"},
+		{"//irlint:allow (no name)", "want analyzer(reason)"},
+		{"//irlint:allow detmap(unterminated", "unterminated reason"},
+		{"//irlint:allow detmap()", "missing reason"},
+		{"//irlint:allow detmap(  )", "missing reason"},
+		{"//irlint:allow nosuchanalyzer(reason here)", `unknown analyzer "nosuchanalyzer"`},
+		{"//irlint:allow detmap(a) detsource(b)", "want ','"},
+		{"//irlint:allow detmap(a),", "trailing comma"},
+		{"//irlint:hot(why)", "no arguments"},
+		{"//irlint:hotpath", "no arguments"},
+	}
+	for _, c := range cases {
+		d, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) = %+v, nil; want error containing %q", c.in, d, c.errWant)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errWant) {
+			t.Errorf("Parse(%q) error = %q; want it to contain %q", c.in, err, c.errWant)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package analysis
+
+// Annotcheck surfaces the annotation index's parse failures as
+// first-class findings: a malformed //irlint: directive, an unknown
+// analyzer name in an allow list, a missing reason, or a misplaced
+// //irlint:hot. Annotations that don't parse MUST fail the run — a
+// typo'd suppression that silently re-enables (or worse, silently
+// disables) a check is exactly the failure mode a lint suite exists to
+// prevent.
+var Annotcheck = &Analyzer{
+	Name: "annotcheck",
+	Doc:  "malformed //irlint: directives are errors, not silent no-ops",
+	Run:  runAnnotcheck,
+}
+
+func runAnnotcheck(pass *Pass) error {
+	if pass.Index == nil {
+		return nil
+	}
+	for _, d := range pass.Index.Malformed(pass.Fset) {
+		// Bypass Reportf: suppression must not apply to the checker that
+		// validates suppressions.
+		pass.report(d)
+	}
+	return nil
+}

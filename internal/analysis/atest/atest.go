@@ -1,0 +1,165 @@
+// Package atest is the golden-file harness for the irlint analyzers,
+// after the style of golang.org/x/tools/go/analysis/analysistest:
+// fixture packages live under internal/analysis/testdata/src/, carry
+// `// want "regexp"` comments on the lines where a diagnostic is
+// expected, and Run fails the test on any missed or surplus finding.
+//
+// Fixture import paths are relative to testdata/src/, and the
+// analyzers resolve package gates through EffectivePath, so a fixture
+// directory named irgrid/internal/core impersonates the production
+// engine package.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"irgrid/internal/analysis"
+	"irgrid/internal/analysis/load"
+)
+
+// wantRe matches both line and block comment forms (the block form
+// lets a want expectation share a line with a trailing //irlint:
+// directive, whose diagnostics land on the directive itself), and both
+// quoting styles: "..." with \" escapes, or `...` verbatim.
+var wantRe = regexp.MustCompile("(?://|/\\*)\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// want is one expectation: a diagnostic on file:line matching pattern.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// TestdataDir returns the analyzer testdata root, resolved relative to
+// this source file so tests work regardless of the working directory.
+func TestdataDir(t *testing.T) string {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate atest source file")
+	}
+	return filepath.Join(filepath.Dir(thisFile), "..", "testdata")
+}
+
+// Run loads each fixture package (an import path relative to
+// testdata/src) and checks the analyzer's diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	dir := filepath.Join(TestdataDir(t), "src")
+	for _, fixture := range fixtures {
+		t.Run(strings.ReplaceAll(fixture, "/", "_"), func(t *testing.T) {
+			runOne(t, a, dir, fixture)
+		})
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, srcDir, fixture string) {
+	t.Helper()
+	pkgs, err := load.Load(filepath.Join(srcDir, fixture), ".")
+	if err != nil {
+		t.Fatalf("load %s: %v", fixture, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("load %s: got %d packages, want 1", fixture, len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", fixture, terr)
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+
+	var got []analysis.Diagnostic
+	ix := analysis.BuildIndex(pkg.Fset, pkg.Files)
+	pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, ix,
+		func(d analysis.Diagnostic) { got = append(got, d) })
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, fixture, err)
+	}
+
+	for _, d := range got {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", fixture, d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", fixture, w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants extracts the want comments of every fixture file.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				raw := m[2] // backquoted: verbatim
+				if m[1] != "" || m[2] == "" {
+					raw = unquoteWant(m[1])
+				}
+				pat, err := regexp.Compile(raw)
+				if err != nil {
+					pos := fset.Position(c.Pos())
+					t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &want{file: pos.Filename, line: pos.Line, pattern: pat})
+			}
+		}
+	}
+	return out
+}
+
+// unquoteWant undoes the \" escaping inside a double-quoted want
+// string. Other backslashes pass through untouched — they belong to
+// the regexp (e.g. \*), since comment text is not a Go string literal.
+func unquoteWant(s string) string {
+	return strings.ReplaceAll(s, `\"`, `"`)
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || w.file != d.Pos.Filename {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Describe formats diagnostics for failure messages.
+func Describe(ds []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxpropagate enforces the PR 4 cancellation contract statically: an
+// exported function in the lifecycle packages (anneal, fplan,
+// floorplan, core) that contains an unbounded loop — `for {}` or a
+// while-style `for cond {}` — must accept a context.Context and the
+// loop body must actually consult the context (ctx.Done(), ctx.Err(),
+// or any call forwarding ctx). Without this, a caller's cancel would
+// hang until the loop's own exit condition fires, which for an
+// annealer schedule can be minutes.
+var Ctxpropagate = &Analyzer{
+	Name: "ctxpropagate",
+	Doc:  "exported functions with unbounded loops must accept and consult a context.Context",
+	Run:  runCtxpropagate,
+}
+
+func runCtxpropagate(pass *Pass) error {
+	if !inPackageSet(pass.Path(), CtxPackages) {
+		return nil
+	}
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkCtxFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkCtxFunc(pass *Pass, fd *ast.FuncDecl) {
+	loops := unboundedLoops(fd.Body)
+	if len(loops) == 0 {
+		return
+	}
+	ctxParams := contextParams(pass, fd)
+	if len(ctxParams) == 0 {
+		pass.Reportf(fd.Name.Pos(),
+			"exported %s contains an unbounded loop but takes no context.Context: accept one so callers can cancel",
+			fd.Name.Name)
+		return
+	}
+	for _, loop := range loops {
+		if !consultsContext(pass, loop.Body, ctxParams) {
+			pass.Reportf(loop.For,
+				"unbounded loop in exported %s never consults its context: check ctx.Err()/ctx.Done() (or call something that does) each iteration",
+				fd.Name.Name)
+		}
+	}
+}
+
+// unboundedLoops returns the for statements with no iteration bound:
+// `for {}` (no condition) and while-style `for cond {}` (no init, no
+// post — the canonical unbounded convergence/retry shape). Three-clause
+// loops and range loops are bounded by construction or by convention
+// and are exempt.
+func unboundedLoops(body *ast.BlockStmt) []*ast.ForStmt {
+	var out []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are checked via their own enclosing decl rules
+		}
+		fs, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if fs.Cond == nil || (fs.Init == nil && fs.Post == nil) {
+			out = append(out, fs)
+		}
+		return true
+	})
+	return out
+}
+
+// contextParams returns the objects of the function's parameters whose
+// type is context.Context.
+func contextParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// consultsContext reports whether the loop body references any of the
+// context parameters — a ctx.Done()/ctx.Err() check, a select on
+// ctx.Done(), or forwarding ctx into a callee all count: each gives the
+// cancellation signal a path into the iteration.
+func consultsContext(pass *Pass, body *ast.BlockStmt, ctxParams map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && ctxParams[obj] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detmap flags `range` over a map in the deterministic packages: map
+// iteration order is randomized per run, so any map range on a result
+// path breaks bit-reproducibility. The one recognized safe idiom is
+// the collect-then-sort key gather (a loop whose entire body appends
+// the key to a slice — the append order washes out in the subsequent
+// sort, which detmap leaves to the reviewer); anything else needs an
+// //irlint:allow detmap(reason) stating why the iteration is
+// order-independent.
+var Detmap = &Analyzer{
+	Name: "detmap",
+	Doc:  "flags range-over-map in deterministic packages (sort keys or annotate)",
+	Run:  runDetmap,
+}
+
+func runDetmap(pass *Pass) error {
+	if !inPackageSet(pass.Path(), DeterministicPackages) {
+		return nil
+	}
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv := pass.TypesInfo.TypeOf(rs.X)
+			if tv == nil {
+				return true
+			}
+			if _, isMap := tv.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollectLoop(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map %s in deterministic package %s: iteration order is randomized; sort the keys first or annotate //irlint:allow detmap(reason)",
+				render(pass.Fset, rs.X), pass.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollectLoop recognizes the canonical sorted-keys gather:
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// The body must be exactly one append of the range key into a slice
+// (no value variable consumed), so the only order-dependent effect is
+// the append order — which the mandatory downstream sort erases.
+func isKeyCollectLoop(pass *Pass, rs *ast.RangeStmt) bool {
+	if rs.Value != nil {
+		if id, ok := rs.Value.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	// The appended element must be the range key itself.
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[key]
+	return keyObj != nil && pass.TypesInfo.Uses[arg] == keyObj
+}

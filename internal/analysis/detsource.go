@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Detsource bans the ambient nondeterminism sources from the
+// deterministic packages: wall-clock reads (time.Now/Since/Until),
+// the math/rand global generator (seeded *rand.Rand instances are
+// fine — constructors are exempt), environment reads (os.Getenv and
+// friends) and multi-way select statements (the runtime picks a ready
+// case pseudo-randomly). Observation-only sites (telemetry timing)
+// carry //irlint:allow detsource(reason) annotations, keeping the
+// timing-vs-result separation documented in-source.
+var Detsource = &Analyzer{
+	Name: "detsource",
+	Doc:  "bans clocks, global RNG, env reads and racy selects in deterministic packages",
+	Run:  runDetsource,
+}
+
+// randConstructors are the math/rand (and v2) functions that build
+// seeded, locally-owned generators rather than touching global state.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+var bannedClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+var bannedEnvFuncs = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true}
+
+func runDetsource(pass *Pass) error {
+	if !inPackageSet(pass.Path(), DeterministicPackages) {
+		return nil
+	}
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				pkg, fn, ok := pkgFuncCall(pass, n)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkg == "time" && bannedClockFuncs[fn]:
+					pass.Reportf(n.Pos(),
+						"time.%s in deterministic package %s: wall-clock reads are nondeterministic; results must not depend on timing (annotate //irlint:allow detsource(reason) for observation-only sites)",
+						fn, pass.Path())
+				case (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[fn]:
+					pass.Reportf(n.Pos(),
+						"%s.%s uses the global generator in deterministic package %s: draw from a seeded *rand.Rand owned by the run instead",
+						pkg, fn, pass.Path())
+				case pkg == "os" && bannedEnvFuncs[fn]:
+					pass.Reportf(n.Pos(),
+						"os.%s in deterministic package %s: results must not depend on the environment; plumb configuration explicitly",
+						fn, pass.Path())
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(n.Select,
+						"select with %d communication cases in deterministic package %s: the runtime chooses a ready case pseudo-randomly; restructure (single case + default is fine) or annotate //irlint:allow detsource(reason)",
+						comm, pass.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

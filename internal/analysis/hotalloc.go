@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotalloc guards the allocation-free hot path (PR 1's 39→0 allocs/op
+// on Model.Evaluate/Score): inside functions marked //irlint:hot it
+// flags the constructs that put allocations back — implicit or
+// explicit interface conversions (boxing), escaping closures, append
+// without in-function capacity evidence, string concatenation and fmt
+// calls. The AST-level check is complemented by cmd/escapegate, which
+// diffs the compiler's actual escape-analysis verdicts against a
+// committed allowlist; hotalloc catches the regression at the
+// construct that causes it, escapegate catches whatever slips past
+// the syntactic patterns.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags alloc-introducing constructs in //irlint:hot functions",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) error {
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.Index.Hot(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	parents := buildParents(fd.Body)
+	evidenced := capacityEvidence(pass, fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkStringConcat(pass, n)
+		case *ast.AssignStmt:
+			checkAssignBoxing(pass, n)
+		case *ast.CallExpr:
+			checkCall(pass, n, evidenced)
+		case *ast.FuncLit:
+			checkFuncLit(pass, fd, n, parents)
+			return false // closures are their own (non-hot) scope
+		}
+		return true
+	})
+}
+
+// checkStringConcat flags runtime string concatenation; constant
+// expressions fold at compile time and are exempt.
+func checkStringConcat(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op.String() != "+" {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[be]
+	if !ok || tv.Value != nil { // untyped constant: folded
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	pass.Reportf(be.OpPos, "string concatenation on the hot path allocates; use a preallocated buffer or move it off the //irlint:hot function")
+}
+
+// checkAssignBoxing flags assigning a concrete value to an
+// interface-typed variable (boxing).
+func checkAssignBoxing(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := pass.TypesInfo.TypeOf(lhs)
+		rt := pass.TypesInfo.TypeOf(as.Rhs[i])
+		if boxes(lt, rt) && !exprIsNil(pass, as.Rhs[i]) {
+			pass.Reportf(as.Rhs[i].Pos(), "assignment boxes %s into interface %s on the hot path (allocates unless escape analysis proves otherwise)", rt, lt)
+		}
+	}
+}
+
+// checkCall flags fmt calls, explicit conversions to interface types,
+// implicit boxing at call arguments, and append without capacity
+// evidence.
+func checkCall(pass *Pass, call *ast.CallExpr, evidenced map[types.Object]bool) {
+	// append without capacity evidence.
+	if isBuiltin(pass, call.Fun, "append") && len(call.Args) > 0 {
+		if !appendHasCapacityEvidence(pass, call.Args[0], evidenced) {
+			pass.Reportf(call.Pos(), "append on the hot path without capacity evidence: grow the buffer from a reused arena (x[:0], three-arg make) or annotate //irlint:allow hotalloc(reason)")
+		}
+		return
+	}
+	// fmt.* calls.
+	if pkg, fn, ok := pkgFuncCall(pass, call); ok && pkg == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s on the hot path allocates (formatting boxes its operands); format off the hot path", fn)
+		return
+	}
+	// Explicit conversion to an interface type: I(x).
+	if tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		if len(call.Args) == 1 && boxes(tv.Type, pass.TypesInfo.TypeOf(call.Args[0])) && !exprIsNil(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion boxes %s into interface %s on the hot path", pass.TypesInfo.TypeOf(call.Args[0]), tv.Type)
+		}
+		return
+	}
+	// Implicit boxing at call arguments.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // s... passes the slice as-is
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if boxes(pt, pass.TypesInfo.TypeOf(arg)) && !exprIsNil(pass, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes %s into interface %s on the hot path", pass.TypesInfo.TypeOf(arg), pt)
+		}
+	}
+}
+
+// boxes reports whether assigning a value of type from to a location
+// of type to converts a concrete value to an interface.
+func boxes(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying())
+}
+
+// checkFuncLit flags closures that may escape. Two shapes are exempt
+// because the compiler reliably keeps them on the stack: a literal
+// called immediately (including via defer — deferred closures in
+// non-looping positions are open-coded), and a literal bound to a
+// local variable whose every use is a direct call.
+func checkFuncLit(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit, parents map[ast.Node]ast.Node) {
+	switch p := parents[lit].(type) {
+	case *ast.CallExpr:
+		if p.Fun == lit {
+			// Immediately invoked; a plain call or a defer is fine, but a
+			// `go` launch always heap-allocates the closure.
+			if _, isGo := parents[p].(*ast.GoStmt); isGo {
+				pass.Reportf(lit.Pos(), "goroutine closure on the hot path heap-allocates; hoist the fan-out off the //irlint:hot function")
+			}
+			return
+		}
+	case *ast.AssignStmt:
+		if id := assignedIdent(p, lit); id != nil && localCallOnly(pass, fd, id) {
+			return
+		}
+	}
+	pass.Reportf(lit.Pos(), "closure on the hot path may escape (captured variables heap-allocate); bind it to a local called directly, or annotate //irlint:allow hotalloc(reason)")
+}
+
+// assignedIdent returns the ident on the LHS matching lit's position
+// on the RHS of a 1:1 or parallel assignment.
+func assignedIdent(as *ast.AssignStmt, lit *ast.FuncLit) *ast.Ident {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	for i, r := range as.Rhs {
+		if r == lit {
+			id, _ := as.Lhs[i].(*ast.Ident)
+			return id
+		}
+	}
+	return nil
+}
+
+// localCallOnly reports whether every use of the variable inside the
+// function is as the function operand of a call.
+func localCallOnly(pass *Pass, fd *ast.FuncDecl, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	ok := true
+	parents := buildParents(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		use, isIdent := n.(*ast.Ident)
+		if !isIdent || use == id || pass.TypesInfo.Uses[use] != obj {
+			return true
+		}
+		call, isCall := parents[use].(*ast.CallExpr)
+		if !isCall || call.Fun != use {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+// capacityEvidence collects the slice variables that the function
+// demonstrably grows inside a reused arena: assigned from a slice
+// expression (x[:0], scratch[:n]) or a three-arg make. append into
+// such a variable reuses capacity in steady state.
+func capacityEvidence(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	ev := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !providesCapacity(pass, as.Rhs[i]) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				ev[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				ev[obj] = true
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+// providesCapacity reports whether the expression yields a slice with
+// known reusable capacity: a slice expression or a three-arg make.
+func providesCapacity(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.CallExpr:
+		return isBuiltin(pass, e.Fun, "make") && len(e.Args) == 3
+	}
+	return false
+}
+
+// appendHasCapacityEvidence accepts append whose destination is a
+// slice expression itself or an evidenced variable.
+func appendHasCapacityEvidence(pass *Pass, dst ast.Expr, evidenced map[types.Object]bool) bool {
+	switch d := ast.Unparen(dst).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[d]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[d]
+		}
+		return obj != nil && evidenced[obj]
+	}
+	return false
+}
+
+// buildParents maps every node in the subtree to its parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"irgrid/internal/analysis/annot"
+)
+
+// Index holds one package's parsed //irlint: annotations: the
+// suppressed (analyzer, file, line) sites, the hot-marked function
+// declarations, and any malformed directives (reported by the
+// annotcheck analyzer — a typo in a suppression fails the run rather
+// than silently re-enabling the check).
+type Index struct {
+	// allowed maps analyzer name -> "file:line" -> reason.
+	allowed map[string]map[string]string
+	// counts is the number of allow annotations written per analyzer.
+	counts map[string]int
+	// hot is the set of hot-marked *ast.FuncDecls.
+	hot map[*ast.FuncDecl]bool
+	// malformed records unparsable directives.
+	malformed []Diagnostic
+	// hotComments tracks every //irlint:hot comment position; ones not
+	// consumed as a FuncDecl doc are misplaced and reported.
+	hotComments map[token.Pos]bool
+	usedHot     map[token.Pos]bool
+}
+
+// BuildIndex parses every //irlint: comment of the files.
+func BuildIndex(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{
+		allowed:     map[string]map[string]string{},
+		counts:      map[string]int{},
+		hot:         map[*ast.FuncDecl]bool{},
+		hotComments: map[token.Pos]bool{},
+		usedHot:     map[token.Pos]bool{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			// A directive in a standalone comment group excuses the line
+			// following the group; a trailing directive excuses its own
+			// line. Covering both (own line + group end + 1) handles both
+			// placements and stacked directives above one statement.
+			endLine := fset.Position(cg.End()).Line
+			for _, c := range cg.List {
+				d, err := annot.Parse(c.Text)
+				if err != nil {
+					ix.malformed = append(ix.malformed, Diagnostic{
+						Pos:      fset.Position(c.Pos()),
+						Analyzer: "annotcheck",
+						Message:  err.Error(),
+					})
+					continue
+				}
+				if d == nil {
+					continue
+				}
+				if d.Hot {
+					ix.hotComments[c.Pos()] = true
+					continue
+				}
+				own := fset.Position(c.Pos())
+				for _, a := range d.Allows {
+					ix.counts[a.Analyzer]++
+					m := ix.allowed[a.Analyzer]
+					if m == nil {
+						m = map[string]string{}
+						ix.allowed[a.Analyzer] = m
+					}
+					m[lineKey(own.Filename, own.Line)] = a.Reason
+					m[lineKey(own.Filename, endLine+1)] = a.Reason
+				}
+			}
+		}
+		// Bind //irlint:hot doc comments to their function declarations.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if ix.hotComments[c.Pos()] {
+					ix.hot[fd] = true
+					ix.usedHot[c.Pos()] = true
+				}
+			}
+		}
+	}
+	return ix
+}
+
+func lineKey(file string, line int) string {
+	// Positions within one package share the file set, so the raw
+	// filename is a stable key.
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Allowed reports whether an //irlint:allow for the analyzer covers
+// the position's line.
+func (ix *Index) Allowed(analyzer string, pos token.Position) bool {
+	m := ix.allowed[analyzer]
+	if m == nil {
+		return false
+	}
+	_, ok := m[lineKey(pos.Filename, pos.Line)]
+	return ok
+}
+
+// Hot reports whether the function declaration carries //irlint:hot.
+func (ix *Index) Hot(fd *ast.FuncDecl) bool { return ix.hot[fd] }
+
+// HotCount returns the number of hot-marked functions.
+func (ix *Index) HotCount() int { return len(ix.hot) }
+
+// AllowCounts returns the number of allow annotations per analyzer.
+func (ix *Index) AllowCounts() map[string]int {
+	out := make(map[string]int, len(ix.counts))
+	for name, n := range ix.counts {
+		out[name] = n
+	}
+	return out
+}
+
+// Malformed returns the malformed-directive diagnostics, plus one for
+// every //irlint:hot comment that is not a function doc comment.
+func (ix *Index) Malformed(fset *token.FileSet) []Diagnostic {
+	out := append([]Diagnostic(nil), ix.malformed...)
+	for pos := range ix.hotComments {
+		if !ix.usedHot[pos] {
+			out = append(out, Diagnostic{
+				Pos:      fset.Position(pos),
+				Analyzer: "annotcheck",
+				Message:  "misplaced //irlint:hot: must be part of a function declaration's doc comment",
+			})
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, message so
+// every driver emits them deterministically.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}

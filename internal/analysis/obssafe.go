@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Obssafe protects the telemetry layer's nil-safety contract (PR 3):
+// the instrument types (*obs.Counter, *obs.Gauge, *obs.Histogram) are
+// designed so a nil receiver is a no-op, which is what makes disabled
+// telemetry zero-overhead and branch-free at call sites. Call sites
+// must therefore use the nil-safe methods unconditionally — never
+// field-access an instrument's internals and never nil-compare an
+// instrument inline (the compare reintroduces the branch the design
+// removed, and worse, trains readers to think nil instruments are
+// unsafe). Registry and Tracer handles are exempt: nil-gating those is
+// the sanctioned enable/disable pattern.
+var Obssafe = &Analyzer{
+	Name: "obssafe",
+	Doc:  "obs instruments only via nil-safe methods: no field access, no inline nil-compares",
+	Run:  runObssafe,
+}
+
+// obsInstruments are the nil-safe instrument types; Registry and
+// Tracer are deliberately absent.
+var obsInstruments = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+func runObssafe(pass *Pass) error {
+	if isObsPath(pass.Pkg.Path()) {
+		return nil // the implementation package touches its own fields
+	}
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkObsSelector(pass, n)
+			case *ast.BinaryExpr:
+				checkObsNilCompare(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkObsSelector flags x.field where x is an obs instrument and the
+// selector resolves to a struct field rather than a method.
+func checkObsSelector(pass *Pass, sel *ast.SelectorExpr) {
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return
+	}
+	name, ok := namedObsType(t)
+	if !ok || !obsInstruments[name] {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"field access %s on *obs.%s: instruments are opaque outside internal/obs — use the nil-safe methods",
+		sel.Sel.Name, name)
+}
+
+// checkObsNilCompare flags `instr == nil` / `instr != nil`.
+func checkObsNilCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	var instr ast.Expr
+	switch {
+	case exprIsNil(pass, be.Y):
+		instr = be.X
+	case exprIsNil(pass, be.X):
+		instr = be.Y
+	default:
+		return
+	}
+	t := pass.TypesInfo.TypeOf(instr)
+	if t == nil {
+		return
+	}
+	name, ok := namedObsType(t)
+	if !ok || !obsInstruments[name] {
+		return
+	}
+	pass.Reportf(be.OpPos,
+		"nil-compare of *obs.%s: instrument methods are nil-safe no-ops, call them unconditionally (gate on the Registry/Tracer handle if you need enablement state)",
+		name)
+}

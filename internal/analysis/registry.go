@@ -1,0 +1,20 @@
+package analysis
+
+import "irgrid/internal/analysis/annot"
+
+// All returns the full irlint suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{Detmap, Detsource, Hotalloc, Ctxpropagate, Obssafe, Annotcheck}
+}
+
+func init() {
+	// Teach the annotation parser which analyzer names are valid in
+	// //irlint:allow lists. annotcheck itself is excluded: suppressing
+	// the suppression checker would be self-defeating.
+	for _, a := range All() {
+		if a.Name == Annotcheck.Name {
+			continue
+		}
+		annot.KnownAnalyzers[a.Name] = true
+	}
+}

@@ -1,0 +1,33 @@
+// Package annotfix exercises the annotcheck analyzer: malformed
+// //irlint: directives are findings, valid ones are not. A trailing
+// "// want" inside a directive comment is deliberately part of the
+// malformed text; where the directive must end cleanly, the want
+// expectation rides in a block comment on the same line.
+package annotfix
+
+//irlint:frobnicate // want "unknown irlint directive"
+var a = 1
+
+var b = 2 /* want "missing analyzer" */ //irlint:allow
+
+//irlint:allow detmap // want "want analyzer"
+var c = 3
+
+//irlint:allow detmap() // want "missing reason"
+var d = 4
+
+//irlint:allow nosuchanalyzer(because) // want "unknown analyzer"
+var e = 5
+
+//irlint:hot with arguments // want "no arguments allowed"
+var f = 6
+
+var g = 7 /* want "misplaced" */ //irlint:hot
+
+// Valid directives below must produce no findings.
+
+//irlint:allow detmap(reviewed: iteration order washes out)
+var ok1 = 8
+
+//irlint:hot
+func Hot() int { return ok1 }

@@ -1,0 +1,89 @@
+// Package hotfix exercises the hotalloc analyzer: the //irlint:hot
+// marker gates the checks, so the same constructs appear marked
+// (flagged) and unmarked (silent).
+package hotfix
+
+import "fmt"
+
+func apply(xs []int, f func(int) int) int {
+	s := 0
+	for _, x := range xs {
+		s += f(x)
+	}
+	return s
+}
+
+func take(v any) {}
+
+//irlint:hot
+func HotConcat(a, b string) string {
+	return a + b // want "string concatenation on the hot path"
+}
+
+//irlint:hot
+func HotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want "fmt.Sprintf on the hot path"
+}
+
+//irlint:hot
+func HotBoxAssign(x int) any {
+	var v any
+	v = x // want "boxes int into interface"
+	return v
+}
+
+//irlint:hot
+func HotBoxArg(x int) {
+	take(x) // want "argument boxes int into interface"
+}
+
+//irlint:hot
+func HotAppend(xs []int, v int) []int {
+	return append(xs, v) // want "append on the hot path without capacity evidence"
+}
+
+//irlint:hot
+func HotAppendArena(scratch []int, vs []int) []int {
+	buf := scratch[:0]
+	for _, v := range vs {
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+//irlint:hot
+func HotGo(f func()) {
+	go func() { // want "goroutine closure on the hot path"
+		f()
+	}()
+}
+
+//irlint:hot
+func HotClosureArg(xs []int) int {
+	return apply(xs, func(x int) int { return x * 2 }) // want "closure on the hot path may escape"
+}
+
+//irlint:hot
+func HotLocalClosure(xs []int) int {
+	double := func(x int) int { return x * 2 }
+	s := 0
+	for _, x := range xs {
+		s += double(x)
+	}
+	return s
+}
+
+//irlint:hot
+func HotAllowedAppend(xs []int, v int) []int {
+	//irlint:allow hotalloc(amortized growth, measured zero steady-state allocs)
+	return append(xs, v)
+}
+
+// coldEverything repeats every flagged construct without the marker:
+// hotalloc must stay silent.
+func coldEverything(a, b string, x int, xs []int) string {
+	take(x)
+	xs = append(xs, x)
+	go func() { _ = xs }()
+	return a + b + fmt.Sprintf("%d", x)
+}

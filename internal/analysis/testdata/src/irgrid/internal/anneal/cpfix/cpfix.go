@@ -1,0 +1,73 @@
+// Package cpfix exercises the ctxpropagate analyzer inside a
+// lifecycle package (analyzed as irgrid/internal/anneal/cpfix).
+package cpfix
+
+import "context"
+
+// Spin has an unbounded loop and no context parameter: flagged.
+func Spin(n int) int { // want "takes no context.Context"
+	i := 0
+	for {
+		i++
+		if i >= n {
+			break
+		}
+	}
+	return i
+}
+
+// Converge accepts a context but its while-style loop never consults
+// it: flagged at the loop.
+func Converge(ctx context.Context, eps float64) float64 {
+	v := 1.0
+	for v > eps { // want "never consults its context"
+		v *= 0.5
+	}
+	return v
+}
+
+// Cancellable checks ctx.Err each iteration: compliant.
+func Cancellable(ctx context.Context, eps float64) (float64, error) {
+	v := 1.0
+	for v > eps {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		v *= 0.5
+	}
+	return v, nil
+}
+
+// Forward consults the context indirectly by passing it to a callee:
+// the cancellation signal has a path into the iteration.
+func Forward(ctx context.Context, eps float64) (float64, error) {
+	v := 1.0
+	for v > eps {
+		if err := step(ctx); err != nil {
+			return 0, err
+		}
+		v *= 0.5
+	}
+	return v, nil
+}
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+// SumN is bounded by construction (three-clause loop): exempt.
+func SumN(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// spin is unexported: the contract binds the exported API only.
+func spin(n int) int {
+	for {
+		n--
+		if n <= 0 {
+			return n
+		}
+	}
+}

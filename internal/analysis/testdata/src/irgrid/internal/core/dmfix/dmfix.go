@@ -1,0 +1,47 @@
+// Package dmfix exercises the detmap analyzer inside a deterministic
+// package (the testdata/src prefix is stripped, so this file is
+// analyzed as irgrid/internal/core/dmfix).
+package dmfix
+
+import "sort"
+
+// Sum ranges a map directly: flagged.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map m in deterministic package"
+		total += v
+	}
+	return total
+}
+
+// Count uses a bare range: still a map range, still flagged.
+func Count(m map[string]int) int {
+	n := 0
+	for range m { // want "range over map m"
+		n++
+	}
+	return n
+}
+
+// SortedSum uses the sanctioned collect-then-sort idiom: the gather
+// loop is exempt, the sorted slice range is not a map range.
+func SortedSum(m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// Drain is order-dependent in form but annotated as reviewed.
+func Drain(m map[string]chan int) {
+	//irlint:allow detmap(close order does not affect results)
+	for _, ch := range m {
+		close(ch)
+	}
+}

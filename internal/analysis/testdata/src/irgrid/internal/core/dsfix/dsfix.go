@@ -1,0 +1,56 @@
+// Package dsfix exercises the detsource analyzer inside a
+// deterministic package.
+package dsfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+// Roll draws from the global generator: flagged.
+func Roll() int {
+	return rand.Intn(6) // want "uses the global generator"
+}
+
+// Seeded builds a locally-owned generator: constructors are exempt.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Env reads the environment: flagged.
+func Env() string {
+	return os.Getenv("IRGRID_MODE") // want "os.Getenv in deterministic package"
+}
+
+// Pick races two channels through select: flagged.
+func Pick(a, b chan int) int {
+	select { // want "select with 2 communication cases"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// TryRecv is a non-blocking receive: one comm case plus default is
+// deterministic enough and exempt.
+func TryRecv(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// ObsStamp is an observation-only timing site, annotated as such.
+func ObsStamp() time.Time {
+	//irlint:allow detsource(obs timing only)
+	return time.Now()
+}

@@ -1,0 +1,58 @@
+// Package obs is a miniature stand-in for irgrid/internal/obs (the
+// import path ends in /internal/obs, which is how obssafe recognizes
+// it). The exported field N exists so the fixture's illegal
+// field-access compiles.
+package obs
+
+// Counter is a nil-safe monotonic counter.
+type Counter struct{ N int64 }
+
+// Add is a no-op on a nil receiver.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.N += d
+}
+
+// Gauge is a nil-safe last-value gauge.
+type Gauge struct{ V float64 }
+
+// Set is a no-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.V = v
+}
+
+// Histogram is a nil-safe distribution sketch.
+type Histogram struct{ Sum float64 }
+
+// Observe is a no-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.Sum += v
+}
+
+// Registry hands out instruments; a nil *Registry means telemetry is
+// disabled and is the sanctioned thing to nil-check.
+type Registry struct{ counters map[string]*Counter }
+
+// Counter returns the named counter, nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}

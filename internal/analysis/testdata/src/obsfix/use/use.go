@@ -1,0 +1,22 @@
+// Package use exercises the obssafe analyzer against the fake obs
+// package.
+package use
+
+import obs "irgrid/internal/analysis/testdata/src/obsfix/internal/obs"
+
+// Record mixes legal and illegal instrument handling.
+func Record(c *obs.Counter, g *obs.Gauge, r *obs.Registry) int64 {
+	c.Add(1)      // nil-safe method call: legal
+	if c != nil { // want `nil-compare of \*obs.Counter`
+		c.Add(1)
+	}
+	if g == nil { // want `nil-compare of \*obs.Gauge`
+		return 0
+	}
+	total := c.N  // want `field access N on \*obs.Counter`
+	if r == nil { // Registry nil-gating is the sanctioned pattern: legal
+		return total
+	}
+	r.Counter("evals").Add(1)
+	return total
+}

@@ -1,0 +1,14 @@
+// Package cpneg has an exported unbounded loop outside the lifecycle
+// package set: ctxpropagate must stay silent.
+package cpneg
+
+func Spin(n int) int {
+	i := 0
+	for {
+		i++
+		if i >= n {
+			break
+		}
+	}
+	return i
+}

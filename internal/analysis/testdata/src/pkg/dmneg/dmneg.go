@@ -1,0 +1,11 @@
+// Package dmneg ranges maps outside the deterministic package set:
+// detmap must stay silent.
+package dmneg
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

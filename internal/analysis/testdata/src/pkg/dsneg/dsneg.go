@@ -1,0 +1,12 @@
+// Package dsneg uses clocks and the global generator outside the
+// deterministic package set: detsource must stay silent.
+package dsneg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+func Roll() int { return rand.Intn(6) }

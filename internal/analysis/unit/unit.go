@@ -1,0 +1,233 @@
+// Package unit implements the `go vet -vettool` unitchecker protocol
+// for irlint: the go command hands the tool a JSON config file per
+// package (sources, export data of dependencies, import map, facts
+// output path) and expects diagnostics on stderr with exit status 2,
+// or a JSON object on stdout under `go vet -json`. This mirrors
+// x/tools/go/analysis/unitchecker, reimplemented on the standard
+// library because the environment has no module network access.
+package unit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"irgrid/internal/analysis"
+)
+
+// Config mirrors the fields of the go command's vet config JSON that
+// irlint consumes. Unknown fields are ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run executes the analyzers against the package described by the
+// config file and returns the process exit code: 0 clean, 1 tool
+// failure, 2 diagnostics found (the vet convention).
+func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irlint: %v\n", err)
+		return 1
+	}
+
+	// Facts output must exist even when empty, or the go command
+	// reports the tool as failed; irlint exports no facts.
+	defer func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}()
+
+	if cfg.VetxOnly {
+		// This invocation only wants facts for a dependency.
+		return 0
+	}
+	if analysis.IsTestVariant(cfg.ImportPath) && !isInternalTestVariant(cfg.ImportPath) {
+		// Synthesized test-main and external _test packages carry no
+		// production code; the plain variant already covers the sources.
+		return 0
+	}
+
+	diags, err := check(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "irlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		if jsonOut {
+			fmt.Println("{}")
+		}
+		return 0
+	}
+	if jsonOut {
+		printJSON(os.Stdout, cfg.ImportPath, diags)
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	return 2
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// isInternalTestVariant recognizes "pkg [pkg.test]" — the package's
+// own sources recompiled with its _test.go files. Analyzers skip the
+// test files internally, so running on the variant is harmless, and
+// skipping it entirely would also be fine; it is analyzed for the rare
+// case where go vet elides the plain variant.
+func isInternalTestVariant(path string) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if path[i] == ' ' && path[i+1] == '[' {
+			return true
+		}
+	}
+	return false
+}
+
+func check(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	imp := &vetImporter{
+		fset:        fset,
+		importMap:   cfg.ImportMap,
+		packageFile: cfg.PackageFile,
+		cache:       map[string]*types.Package{},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	// The vet config names the logical import path, which for the
+	// internal test variant includes the " [pkg.test]" suffix; strip it
+	// for the types.Package so path-based gates see the real path.
+	pkgPath := cfg.ImportPath
+	if i := indexSpace(pkgPath); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	tpkg, err := tconf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	ix := analysis.BuildIndex(fset, files)
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, tpkg, info, ix,
+			func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	analysis.SortDiagnostics(diags)
+	return diags, nil
+}
+
+func indexSpace(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return i
+		}
+	}
+	return -1
+}
+
+// vetImporter resolves imports through the export files listed in the
+// vet config, applying the import map first (vendoring and
+// test-variant translation), with unsafe special-cased.
+type vetImporter struct {
+	fset        *token.FileSet
+	importMap   map[string]string
+	packageFile map[string]string
+	cache       map[string]*types.Package
+	base        types.Importer
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := v.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := v.cache[path]; ok {
+		return pkg, nil
+	}
+	if v.base == nil {
+		v.base = importer.ForCompiler(v.fset, "gc", func(p string) (io.ReadCloser, error) {
+			file, ok := v.packageFile[p]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(file)
+		})
+	}
+	pkg, err := v.base.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	v.cache[path] = pkg
+	return pkg, nil
+}
+
+// printJSON emits the go vet -json shape: package → analyzer →
+// diagnostics.
+func printJSON(w io.Writer, importPath string, diags []analysis.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{Posn: d.Pos.String(), Message: d.Message})
+	}
+	// encoding/json sorts map keys, so the output is stable.
+	out := map[string]map[string][]jsonDiag{importPath: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	_ = enc.Encode(out)
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// render formats a node as source text for diagnostics.
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+// isBuiltin reports whether fun resolves to the named builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// pkgFuncCall resolves a call of the form pkg.Func where pkg is an
+// imported package name; it returns the package path and function
+// name, or ok=false.
+func pkgFuncCall(pass *Pass, call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// namedObsType reports whether t (after unwrapping one pointer) is a
+// named type declared in an internal/obs package, returning its name.
+func namedObsType(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if !isObsPath(pkg.Path()) {
+		return "", false
+	}
+	return n.Obj().Name(), true
+}
+
+// isObsPath matches the telemetry package (and test fixtures that
+// impersonate it via a .../internal/obs suffix).
+func isObsPath(path string) bool {
+	path = EffectivePath(path)
+	if path == "irgrid/internal/obs" {
+		return true
+	}
+	const suffix = "/internal/obs"
+	return len(path) >= len(suffix) && path[len(path)-len(suffix):] == suffix
+}
+
+// exprIsNil reports whether e is the untyped nil.
+func exprIsNil(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}

@@ -319,6 +319,8 @@ type netFrame struct {
 }
 
 // addNet accumulates one 2-pin net into the target grid.
+//
+//irlint:hot
 func (ev *evaluator) addNet(n netlist.TwoPin) {
 	mp := ev.mp
 	if ev.out == nil {
@@ -364,6 +366,8 @@ func (ev *evaluator) addNet(n netlist.TwoPin) {
 // memoized Theorem 1 Simpson integral instead of the recurrence; the
 // sweep is self-contained per net, so results cannot depend on which
 // worker runs it.
+//
+//irlint:hot
 func (ev *evaluator) addNetSweep(f netFrame) {
 	mp := ev.mp
 	g1, g2 := f.g1, f.g2
@@ -528,6 +532,8 @@ func (ev *evaluator) addNetSweep(f netFrame) {
 }
 
 // simpsonTop is simpsonTopDirect through the per-edge memo.
+//
+//irlint:hot
 func (ev *evaluator) simpsonTop(g1, g2, lo, hi, y2 int) float64 {
 	if ev.memo == nil {
 		ev.nMiss++
@@ -547,6 +553,8 @@ func (ev *evaluator) simpsonTop(g1, g2, lo, hi, y2 int) float64 {
 }
 
 // simpsonRight is simpsonRightDirect through the per-edge memo.
+//
+//irlint:hot
 func (ev *evaluator) simpsonRight(g1, g2, x2, lo, hi int) float64 {
 	if ev.memo == nil {
 		ev.nMiss++
@@ -584,6 +592,8 @@ func resizeInts(s []int, n int) []int {
 }
 
 // frame maps the net's routing range onto the IR-grid and unit lattice.
+//
+//irlint:hot
 func (ev *evaluator) frame(n netlist.TwoPin) (netFrame, bool) {
 	mp := ev.mp
 	r := n.Range()

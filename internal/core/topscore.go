@@ -22,6 +22,8 @@ func (mp *Map) TopScore(frac float64) float64 {
 
 // topScore is TopScore with a caller-supplied scratch buffer; it
 // returns the (possibly grown) buffer for reuse.
+//
+//irlint:hot
 func (mp *Map) topScore(scratch []topCell, frac float64) (float64, []topCell) {
 	cells := scratch[:0]
 	for iy := 0; iy < mp.Rows(); iy++ {
@@ -57,6 +59,8 @@ func (mp *Map) topScore(scratch []topCell, frac float64) (float64, []topCell) {
 // used (the last cell contributing a partial share) and returns the
 // density-weighted area sum alongside the area actually used (less
 // than budget only when the cells run out). It reorders cells.
+//
+//irlint:hot
 func weightedTopSum(cells []topCell, budget float64) (sum, used float64) {
 	lo, hi := 0, len(cells)
 	remaining := budget

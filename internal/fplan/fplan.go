@@ -356,6 +356,7 @@ func (r *Runner) Run(ctx context.Context, onTemp func(step int, sol *Solution)) 
 		return sol
 	}
 	tr := r.Cfg.Trace
+	//irlint:allow detsource(obs timing only)
 	start := time.Now()
 	tr.Emit(obs.RunStartEvent{
 		Ev:      obs.EvRunStart,
@@ -416,6 +417,7 @@ func (r *Runner) Run(ctx context.Context, onTemp func(step int, sol *Solution)) 
 	best, stats, runErr := anneal.Run(ctx, cfg, s0)
 	restoreEstimator()
 	sol := resolve(best.(*saState).l)
+	//irlint:allow detsource(obs timing only)
 	elapsed := time.Since(start).Seconds()
 	if in := r.instr; in != nil && elapsed > 0 {
 		in.evalsPerSec.Set(float64(stats.Moves+stats.CalibrationMoves) / elapsed)
