@@ -1,0 +1,190 @@
+package irgrid
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"irgrid/internal/core"
+)
+
+// moveBenchRecord is one (circuit, regime) row of BENCH_moves.json:
+// the cost of a single SA move under full re-evaluation and under the
+// incremental delta engine, replaying the same pre-generated trace.
+type moveBenchRecord struct {
+	Circuit           string  `json:"circuit"`
+	Regime            string  `json:"regime"`
+	Nets              int     `json:"nets"`
+	TraceLen          int     `json:"trace_len"`
+	FullNsPerMove     float64 `json:"full_ns_per_move"`
+	IncNsPerMove      float64 `json:"incremental_ns_per_move"`
+	Speedup           float64 `json:"speedup"`
+	FullAllocsPerMove int64   `json:"full_allocs_per_move"`
+	IncAllocsPerMove  int64   `json:"incremental_allocs_per_move"`
+}
+
+type moveBenchDoc struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	GoVersion  string            `json:"go_version"`
+	Results    []moveBenchRecord `json:"results"`
+}
+
+// moveBenchCases enumerates the traces recorded in BENCH_moves.json;
+// the regimes match BenchmarkAnnealMoves. "repack" replays M1/M2/M3
+// slicing moves (every cutting line shifts, the axis-rebuild path);
+// "stable-axes" replays endpoint re-pairings on a stationary
+// placement (small dirty sets, the identical-axes fast path).
+func moveBenchCases(tb testing.TB) []struct {
+	circuit, regime string
+	steps           []moveStep
+} {
+	var cases []struct {
+		circuit, regime string
+		steps           []moveStep
+	}
+	for _, name := range []string{"apte", "ami33"} {
+		cases = append(cases,
+			struct {
+				circuit, regime string
+				steps           []moveStep
+			}{name, "repack", annealMoveTrace(tb, name, 256, 42)},
+			struct {
+				circuit, regime string
+				steps           []moveStep
+			}{name, "stable-axes", repairMoveTrace(tb, name, 256, 4, 43)},
+		)
+	}
+	return cases
+}
+
+// TestWriteMovesBenchJSON regenerates BENCH_moves.json, the
+// machine-readable record of the per-move congestion cost under the
+// full evaluator and the incremental delta engine
+// (BenchmarkAnnealMoves in JSON form). It runs only when
+// IRGRID_BENCH_JSON is set:
+//
+//	IRGRID_BENCH_JSON=1 go test -run TestWriteMovesBenchJSON .
+func TestWriteMovesBenchJSON(t *testing.T) {
+	if os.Getenv("IRGRID_BENCH_JSON") == "" {
+		t.Skip("set IRGRID_BENCH_JSON=1 to regenerate BENCH_moves.json")
+	}
+
+	doc := moveBenchDoc{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+
+	for _, c := range moveBenchCases(t) {
+		steps := c.steps
+		m := core.Model{Pitch: mcncPitch(c.circuit)}
+
+		e := m.NewEvaluator()
+		e.Score(steps[0].chip, steps[0].nets) // warm arenas and memos
+		full := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := &steps[i%len(steps)]
+				if sc := e.Score(s.chip, s.nets); sc <= 0 {
+					b.Fatal("zero score")
+				}
+			}
+		})
+
+		d := m.NewDeltaEvaluator()
+		for i := range steps { // amortize first-seen sweeps, as a real anneal does
+			d.Score(steps[i].chip, steps[i].nets)
+			if !steps[i].accept {
+				d.Rollback()
+			}
+		}
+		inc := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := &steps[i%len(steps)]
+				if sc := d.Score(s.chip, s.nets); sc <= 0 {
+					b.Fatal("zero score")
+				}
+				if !s.accept {
+					d.Rollback()
+				}
+			}
+		})
+
+		fullNs := float64(full.T.Nanoseconds()) / float64(full.N)
+		incNs := float64(inc.T.Nanoseconds()) / float64(inc.N)
+		doc.Results = append(doc.Results, moveBenchRecord{
+			Circuit: c.circuit, Regime: c.regime,
+			Nets: len(steps[0].nets), TraceLen: len(steps),
+			FullNsPerMove: fullNs, IncNsPerMove: incNs,
+			Speedup:           fullNs / incNs,
+			FullAllocsPerMove: full.AllocsPerOp(),
+			IncAllocsPerMove:  inc.AllocsPerOp(),
+		})
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_moves.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_moves.json:\n%s", buf)
+}
+
+// TestMovesBenchJSONSchema validates the committed BENCH_moves.json:
+// every (circuit, regime) pair from moveBenchCases is present, the
+// incremental hot path is allocation-free, and the recorded speedups
+// hold the floors the incremental engine is built to deliver — ≥10×
+// moves/sec over full re-evaluation in the structure-preserving
+// stable-axes regime, and ≥2× even when every slicing move re-packs
+// the floorplan and forces an axis rebuild.
+func TestMovesBenchJSONSchema(t *testing.T) {
+	buf, err := os.ReadFile("BENCH_moves.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc moveBenchDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoVersion == "" || doc.GOMAXPROCS <= 0 || doc.NumCPU <= 0 {
+		t.Errorf("missing environment fields: %+v", doc)
+	}
+
+	floor := map[string]float64{"stable-axes": 10, "repack": 2}
+	seen := map[string]bool{}
+	for _, r := range doc.Results {
+		key := r.Circuit + "/" + r.Regime
+		if seen[key] {
+			t.Errorf("duplicate record %s", key)
+		}
+		seen[key] = true
+		if r.Nets <= 0 || r.TraceLen <= 0 || r.FullNsPerMove <= 0 || r.IncNsPerMove <= 0 {
+			t.Errorf("%s: non-positive fields: %+v", key, r)
+		}
+		if got := r.FullNsPerMove / r.IncNsPerMove; r.Speedup <= 0 ||
+			got/r.Speedup > 1.001 || r.Speedup/got > 1.001 {
+			t.Errorf("%s: speedup %.3f inconsistent with ns/move ratio %.3f", key, r.Speedup, got)
+		}
+		if r.IncAllocsPerMove != 0 {
+			t.Errorf("%s: incremental path allocates (%d allocs/move)", key, r.IncAllocsPerMove)
+		}
+		if min, ok := floor[r.Regime]; !ok {
+			t.Errorf("%s: unknown regime", key)
+		} else if r.Speedup < min {
+			t.Errorf("%s: speedup %.2f below the %.0fx floor", key, r.Speedup, min)
+		}
+	}
+	for _, circuit := range []string{"apte", "ami33"} {
+		for _, regime := range []string{"repack", "stable-axes"} {
+			if key := fmt.Sprintf("%s/%s", circuit, regime); !seen[key] {
+				t.Errorf("missing record %s", key)
+			}
+		}
+	}
+}

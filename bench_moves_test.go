@@ -1,0 +1,167 @@
+package irgrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/bench"
+	"irgrid/internal/core"
+	"irgrid/internal/fplan"
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+	"irgrid/internal/slicing"
+)
+
+// moveStep is one pre-generated annealer proposal: the packed chip and
+// net set of the proposed floorplan, and whether the (synthetic)
+// Metropolis decision accepted it.
+type moveStep struct {
+	chip   geom.Rect
+	nets   []netlist.TwoPin
+	accept bool
+}
+
+// mcncPitch is the paper's grid pitch per MCNC benchmark.
+func mcncPitch(name string) float64 {
+	if name == "apte" {
+		return 60
+	}
+	return 30
+}
+
+// annealMoveTrace pre-generates a deterministic sequence of slicing
+// moves on an MCNC benchmark: each step perturbs the current expression
+// with a random M1/M2/M3 move, packs it, and accepts it with
+// probability 0.65. Replaying the trace isolates the congestion-eval
+// component of an SA move from packing and net decomposition, which the
+// full and incremental paths share unchanged.
+func annealMoveTrace(tb testing.TB, name string, moves int, seed int64) []moveStep {
+	tb.Helper()
+	c := bench.MustLoad(name)
+	r, err := fplan.New(c, fplan.Config{
+		Weights: fplan.Weights{Alpha: 1},
+		Pitch:   mcncPitch(name),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := slicing.Initial(len(c.Modules))
+	steps := make([]moveStep, 0, moves)
+	for i := 0; i < moves; i++ {
+		next := cur.Clone()
+		next.Perturb(rng)
+		sol := r.Evaluate(next)
+		accept := rng.Float64() < 0.65
+		steps = append(steps, moveStep{chip: sol.Placement.Chip, nets: sol.Nets, accept: accept})
+		if accept {
+			cur = next
+		}
+	}
+	return steps
+}
+
+// repairMoveTrace pre-generates a deterministic sequence of
+// endpoint-re-pairing moves on a fixed packed placement: each step
+// exchanges the B pins of `swaps` random net pairs, the MST
+// re-decomposition event (same pin set, different pairing). Every
+// per-net range emits both of its pins — one as the low edge, one as
+// the high — so the coordinate multiset feeding the axis build is
+// invariant and the merged cutting lines never move: this is the
+// structure-preserving regime the delta engine's identical-axes fast
+// path is built for.
+func repairMoveTrace(tb testing.TB, name string, moves, swaps int, seed int64) []moveStep {
+	tb.Helper()
+	c := bench.MustLoad(name)
+	r, err := fplan.New(c, fplan.Config{
+		Weights: fplan.Weights{Alpha: 1},
+		Pitch:   mcncPitch(name),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sol := r.Evaluate(slicing.Initial(len(c.Modules)))
+	chip := sol.Placement.Chip
+	cur := sol.Nets
+	rng := rand.New(rand.NewSource(seed))
+	steps := make([]moveStep, 0, moves)
+	for i := 0; i < moves; i++ {
+		next := append([]netlist.TwoPin(nil), cur...)
+		for s := 0; s < swaps; s++ {
+			a, b := rng.Intn(len(next)), rng.Intn(len(next))
+			next[a].B, next[b].B = next[b].B, next[a].B
+		}
+		accept := rng.Float64() < 0.65
+		steps = append(steps, moveStep{chip: chip, nets: next, accept: accept})
+		if accept {
+			cur = next
+		}
+	}
+	return steps
+}
+
+// BenchmarkAnnealMoves measures the congestion-model cost of one SA
+// move under the full evaluator against the incremental delta engine,
+// replaying the same pre-generated move trace (accepts and rejects
+// alike) through both. The full path re-evaluates every proposal from
+// scratch; the incremental path diffs against its cached accepted
+// state and rolls rejected moves back. Both produce bit-identical
+// scores (TestMoveSequenceBitIdentity).
+//
+// Two regimes per circuit: "repack" replays M1/M2/M3 slicing moves,
+// each of which re-packs the floorplan and shifts every cutting line,
+// forcing the engine's axis-rebuild path on nearly every move;
+// "stable-axes" replays endpoint re-pairings on a stationary
+// placement, the structure-preserving regime where the dirty set is a
+// handful of nets and the identical-axes fast path applies.
+func BenchmarkAnnealMoves(b *testing.B) {
+	for _, name := range []string{"apte", "ami33"} {
+		regimes := []struct {
+			regime string
+			steps  []moveStep
+		}{
+			{"repack", annealMoveTrace(b, name, 256, 42)},
+			{"stable-axes", repairMoveTrace(b, name, 256, 4, 43)},
+		}
+		m := core.Model{Pitch: mcncPitch(name)}
+		for _, rg := range regimes {
+			steps := rg.steps
+			b.Run(name+"/"+rg.regime+"/full", func(b *testing.B) {
+				e := m.NewEvaluator()
+				e.Score(steps[0].chip, steps[0].nets) // warm arenas and memos
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s := &steps[i%len(steps)]
+					if sc := e.Score(s.chip, s.nets); sc <= 0 {
+						b.Fatal("zero score")
+					}
+				}
+			})
+			b.Run(name+"/"+rg.regime+"/incremental", func(b *testing.B) {
+				d := m.NewDeltaEvaluator()
+				// Warm by replaying the whole trace once: a real anneal runs
+				// tens of thousands of moves, so the one-time sweep cost of a
+				// first-seen tuple amortizes to nothing; the steady state is
+				// what the move loop actually pays.
+				for i := range steps {
+					d.Score(steps[i].chip, steps[i].nets)
+					if !steps[i].accept {
+						d.Rollback()
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s := &steps[i%len(steps)]
+					if sc := d.Score(s.chip, s.nets); sc <= 0 {
+						b.Fatal("zero score")
+					}
+					if !s.accept {
+						d.Rollback()
+					}
+				}
+			})
+		}
+	}
+}

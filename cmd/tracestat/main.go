@@ -1,8 +1,10 @@
 // Command tracestat summarizes a JSONL run trace produced by
 // `floorplan -trace`: the cooling curve, the acceptance-rate decay, the
 // convergence of the cost components, and — when the trace carries a
-// metrics snapshot — the Simpson-memo hit rate of the evaluation
-// engine.
+// metrics snapshot — the evaluation-engine internals: the Simpson-memo
+// hit rate and the incremental delta engine's move counters (dirty
+// nets per move, cutting-line cache hit rate, contribution-vector
+// reuse, mean move cost).
 //
 // Example:
 //
@@ -173,6 +175,22 @@ func summarize(r io.Reader, w io.Writer, maxRows int) error {
 			}
 			if evals := m["fplan_evals_total"]; evals > 0 {
 				fmt.Fprintf(w, "evals      %.0f full floorplan evaluations\n", evals)
+			}
+			if inc := m["eval_incremental_moves"]; inc > 0 {
+				fmt.Fprintf(w, "delta      %.0f incremental moves (%.0f full fallbacks, %.0f rollbacks), %.1f dirty nets/move\n",
+					inc, m["eval_full_fallbacks"], m["eval_rollbacks_total"], m["eval_dirty_nets"]/inc)
+				if hits, misses := m["eval_axis_cache_hits_total"], m["eval_axis_cache_misses_total"]; hits+misses > 0 {
+					fmt.Fprintf(w, "axes       %.1f%% cutting-line cache hit rate (%.0f kept, %.0f rebuilt)\n",
+						100*hits/(hits+misses), hits, misses)
+				}
+				if reuse, memo, sweeps := m["eval_vec_reuse_total"], m["eval_vec_memo_hits_total"], m["eval_vec_sweeps_total"]; reuse+memo+sweeps > 0 {
+					fmt.Fprintf(w, "vectors    %.0f reused in place, %.0f memo hits, %.0f fresh sweeps\n",
+						reuse, memo, sweeps)
+				}
+				if cnt := m["eval_move_ns_count"]; cnt > 0 {
+					fmt.Fprintf(w, "move cost  %.0f ns/move mean over %.0f scored moves\n",
+						m["eval_move_ns_sum"]/cnt, cnt)
+				}
 			}
 		}
 	}

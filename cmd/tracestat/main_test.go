@@ -54,6 +54,9 @@ func TestSummarizeEndToEndTrace(t *testing.T) {
 		"final      cost",
 		"Simpson-memo hit rate",
 		"full floorplan evaluations",
+		"incremental moves",
+		"dirty nets/move",
+		"ns/move mean",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("summary missing %q:\n%s", want, s)

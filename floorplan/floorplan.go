@@ -237,6 +237,13 @@ type Options struct {
 	// scores — and hence whole runs — are bit-identical for every
 	// setting. Only the IR-grid models parallelize today.
 	Workers int
+	// FullEval disables incremental congestion evaluation and scores
+	// every SA move from scratch. The incremental engine (the default
+	// when the model supports it) is bit-identical to full
+	// evaluation, so this trades only throughput — useful for
+	// apples-to-apples timing baselines and for exercising the full
+	// evaluator's parallel path under test.
+	FullEval bool
 	// Obs, when non-nil, receives live run metrics from every layer:
 	// annealer move/temperature instruments, per-evaluation cost
 	// components, and the IR evaluation engine's stage timings and memo
@@ -405,6 +412,7 @@ func runContext(ctx context.Context, c *Circuit, opts Options, snap *Snapshot) (
 		Wire:            wl.Model(opts.WirelengthModel),
 		Representation:  opts.Representation,
 		Workers:         opts.Workers,
+		FullEval:        opts.FullEval,
 		Obs:             opts.Obs,
 		Trace:           opts.Trace,
 		CheckpointEvery: every,

@@ -360,6 +360,10 @@ func TestPipelineSurvivesShardPanics(t *testing.T) {
 		Congestion:   Congestion{Model: ModelIRGrid, Pitch: 30},
 		Seed:         3,
 		MovesPerTemp: 20, MaxTemps: 10,
+		// The shard fault point lives in the full evaluator's parallel
+		// path; the incremental move scorer (the default) is
+		// single-threaded and would never reach it.
+		FullEval: true,
 	}
 	want, err := Run(c, opts)
 	if err != nil {

@@ -27,6 +27,20 @@ type State interface {
 	Neighbor(rng *rand.Rand) State
 }
 
+// MoveAware is an optional extension of State for search spaces that
+// keep incremental evaluation caches: after each Metropolis decision on
+// a proposed state, Run calls exactly one of AcceptMove (the proposal
+// became the current state) or RejectMove (it was discarded) on the
+// proposal. Implementations use RejectMove to roll their caches back to
+// the pre-move state. The notifications observe decisions already made
+// and never touch the RNG, so runs are bit-identical with or without
+// them; the calibration probes are not search moves and are never
+// notified.
+type MoveAware interface {
+	AcceptMove()
+	RejectMove()
+}
+
 // Config controls the annealing schedule.
 type Config struct {
 	// Seed seeds the engine's private PRNG; runs with equal seeds and
@@ -287,6 +301,11 @@ func Run(ctx context.Context, cfg Config, initial State) (State, Stats, error) {
 					best, bestCost = cur, curCost
 					st.BestStep = step
 				}
+				if ma, ok := next.(MoveAware); ok {
+					ma.AcceptMove()
+				}
+			} else if ma, ok := next.(MoveAware); ok {
+				ma.RejectMove()
 			}
 		}
 		st.Accepted += accepted

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -140,5 +141,58 @@ func TestEarlyStopOnLowAcceptance(t *testing.T) {
 	}, quadState{x: 1000})
 	if st.Temps == 10000 {
 		t.Error("anneal never stopped early")
+	}
+}
+
+// moveAwareState wraps quadState and tallies accept/reject
+// notifications in a shared ledger.
+type moveAwareState struct {
+	quadState
+	ledger *moveLedger
+}
+
+type moveLedger struct {
+	accepts, rejects int
+}
+
+func (s moveAwareState) Neighbor(rng *rand.Rand) State {
+	n := s.quadState.Neighbor(rng).(quadState)
+	return moveAwareState{quadState: n, ledger: s.ledger}
+}
+
+func (s moveAwareState) AcceptMove() { s.ledger.accepts++ }
+func (s moveAwareState) RejectMove() { s.ledger.rejects++ }
+
+// TestMoveAwareNotifications checks the protocol: every search move
+// gets exactly one notification, accepts match Stats.Accepted, the
+// calibration probes get none, and the trajectory is bit-identical to
+// the same run without MoveAware.
+func TestMoveAwareNotifications(t *testing.T) {
+	cfg := Config{Seed: 7, MaxTemps: 12, MovesPerTemp: 40, CalibrationMoves: 20}
+
+	ledger := &moveLedger{}
+	aware, awareStats, err := Run(context.Background(), cfg,
+		moveAwareState{quadState: quadState{x: 90}, ledger: ledger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, plainStats, err := Run(context.Background(), cfg, quadState{x: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ledger.accepts+ledger.rejects != awareStats.Moves {
+		t.Fatalf("notifications %d+%d != moves %d",
+			ledger.accepts, ledger.rejects, awareStats.Moves)
+	}
+	if ledger.accepts != awareStats.Accepted {
+		t.Fatalf("accept notifications %d != Stats.Accepted %d",
+			ledger.accepts, awareStats.Accepted)
+	}
+	if got, want := aware.(moveAwareState).x, plain.(quadState).x; got != want {
+		t.Fatalf("MoveAware run diverged: best x %d vs %d", got, want)
+	}
+	if awareStats.Moves != plainStats.Moves || awareStats.Accepted != plainStats.Accepted {
+		t.Fatalf("stats diverged: %+v vs %+v", awareStats, plainStats)
 	}
 }

@@ -28,8 +28,12 @@ func TestDebugNaN(t *testing.T) {
 		// Evaluate single net against the full axes by hand:
 		mp := &Map{Chip: chip, XAxis: mpAll.XAxis, YAxis: mpAll.YAxis}
 		mp.Prob = make([]float64, mp.Cols()*mp.Rows())
-		ev := &evaluator{m: m, mp: mp}
+		acc := make([]int64, len(mp.Prob))
+		ev := &evaluator{m: m, mp: mp, out: acc}
 		ev.addNet(n)
+		for j, v := range acc {
+			mp.Prob[j] = float64(v) * probInv
+		}
 		fmt.Printf("net %d: ", i)
 		for iy := 0; iy < mp.Rows(); iy++ {
 			for ix := 0; ix < mp.Cols(); ix++ {

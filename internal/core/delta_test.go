@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+)
+
+// mutateNets applies a random SA-like perturbation to the net list:
+// translate a contiguous block of nets (a subtree move), rewire a
+// single net, or swap two nets' geometry. It mirrors the dirty-set
+// shapes the floorplanner produces without depending on fplan.
+func mutateNets(rng *rand.Rand, nets []netlist.TwoPin) {
+	switch rng.Intn(4) {
+	case 0: // translate a block by a lattice multiple
+		lo := rng.Intn(len(nets))
+		hi := lo + 1 + rng.Intn(len(nets)-lo)
+		d := geom.Pt{
+			X: float64(rng.Intn(7)-3) * 30,
+			Y: float64(rng.Intn(7)-3) * 30,
+		}
+		for i := lo; i < hi; i++ {
+			nets[i].A = clampPt(nets[i].A.Add(d))
+			nets[i].B = clampPt(nets[i].B.Add(d))
+		}
+	case 1: // rewire one net
+		i := rng.Intn(len(nets))
+		nets[i] = netlist.TwoPin{
+			A: geom.Pt{X: float64(rng.Intn(21)) * 30, Y: float64(rng.Intn(21)) * 30},
+			B: geom.Pt{X: float64(rng.Intn(21)) * 30, Y: float64(rng.Intn(21)) * 30},
+		}
+	case 2: // swap two nets (multiset unchanged → axis-cache hit)
+		i, j := rng.Intn(len(nets)), rng.Intn(len(nets))
+		nets[i], nets[j] = nets[j], nets[i]
+	case 3: // off-lattice jitter (exercises dedup/merge boundaries)
+		i := rng.Intn(len(nets))
+		nets[i].A.X += float64(rng.Intn(11) - 5)
+		nets[i].B.Y += float64(rng.Intn(11) - 5)
+		nets[i].A = clampPt(nets[i].A)
+		nets[i].B = clampPt(nets[i].B)
+	}
+}
+
+func clampPt(p geom.Pt) geom.Pt {
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 600 {
+			return 600
+		}
+		return v
+	}
+	return geom.Pt{X: clamp(p.X), Y: clamp(p.Y)}
+}
+
+// requireSameMap asserts bit-identity of the delta map against a fresh
+// full evaluation.
+func requireSameMap(t *testing.T, tag string, got, want *Map) {
+	t.Helper()
+	if !axisEqual(got.XAxis, want.XAxis) || !axisEqual(got.YAxis, want.YAxis) {
+		t.Fatalf("%s: axes differ: %d×%d vs %d×%d cells",
+			tag, got.Cols(), got.Rows(), want.Cols(), want.Rows())
+	}
+	if got.Chip != want.Chip {
+		t.Fatalf("%s: chip differs", tag)
+	}
+	for i := range want.Prob {
+		if got.Prob[i] != want.Prob[i] {
+			t.Fatalf("%s: cell %d: delta %v vs full %v (diff %g)",
+				tag, i, got.Prob[i], want.Prob[i], got.Prob[i]-want.Prob[i])
+		}
+	}
+}
+
+// TestDeltaBitIdentical drives randomized move sequences — including
+// rejected moves rolled back — through the delta engine and asserts
+// that every accepted state's map and score are bit-identical to a
+// from-scratch evaluation, across model configurations.
+func TestDeltaBitIdentical(t *testing.T) {
+	for _, cfg := range []Model{
+		{Pitch: 30},
+		{Pitch: 30, Exact: true},
+		{Pitch: 30, ExactSpanLimit: 2},
+		{Pitch: 30, NoMerge: true},
+		{Pitch: 17},
+	} {
+		rng := rand.New(rand.NewSource(97))
+		nets := snapNets(rng, 60)
+		d := cfg.NewDeltaEvaluator()
+		full := cfg.NewEvaluator()
+		cur := append([]netlist.TwoPin(nil), nets...)
+		ch := chip
+		for move := 0; move < 120; move++ {
+			cand := append([]netlist.TwoPin(nil), cur...)
+			mutateNets(rng, cand)
+			if rng.Intn(10) == 0 { // occasional chip resize
+				ch.X2 = 570 + float64(rng.Intn(3))*30
+			}
+			ds := d.Score(ch, cand)
+			fs := full.Score(ch, cand)
+			if ds != fs {
+				t.Fatalf("cfg %+v move %d: delta score %v != full %v", cfg, move, ds, fs)
+			}
+			if rng.Intn(3) == 0 {
+				d.Rollback() // reject
+			} else {
+				cur = cand // accept
+			}
+			// Cross-check the dense map on the engine's current state.
+			if move%20 == 19 {
+				gm := d.Evaluate(ch, cur)
+				wm := full.Evaluate(ch, cur)
+				requireSameMap(t, cfg.Name(), gm, wm)
+			}
+		}
+	}
+}
+
+// TestDeltaRollbackExact asserts that a rejected move leaves no trace:
+// after Rollback the engine's map is bit-identical to the map before
+// the move, and a second Rollback is a no-op.
+func TestDeltaRollbackExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := Model{Pitch: 30}
+	nets := snapNets(rng, 50)
+	d := m.NewDeltaEvaluator()
+	full := m.NewEvaluator()
+	d.Score(chip, nets)
+	before := full.Evaluate(chip, nets).Clone()
+	beforeScore := full.Score(chip, nets)
+
+	for trial := 0; trial < 40; trial++ {
+		cand := append([]netlist.TwoPin(nil), nets...)
+		mutateNets(rng, cand)
+		d.Score(chip, cand)
+		d.Rollback()
+		d.Rollback() // must be a no-op
+		got := d.Evaluate(chip, nets)
+		requireSameMap(t, "rollback", got, before)
+		if s := d.Score(chip, nets); s != beforeScore {
+			t.Fatalf("trial %d: score after rollback %v != %v", trial, s, beforeScore)
+		}
+	}
+}
+
+// TestDeltaFullFallback exercises the net-count-change fallback and its
+// rollback (a full replay of the previous state).
+func TestDeltaFullFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := Model{Pitch: 30}
+	nets := snapNets(rng, 40)
+	grown := snapNets(rng, 55)
+	d := m.NewDeltaEvaluator()
+	full := m.NewEvaluator()
+
+	if d.Score(chip, nets) != full.Score(chip, nets) {
+		t.Fatal("initial score differs")
+	}
+	if d.Score(chip, grown) != full.Score(chip, grown) {
+		t.Fatal("score after net-count change differs")
+	}
+	d.Rollback()
+	requireSameMap(t, "fallback rollback", d.Evaluate(chip, nets), full.Evaluate(chip, nets))
+
+	// Rollback of the very first Score invalidates the cache; the next
+	// Score must re-initialize and still match.
+	d2 := m.NewDeltaEvaluator()
+	d2.Score(chip, nets)
+	d2.Rollback()
+	if d2.Score(chip, grown) != full.Score(chip, grown) {
+		t.Fatal("score after initial-call rollback differs")
+	}
+}
+
+// TestDeltaAxisCachePaths verifies both tiers are actually taken: net
+// swaps keep the coordinate multiset (axis-cache hit, in-place update)
+// and rewires shift it (miss, grid refold).
+func TestDeltaAxisCachePaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := Model{Pitch: 30}
+	nets := snapNets(rng, 40)
+	d := m.NewDeltaEvaluator()
+	full := m.NewEvaluator()
+	d.Score(chip, nets)
+
+	// Swap two nets: the multiset — hence the axes — is unchanged.
+	cand := append([]netlist.TwoPin(nil), nets...)
+	cand[3], cand[17] = cand[17], cand[3]
+	if d.Score(chip, cand) != full.Score(chip, cand) {
+		t.Fatal("swap move differs")
+	}
+	if d.axisHits != 1 {
+		t.Fatalf("expected 1 axis-cache hit, have %d (misses %d)", d.axisHits, d.axisMiss)
+	}
+
+	// Shrink the chip: the boundary cutting lines move, the axes shift.
+	small := chip
+	small.X2, small.Y2 = 510, 510
+	cand2 := append([]netlist.TwoPin(nil), cand...)
+	for i := range cand2 {
+		cand2[i].A = geom.Pt{X: min(cand2[i].A.X, 510), Y: min(cand2[i].A.Y, 510)}
+		cand2[i].B = geom.Pt{X: min(cand2[i].B.X, 510), Y: min(cand2[i].B.Y, 510)}
+	}
+	if d.Score(small, cand2) != full.Score(small, cand2) {
+		t.Fatal("chip-resize move differs")
+	}
+	if d.axisMiss == 0 {
+		t.Fatal("expected an axis-cache miss for the chip-resize move")
+	}
+}
+
+// TestDeltaSteadyStateAllocs replays an identical move sequence twice:
+// the first pass warms every arena to its high-water mark, the second
+// must not allocate at all — the delta hot path is zero-alloc.
+func TestDeltaSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting under -short")
+	}
+	rng := rand.New(rand.NewSource(31))
+	m := Model{Pitch: 30}
+	base := snapNets(rng, 60)
+	type step struct {
+		nets   []netlist.TwoPin
+		reject bool
+	}
+	cur := append([]netlist.TwoPin(nil), base...)
+	var steps []step
+	for i := 0; i < 60; i++ {
+		cand := append([]netlist.TwoPin(nil), cur...)
+		mutateNets(rng, cand)
+		rej := rng.Intn(3) == 0
+		steps = append(steps, step{nets: cand, reject: rej})
+		if !rej {
+			cur = cand
+		}
+	}
+	d := m.NewDeltaEvaluator()
+	replay := func() {
+		d.Score(chip, base)
+		for _, s := range steps {
+			d.Score(chip, s.nets)
+			if s.reject {
+				d.Rollback()
+			}
+		}
+	}
+	replay() // warm arenas and memo
+	allocs := testing.AllocsPerRun(3, replay)
+	if allocs > 0 {
+		t.Fatalf("delta move path allocates: %.1f allocs per replay", allocs)
+	}
+}

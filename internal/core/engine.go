@@ -60,10 +60,12 @@ type Evaluator struct {
 
 	xs, ys   []float64    // cutting-line coordinate buffers
 	mp       Map          // the arena-backed result map
-	prob     []float64    // backing for mp.Prob
-	partials [][]float64  // per-shard partial grids (shard 0 writes prob)
+	acc      []int64      // fixed-point accumulation grid (shard 0 target)
+	prob     []float64    // backing for mp.Prob, converted from acc
+	partials [][]int64    // per-shard partial grids (shard 0 writes acc)
 	workers  []*evaluator // per-worker scratch + memo
 	cells    []topCell    // top-score selection scratch
+	slots    []*launchSlot
 
 	nextShard atomic.Int64
 	wg        sync.WaitGroup
@@ -166,7 +168,9 @@ func (e *Evaluator) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
 		tStart = time.Now()
 	}
 	e.buildAxes(chip, nets)
-	e.prob = resizeFloats(e.prob, e.mp.Cols()*e.mp.Rows())
+	cells := e.mp.Cols() * e.mp.Rows()
+	e.acc = resizeInt64s(e.acc, cells)
+	e.prob = resizeFloats(e.prob, cells)
 	e.mp.Prob = e.prob
 
 	// Pre-grow the shared ln-factorial table past any reachable
@@ -189,11 +193,17 @@ func (e *Evaluator) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
 		e.runSequential(nets, shards)
 	}
 	e.retryFailed(nets, shards)
-	// Reduce the partial grids in shard order; the fixed reduction
-	// tree keeps results bit-identical for every worker count and
-	// across recovered shard panics.
+	// Reduce the partial grids. Integer sums are order-independent, so
+	// any reduction order is bit-identical for every worker count and
+	// across recovered shard panics; shard order is kept for clarity.
 	for s := 1; s < shards; s++ {
-		addInto(e.prob, e.partials[s-1])
+		addInto(e.acc, e.partials[s-1])
+	}
+	// Convert the exact fixed-point sums to the float64 map the
+	// consumers read. probInv is a power of two, so each cell rounds
+	// exactly once, in the int64→float64 conversion.
+	for i, v := range e.acc {
+		e.prob[i] = float64(v) * probInv
 	}
 	if in != nil {
 		//irlint:allow detsource(obs timing only)
@@ -322,12 +332,11 @@ func (e *Evaluator) workerCount(shards, nets int) int {
 }
 
 // shardTarget returns the accumulation grid of shard s: shard 0 folds
-// straight into the result (x + 0 is exact, so this matches a
-// zero-initialized partial bit for bit), later shards into their own
+// straight into the result accumulator, later shards into their own
 // partial grid.
-func (e *Evaluator) shardTarget(s int) []float64 {
+func (e *Evaluator) shardTarget(s int) []int64 {
 	if s == 0 {
-		return e.prob
+		return e.acc
 	}
 	return e.partials[s-1]
 }
@@ -338,7 +347,7 @@ func (e *Evaluator) growPartials(shards int) {
 		e.partials = append(e.partials, nil)
 	}
 	for s := 1; s < shards; s++ {
-		e.partials[s-1] = resizeFloats(e.partials[s-1], len(e.prob))
+		e.partials[s-1] = resizeInt64s(e.partials[s-1], len(e.acc))
 	}
 }
 
@@ -359,47 +368,81 @@ func (e *Evaluator) runSequential(nets []netlist.TwoPin, shards int) {
 	w.out = nil
 }
 
+// launchSlot is the persistent per-worker launch state of the parallel
+// path. The goroutine body (run) is created once per slot and closes
+// only over the slot itself; per-call parameters are stored in the
+// slot's fields before fan-out. Spawning `go slot.run()` on a stored
+// func value performs no allocation, which keeps the parallel path as
+// allocation-free as the sequential one (TestEvaluatorSteadyStateAllocs
+// gates both).
+type launchSlot struct {
+	e      *Evaluator
+	w      *evaluator
+	busy   *obs.Counter
+	nets   []netlist.TwoPin
+	shards int
+	run    func()
+}
+
+func (sl *launchSlot) main() {
+	e := sl.e
+	defer e.wg.Done()
+	// Gate the timing on whether telemetry is enabled, not on the
+	// counter handle: busy.Add is a nil-safe no-op either way, and
+	// the instr check keeps the clock reads out of untraced runs.
+	if e.instr != nil {
+		//irlint:allow detsource(obs timing only)
+		start := time.Now()
+		//irlint:allow detsource(obs timing only)
+		defer func() { sl.busy.Add(time.Since(start).Nanoseconds()) }()
+	}
+	ctx := e.m.Ctx
+	for {
+		if ctx != nil && ctx.Err() != nil {
+			sl.w.out = nil
+			return
+		}
+		s := int(e.nextShard.Add(1)) - 1
+		if s >= sl.shards {
+			sl.w.out = nil
+			return
+		}
+		e.runShard(sl.w, sl.nets, sl.shards, s)
+	}
+}
+
+// slot returns the persistent launch slot of worker wi.
+func (e *Evaluator) slot(wi int) *launchSlot {
+	for len(e.slots) <= wi {
+		sl := &launchSlot{e: e}
+		sl.run = sl.main
+		e.slots = append(e.slots, sl)
+	}
+	return e.slots[wi]
+}
+
 // runParallel fans the shards out over `workers` goroutines claiming
 // shard indices from an atomic counter. Which worker computes a shard
 // cannot affect the result: per-net values are canonical (the memo
 // caches pure functions), each shard owns its accumulation grid, and
-// the ordered reduction in Evaluate fixes the summation tree.
+// integer accumulation is order-independent.
 func (e *Evaluator) runParallel(nets []netlist.TwoPin, shards, workers int) {
 	e.nextShard.Store(0)
-	ctx := e.m.Ctx
 	for wi := 0; wi < workers; wi++ {
-		w := e.worker(wi)
-		var busy *obs.Counter
+		sl := e.slot(wi)
+		sl.w = e.worker(wi)
+		sl.busy = nil
 		if e.instr != nil {
-			busy = e.instr.workerBusy(wi)
+			sl.busy = e.instr.workerBusy(wi)
 		}
+		sl.nets, sl.shards = nets, shards
 		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			// Gate the timing on whether telemetry is enabled, not on the
-			// counter handle: busy.Add is a nil-safe no-op either way, and
-			// the instr check keeps the clock reads out of untraced runs.
-			if e.instr != nil {
-				//irlint:allow detsource(obs timing only)
-				start := time.Now()
-				//irlint:allow detsource(obs timing only)
-				defer func() { busy.Add(time.Since(start).Nanoseconds()) }()
-			}
-			for {
-				if ctx != nil && ctx.Err() != nil {
-					w.out = nil
-					return
-				}
-				s := int(e.nextShard.Add(1)) - 1
-				if s >= shards {
-					w.out = nil
-					return
-				}
-				e.runShard(w, nets, shards, s)
-			}
-		}()
+		go sl.run()
 	}
 	e.wg.Wait()
+	for _, sl := range e.slots {
+		sl.nets = nil // do not retain the caller's nets past the call
+	}
 }
 
 // runShard computes shard s into its target grid, converting a panic
@@ -475,7 +518,7 @@ func (e *Evaluator) retryFailed(nets []netlist.TwoPin, shards int) {
 // addInto accumulates src into dst elementwise.
 //
 //irlint:hot
-func addInto(dst, src []float64) {
+func addInto(dst, src []int64) {
 	_ = dst[len(src)-1]
 	for i, v := range src {
 		dst[i] += v

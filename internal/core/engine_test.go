@@ -120,17 +120,30 @@ func TestEvaluatorMatchesModelEvaluate(t *testing.T) {
 }
 
 // TestEvaluatorSteadyStateAllocs verifies the arena actually works: a
-// warmed sequential engine must not allocate per Score call.
+// warmed engine must not allocate per Score call — on the sequential
+// path and on the parallel fan-out (persistent launch slots make
+// spawning the worker goroutines allocation-free too).
 func TestEvaluatorSteadyStateAllocs(t *testing.T) {
 	chip := engineChip()
-	nets := engineNets(200) // below parallelMinNets: sequential path
-	e := Model{Pitch: 4, Workers: 1}.NewEvaluator()
-	for i := 0; i < 3; i++ { // warm arenas and memos
-		e.Score(chip, nets)
-	}
-	avg := testing.AllocsPerRun(10, func() { e.Score(chip, nets) })
-	if avg > 0.5 {
-		t.Fatalf("steady-state Score allocates %.1f times per call, want 0", avg)
+	for _, tc := range []struct {
+		name    string
+		nets    int
+		workers int
+	}{
+		{name: "seq", nets: 200, workers: 1}, // below parallelMinNets
+		{name: "par4", nets: 500, workers: 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nets := engineNets(tc.nets)
+			e := Model{Pitch: 4, Workers: tc.workers}.NewEvaluator()
+			for i := 0; i < 3; i++ { // warm arenas and memos
+				e.Score(chip, nets)
+			}
+			avg := testing.AllocsPerRun(10, func() { e.Score(chip, nets) })
+			if avg > 0.5 {
+				t.Fatalf("steady-state Score allocates %.1f times per call, want 0", avg)
+			}
+		})
 	}
 }
 

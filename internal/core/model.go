@@ -254,7 +254,13 @@ type evaluator struct {
 	m   Model
 	mp  *Map
 	lf  *nmath.LogFact
-	out []float64 // accumulation target; nil means mp.Prob
+	out []int64 // fixed-point accumulation target (full grid)
+	// vec, when non-nil, redirects the fold step: instead of
+	// accumulating into out, the quantized per-cell contributions are
+	// written frame-locally into vec[j*cols+i]. The delta engine uses
+	// this to capture a net's contribution vector; the captured values
+	// are bit-identical to what the full path would have accumulated.
+	vec []int64
 
 	// perCell forces the reference per-cell evaluation instead of the
 	// row/column sweeps; used by tests to cross-validate the sweeps.
@@ -323,9 +329,6 @@ type netFrame struct {
 //irlint:hot
 func (ev *evaluator) addNet(n netlist.TwoPin) {
 	mp := ev.mp
-	if ev.out == nil {
-		ev.out = mp.Prob
-	}
 	f, ok := ev.frame(n)
 	if !ok {
 		return
@@ -337,7 +340,7 @@ func (ev *evaluator) addNet(n netlist.TwoPin) {
 		cols := mp.Cols()
 		for iy := f.cy1; iy <= f.cy2; iy++ {
 			for ix := f.cx1; ix <= f.cx2; ix++ {
-				ev.out[iy*cols+ix] += 1
+				ev.out[iy*cols+ix] += probOne
 			}
 		}
 		return
@@ -348,7 +351,11 @@ func (ev *evaluator) addNet(n netlist.TwoPin) {
 		cols := mp.Cols()
 		for iy := f.cy1; iy <= f.cy2; iy++ {
 			for ix := f.cx1; ix <= f.cx2; ix++ {
-				ev.out[iy*cols+ix] += ev.irProb(f, ix, iy)
+				p := ev.irProb(f, ix, iy)
+				if p > 1 {
+					p = 1
+				}
+				ev.out[iy*cols+ix] += fixProb(p)
 			}
 		}
 		return
@@ -510,23 +517,52 @@ func (ev *evaluator) addNetSweep(f netFrame) {
 		}
 	}
 
-	// Pin and §4.5 overrides, then fold into the target grid.
+	// Pin and §4.5 overrides, then quantize and fold into the target
+	// grid (or the capture vector — see evaluator.vec). The single
+	// quantization here is the only rounding between a net's float
+	// probability and the integer accumulator, so recomputing a net
+	// always reproduces the same fixed-point contribution. The
+	// vec/out split is hoisted out of the cell loop.
+	exact := ev.m.Exact
 	mpCols := mp.Cols()
 	for j := 0; j < rows; j++ {
 		y1, y2 := ev.rowLo[j], ev.rowHi[j]
-		for i := 0; i < cols; i++ {
-			x1, x2 := ev.colLo[i], ev.colHi[i]
-			p := ev.scratch[j*cols+i]
-			if coversCell(x1, x2, y1, y2, 0, 0) || coversCell(x1, x2, y1, y2, g1-1, g2-1) {
-				p = 1
-			} else if !ev.m.Exact &&
-				(coversCell(x1, x2, y1, y2, g1-2, g2-1) ||
-					coversCell(x1, x2, y1, y2, g1-1, g2-2)) {
-				p = 1
-			} else if p > 1 {
-				p = 1
+		pinRow := y1 <= 0 || y2 >= g2-1 || (!exact && y2 >= g2-2)
+		row := ev.scratch[j*cols : (j+1)*cols]
+		if pinRow {
+			// Only rows that can cover a pin (or a §4.5 neighbour)
+			// need the cell-level override checks.
+			for i := 0; i < cols; i++ {
+				x1, x2 := ev.colLo[i], ev.colHi[i]
+				p := row[i]
+				if coversCell(x1, x2, y1, y2, 0, 0) || coversCell(x1, x2, y1, y2, g1-1, g2-1) {
+					p = 1
+				} else if !exact &&
+					(coversCell(x1, x2, y1, y2, g1-2, g2-1) ||
+						coversCell(x1, x2, y1, y2, g1-1, g2-2)) {
+					p = 1
+				} else if p > 1 {
+					p = 1
+				}
+				row[i] = p
 			}
-			ev.out[(f.cy1+j)*mpCols+f.cx1+i] += p
+		} else {
+			for i, p := range row {
+				if p > 1 {
+					row[i] = 1
+				}
+			}
+		}
+		if ev.vec != nil {
+			dst := ev.vec[j*cols : (j+1)*cols]
+			for i, p := range row {
+				dst[i] = fixProb(p)
+			}
+		} else {
+			dst := ev.out[(f.cy1+j)*mpCols+f.cx1:]
+			for i, p := range row {
+				dst[i] += fixProb(p)
+			}
 		}
 	}
 }
@@ -576,6 +612,17 @@ func (ev *evaluator) simpsonRight(g1, g2, x2, lo, hi int) float64 {
 func resizeFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
 	}
 	s = s[:n]
 	for i := range s {

@@ -28,9 +28,13 @@ func evaluatePerCell(m Model, chip geom.Rect, nets []netlist.TwoPin) *Map {
 	}
 	mp := &Map{Chip: chip, XAxis: xAxis, YAxis: yAxis}
 	mp.Prob = make([]float64, mp.Cols()*mp.Rows())
-	ev := &evaluator{m: m, mp: mp, perCell: true}
+	acc := make([]int64, len(mp.Prob))
+	ev := &evaluator{m: m, mp: mp, perCell: true, out: acc}
 	for _, n := range nets {
 		ev.addNet(n)
+	}
+	for i, v := range acc {
+		mp.Prob[i] = float64(v) * probInv
 	}
 	return mp
 }

@@ -71,6 +71,13 @@ type Config struct {
 	// 0 uses GOMAXPROCS, 1 forces sequential evaluation. Estimator
 	// results are bit-identical for every setting.
 	Workers int
+	// FullEval disables incremental congestion evaluation. By default,
+	// when the estimator supports the NewMoveScorer hook (the IR-grid
+	// model does), each SA move's congestion is scored by a delta engine
+	// that reuses the previous move's evaluation state and rolls back on
+	// rejection; the scores are bit-identical to from-scratch
+	// evaluation, so FullEval changes throughput only, never results.
+	FullEval bool
 	// Obs, when non-nil, receives live metrics from every layer of the
 	// run: fplan evaluation counters and cost-component gauges, the
 	// annealer's move/temperature instruments, and — for estimators that
@@ -107,6 +114,16 @@ type Solution struct {
 	Cost       float64          // normalized weighted cost
 }
 
+// moveScorer is the incremental-evaluation contract an estimator's
+// NewMoveScorer hook returns: Score commits (chip, nets) as its cached
+// state and must be bit-identical to the estimator's own Score on the
+// same input; Rollback restores the cache to the state before the last
+// Score (one level deep).
+type moveScorer interface {
+	Score(chip geom.Rect, nets []netlist.TwoPin) float64
+	Rollback()
+}
+
 // Runner evaluates Polish expressions for one circuit under one config
 // and drives the annealer. A Runner is not safe for concurrent use.
 type Runner struct {
@@ -116,6 +133,7 @@ type Runner struct {
 	packer                      *slicing.Packer
 	normArea, normWire, normCgt float64
 	pinScratch                  []geom.Pt
+	moveEst                     moveScorer // nil → full per-move evaluation
 	instr                       *runnerInstr // nil when Cfg.Obs is nil
 	digest                      string       // configDigest, bound into snapshots
 }
@@ -181,6 +199,18 @@ func New(c *netlist.Circuit, cfg Config) (*Runner, error) {
 		Circuit: c,
 		Cfg:     cfg,
 		packer:  slicing.NewPacker(c.Modules, cfg.AllowRotate),
+	}
+	// Incremental move scoring: estimators exposing the NewMoveScorer
+	// hook score successive SA states by delta evaluation. Resolved
+	// after the Workers/Obs forwarding so the scorer inherits the final
+	// estimator configuration. Scores are bit-identical to full
+	// evaluation, so the opt-out (FullEval) trades only throughput.
+	if !cfg.FullEval && cfg.Gamma != 0 && cfg.Estimator != nil {
+		if h, ok := cfg.Estimator.(interface{ NewMoveScorer() any }); ok {
+			if ms, ok := h.NewMoveScorer().(moveScorer); ok {
+				r.moveEst = ms
+			}
+		}
 	}
 	if cfg.Obs != nil {
 		r.instr = newRunnerInstr(cfg.Obs)
@@ -266,7 +296,14 @@ func (r *Runner) evaluateLayout(l layout) *Solution {
 		Wirelength: wire,
 	}
 	if r.Cfg.Gamma != 0 && r.Cfg.Estimator != nil {
-		s.Congestion = r.Cfg.Estimator.Score(chip, nets)
+		if r.moveEst != nil {
+			// The delta engine commits (chip, nets) as its cached state;
+			// saState.RejectMove rolls it back when the annealer discards
+			// the move. Bit-identical to Estimator.Score.
+			s.Congestion = r.moveEst.Score(chip, nets)
+		} else {
+			s.Congestion = r.Cfg.Estimator.Score(chip, nets)
+		}
 	}
 	if in := r.instr; in != nil {
 		in.evals.Inc()
@@ -311,6 +348,20 @@ func (s *saState) Neighbor(rng *rand.Rand) anneal.State {
 	l := s.l.neighbor(rng)
 	sol := s.r.evaluateLayout(l)
 	return &saState{r: s.r, l: l, cost: s.r.cost(sol)}
+}
+
+// AcceptMove implements anneal.MoveAware: the proposal this state's
+// evaluation committed into the delta scorer's cache became the current
+// state, so the cache is already correct.
+func (s *saState) AcceptMove() {}
+
+// RejectMove implements anneal.MoveAware: the annealer discarded this
+// proposal, so the delta scorer's cache — which Neighbor's evaluation
+// committed to the proposed state — rolls back to the pre-move state.
+func (s *saState) RejectMove() {
+	if s.r.moveEst != nil {
+		s.r.moveEst.Rollback()
+	}
 }
 
 // Run anneals from the representation's canonical initial state (or

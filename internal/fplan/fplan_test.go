@@ -294,3 +294,68 @@ func TestWorkersForwardedToEstimator(t *testing.T) {
 		t.Fatalf("fixed-grid estimator type changed: %T", r2.Cfg.Estimator)
 	}
 }
+
+// TestIncrementalMatchesFullEval is the pipeline-level bit-identity
+// guarantee of the delta evaluation engine: the same seeded run with
+// incremental scoring (the default) and with FullEval must produce
+// identical trajectories — same stats, same best solution, same
+// congestion — because every per-move score is bit-identical.
+func TestIncrementalMatchesFullEval(t *testing.T) {
+	run := func(fullEval bool, seed int64) (*Solution, anneal.Stats) {
+		r, err := New(tinyCircuit(), Config{
+			Weights:   Weights{Alpha: 0.3, Beta: 0.3, Gamma: 0.4},
+			Estimator: core.Model{Pitch: 30},
+			Pitch:     30, AllowRotate: true, Anneal: quickAnneal(seed),
+			FullEval: fullEval,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fullEval != (r.moveEst == nil) {
+			t.Fatalf("FullEval=%v but moveEst=%v", fullEval, r.moveEst)
+		}
+		s, st, err := r.Run(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, st
+	}
+	for _, seed := range []int64{7, 19, 43} {
+		inc, incSt := run(false, seed)
+		full, fullSt := run(true, seed)
+		if incSt != fullSt {
+			t.Fatalf("seed %d: stats diverged:\nincremental %+v\nfull        %+v", seed, incSt, fullSt)
+		}
+		if inc.Cost != full.Cost || inc.Area != full.Area ||
+			inc.Wirelength != full.Wirelength || inc.Congestion != full.Congestion {
+			t.Fatalf("seed %d: solutions diverged:\nincremental %+v\nfull        %+v", seed, inc, full)
+		}
+	}
+}
+
+// TestMoveScorerGating checks when the delta engine engages: never with
+// FullEval, never without a congestion term, and never for estimators
+// lacking the hook.
+func TestMoveScorerGating(t *testing.T) {
+	mk := func(cfg Config) *Runner {
+		cfg.Pitch = 30
+		cfg.Anneal = quickAnneal(1)
+		r, err := New(tinyCircuit(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if r := mk(Config{Weights: Weights{Alpha: 0.6, Gamma: 0.4}, Estimator: core.Model{Pitch: 30}}); r.moveEst == nil {
+		t.Error("IR-grid estimator with Gamma: delta engine not engaged")
+	}
+	if r := mk(Config{Weights: Weights{Alpha: 0.6, Gamma: 0.4}, Estimator: core.Model{Pitch: 30}, FullEval: true}); r.moveEst != nil {
+		t.Error("FullEval: delta engine engaged anyway")
+	}
+	if r := mk(Config{Weights: Weights{Alpha: 1}}); r.moveEst != nil {
+		t.Error("no congestion term: delta engine engaged anyway")
+	}
+	if r := mk(Config{Weights: Weights{Alpha: 0.6, Gamma: 0.4}, Estimator: grid.Model{Pitch: 100}}); r.moveEst != nil {
+		t.Error("fixed-grid estimator: delta engine engaged without hook")
+	}
+}

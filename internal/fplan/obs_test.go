@@ -86,7 +86,10 @@ func TestTracedRunBitIdentical(t *testing.T) {
 		}
 	}
 	for _, metric := range []string{
-		"anneal_moves_total", "fplan_evals_total", "eval_calls_total",
+		"anneal_moves_total", "fplan_evals_total",
+		// The incremental engine's move counters (the default scoring
+		// path for the IR-grid estimator).
+		"eval_incremental_moves", "eval_dirty_nets",
 	} {
 		if end.Metrics[metric] <= 0 {
 			t.Errorf("run_end metrics missing %s: %v", metric, end.Metrics)
@@ -214,8 +217,8 @@ func TestObserverForwardedToEstimator(t *testing.T) {
 		t.Fatal("registry not forwarded to the IR-grid estimator")
 	}
 	// New's calibration evaluations already flow through the
-	// instrumented estimator.
-	if reg.Snapshot()["eval_calls_total"] <= 0 {
+	// instrumented incremental engine.
+	if reg.Snapshot()["eval_incremental_moves"] <= 0 {
 		t.Error("calibration produced no evaluator metrics")
 	}
 

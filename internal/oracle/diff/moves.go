@@ -1,0 +1,168 @@
+package diff
+
+import (
+	"fmt"
+	"math/rand"
+
+	"irgrid/internal/bench"
+	"irgrid/internal/core"
+	"irgrid/internal/fplan"
+	"irgrid/internal/geom"
+	"irgrid/internal/netlist"
+	"irgrid/internal/slicing"
+)
+
+// MoveOpts configures one move-sequence comparison between the
+// incremental delta engine and the full evaluator.
+type MoveOpts struct {
+	// Model is the engine configuration under test; Pitch must be set.
+	Model core.Model
+	// Moves is the number of M1/M2/M3 slicing perturbations to drive.
+	Moves int
+	// RejectRate is the fraction of moves rejected and rolled back;
+	// zero means 0.35.
+	RejectRate float64
+	// MapEvery is the cadence (in moves) of dense-map bit-identity
+	// checks; the top-fraction score is compared on every move. Zero
+	// means every 10th move.
+	MapEvery int
+	// RepairRate is the fraction of moves that re-pair net endpoints
+	// on the stationary placement (the MST re-decomposition event:
+	// same pin set, different pairing) instead of perturbing the
+	// slicing tree. Re-pairing preserves the merged cutting lines, so
+	// it drives the engine's identical-axes path. Zero means slicing
+	// moves only.
+	RepairRate float64
+}
+
+func (o MoveOpts) rejectRate() float64 {
+	if o.RejectRate == 0 {
+		return 0.35
+	}
+	return o.RejectRate
+}
+
+func (o MoveOpts) mapEvery() int {
+	if o.MapEvery == 0 {
+		return 10
+	}
+	return o.MapEvery
+}
+
+// MoveResult summarizes one move-sequence comparison.
+type MoveResult struct {
+	Moves     int `json:"moves"`
+	Accepted  int `json:"accepted"`
+	Rejected  int `json:"rejected"`
+	MapChecks int `json:"map_checks"`
+}
+
+// CompareMoves drives a DeltaEvaluator through a randomized sequence
+// of slicing moves on an MCNC benchmark and checks, move by move, that
+// it stays bit-identical to the full evaluator: every move's
+// top-fraction score must match exactly, dense maps are compared
+// bitwise on a fixed cadence, and after each rejected move the engine
+// is rolled back and re-verified against the full evaluation of the
+// still-current placement. Slicing perturbations re-pack the
+// floorplan, so chip bounds and every net move together — the
+// axis-rebuild path dominates there; RepairRate mixes in
+// endpoint-re-pairing moves that keep the cutting lines intact and
+// drive the identical-axes path.
+func CompareMoves(name string, seed int64, o MoveOpts) (*MoveResult, error) {
+	c, err := bench.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := fplan.New(c, fplan.Config{
+		Weights: fplan.Weights{Alpha: 1},
+		Pitch:   o.Model.Pitch,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := o.Model
+	delta := m.NewDeltaEvaluator()
+	rng := rand.New(rand.NewSource(seed))
+	res := &MoveResult{Moves: o.Moves}
+
+	cur := slicing.Initial(len(c.Modules))
+	sol := r.Evaluate(cur)
+	curChip := sol.Placement.Chip
+	curNets := append([]netlist.TwoPin(nil), sol.Nets...)
+	for i := 0; i < o.Moves; i++ {
+		var chip geom.Rect
+		var nets []netlist.TwoPin
+		var nextExpr slicing.Expr
+		if rng.Float64() < o.RepairRate {
+			chip = curChip
+			nets = repairNets(rng, curNets, 4)
+		} else {
+			nextExpr = cur.Clone()
+			nextExpr.Perturb(rng)
+			s := r.Evaluate(nextExpr)
+			chip = s.Placement.Chip
+			nets = s.Nets
+		}
+
+		if i%o.mapEvery() == 0 {
+			if err := checkMove(delta, m, chip, nets); err != nil {
+				return res, fmt.Errorf("%s move %d: %w", name, i, err)
+			}
+			res.MapChecks++
+		} else {
+			got := delta.Score(chip, nets)
+			if want := m.Score(chip, nets); got != want {
+				return res, fmt.Errorf("%s move %d: delta score %.17g, full score %.17g",
+					name, i, got, want)
+			}
+		}
+
+		if rng.Float64() < o.rejectRate() {
+			delta.Rollback()
+			res.Rejected++
+			// The rolled-back accumulator must reproduce the current
+			// accepted placement exactly — not merely the next score.
+			if i%o.mapEvery() == 1 {
+				if err := checkMove(delta, m, curChip, curNets); err != nil {
+					return res, fmt.Errorf("%s move %d (after rollback): %w", name, i, err)
+				}
+				res.MapChecks++
+			}
+		} else {
+			if nextExpr != nil {
+				cur = nextExpr
+			}
+			curChip = chip
+			curNets = append(curNets[:0], nets...)
+			res.Accepted++
+		}
+	}
+	return res, nil
+}
+
+// repairNets returns a copy of nets with `swaps` random endpoint
+// exchanges applied: the pin multiset is unchanged, only the pairing.
+// Every per-net range emits both of its pin coordinates (one as the
+// low edge, one as the high), so the coordinate multiset feeding the
+// axis build — and therefore the merged cutting lines — is invariant
+// under any re-pairing.
+func repairNets(rng *rand.Rand, nets []netlist.TwoPin, swaps int) []netlist.TwoPin {
+	out := append([]netlist.TwoPin(nil), nets...)
+	for s := 0; s < swaps; s++ {
+		a, b := rng.Intn(len(out)), rng.Intn(len(out))
+		out[a].B, out[b].B = out[b].B, out[a].B
+	}
+	return out
+}
+
+// checkMove commits one state into the delta engine via the dense-map
+// path and compares the map bitwise against a fresh full evaluation.
+func checkMove(delta *core.DeltaEvaluator, m core.Model, chip geom.Rect, nets []netlist.TwoPin) error {
+	got := delta.Evaluate(chip, nets)
+	want := m.Evaluate(chip, nets)
+	if err := bitIdentical(want, got); err != nil {
+		return fmt.Errorf("delta map diverged from full evaluation: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package diff
+
+import (
+	"testing"
+
+	"irgrid/internal/core"
+)
+
+// TestMoveSequenceBitIdentity is the acceptance run for the
+// incremental engine: randomized M1/M2/M3 slicing-move sequences on
+// MCNC benchmarks, with roughly a third of the moves rejected and
+// rolled back, checking move-by-move bit-identity between the delta
+// engine and the full evaluator (exact score every move, bitwise dense
+// maps on a cadence and after rollbacks). Over a thousand moves in the
+// full run.
+func TestMoveSequenceBitIdentity(t *testing.T) {
+	cases := []struct {
+		name   string
+		seed   int64
+		moves  int
+		repair float64
+	}{
+		{"apte", 11, 500, 0},
+		{"ami33", 12, 350, 0},
+		{"xerox", 13, 250, 0},
+		// Mix in endpoint re-pairing on the stationary placement: the
+		// axis-preserving move class that drives the identical-axes
+		// fast path, interleaved with full repacks.
+		{"apte-repair", 14, 400, 0.6},
+		{"ami33-repair", 15, 300, 0.6},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			moves := tc.moves
+			if testing.Short() {
+				moves /= 10
+			}
+			name := tc.name
+			if i := len(name) - len("-repair"); i > 0 && name[i:] == "-repair" {
+				name = name[:i]
+			}
+			r, err := CompareMoves(name, tc.seed, MoveOpts{
+				Model:      core.Model{Pitch: BenchPitch(name)},
+				Moves:      moves,
+				RepairRate: tc.repair,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Rejected == 0 || r.Accepted == 0 {
+				t.Errorf("degenerate sequence: %+v", r)
+			}
+			t.Logf("%s: %d moves (%d accepted, %d rejected), %d dense-map checks",
+				tc.name, r.Moves, r.Accepted, r.Rejected, r.MapChecks)
+		})
+	}
+}
+
+// TestMoveSequenceExactModel repeats the move-sequence comparison with
+// the quadrature disabled (Model.Exact), pinning bit-identity on the
+// all-exact evaluation path too.
+func TestMoveSequenceExactModel(t *testing.T) {
+	moves := 200
+	if testing.Short() {
+		moves = 25
+	}
+	r, err := CompareMoves("apte", 21, MoveOpts{
+		Model: core.Model{Pitch: BenchPitch("apte"), Exact: true},
+		Moves: moves,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("apte exact: %d moves (%d accepted, %d rejected), %d dense-map checks",
+		r.Moves, r.Accepted, r.Rejected, r.MapChecks)
+}
