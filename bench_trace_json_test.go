@@ -14,7 +14,7 @@ import (
 // untraced baseline in BENCH_trace_overhead.json.
 type overheadRecord struct {
 	Name        string  `json:"name"`
-	Telemetry   string  `json:"telemetry"` // "disabled" | "enabled"
+	Telemetry   string  `json:"telemetry"` // "disabled" | "enabled" | "spans" | "spans+recorder"
 	Nets        int     `json:"nets"`
 	N           int     `json:"n"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -23,18 +23,23 @@ type overheadRecord struct {
 }
 
 type overheadDoc struct {
-	GOMAXPROCS  int              `json:"gomaxprocs"`
-	NumCPU      int              `json:"num_cpu"`
-	GoVersion   string           `json:"go_version"`
-	Results     []overheadRecord `json:"results"`
-	OverheadPct float64          `json:"overhead_pct"` // enabled vs disabled ns/op
+	GOMAXPROCS          int              `json:"gomaxprocs"`
+	NumCPU              int              `json:"num_cpu"`
+	GoVersion           string           `json:"go_version"`
+	Results             []overheadRecord `json:"results"`
+	OverheadPct         float64          `json:"overhead_pct"`          // metrics registry vs disabled ns/op
+	SpanOverheadPct     float64          `json:"span_overhead_pct"`     // spans vs disabled ns/op
+	RecorderOverheadPct float64          `json:"recorder_overhead_pct"` // spans+recorder vs disabled ns/op
 }
 
 // TestWriteTraceOverheadBenchJSON regenerates BENCH_trace_overhead.json:
 // the BenchmarkIRGridScore workload (ami33 fixture, steady-state
-// engine) measured with telemetry disabled and with a live metrics
-// registry attached, recording the ns/op and allocs/op cost of
-// enabling observability. It runs only when IRGRID_BENCH_JSON is set:
+// engine) measured with telemetry disabled, with a live metrics
+// registry attached, with span tracing on top, and with the flight
+// recorder armed as well, recording the ns/op and allocs/op cost of
+// each observability tier. The disabled tier must stay at 0 allocs/op
+// and every enabled tier within the 2% marginal-cost gate. It runs
+// only when IRGRID_BENCH_JSON is set:
 //
 //	IRGRID_BENCH_JSON=1 go test -run TestWriteTraceOverheadBenchJSON .
 func TestWriteTraceOverheadBenchJSON(t *testing.T) {
@@ -49,29 +54,82 @@ func TestWriteTraceOverheadBenchJSON(t *testing.T) {
 	}
 
 	sol := ami33Solution(t)
-	measure := func(name, telemetry string, reg *obs.Registry) float64 {
-		e := core.Model{Pitch: 30, Obs: reg}.NewEvaluator()
-		e.Score(sol.Placement.Chip, sol.Nets) // warm arenas and memos
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if s := e.Score(sol.Placement.Chip, sol.Nets); s <= 0 {
-					b.Fatal("zero score")
-				}
-			}
-		})
-		ns := float64(r.T.Nanoseconds()) / float64(r.N)
-		doc.Results = append(doc.Results, overheadRecord{
-			Name: name, Telemetry: telemetry, Nets: len(sol.Nets),
-			N: r.N, NsPerOp: ns,
-			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
-		})
-		return ns
+	configs := []struct {
+		name      string
+		telemetry string
+		model     core.Model
+	}{
+		{"BenchmarkIRGridScore/untraced", "disabled", core.Model{}},
+		{"BenchmarkIRGridScore/traced", "enabled", core.Model{Obs: obs.NewRegistry()}},
+		{"BenchmarkIRGridScore/spans", "spans", core.Model{Spans: obs.NewSpans()}},
+		{"BenchmarkIRGridScore/spans+recorder", "spans+recorder",
+			core.Model{Spans: obs.NewSpans(), Recorder: obs.NewRecorder(0)}},
 	}
 
-	base := measure("BenchmarkIRGridScore/untraced", "disabled", nil)
-	traced := measure("BenchmarkIRGridScore/traced", "enabled", obs.NewRegistry())
-	doc.OverheadPct = 100 * (traced - base) / base
+	// One warm steady-state evaluator per config; the repetitions are
+	// interleaved and the minimum ns/op kept, so shared-machine noise
+	// (which only ever slows a run down) cancels out of the comparison.
+	evals := make([]*core.Evaluator, len(configs))
+	recs := make([]*overheadRecord, len(configs))
+	for i, c := range configs {
+		m := c.model
+		m.Pitch = 30
+		evals[i] = m.NewEvaluator()
+		evals[i].Score(sol.Placement.Chip, sol.Nets) // warm arenas, memos, span pool
+		doc.Results = append(doc.Results, overheadRecord{
+			Name: c.name, Telemetry: c.telemetry, Nets: len(sol.Nets),
+		})
+	}
+	for i := range configs {
+		recs[i] = &doc.Results[i]
+	}
+	const reps = 5
+	for rep := 0; rep < reps; rep++ {
+		for i := range configs {
+			e := evals[i]
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for j := 0; j < b.N; j++ {
+					if s := e.Score(sol.Placement.Chip, sol.Nets); s <= 0 {
+						b.Fatal("zero score")
+					}
+				}
+			})
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if rep == 0 || ns < recs[i].NsPerOp {
+				recs[i].NsPerOp = ns
+				recs[i].N = r.N
+			}
+			if a := r.AllocsPerOp(); a > recs[i].AllocsPerOp {
+				recs[i].AllocsPerOp = a
+				recs[i].BytesPerOp = r.AllocedBytesPerOp()
+			}
+		}
+	}
+	pct := func(rec *overheadRecord, base float64) float64 {
+		return 100 * (rec.NsPerOp - base) / base
+	}
+	base, traced, spanned, recorded := recs[0], recs[1], recs[2], recs[3]
+
+	doc.OverheadPct = pct(traced, base.NsPerOp)
+	doc.SpanOverheadPct = pct(spanned, base.NsPerOp)
+	doc.RecorderOverheadPct = pct(recorded, base.NsPerOp)
+
+	// The zero-overhead contract, gated: the disabled path allocates
+	// nothing, and each observability tier costs under 2% marginal
+	// ns/op on the steady-state scoring workload.
+	if base.AllocsPerOp != 0 {
+		t.Errorf("disabled path allocates %d allocs/op, want 0", base.AllocsPerOp)
+	}
+	for name, overhead := range map[string]float64{
+		"metrics":        doc.OverheadPct,
+		"spans":          doc.SpanOverheadPct,
+		"spans+recorder": doc.RecorderOverheadPct,
+	} {
+		if overhead >= 2 {
+			t.Errorf("%s overhead %.2f%%, want < 2%%", name, overhead)
+		}
+	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

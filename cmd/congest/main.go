@@ -75,7 +75,8 @@ func main() {
 	opts := congestion.Options{Pitch: *pitch, Workers: *workers}
 	if *metrics != "" {
 		opts.Obs = telemetry.NewRegistry()
-		srv, addr, err := telemetry.Serve(*metrics, opts.Obs)
+		opts.Spans = telemetry.NewSpans()
+		srv, addr, err := telemetry.ServeHub(*metrics, telemetry.Hub{Reg: opts.Obs, Spans: opts.Spans})
 		if err != nil {
 			fatal(err)
 		}

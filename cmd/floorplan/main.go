@@ -10,6 +10,7 @@
 //	floorplan -circuit apte -json > apte.floorplan.json
 //	floorplan -circuit ami49 -timeout 30s -checkpoint run.ckpt
 //	floorplan -circuit ami49 -resume run.ckpt
+//	floorplan -circuit ami49 -postmortem run.postmortem.json -metrics-addr 127.0.0.1:9090
 //
 // Long runs are interruptible: on SIGINT/SIGTERM (or when -timeout
 // expires) the annealer stops at the next move, reports the best
@@ -19,12 +20,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"irgrid/floorplan"
 	"irgrid/internal/ascii"
@@ -59,6 +64,7 @@ func run() int {
 		ckptPath  = flag.String("checkpoint", "", "write a resumable snapshot to this file periodically and on interrupt")
 		ckptEvery = flag.Int("checkpoint-every", 0, "temperature steps between snapshots (default 10 when -checkpoint is set)")
 		resume    = flag.String("resume", "", "continue from a snapshot written by -checkpoint")
+		postm     = flag.String("postmortem", "", "arm a flight recorder that dumps a postmortem JSON file here on panic, interrupt, deadline or SIGQUIT")
 		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -96,15 +102,49 @@ func run() int {
 	// consumes it (an HTTP endpoint or a trace's run_end snapshot).
 	if *trace != "" || *metrics != "" {
 		opts.Obs = telemetry.NewRegistry()
+		opts.Spans = telemetry.NewSpans()
 	}
 	if *metrics != "" {
-		srv, addr, err := telemetry.Serve(*metrics, opts.Obs)
+		opts.Status = telemetry.NewStatus()
+	}
+	if *postm != "" {
+		opts.Recorder = telemetry.NewRecorder(0)
+		opts.PostmortemPath = *postm
+	}
+	if *metrics != "" {
+		srv, addr, err := telemetry.ServeHub(*metrics, telemetry.Hub{
+			Reg:      opts.Obs,
+			Spans:    opts.Spans,
+			Status:   opts.Status,
+			Recorder: opts.Recorder,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "floorplan:", err)
 			return cli.ExitFailure
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "floorplan: serving metrics at http://%s/metrics\n", addr)
+		defer func() {
+			// Graceful drain: let in-flight scrapes finish before exit.
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
+		fmt.Fprintf(os.Stderr, "floorplan: serving metrics at http://%s/metrics (live status at /debug/run)\n", addr)
+	}
+	if opts.Recorder != nil {
+		// SIGQUIT dumps the flight recorder without killing the run —
+		// the black-box equivalent of the Go runtime's stack dump.
+		qc := make(chan os.Signal, 1)
+		signal.Notify(qc, syscall.SIGQUIT)
+		defer signal.Stop(qc)
+		go func() {
+			for range qc {
+				if path, err := opts.Recorder.Dump("sigquit"); err != nil {
+					fmt.Fprintln(os.Stderr, "floorplan: postmortem:", err)
+				} else if path != "" {
+					fmt.Fprintf(os.Stderr, "floorplan: postmortem written to %s\n", path)
+				}
+			}
+		}()
 	}
 	if *trace != "" {
 		tr, err := telemetry.CreateTrace(*trace)

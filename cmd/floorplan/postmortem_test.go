@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"irgrid/telemetry"
+)
+
+// TestSigquitDumpsPostmortem is the end-to-end flight-recorder
+// contract: SIGQUIT a long armed run, expect a loadable postmortem
+// file without the run dying; a later SIGTERM still interrupts it and
+// writes a second (canceled) postmortem over the first.
+func TestSigquitDumpsPostmortem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a child process")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "floorplan.bin")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	ckpt := filepath.Join(dir, "run.ckpt")
+	pm := filepath.Join(dir, "run.postmortem.json")
+	var stderr, stdout bytes.Buffer
+	cmd := exec.Command(bin,
+		"-circuit", "ami49", "-gamma", "0.4", "-model", "ir-grid",
+		"-moves", "60", "-temps", "1000000",
+		"-checkpoint", ckpt, "-checkpoint-every", "1",
+		"-postmortem", pm)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the first snapshot so the run is past setup (and the
+	// recorder is armed), then ask for a black-box dump.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint after 60s\nstderr: %s", stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(pm); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no postmortem after SIGQUIT\nstderr: %s", stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	doc, err := telemetry.LoadPostmortem(pm)
+	if err != nil {
+		// The dump may be mid-rename on a slow machine; retry once.
+		time.Sleep(500 * time.Millisecond)
+		doc, err = telemetry.LoadPostmortem(pm)
+	}
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatalf("loading postmortem: %v", err)
+	}
+	if doc.Reason != "sigquit" {
+		t.Errorf("postmortem reason %q, want sigquit", doc.Reason)
+	}
+	if doc.Info.Circuit == "" || doc.Info.Seed == 0 {
+		t.Errorf("postmortem info incomplete: %+v", doc.Info)
+	}
+	if doc.TotalEvents == 0 || len(doc.Events) == 0 {
+		t.Errorf("postmortem carries no recorder events: total %d", doc.TotalEvents)
+	}
+
+	// The run survived the dump: interrupt it for real now.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	werr := cmd.Wait()
+	ee, ok := werr.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 130 {
+		t.Fatalf("exit = %v, want code 130\nstderr: %s", werr, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "postmortem written to") {
+		t.Errorf("stderr missing the postmortem notice:\n%s", stderr.String())
+	}
+	// The canceled run overwrote the sigquit dump with a final one.
+	doc, err = telemetry.LoadPostmortem(pm)
+	if err != nil {
+		t.Fatalf("final postmortem: %v", err)
+	}
+	if doc.Reason != telemetry.OutcomeCanceled {
+		t.Errorf("final postmortem reason %q, want canceled", doc.Reason)
+	}
+}

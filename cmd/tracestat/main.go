@@ -6,10 +6,16 @@
 // nets per move, cutting-line cache hit rate, contribution-vector
 // reuse, mean move cost).
 //
+// When the trace carries a spans event (runs with span tracing
+// enabled), tracestat renders the hierarchical timing tree; -compare
+// diffs two traces side by side (convergence, engine counters, span
+// profiles) for before/after investigations.
+//
 // Example:
 //
 //	floorplan -circuit ami33 -trace ami33.trace.jsonl
 //	tracestat ami33.trace.jsonl
+//	tracestat -compare before.jsonl after.jsonl
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"irgrid/internal/cli"
@@ -27,7 +34,26 @@ import (
 
 func main() {
 	rows := flag.Int("rows", 12, "maximum table rows (temperature steps are subsampled evenly)")
+	compare := flag.Bool("compare", false, "diff two traces: tracestat -compare before.jsonl after.jsonl")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("usage: tracestat -compare before.jsonl after.jsonl"))
+		}
+		a, err := parseFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		b, err := parseFile(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		if err := diff(a, b, flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	switch flag.NArg() {
@@ -47,12 +73,22 @@ func main() {
 	}
 }
 
+func parseFile(path string) (*trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
 // trace is a decoded run trace, events bucketed by type.
 type trace struct {
 	start     *telemetry.TraceRecord
 	calib     *telemetry.TraceRecord
 	temps     []telemetry.TraceRecord
 	solutions []telemetry.TraceRecord
+	spans     *telemetry.TraceRecord
 	end       *telemetry.TraceRecord
 }
 
@@ -79,6 +115,8 @@ func parse(r io.Reader) (*trace, error) {
 			t.temps = append(t.temps, rec)
 		case telemetry.EvSolution:
 			t.solutions = append(t.solutions, rec)
+		case telemetry.EvSpans:
+			t.spans = &rec
 		case telemetry.EvRunEnd:
 			t.end = &rec
 		default:
@@ -161,6 +199,9 @@ func summarize(r io.Reader, w io.Writer, maxRows int) error {
 	if e := t.end; e != nil {
 		fmt.Fprintf(w, "\nfinal      cost %.6g after %d temps, %d moves (+%d calibration), %d accepted (%d uphill)\n",
 			e.FinalCost, e.Temps, e.Moves, e.CalibrationMoves, e.Accepted, e.UphillAccepted)
+		if e.Outcome != "" {
+			fmt.Fprintf(w, "outcome    %s\n", e.Outcome)
+		}
 		if e.BestStep >= 0 {
 			fmt.Fprintf(w, "best       last improved at step %d of %d\n", e.BestStep, e.Temps)
 		}
@@ -194,7 +235,138 @@ func summarize(r io.Reader, w io.Writer, maxRows int) error {
 			}
 		}
 	}
+
+	if t.spans != nil && len(t.spans.Spans) > 0 {
+		fmt.Fprintf(w, "\nspan tree (%d paths):\n", len(t.spans.Spans))
+		fmt.Fprintf(w, "%-34s %10s %12s %12s %12s\n", "span", "count", "total", "mean", "max")
+		printSpanTree(w, t.spans.Spans)
+	}
 	return nil
+}
+
+// printSpanTree renders span aggregates as an indented forest. The
+// aggregates arrive sorted by path, so parents (shorter paths) always
+// precede their children and plain indentation reconstructs the tree.
+func printSpanTree(w io.Writer, aggs []telemetry.SpanAggregate) {
+	for _, a := range aggs {
+		depth := strings.Count(a.Path, "/")
+		name := a.Path
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		label := strings.Repeat("  ", depth) + name
+		mean := float64(a.TotalNs) / float64(a.Count)
+		fmt.Fprintf(w, "%-34s %10d %12s %12s %12s\n",
+			label, a.Count, fmtNs(float64(a.TotalNs)), fmtNs(mean), fmtNs(float64(a.MaxNs)))
+	}
+}
+
+// fmtNs renders a nanosecond quantity at a human scale.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fus", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// diff prints a side-by-side comparison of two traces: run identity,
+// convergence, engine counters and span profiles. It is tolerant of
+// partially-populated traces (missing end events, no spans).
+func diff(a, b *trace, nameA, nameB string, w io.Writer) error {
+	fmt.Fprintf(w, "%-26s %16s %16s %12s\n", "", "A", "B", "delta")
+	fmt.Fprintf(w, "%-26s %16s %16s\n", "trace", trimName(nameA), trimName(nameB))
+	if a.start != nil && b.start != nil {
+		fmt.Fprintf(w, "%-26s %16s %16s\n", "circuit", orUnknown(a.start.Circuit), orUnknown(b.start.Circuit))
+		fmt.Fprintf(w, "%-26s %16d %16d\n", "seed", a.start.Seed, b.start.Seed)
+		fmt.Fprintf(w, "%-26s %16s %16s\n", "model", orUnknown(a.start.Model), orUnknown(b.start.Model))
+	}
+	if a.calib != nil && b.calib != nil {
+		diffRow(w, "initial temperature", a.calib.InitTemp, b.calib.InitTemp)
+		diffRow(w, "initial cost", a.calib.InitCost, b.calib.InitCost)
+	}
+	ea, eb := a.end, b.end
+	if ea != nil && eb != nil {
+		fmt.Fprintf(w, "%-26s %16s %16s\n", "outcome", orUnknown(ea.Outcome), orUnknown(eb.Outcome))
+		diffRow(w, "final cost", ea.FinalCost, eb.FinalCost)
+		diffRow(w, "temperature steps", float64(ea.Temps), float64(eb.Temps))
+		diffRow(w, "moves", float64(ea.Moves), float64(eb.Moves))
+		diffRow(w, "accepted", float64(ea.Accepted), float64(eb.Accepted))
+		if ea.Seconds > 0 && eb.Seconds > 0 {
+			diffRow(w, "seconds", ea.Seconds, eb.Seconds)
+			diffRow(w, "moves/s",
+				float64(ea.Moves+ea.CalibrationMoves)/ea.Seconds,
+				float64(eb.Moves+eb.CalibrationMoves)/eb.Seconds)
+		}
+		if ea.Metrics != nil && eb.Metrics != nil {
+			for _, k := range []string{
+				"eval_simpson_memo_hits_total", "eval_incremental_moves",
+				"eval_full_fallbacks", "eval_rollbacks_total",
+			} {
+				va, oka := ea.Metrics[k]
+				vb, okb := eb.Metrics[k]
+				if oka || okb {
+					diffRow(w, k, va, vb)
+				}
+			}
+		}
+	}
+	if a.spans != nil || b.spans != nil {
+		fmt.Fprintf(w, "\nspan totals:\n")
+		sa, sb := spanTotals(a), spanTotals(b)
+		for _, p := range unionPaths(sa, sb) {
+			diffRow(w, p, sa[p], sb[p])
+		}
+	}
+	return nil
+}
+
+func trimName(p string) string {
+	if len(p) > 16 {
+		return "…" + p[len(p)-15:]
+	}
+	return p
+}
+
+func diffRow(w io.Writer, label string, a, b float64) {
+	d := b - a
+	if a != 0 {
+		fmt.Fprintf(w, "%-26s %16.6g %16.6g %+11.1f%%\n", label, a, b, 100*d/a)
+	} else {
+		fmt.Fprintf(w, "%-26s %16.6g %16.6g %12s\n", label, a, b, "-")
+	}
+}
+
+func spanTotals(t *trace) map[string]float64 {
+	out := map[string]float64{}
+	if t.spans == nil {
+		return out
+	}
+	for _, s := range t.spans.Spans {
+		out[s.Path] = float64(s.TotalNs)
+	}
+	return out
+}
+
+func unionPaths(a, b map[string]float64) []string {
+	seen := map[string]bool{}
+	var out []string
+	for p := range a {
+		seen[p] = true
+	}
+	for p := range b {
+		seen[p] = true
+	}
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // sample picks up to k indices out of [0, n), always keeping the first

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"irgrid/floorplan"
+	"irgrid/telemetry"
+)
+
+// spanTrace runs a real (small) floorplan with span tracing enabled
+// and returns its trace.
+func spanTrace(t *testing.T, seed int64, temps int) []byte {
+	t.Helper()
+	c, err := floorplan.Benchmark("apte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf)
+	_, err = floorplan.Run(c, floorplan.Options{
+		Alpha: 0.4, Beta: 0.2, Gamma: 0.4,
+		Congestion:   floorplan.Congestion{Model: floorplan.ModelIRGrid, Pitch: 10},
+		Seed:         seed,
+		MovesPerTemp: 6, MaxTemps: temps,
+		Obs:   telemetry.NewRegistry(),
+		Trace: tr,
+		Spans: telemetry.NewSpans(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSummarizeRendersSpansAndOutcome(t *testing.T) {
+	raw := spanTrace(t, 1, 8)
+	var out bytes.Buffer
+	if err := summarize(bytes.NewReader(raw), &out, 6); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"outcome    completed",
+		"span tree",
+		"run",      // root
+		"  anneal", // child indented under run
+		"    temp", // grandchild
+		"move",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCompareTraces(t *testing.T) {
+	a, err := parseBytes(spanTrace(t, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parseBytes(spanTrace(t, 2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := diff(a, b, "a.jsonl", "b.jsonl", &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"circuit", "apte",
+		"final cost",
+		"temperature steps",
+		"outcome", "completed",
+		"span totals:",
+		"run/anneal",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("compare output missing %q:\n%s", want, s)
+		}
+	}
+	// Deltas are rendered as percentages against trace A.
+	if !strings.Contains(s, "%") {
+		t.Errorf("compare output has no percentage deltas:\n%s", s)
+	}
+}
+
+func parseBytes(raw []byte) (*trace, error) {
+	return parse(bytes.NewReader(raw))
+}
+
+func TestFmtNs(t *testing.T) {
+	for _, tc := range []struct {
+		ns   float64
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.5us"},
+		{2.5e6, "2.50ms"},
+		{3.2e9, "3.20s"},
+	} {
+		if got := fmtNs(tc.ns); got != tc.want {
+			t.Errorf("fmtNs(%g) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}

@@ -59,6 +59,10 @@ type Options struct {
 	// (stage timings, Simpson-memo hit/miss counters, grid dimensions).
 	// Telemetry never changes results. Ignored by the fixed model.
 	Obs *telemetry.Registry
+	// Spans, when non-nil, collects the IR engine's hierarchical stage
+	// timings (evaluate/{merge,sweep,fold} and evaluate/topscore).
+	// Spans never change results. Ignored by the fixed model.
+	Spans *telemetry.Spans
 }
 
 func (o Options) pitch() float64 {
@@ -179,7 +183,7 @@ func EstimateIRContext(ctx context.Context, chipW, chipH float64, nets []Net, op
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	m := core.Model{Pitch: opts.pitch(), Exact: opts.Exact, TopFraction: opts.TopFraction, Workers: opts.Workers, Obs: opts.Obs}
+	m := core.Model{Pitch: opts.pitch(), Exact: opts.Exact, TopFraction: opts.TopFraction, Workers: opts.Workers, Obs: opts.Obs, Spans: opts.Spans}
 	if ctx.Done() != nil {
 		m.Ctx = ctx
 	}

@@ -251,9 +251,29 @@ type Options struct {
 	// perturbs the search: instrumented runs are bit-identical.
 	Obs *telemetry.Registry
 	// Trace, when non-nil, receives the JSONL run trace (run_start,
-	// calibration, per-temperature temp + solution events, run_end).
-	// Summarize traces with cmd/tracestat.
+	// calibration, per-temperature temp + solution events, a spans
+	// event when Spans is set, run_end). Summarize traces with
+	// cmd/tracestat.
 	Trace *telemetry.Tracer
+	// Spans, when non-nil, collects the run's hierarchical timing
+	// tree: parse, setup, run/anneal/{calibrate,temp,checkpoint},
+	// run/finalize and the evaluator's evaluate/move stages. Aggregates
+	// ride the trace (spans event) and /debug/run; spans only time work
+	// the run performed anyway, so span-enabled runs are bit-identical.
+	Spans *telemetry.Spans
+	// Recorder, when non-nil, is a black-box flight recorder holding
+	// the last N move/temperature/eval events. Together with
+	// PostmortemPath it dumps a postmortem JSON file on shard panics
+	// and cancellation (CLIs additionally dump on SIGQUIT).
+	Recorder *telemetry.Recorder
+	// Status, when non-nil, receives the live run-status feed (step,
+	// temps, acceptance, best cost, moves/sec, ETA) served by the
+	// telemetry hub's /debug/run endpoint.
+	Status *telemetry.Status
+	// PostmortemPath, when non-empty, arms postmortem dumps at this
+	// path. If Recorder is nil a default-capacity recorder is created
+	// automatically.
+	PostmortemPath string
 	// CheckpointPath, when non-empty, writes a resumable snapshot of
 	// the run to this file every CheckpointEvery temperature steps
 	// (atomically: temp file + rename), and once more if the run is
@@ -360,11 +380,14 @@ func runContext(ctx context.Context, c *Circuit, opts Options, snap *Snapshot) (
 	if err := validateOptions(&opts); err != nil {
 		return nil, err
 	}
+	sp := opts.Spans.Start("parse")
 	ic, err := c.toInternal()
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
 	est, err := opts.Congestion.estimator()
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
 	}
@@ -404,6 +427,9 @@ func runContext(ctx context.Context, c *Circuit, opts Options, snap *Snapshot) (
 	if checkpoint != nil && every <= 0 {
 		every = 10
 	}
+	if opts.PostmortemPath != "" && opts.Recorder == nil {
+		opts.Recorder = telemetry.NewRecorder(0)
+	}
 	runner, err := fplan.New(ic, fplan.Config{
 		Weights:         fplan.Weights{Alpha: alpha, Beta: beta, Gamma: opts.Gamma},
 		Estimator:       est,
@@ -415,6 +441,10 @@ func runContext(ctx context.Context, c *Circuit, opts Options, snap *Snapshot) (
 		FullEval:        opts.FullEval,
 		Obs:             opts.Obs,
 		Trace:           opts.Trace,
+		Spans:           opts.Spans,
+		Recorder:        opts.Recorder,
+		Status:          opts.Status,
+		PostmortemPath:  opts.PostmortemPath,
 		CheckpointEvery: every,
 		Checkpoint:      checkpoint,
 		Resume:          snap,

@@ -6,26 +6,36 @@ import (
 	"go/types"
 )
 
-// Obssafe protects the telemetry layer's nil-safety contract (PR 3):
-// the instrument types (*obs.Counter, *obs.Gauge, *obs.Histogram) are
-// designed so a nil receiver is a no-op, which is what makes disabled
+// Obssafe protects the telemetry layer's nil-safety contract (PR 3,
+// extended by PR 7's span/recorder API): the instrument types
+// (*obs.Counter, *obs.Gauge, *obs.Histogram, *obs.Span) are designed
+// so a nil receiver is a no-op, which is what makes disabled
 // telemetry zero-overhead and branch-free at call sites. Call sites
 // must therefore use the nil-safe methods unconditionally — never
 // field-access an instrument's internals and never nil-compare an
 // instrument inline (the compare reintroduces the branch the design
 // removed, and worse, trains readers to think nil instruments are
-// unsafe). Registry and Tracer handles are exempt: nil-gating those is
-// the sanctioned enable/disable pattern.
+// unsafe). The handle types (*obs.Registry, *obs.Tracer, *obs.Spans,
+// *obs.Recorder, *obs.Status) are exempt from the nil-compare rule —
+// nil-gating those is the sanctioned enable/disable pattern — but
+// their internals are still opaque: field access is flagged on
+// handles too.
 var Obssafe = &Analyzer{
 	Name: "obssafe",
 	Doc:  "obs instruments only via nil-safe methods: no field access, no inline nil-compares",
 	Run:  runObssafe,
 }
 
-// obsInstruments are the nil-safe instrument types; Registry and
-// Tracer are deliberately absent.
+// obsInstruments are the nil-safe instrument types; the handle types
+// are deliberately absent (their nil-compare is sanctioned).
 var obsInstruments = map[string]bool{
-	"Counter": true, "Gauge": true, "Histogram": true,
+	"Counter": true, "Gauge": true, "Histogram": true, "Span": true,
+}
+
+// obsHandles are the enable/disable handles: nil-gating is sanctioned,
+// but their fields are still off-limits outside internal/obs.
+var obsHandles = map[string]bool{
+	"Registry": true, "Tracer": true, "Spans": true, "Recorder": true, "Status": true,
 }
 
 func runObssafe(pass *Pass) error {
@@ -46,15 +56,16 @@ func runObssafe(pass *Pass) error {
 	return nil
 }
 
-// checkObsSelector flags x.field where x is an obs instrument and the
-// selector resolves to a struct field rather than a method.
+// checkObsSelector flags x.field where x is an obs instrument or
+// handle and the selector resolves to a struct field rather than a
+// method.
 func checkObsSelector(pass *Pass, sel *ast.SelectorExpr) {
 	t := pass.TypesInfo.TypeOf(sel.X)
 	if t == nil {
 		return
 	}
 	name, ok := namedObsType(t)
-	if !ok || !obsInstruments[name] {
+	if !ok || (!obsInstruments[name] && !obsHandles[name]) {
 		return
 	}
 	selection, ok := pass.TypesInfo.Selections[sel]
@@ -62,7 +73,7 @@ func checkObsSelector(pass *Pass, sel *ast.SelectorExpr) {
 		return
 	}
 	pass.Reportf(sel.Sel.Pos(),
-		"field access %s on *obs.%s: instruments are opaque outside internal/obs — use the nil-safe methods",
+		"field access %s on *obs.%s: obs types are opaque outside internal/obs — use the nil-safe methods",
 		sel.Sel.Name, name)
 }
 

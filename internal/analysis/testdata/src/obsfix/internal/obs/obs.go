@@ -56,3 +56,60 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	return c
 }
+
+// Span is a nil-safe timing span (PR 7). The exported Path field
+// exists so the fixture's illegal field-access compiles.
+type Span struct{ Path string }
+
+// End is a no-op on a nil receiver.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Path = ""
+}
+
+// Child is nil-safe and returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{Path: s.Path + "/" + name}
+}
+
+// Spans is the span-collection handle; a nil *Spans disables tracing
+// and is the sanctioned thing to nil-check. The exported N field
+// exists so the fixture's illegal handle field-access compiles.
+type Spans struct{ N int }
+
+// Start is nil-safe and returns a nil span on a nil receiver.
+func (t *Spans) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.N++
+	return &Span{Path: name}
+}
+
+// Recorder is the flight-recorder handle; nil-gating it is the
+// sanctioned enable/disable pattern.
+type Recorder struct{ Events int }
+
+// Record is a no-op on a nil receiver.
+func (r *Recorder) Record() {
+	if r == nil {
+		return
+	}
+	r.Events++
+}
+
+// Status is the live run-status handle.
+type Status struct{ Step int }
+
+// Snapshot is nil-safe.
+func (st *Status) Snapshot() int {
+	if st == nil {
+		return 0
+	}
+	return st.Step
+}

@@ -20,3 +20,23 @@ func Record(c *obs.Counter, g *obs.Gauge, r *obs.Registry) int64 {
 	r.Counter("evals").Add(1)
 	return total
 }
+
+// Trace mixes legal and illegal span/recorder handling (PR 7).
+func Trace(t *obs.Spans, rec *obs.Recorder, st *obs.Status) string {
+	sp := t.Start("evaluate") // nil-safe handle method: legal
+	defer sp.End()            // nil-safe span method: legal
+	if sp != nil {            // want `nil-compare of \*obs.Span`
+		sp.Child("merge").End()
+	}
+	p := sp.Path    // want `field access Path on \*obs.Span`
+	if rec != nil { // Recorder nil-gating is the sanctioned pattern: legal
+		rec.Record()
+	}
+	n := t.N // want `field access N on \*obs.Spans`
+	_ = n
+	if st == nil { // Status nil-gating: legal
+		return p
+	}
+	_ = st.Snapshot()
+	return p
+}

@@ -76,8 +76,23 @@ type Config struct {
 	// uninstrumented ones.
 	Obs *obs.Registry
 	// Trace, when non-nil, receives the JSONL run trace: one
-	// calibration event, then one temp event per temperature step.
+	// calibration event, then one temp event per temperature step. The
+	// tracer's buffer is flushed at every temperature boundary, so a
+	// crash loses at most the current temperature's events.
 	Trace *obs.Tracer
+	// Span, when non-nil, is the parent span the annealer's stage
+	// spans (calibrate, temp, checkpoint) attach under. Spans time
+	// work the anneal performed anyway and never touch the RNG, so
+	// span-enabled runs are bit-identical.
+	Span *obs.Span
+	// Recorder, when non-nil, receives one flight-recorder event per
+	// move, per temperature step and per checkpoint write. Like every
+	// obs surface it only observes computed values; runs stay
+	// bit-identical.
+	Recorder *obs.Recorder
+	// Status, when non-nil, receives the live run-status feed
+	// (schedule bounds, then one update per temperature step).
+	Status *obs.Status
 	// CheckpointEvery, when positive together with Checkpoint, invokes
 	// the checkpoint sink after every CheckpointEvery completed
 	// temperature steps.
@@ -163,6 +178,7 @@ func Run(ctx context.Context, cfg Config, initial State) (State, Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	cfg.Status.Schedule(cfg.MaxTemps, cfg.MovesPerTemp)
 	src := newCountingSource(cfg.Seed)
 	rng := rand.New(src)
 
@@ -196,12 +212,24 @@ func Run(ctx context.Context, cfg Config, initial State) (State, Stats, error) {
 		if cfg.Checkpoint == nil || boundary == nil {
 			return
 		}
-		if err := cfg.Checkpoint(boundary); err != nil {
+		sp := cfg.Span.Child("checkpoint")
+		err := cfg.Checkpoint(boundary)
+		sp.End()
+		if err != nil {
 			st.CheckpointErrors++
 			mCkptErr.Inc()
 		} else {
 			st.Checkpoints++
 			mCkpt.Inc()
+		}
+		if cfg.Recorder != nil {
+			note := ""
+			if err != nil {
+				note = err.Error()
+			}
+			cfg.Recorder.Record(obs.RecorderEvent{
+				Kind: obs.RecCheckpoint, Step: boundary.Step, Note: note,
+			})
 		}
 	}
 	// finish concludes an interrupted run: best-so-far plus the typed
@@ -232,16 +260,19 @@ func Run(ctx context.Context, cfg Config, initial State) (State, Stats, error) {
 
 		// Calibrate the initial temperature from the average uphill
 		// delta: exp(-avgUp/T0) = InitAccept => T0 = -avgUp / ln(InitAccept).
+		spCal := cfg.Span.Child("calibrate")
 		var upSum float64
 		var upN int
 		probe := cur
 		probeCost := curCost
 		for i := 0; i < cfg.CalibrationMoves; i++ {
 			if err := ctxErr(ctx); err != nil {
+				spCal.End()
 				return finish(err)
 			}
 			next := probe.Neighbor(rng)
 			if err := ctxErr(ctx); err != nil {
+				spCal.End()
 				return finish(err)
 			}
 			nextCost := next.Cost()
@@ -253,6 +284,7 @@ func Run(ctx context.Context, cfg Config, initial State) (State, Stats, error) {
 			}
 			probe, probeCost = next, nextCost
 		}
+		spCal.End()
 		avgUp := 1.0
 		if upN > 0 {
 			avgUp = upSum / float64(upN)
@@ -275,9 +307,11 @@ func Run(ctx context.Context, cfg Config, initial State) (State, Stats, error) {
 	}
 
 	for step := startStep; step < cfg.MaxTemps; step++ {
+		spStep := cfg.Span.Child("temp")
 		accepted := 0
 		for m := 0; m < cfg.MovesPerTemp; m++ {
 			if err := ctxErr(ctx); err != nil {
+				spStep.End()
 				return finish(err)
 			}
 			next := cur.Neighbor(rng)
@@ -285,13 +319,21 @@ func Run(ctx context.Context, cfg Config, initial State) (State, Stats, error) {
 			// Neighbor (estimators bail at shard boundaries), so the
 			// cost may be partial — re-check before acting on it.
 			if err := ctxErr(ctx); err != nil {
+				spStep.End()
 				return finish(err)
 			}
 			nextCost := next.Cost()
 			st.Moves++
 			mMoves.Inc()
 			d := nextCost - curCost
-			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+			// Same decision and same RNG draw order as the classic
+			// one-liner (the draw happens only for uphill moves), kept
+			// explicit so the flight recorder can log the outcome.
+			accept := d <= 0
+			if !accept {
+				accept = rng.Float64() < math.Exp(-d/temp)
+			}
+			if accept {
 				cur, curCost = next, nextCost
 				accepted++
 				if d > 0 {
@@ -307,7 +349,17 @@ func Run(ctx context.Context, cfg Config, initial State) (State, Stats, error) {
 			} else if ma, ok := next.(MoveAware); ok {
 				ma.RejectMove()
 			}
+			// Gated on the handle (not folded into a nil-safe call) so
+			// disabled runs skip building the event struct entirely.
+			if cfg.Recorder != nil {
+				cfg.Recorder.Record(obs.RecorderEvent{
+					Kind: obs.RecMove, Step: step, Temp: temp,
+					Cost: curCost, Best: bestCost,
+					Delta: d, Accepted: accept,
+				})
+			}
 		}
+		spStep.End()
 		st.Accepted += accepted
 		st.Temps = step + 1
 		st.FinalTemp = temp
@@ -325,6 +377,16 @@ func Run(ctx context.Context, cfg Config, initial State) (State, Stats, error) {
 		})
 		if cfg.OnTemperature != nil {
 			cfg.OnTemperature(step, temp, cur, best)
+		}
+		// Bound trace staleness to one temperature step: everything up
+		// to and including this step's events survives a crash.
+		cfg.Trace.Flush()
+		cfg.Status.Step(step+1, temp, curCost, bestCost, rate, int64(st.Moves))
+		if cfg.Recorder != nil {
+			cfg.Recorder.Record(obs.RecorderEvent{
+				Kind: obs.RecTemp, Step: step, Temp: temp,
+				Cost: curCost, Best: bestCost, Accepted: accepted > 0,
+			})
 		}
 		if rate < cfg.MinAcceptRate {
 			break

@@ -1,0 +1,149 @@
+package anneal
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"irgrid/internal/obs"
+)
+
+// lockedBuffer lets the OnTemperature callback inspect what the
+// tracer has physically written so far.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestTraceFlushedAtTemperatureBoundaries pins the bounded-staleness
+// guarantee: the annealer flushes the trace after every temperature
+// step, so at any point mid-run the physical trace lags by at most
+// one step — a crash loses at most the step in flight.
+func TestTraceFlushedAtTemperatureBoundaries(t *testing.T) {
+	var out lockedBuffer
+	tr := obs.NewTracer(&out)
+	checked := 0
+	cfg := Config{
+		Seed: 5, MovesPerTemp: 10, MaxTemps: 6,
+		Trace: tr,
+		OnTemperature: func(step int, _ float64, _, _ State) {
+			if step == 0 {
+				return // nothing must have been flushed yet
+			}
+			// The flush for this step runs after the callback; the
+			// previous step's temp event must already be on disk.
+			written := out.String()
+			wanted := `"step":` + itoa(step-1)
+			if !strings.Contains(written, wanted) {
+				t.Errorf("at step %d the flushed trace is missing step %d:\n%s",
+					step, step-1, written)
+			}
+			checked++
+		},
+	}
+	_, st, err := Run(nil, cfg, quadState{x: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 || st.Temps < 2 {
+		t.Fatalf("callback checked %d boundaries over %d temps", checked, st.Temps)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close every executed step is present.
+	var temps int
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var rec obs.TraceRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if rec.Ev == obs.EvTemp {
+			temps++
+		}
+	}
+	if temps != st.Temps {
+		t.Errorf("%d temp events, want %d", temps, st.Temps)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+// TestAnnealSpanRecorderStatusWiring drives the annealer with the
+// full PR 7 observability set attached and checks each sink saw the
+// run, without asserting on timing values.
+func TestAnnealSpanRecorderStatusWiring(t *testing.T) {
+	spans := obs.NewSpans()
+	root := spans.Start("run")
+	rec := obs.NewRecorder(1 << 10)
+	st := obs.NewStatus()
+	st.Begin("quad", "none", 5)
+	cfg := Config{
+		Seed: 5, MovesPerTemp: 10, MaxTemps: 6, CalibrationMoves: 4,
+		Span: root, Recorder: rec, Status: st,
+	}
+	_, stats, err := Run(nil, cfg, quadState{x: 50})
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byPath := map[string]obs.SpanAggregate{}
+	for _, a := range spans.Aggregates() {
+		byPath[a.Path] = a
+	}
+	if byPath["run/calibrate"].Count != 1 {
+		t.Errorf("run/calibrate count %d, want 1 (aggregates %v)", byPath["run/calibrate"].Count, byPath)
+	}
+	if int(byPath["run/temp"].Count) != stats.Temps {
+		t.Errorf("run/temp count %d, want %d", byPath["run/temp"].Count, stats.Temps)
+	}
+
+	var moves, tempsEv int
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case obs.RecMove:
+			moves++
+		case obs.RecTemp:
+			tempsEv++
+		}
+	}
+	if moves != stats.Moves {
+		t.Errorf("%d move events, want %d", moves, stats.Moves)
+	}
+	if tempsEv != stats.Temps {
+		t.Errorf("%d temp events, want %d", tempsEv, stats.Temps)
+	}
+
+	snap := st.Snapshot()
+	if snap.Step != stats.Temps || snap.MaxSteps != 6 {
+		t.Errorf("status snapshot %+v, want step %d of 6", snap, stats.Temps)
+	}
+	if snap.Moves != int64(stats.Moves) {
+		t.Errorf("status moves %d, want %d", snap.Moves, stats.Moves)
+	}
+}

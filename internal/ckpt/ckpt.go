@@ -51,18 +51,31 @@ type envelope struct {
 // envelope is written to a temporary file in the same directory,
 // synced, and renamed over path. On any error the previous file at
 // path (if one exists) is left untouched.
+//
+// The checkpoint-write fault-injection point fires only here, not in
+// SaveAs, so injected checkpoint failures never block other envelope
+// users (postmortem dumps are written precisely when faults fire).
 func Save(path string, payload any) error {
 	if err := faultinject.Fire(faultinject.CheckpointWrite, 0); err != nil {
 		return fmt.Errorf("ckpt: write %s: %w", path, err)
 	}
+	return SaveAs(path, Magic, Version, payload)
+}
+
+// SaveAs is the generic envelope writer behind Save: it atomically
+// writes payload under the caller's magic string and format version,
+// with the same temp-file + fsync + rename discipline. Other durable
+// artifacts (postmortem dumps) reuse it so every on-disk file in the
+// repo shares one verified write path.
+func SaveAs(path, magic string, version int, payload any) error {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("ckpt: encode payload: %w", err)
 	}
 	sum := sha256.Sum256(raw)
 	env, err := json.Marshal(envelope{
-		Magic:   Magic,
-		Version: Version,
+		Magic:   magic,
+		Version: version,
 		SHA256:  hex.EncodeToString(sum[:]),
 		Payload: raw,
 	})
@@ -99,6 +112,13 @@ func Save(path string, payload any) error {
 // Load reads the checkpoint at path, verifies the envelope and
 // decodes the payload into out.
 func Load(path string, out any) error {
+	return LoadAs(path, Magic, Version, out)
+}
+
+// LoadAs reads the envelope at path, verifies it against the caller's
+// magic string and format version, and decodes the payload into out.
+// It returns ErrCorrupt/ErrVersion exactly as Load does.
+func LoadAs(path, magic string, version int, out any) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("ckpt: read %s: %w", path, err)
@@ -107,11 +127,11 @@ func Load(path string, out any) error {
 	if err := json.Unmarshal(raw, &env); err != nil {
 		return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
 	}
-	if env.Magic != Magic {
+	if env.Magic != magic {
 		return fmt.Errorf("%w: %s: bad magic %q", ErrCorrupt, path, env.Magic)
 	}
-	if env.Version != Version {
-		return fmt.Errorf("%w: %s: version %d, want %d", ErrVersion, path, env.Version, Version)
+	if env.Version != version {
+		return fmt.Errorf("%w: %s: version %d, want %d", ErrVersion, path, env.Version, version)
 	}
 	sum := sha256.Sum256(env.Payload)
 	if hex.EncodeToString(sum[:]) != env.SHA256 {

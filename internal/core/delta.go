@@ -148,11 +148,11 @@ type netUndo struct {
 
 // Undo kinds (what Rollback has to invert).
 const (
-	undoNone byte = iota
-	undoNoop       // nothing changed
-	undoIdentical  // axis-cache hit: dirty nets' folds + buffer swaps
-	undoRebuild    // axes shifted: whole-state ping-pong swap
-	undoInit       // full (re)initialization: replay the previous state
+	undoNone      byte = iota
+	undoNoop           // nothing changed
+	undoIdentical      // axis-cache hit: dirty nets' folds + buffer swaps
+	undoRebuild        // axes shifted: whole-state ping-pong swap
+	undoInit           // full (re)initialization: replay the previous state
 )
 
 // deltaInstr holds the delta engine's resolved telemetry instruments.
@@ -287,8 +287,10 @@ func (d *DeltaEvaluator) Score(chip geom.Rect, nets []netlist.TwoPin) float64 {
 		//irlint:allow detsource(obs timing only)
 		t0 = time.Now()
 	}
-	d.apply(chip, nets)
+	root := d.m.Spans.Start("move")
+	d.apply(chip, nets, root)
 	s := d.finishScore()
+	root.End()
 	if in != nil {
 		//irlint:allow detsource(obs timing only)
 		in.moveNs.Observe(float64(time.Since(t0).Nanoseconds()))
@@ -301,7 +303,9 @@ func (d *DeltaEvaluator) Score(chip geom.Rect, nets []netlist.TwoPin) float64 {
 // scalar; it commits the state exactly like Score. The returned Map
 // aliases the engine's arena and is valid until the next call.
 func (d *DeltaEvaluator) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
-	d.apply(chip, nets)
+	root := d.m.Spans.Start("move")
+	d.apply(chip, nets, root)
+	root.End()
 	d.refreshProb()
 	return &d.mp
 }
@@ -321,6 +325,10 @@ func (d *DeltaEvaluator) Rollback() {
 	if in := d.instr; in != nil {
 		in.rollbacks.Inc()
 	}
+	// The "move" root span ended when Score returned, so the rollback
+	// stage attaches to the tree by explicit path.
+	sp := d.m.Spans.StartAt("move/rollback")
+	defer sp.End()
 	switch d.undoKind {
 	case undoNoop:
 		// No state was touched.
@@ -368,10 +376,12 @@ func (d *DeltaEvaluator) restoreNets() {
 }
 
 // apply advances the cached state to (chip, nets), updating the
-// accumulator through the cheapest valid path.
+// accumulator through the cheapest valid path. sp (the enclosing
+// "move" span, nil when spans are disabled) receives the per-stage
+// children: diff, fold-out/fold-in or rebuild.
 //
 //irlint:hot
-func (d *DeltaEvaluator) apply(chip geom.Rect, nets []netlist.TwoPin) {
+func (d *DeltaEvaluator) apply(chip geom.Rect, nets []netlist.TwoPin, sp *obs.Span) {
 	if !d.valid || len(nets) != len(d.nets) {
 		// Full fallback: no usable cached state (first call) or the net
 		// population changed shape.
@@ -381,7 +391,9 @@ func (d *DeltaEvaluator) apply(chip geom.Rect, nets []netlist.TwoPin) {
 		if d.valid {
 			d.prevNets = append(d.prevNets[:0], d.nets...)
 		}
+		c := sp.Child("rebuild")
 		d.fullInit(chip, nets)
+		c.End()
 		d.undoKind = undoInit
 		d.canUndo = true
 		if in := d.instr; in != nil {
@@ -391,6 +403,7 @@ func (d *DeltaEvaluator) apply(chip geom.Rect, nets []netlist.TwoPin) {
 	}
 
 	// Diff the net lists; record pre-move values for rollback.
+	c := sp.Child("diff")
 	dirty, undo := d.dirty[:0], d.undoNets[:0]
 	for i, n := range nets {
 		if n != d.nets[i] {
@@ -406,6 +419,7 @@ func (d *DeltaEvaluator) apply(chip geom.Rect, nets []netlist.TwoPin) {
 		in.dirtyNets.Add(int64(len(d.dirty)))
 	}
 	if len(d.dirty) == 0 && !chipChanged {
+		c.End()
 		d.undoKind = undoNoop
 		d.canUndo = true
 		return
@@ -443,14 +457,17 @@ func (d *DeltaEvaluator) apply(chip geom.Rect, nets []netlist.TwoPin) {
 		d.nets[i] = nets[i]
 	}
 	d.chip = chip
+	c.End()
 
 	if axisEqual(d.axX, d.axXAlt) && axisEqual(d.axY, d.axYAlt) {
 		d.axisHits++
-		d.identicalMove()
+		d.identicalMove(sp)
 		d.undoKind = undoIdentical
 	} else {
 		d.axisMiss++
+		c = sp.Child("rebuild")
 		d.rebuildMove()
+		c.End()
 		d.undoKind = undoRebuild
 	}
 	d.canUndo = true
@@ -470,14 +487,18 @@ func (d *DeltaEvaluator) apply(chip geom.Rect, nets []netlist.TwoPin) {
 // only the dirty nets fold out and back in.
 //
 //irlint:hot
-func (d *DeltaEvaluator) identicalMove() {
+func (d *DeltaEvaluator) identicalMove(sp *obs.Span) {
 	d.mp.XAxis, d.mp.YAxis = d.axX, d.axY
 	stride := d.axX.Cells()
 	for _, i := range d.dirty {
 		nv := &d.nv[i]
+		c := sp.Child("fold-out")
 		foldSide(d.acc, stride, &nv.cur, -1)
+		c.End()
+		c = sp.Child("fold-in")
 		d.computeSide(d.nets[i], &nv.cur, &nv.alt)
 		foldSide(d.acc, stride, &nv.alt, +1)
+		c.End()
 		nv.cur, nv.alt = nv.alt, nv.cur
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
@@ -162,12 +163,16 @@ func (e *Evaluator) Model() Model { return e.m }
 //irlint:hot
 func (e *Evaluator) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
 	in := e.instr
+	rec := e.m.Recorder
 	var tStart time.Time
-	if in != nil {
+	if in != nil || rec != nil {
 		//irlint:allow detsource(obs timing only)
 		tStart = time.Now()
 	}
+	root := e.m.Spans.Start("evaluate")
+	sp := root.Child("merge")
 	e.buildAxes(chip, nets)
+	sp.End()
 	cells := e.mp.Cols() * e.mp.Rows()
 	e.acc = resizeInt64s(e.acc, cells)
 	e.prob = resizeFloats(e.prob, cells)
@@ -187,12 +192,15 @@ func (e *Evaluator) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
 	w := e.workerCount(shards, len(nets))
 	e.growPartials(shards)
 	e.failed = e.failed[:0]
+	sp = root.Child("sweep")
 	if w > 1 {
 		e.runParallel(nets, shards, w)
 	} else {
 		e.runSequential(nets, shards)
 	}
 	e.retryFailed(nets, shards)
+	sp.End()
+	sp = root.Child("fold")
 	// Reduce the partial grids. Integer sums are order-independent, so
 	// any reduction order is bit-identical for every worker count and
 	// across recovered shard panics; shard order is kept for clarity.
@@ -205,6 +213,8 @@ func (e *Evaluator) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
 	for i, v := range e.acc {
 		e.prob[i] = float64(v) * probInv
 	}
+	sp.End()
+	root.End()
 	if in != nil {
 		//irlint:allow detsource(obs timing only)
 		end := time.Now()
@@ -216,6 +226,11 @@ func (e *Evaluator) Evaluate(chip geom.Rect, nets []netlist.TwoPin) *Map {
 		in.rows.Set(float64(e.mp.Rows()))
 		in.workersG.Set(float64(w))
 		e.flushWorkerTallies(in)
+	}
+	if rec != nil {
+		//irlint:allow detsource(obs timing only)
+		ns := time.Since(tStart).Nanoseconds()
+		rec.Record(obs.RecorderEvent{Kind: obs.RecEval, Ns: ns})
 	}
 	return &e.mp
 }
@@ -249,7 +264,11 @@ func (e *Evaluator) Score(chip geom.Rect, nets []netlist.TwoPin) float64 {
 		//irlint:allow detsource(obs timing only)
 		t0 = time.Now()
 	}
+	// The "evaluate" root span ended inside Evaluate, so the top-score
+	// stage attaches to the tree by explicit path.
+	sp := e.m.Spans.StartAt("evaluate/topscore")
 	s, cells := mp.topScore(e.cells, frac)
+	sp.End()
 	e.cells = cells
 	if in != nil {
 		//irlint:allow detsource(obs timing only)
@@ -453,7 +472,7 @@ func (e *Evaluator) runParallel(nets []netlist.TwoPin, shards, workers int) {
 func (e *Evaluator) runShard(w *evaluator, nets []netlist.TwoPin, shards, s int) {
 	defer func() {
 		if r := recover(); r != nil {
-			e.recordPanic(s)
+			e.recordPanic(s, r)
 		}
 	}()
 	lo, hi := shardRange(len(nets), shards, s)
@@ -467,8 +486,11 @@ func (e *Evaluator) runShard(w *evaluator, nets []netlist.TwoPin, shards, s int)
 }
 
 // recordPanic books a recovered shard panic and trips the degradation
-// latch once the lifetime count reaches degradeAfter.
-func (e *Evaluator) recordPanic(s int) {
+// latch once the lifetime count reaches degradeAfter. This is the
+// cold forensic path: the flight recorder gets a shard_panic event
+// and, when armed, dumps a postmortem file — the shard itself is
+// still retried, so the run continues.
+func (e *Evaluator) recordPanic(s int, r any) {
 	e.failMu.Lock()
 	e.failed = append(e.failed, s)
 	e.shardPanics++
@@ -482,6 +504,15 @@ func (e *Evaluator) recordPanic(s int) {
 		if degradeNow {
 			in.degraded.Inc()
 		}
+	}
+	if rec := e.m.Recorder; rec != nil {
+		rec.Record(obs.RecorderEvent{
+			Kind: obs.RecShardPanic,
+			Note: "shard " + strconv.Itoa(s) + ": " + fmt.Sprint(r),
+		})
+		// Dump errors are swallowed: forensics must never turn a
+		// recovered panic into a run failure.
+		rec.Dump(obs.RecShardPanic)
 	}
 }
 

@@ -89,6 +89,18 @@ type Model struct {
 	// allocations (TestDisabledTelemetryZeroAlloc,
 	// TestDisabledTelemetryNsBudget).
 	Obs *obs.Registry
+	// Spans, when non-nil, receives hierarchical stage timings from the
+	// evaluation engine: an "evaluate" root with merge/sweep/fold
+	// children (plus topscore under Score) on the full path, and a
+	// "move" root with diff/fold-out/fold-in/rebuild/rollback children
+	// on the delta path. Spans only time work the evaluation performed
+	// anyway, so span-enabled evaluations stay bit-identical; nil costs
+	// a few predictable branches and zero allocations.
+	Spans *obs.Spans
+	// Recorder, when non-nil, is the flight recorder the engine feeds
+	// eval events and shard-panic events into; a recovered shard panic
+	// additionally triggers a postmortem dump if the recorder is armed.
+	Recorder *obs.Recorder
 	// Ctx, when non-nil, is checked cooperatively at shard boundaries
 	// during evaluation: once it is canceled, workers stop claiming
 	// shards and Evaluate returns early with a partial (meaningless)
@@ -121,6 +133,23 @@ func (m Model) WithWorkers(workers int) any {
 // estimator-telemetry hook of higher layers (fplan.Config.Obs).
 func (m Model) WithObserver(reg *obs.Registry) any {
 	m.Obs = reg
+	return m
+}
+
+// WithSpans returns a copy of the model reporting stage timings into
+// sp. Like WithWorkers, the `any` return implements the optional
+// estimator-span hook of higher layers (fplan.Config.Spans).
+func (m Model) WithSpans(sp *obs.Spans) any {
+	m.Spans = sp
+	return m
+}
+
+// WithRecorder returns a copy of the model feeding eval and
+// shard-panic events into rec. Like WithWorkers, the `any` return
+// implements the optional estimator-recorder hook of higher layers
+// (fplan.Config.Recorder).
+func (m Model) WithRecorder(rec *obs.Recorder) any {
+	m.Recorder = rec
 	return m
 }
 

@@ -9,6 +9,7 @@ package fplan
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -87,8 +88,28 @@ type Config struct {
 	Obs *obs.Registry
 	// Trace, when non-nil, receives the JSONL run trace: run_start,
 	// calibration, one temp + solution event pair per temperature step,
-	// and run_end (carrying a metrics snapshot when Obs is also set).
+	// a spans event when Spans is also set, and run_end (carrying a
+	// metrics snapshot when Obs is also set).
 	Trace *obs.Tracer
+	// Spans, when non-nil, collects the run's hierarchical timing tree
+	// (setup, run/anneal/{calibrate,temp,checkpoint}, run/finalize,
+	// plus the estimator's evaluate/move stages for estimators with
+	// the WithSpans hook). Spans only time work already performed;
+	// span-enabled runs are bit-identical.
+	Spans *obs.Spans
+	// Recorder, when non-nil, is the run's black-box flight recorder:
+	// the annealer feeds it move/temp/checkpoint events, hooked
+	// estimators feed it eval and shard-panic events, and on
+	// cancellation/deadline (or any run error) Run dumps a postmortem
+	// to PostmortemPath.
+	Recorder *obs.Recorder
+	// Status, when non-nil, receives the live run-status feed served
+	// by the /debug/run endpoint.
+	Status *obs.Status
+	// PostmortemPath, when set together with Recorder, arms the
+	// recorder: faults (shard panics, cancellation, SIGQUIT handlers
+	// in the CLIs) dump a postmortem JSON file there.
+	PostmortemPath string
 	// CheckpointEvery, together with Checkpoint, writes a resumable
 	// snapshot after every CheckpointEvery completed temperature steps
 	// (and once more if the run is canceled).
@@ -133,7 +154,7 @@ type Runner struct {
 	packer                      *slicing.Packer
 	normArea, normWire, normCgt float64
 	pinScratch                  []geom.Pt
-	moveEst                     moveScorer // nil → full per-move evaluation
+	moveEst                     moveScorer   // nil → full per-move evaluation
 	instr                       *runnerInstr // nil when Cfg.Obs is nil
 	digest                      string       // configDigest, bound into snapshots
 }
@@ -195,6 +216,23 @@ func New(c *netlist.Circuit, cfg Config) (*Runner, error) {
 			}
 		}
 	}
+	// And the span tracker / flight recorder, for estimators exposing
+	// the deep-observability hooks (resolved before NewMoveScorer so
+	// the delta engine inherits them).
+	if cfg.Spans != nil && cfg.Estimator != nil {
+		if p, ok := cfg.Estimator.(interface{ WithSpans(*obs.Spans) any }); ok {
+			if est, ok := p.WithSpans(cfg.Spans).(Estimator); ok {
+				cfg.Estimator = est
+			}
+		}
+	}
+	if cfg.Recorder != nil && cfg.Estimator != nil {
+		if p, ok := cfg.Estimator.(interface{ WithRecorder(*obs.Recorder) any }); ok {
+			if est, ok := p.WithRecorder(cfg.Recorder).(Estimator); ok {
+				cfg.Estimator = est
+			}
+		}
+	}
 	r := &Runner{
 		Circuit: c,
 		Cfg:     cfg,
@@ -215,15 +253,29 @@ func New(c *netlist.Circuit, cfg Config) (*Runner, error) {
 	if cfg.Obs != nil {
 		r.instr = newRunnerInstr(cfg.Obs)
 	}
+	sp := cfg.Spans.Start("setup")
 	if _, err := r.initialLayout(); err != nil {
+		sp.End()
 		return nil, err
 	}
 	r.digest = r.configDigest()
 	r.calibrate()
+	sp.End()
 	if in := r.instr; in != nil {
 		in.normArea.Set(r.normArea)
 		in.normWire.Set(r.normWire)
 		in.normCgt.Set(r.normCgt)
+	}
+	// Arm the flight recorder now that the run identity is known; an
+	// armed recorder dumps a postmortem on faults from here on.
+	if cfg.Recorder != nil && cfg.PostmortemPath != "" {
+		cfg.Recorder.Arm(cfg.PostmortemPath, obs.PostmortemInfo{
+			Version:      buildinfo.Version(),
+			ConfigDigest: r.digest,
+			Circuit:      c.Name,
+			Model:        r.estimatorName(),
+			Seed:         cfg.Anneal.Seed,
+		}, cfg.Obs, cfg.Spans, cfg.Status)
 	}
 	return r, nil
 }
@@ -407,6 +459,8 @@ func (r *Runner) Run(ctx context.Context, onTemp func(step int, sol *Solution)) 
 		return sol
 	}
 	tr := r.Cfg.Trace
+	r.Cfg.Status.Begin(r.Circuit.Name, r.estimatorName(), r.Cfg.Anneal.Seed)
+	root := r.Cfg.Spans.Start("run")
 	//irlint:allow detsource(obs timing only)
 	start := time.Now()
 	tr.Emit(obs.RunStartEvent{
@@ -429,6 +483,12 @@ func (r *Runner) Run(ctx context.Context, onTemp func(step int, sol *Solution)) 
 	}
 	if cfg.Trace == nil {
 		cfg.Trace = tr
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = r.Cfg.Recorder
+	}
+	if cfg.Status == nil {
+		cfg.Status = r.Cfg.Status
 	}
 	cfg.CheckpointEvery = r.Cfg.CheckpointEvery
 	if sink := r.Cfg.Checkpoint; sink != nil {
@@ -465,16 +525,36 @@ func (r *Runner) Run(ctx context.Context, onTemp func(step int, sol *Solution)) 
 			}
 		}
 	}
+	spAnneal := root.Child("anneal")
+	cfg.Span = spAnneal
 	best, stats, runErr := anneal.Run(ctx, cfg, s0)
+	spAnneal.End()
 	restoreEstimator()
+	spFin := root.Child("finalize")
 	sol := resolve(best.(*saState).l)
+	spFin.End()
+	root.End()
+	outcome := obs.OutcomeCompleted
+	switch {
+	case runErr == nil:
+	case errors.Is(runErr, anneal.ErrCanceled):
+		outcome = obs.OutcomeCanceled
+	case errors.Is(runErr, anneal.ErrDeadline):
+		outcome = obs.OutcomeDeadline
+	default:
+		outcome = obs.OutcomeError
+	}
+	r.Cfg.Status.End(outcome)
 	//irlint:allow detsource(obs timing only)
 	elapsed := time.Since(start).Seconds()
 	if in := r.instr; in != nil && elapsed > 0 {
 		in.evalsPerSec.Set(float64(stats.Moves+stats.CalibrationMoves) / elapsed)
 	}
+	if r.Cfg.Spans != nil {
+		tr.Emit(obs.SpansEvent{Ev: obs.EvSpans, Spans: r.Cfg.Spans.Aggregates()})
+	}
 	tr.Emit(obs.RunEndEvent{
-		Ev:    obs.EvRunEnd,
+		Ev: obs.EvRunEnd, Outcome: outcome,
 		Temps: stats.Temps, Moves: stats.Moves,
 		CalibrationMoves: stats.CalibrationMoves,
 		Accepted:         stats.Accepted, UphillAccepted: stats.UphillAccepted,
@@ -484,6 +564,12 @@ func (r *Runner) Run(ctx context.Context, onTemp func(step int, sol *Solution)) 
 		Seconds: elapsed,
 		Metrics: r.Cfg.Obs.Snapshot(),
 	})
+	if outcome != obs.OutcomeCompleted {
+		// An interrupted run is a forensic event: dump the flight
+		// recorder (no-op when unarmed). Dump failures never mask the
+		// run's own error.
+		r.Cfg.Recorder.Dump(outcome)
+	}
 	return sol, stats, runErr
 }
 

@@ -1,0 +1,203 @@
+package fplan
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"irgrid/internal/core"
+	"irgrid/internal/obs"
+)
+
+// TestSpanRecorderRunBitIdentical extends the pipeline determinism
+// guard to the PR 7 deep-observability set: spans, flight recorder,
+// live status and postmortem arming must not change a single bit of
+// the result.
+func TestSpanRecorderRunBitIdentical(t *testing.T) {
+	mk := func(cfgMut func(*Config)) *Solution {
+		cfg := Config{
+			Weights:   Weights{Alpha: 0.4, Beta: 0.2, Gamma: 0.4},
+			Estimator: core.Model{Pitch: 30},
+			Pitch:     30, AllowRotate: true, Anneal: quickAnneal(13),
+		}
+		if cfgMut != nil {
+			cfgMut(&cfg)
+		}
+		r, err := New(tinyCircuit(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _, _ := r.Run(nil, nil)
+		return s
+	}
+
+	plain := mk(nil)
+
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	spans := obs.NewSpans()
+	rec := obs.NewRecorder(256)
+	status := obs.NewStatus()
+	pmPath := filepath.Join(t.TempDir(), "run.postmortem.json")
+	observed := mk(func(c *Config) {
+		c.Obs = obs.NewRegistry()
+		c.Trace = tr
+		c.Spans = spans
+		c.Recorder = rec
+		c.Status = status
+		c.PostmortemPath = pmPath
+	})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Cost != observed.Cost || plain.Area != observed.Area ||
+		plain.Wirelength != observed.Wirelength || plain.Congestion != observed.Congestion {
+		t.Errorf("observed run diverged:\nplain    %+v\nobserved %+v", plain, observed)
+	}
+	if plain.Expr.String() != observed.Expr.String() {
+		t.Errorf("observed run found a different floorplan: %s vs %s",
+			plain.Expr.String(), observed.Expr.String())
+	}
+
+	// The span forest covers every layer: setup, the run tree, the
+	// evaluator and the incremental move engine.
+	byPath := map[string]obs.SpanAggregate{}
+	for _, a := range spans.Aggregates() {
+		byPath[a.Path] = a
+	}
+	for _, path := range []string{
+		"setup",
+		"run", "run/anneal", "run/anneal/calibrate", "run/anneal/temp", "run/finalize",
+		"move", "move/diff",
+	} {
+		if byPath[path].Count == 0 {
+			t.Errorf("span path %q missing (have %v)", path, keys(byPath))
+		}
+	}
+
+	// The full-evaluation path (merge/sweep/fold) only runs when the
+	// incremental engine is bypassed.
+	fullSpans := obs.NewSpans()
+	mk(func(c *Config) { c.Spans = fullSpans; c.FullEval = true })
+	full := map[string]obs.SpanAggregate{}
+	for _, a := range fullSpans.Aggregates() {
+		full[a.Path] = a
+	}
+	for _, path := range []string{"evaluate", "evaluate/merge", "evaluate/sweep", "evaluate/fold", "evaluate/topscore"} {
+		if full[path].Count == 0 {
+			t.Errorf("FullEval span path %q missing (have %v)", path, keys(full))
+		}
+	}
+
+	// The trace carries the spans event and a completed outcome.
+	var spansEv, end *obs.TraceRecord
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r obs.TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatal(err)
+		}
+		switch r.Ev {
+		case obs.EvSpans:
+			cp := r
+			spansEv = &cp
+		case obs.EvRunEnd:
+			cp := r
+			end = &cp
+		}
+	}
+	if spansEv == nil || len(spansEv.Spans) == 0 {
+		t.Fatal("trace missing the spans event")
+	}
+	if end == nil || end.Outcome != obs.OutcomeCompleted {
+		t.Fatalf("run_end outcome = %+v, want completed", end)
+	}
+
+	// The recorder saw the run; a completed run dumps no postmortem.
+	if rec.Seq() == 0 {
+		t.Error("recorder saw no events")
+	}
+	if _, err := obs.LoadPostmortem(pmPath); err == nil {
+		t.Error("completed run wrote a postmortem; only faulted runs should")
+	}
+	if s := status.Snapshot(); s.Running || s.Outcome != obs.OutcomeCompleted {
+		t.Errorf("status after run: %+v", s)
+	}
+}
+
+func keys(m map[string]obs.SpanAggregate) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestCanceledRunOutcomeAndPostmortem pins the fault path: a canceled
+// run reports outcome "canceled" in the trace and status, and the
+// armed flight recorder writes a loadable postmortem.
+func TestCanceledRunOutcomeAndPostmortem(t *testing.T) {
+	pmPath := filepath.Join(t.TempDir(), "run.postmortem.json")
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	rec := obs.NewRecorder(64)
+	status := obs.NewStatus()
+	r, err := New(tinyCircuit(), Config{
+		Weights:   Weights{Alpha: 0.4, Beta: 0.2, Gamma: 0.4},
+		Estimator: core.Model{Pitch: 30},
+		Pitch:     30, AllowRotate: true, Anneal: quickAnneal(13),
+		Trace: tr, Recorder: rec, Status: status, PostmortemPath: pmPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, _, runErr := r.Run(ctx, nil)
+	if runErr == nil {
+		t.Fatal("canceled run returned no error")
+	}
+	if sol == nil {
+		t.Fatal("canceled run returned no best-so-far solution")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var end *obs.TraceRecord
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rcd obs.TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rcd); err != nil {
+			t.Fatal(err)
+		}
+		if rcd.Ev == obs.EvRunEnd {
+			cp := rcd
+			end = &cp
+		}
+	}
+	if end == nil || end.Outcome != obs.OutcomeCanceled {
+		t.Fatalf("run_end outcome %+v, want canceled", end)
+	}
+	if s := status.Snapshot(); s.Outcome != obs.OutcomeCanceled {
+		t.Errorf("status outcome %q, want canceled", s.Outcome)
+	}
+
+	pm, err := obs.LoadPostmortem(pmPath)
+	if err != nil {
+		t.Fatalf("canceled run left no postmortem: %v", err)
+	}
+	if pm.Reason != obs.OutcomeCanceled {
+		t.Errorf("postmortem reason %q, want canceled", pm.Reason)
+	}
+	if pm.Info.Circuit == "" || pm.Info.ConfigDigest == "" {
+		t.Errorf("postmortem info incomplete: %+v", pm.Info)
+	}
+	if pm.Status == nil || pm.Status.Outcome != obs.OutcomeCanceled {
+		t.Errorf("postmortem status %+v", pm.Status)
+	}
+}

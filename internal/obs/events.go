@@ -9,6 +9,7 @@ package obs
 //	temp         per temperature step (from the annealer)
 //	solution     per temperature step (from fplan): the cost-component
 //	             breakdown of the locally-optimized current solution
+//	spans        once, before run_end — per-path span timing aggregates
 //	run_end      once — final Stats plus a metrics snapshot
 //
 // TraceRecord is the union type for reading traces back.
@@ -19,7 +20,17 @@ const (
 	EvCalibration = "calibration"
 	EvTemp        = "temp"
 	EvSolution    = "solution"
+	EvSpans       = "spans"
 	EvRunEnd      = "run_end"
+)
+
+// Run outcomes, recorded in RunEndEvent.Outcome, Status and
+// postmortem dumps.
+const (
+	OutcomeCompleted = "completed"
+	OutcomeCanceled  = "canceled"
+	OutcomeDeadline  = "deadline"
+	OutcomeError     = "error"
 )
 
 // RunStartEvent identifies the run: what is being optimized, under
@@ -76,11 +87,22 @@ type SolutionEvent struct {
 	Cost           float64 `json:"cost"`
 }
 
+// SpansEvent carries the run's span timing tree as per-path
+// aggregates, emitted once just before run_end when a span tracker
+// was attached. Paths are slash-separated, so readers can rebuild the
+// tree by prefix (cmd/tracestat renders it as an indented forest).
+type SpansEvent struct {
+	Ev    string          `json:"ev"`
+	Spans []SpanAggregate `json:"spans"`
+}
+
 // RunEndEvent closes the trace with the run's Stats and, when a
 // metrics registry was attached, a snapshot of every instrument (so a
 // trace is self-contained: memo hit rates and stage timings ride along).
 type RunEndEvent struct {
-	Ev               string             `json:"ev"`
+	Ev string `json:"ev"`
+	// Outcome is how the run ended: completed|canceled|deadline|error.
+	Outcome          string             `json:"outcome,omitempty"`
 	Temps            int                `json:"temps"`
 	Moves            int                `json:"moves"` // search moves only
 	CalibrationMoves int                `json:"calibration_moves"`
@@ -139,4 +161,7 @@ type TraceRecord struct {
 	FinalCost        float64            `json:"final_cost"`
 	Seconds          float64            `json:"seconds"`
 	Metrics          map[string]float64 `json:"metrics"`
+
+	Outcome string          `json:"outcome"`
+	Spans   []SpanAggregate `json:"spans"`
 }

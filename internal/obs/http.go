@@ -1,20 +1,62 @@
 package obs
 
 import (
+	"context"
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
+	"time"
 )
 
-// Handler returns an http.Handler serving the registry's metrics at
-// /metrics in Prometheus text exposition format, and the standard
-// net/http/pprof profiling endpoints under /debug/pprof/. It uses its
-// own mux (nothing is registered on http.DefaultServeMux).
-func Handler(reg *Registry) http.Handler {
+// Hub bundles every live observability surface a process wants to
+// expose over HTTP. All fields are optional: absent surfaces simply
+// serve empty data, so callers wire up whatever subset they enabled.
+type Hub struct {
+	// Reg serves /metrics (Prometheus text exposition).
+	Reg *Registry
+	// Spans contributes span aggregates to /debug/run.
+	Spans *Spans
+	// Status contributes the live run snapshot to /debug/run.
+	Status *Status
+	// Recorder contributes ring depth/sequence counters to /debug/run.
+	Recorder *Recorder
+}
+
+// runDebug is the /debug/run response shape.
+type runDebug struct {
+	Status StatusSnapshot  `json:"status"`
+	Spans  []SpanAggregate `json:"spans,omitempty"`
+	// RecorderEvents/RecorderSeq describe the flight-recorder ring:
+	// how many events it holds and how many were ever recorded.
+	RecorderEvents int   `json:"recorder_events,omitempty"`
+	RecorderSeq    int64 `json:"recorder_seq,omitempty"`
+}
+
+// Handler returns an http.Handler serving the hub's surfaces on its
+// own mux (nothing is registered on http.DefaultServeMux):
+//
+//	/metrics       Prometheus text exposition of h.Reg
+//	/debug/run     JSON live run status + span aggregates
+//	/debug/pprof/  the standard net/http/pprof endpoints
+func (h Hub) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.WriteText(w)
+		h.Reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/run", func(w http.ResponseWriter, _ *http.Request) {
+		resp := runDebug{
+			Status:         h.Status.Snapshot(),
+			Spans:          h.Spans.Aggregates(),
+			RecorderEvents: h.Recorder.Len(),
+			RecorderSeq:    h.Recorder.Seq(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -24,15 +66,87 @@ func Handler(reg *Registry) http.Handler {
 	return mux
 }
 
-// Serve listens on addr and serves Handler(reg) in a background
-// goroutine. It returns the server (Close it to stop) and the bound
-// address, useful with ":0" ports.
-func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+// Handler returns an http.Handler serving reg's metrics plus the
+// pprof endpoints — the metrics-only view of Hub.Handler, kept for
+// callers that have no run-level surfaces.
+func Handler(reg *Registry) http.Handler {
+	return Hub{Reg: reg}.Handler()
+}
+
+// Server is a background observability HTTP server with graceful
+// shutdown: Shutdown drains in-flight requests (with ctx as the
+// deadline) and then waits for the serve goroutine to exit, so tests
+// can prove no goroutine leaks.
+type Server struct {
+	srv  *http.Server
+	addr net.Addr
+	done chan struct{}
+
+	mu       sync.Mutex
+	serveErr error
+}
+
+// Addr returns the server's bound address (useful with ":0" ports).
+func (s *Server) Addr() net.Addr { return s.addr }
+
+// Shutdown gracefully stops the server: the listener closes, in-flight
+// requests get until ctx's deadline to finish, and the background
+// serve goroutine is joined before returning.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	if err == nil {
+		s.mu.Lock()
+		err = s.serveErr
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// Close force-closes the server without draining, then joins the
+// serve goroutine. Prefer Shutdown; Close keeps the old abrupt
+// behavior for defer paths that cannot block.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	select {
+	case <-s.done:
+	case <-time.After(time.Second):
+	}
+	return err
+}
+
+// ServeHub listens on addr and serves hub.Handler() in a background
+// goroutine.
+func ServeHub(addr string, hub Hub) (*Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
-	go srv.Serve(ln)
-	return srv, ln.Addr(), nil
+	s := &Server{
+		srv:  &http.Server{Handler: hub.Handler()},
+		addr: ln.Addr(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if serr := s.srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			s.mu.Lock()
+			s.serveErr = serr
+			s.mu.Unlock()
+		}
+	}()
+	return s, ln.Addr(), nil
+}
+
+// Serve listens on addr and serves Handler(reg) in a background
+// goroutine. It returns the server (Shutdown or Close it to stop) and
+// the bound address.
+func Serve(addr string, reg *Registry) (*Server, net.Addr, error) {
+	return ServeHub(addr, Hub{Reg: reg})
 }

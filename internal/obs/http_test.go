@@ -1,11 +1,15 @@
 package obs
 
 import (
+	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestHandlerServesMetricsAndPprof(t *testing.T) {
@@ -51,6 +55,104 @@ func TestHandlerServesMetricsAndPprof(t *testing.T) {
 	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline status %d", code)
 	}
+}
+
+func TestHubDebugRun(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("anneal_moves_total").Add(7)
+	sp := NewSpans()
+	sp.Start("run").End()
+	st := NewStatus()
+	st.Begin("ami33", "ir-grid", 3)
+	st.Schedule(100, 10)
+	st.Step(20, 4.5, 120, 100, 0.35, 200)
+	rec := NewRecorder(8)
+	rec.Record(RecorderEvent{Kind: RecTemp, Step: 20})
+
+	srv := httptest.NewServer(Hub{Reg: reg, Spans: sp, Status: st, Recorder: rec}.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/run status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Status         StatusSnapshot  `json:"status"`
+		Spans          []SpanAggregate `json:"spans"`
+		RecorderEvents int             `json:"recorder_events"`
+		RecorderSeq    int64           `json:"recorder_seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Status.Running || doc.Status.Circuit != "ami33" || doc.Status.Step != 20 {
+		t.Errorf("status %+v", doc.Status)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Path != "run" {
+		t.Errorf("spans %+v", doc.Spans)
+	}
+	if doc.RecorderEvents != 1 || doc.RecorderSeq != 1 {
+		t.Errorf("recorder %d events seq %d, want 1/1", doc.RecorderEvents, doc.RecorderSeq)
+	}
+}
+
+// TestHubDebugRunEmpty pins that a bare hub (metrics only) still
+// serves /debug/run with zero-value sections instead of crashing on
+// nil handles.
+func TestHubDebugRunEmpty(t *testing.T) {
+	srv := httptest.NewServer(Hub{}.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/run status %d", resp.StatusCode)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerShutdownNoLeak pins graceful shutdown: Shutdown returns
+// only after the serve goroutine exits, so repeated serve/shutdown
+// cycles do not accumulate goroutines.
+func TestServerShutdownNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		srv, addr, err := Serve("127.0.0.1:0", NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Get("http://" + addr.String() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown %d: %v", i, err)
+		}
+		cancel()
+	}
+	// Goroutine counts are noisy (http keep-alive reapers, test
+	// runtime); allow slack but catch a per-cycle leak, which would
+	// add at least 5.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutines %d -> %d after 5 serve/shutdown cycles", before, runtime.NumGoroutine())
 }
 
 func TestServeBindsAndCloses(t *testing.T) {

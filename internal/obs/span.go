@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Spans aggregates hierarchical timing spans in process: every span
+// path (a slash-separated stage name like "run/anneal/temp") keeps a
+// count, a total and a maximum duration. The tracker follows the
+// telemetry layer's two hard guarantees: a nil *Spans hands out nil
+// *Span values whose methods are no-ops (zero overhead, zero
+// allocations when disabled — TestSpansDisabledZeroAlloc), and spans
+// only observe durations of work the pipeline already performed, so
+// span-enabled runs are bit-identical to untimed ones.
+//
+// Spans are pooled: steady-state Start/Child/End cycles allocate
+// nothing once a path has been interned (TestSpansSteadyStateAllocs).
+// The tracker is safe for concurrent use.
+type Spans struct {
+	mu sync.Mutex
+	// agg is the per-path aggregate. Entries are never removed, only
+	// Reset clears them.
+	agg map[string]*spanAgg
+	// paths interns full paths per (parent, child name) so the hot
+	// Start/Child path never concatenates strings after first use.
+	paths map[string]map[string]string
+	pool  sync.Pool
+}
+
+type spanAgg struct {
+	count   int64
+	totalNs int64
+	maxNs   int64
+}
+
+// Span is one live timing measurement. Obtain spans from
+// Spans.Start/StartAt or Span.Child; End records the elapsed time into
+// the tracker and recycles the span. All methods are no-ops on a nil
+// receiver, so instrumented code calls them unconditionally.
+type Span struct {
+	t     *Spans
+	path  string
+	start time.Time
+}
+
+// SpanAggregate is the exported aggregate of one span path, as emitted
+// in trace SpansEvents, postmortem dumps and /debug/run snapshots.
+type SpanAggregate struct {
+	Path    string `json:"path"`
+	Count   int64  `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+// NewSpans returns an enabled span tracker.
+func NewSpans() *Spans {
+	return &Spans{
+		agg:   make(map[string]*spanAgg),
+		paths: make(map[string]map[string]string),
+	}
+}
+
+// Start begins a root span. Nil trackers return a nil span.
+func (t *Spans) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.begin("", name)
+}
+
+// StartAt begins a span at an explicit slash-separated path, so
+// sibling stages recorded from different call frames can share one
+// tree (e.g. the top-score stage timed outside the evaluation root).
+// Nil trackers return a nil span.
+func (t *Spans) StartAt(path string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.begin("", path)
+}
+
+// Child begins a span nested under s's path. A nil span returns nil,
+// so disabled chains stay no-ops end to end.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.begin(s.path, name)
+}
+
+func (t *Spans) begin(parent, name string) *Span {
+	t.mu.Lock()
+	kids := t.paths[parent]
+	if kids == nil {
+		kids = make(map[string]string)
+		t.paths[parent] = kids
+	}
+	path, ok := kids[name]
+	if !ok {
+		if parent == "" {
+			path = name
+		} else {
+			path = parent + "/" + name
+		}
+		kids[name] = path
+	}
+	t.mu.Unlock()
+	sp, _ := t.pool.Get().(*Span)
+	if sp == nil {
+		sp = &Span{}
+	}
+	sp.t = t
+	sp.path = path
+	sp.start = time.Now()
+	return sp
+}
+
+// End records the span's elapsed time into its tracker and recycles
+// it. Safe on a nil (or already ended) span; a span must not be used
+// after End.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	ns := time.Since(s.start).Nanoseconds()
+	t := s.t
+	t.mu.Lock()
+	a := t.agg[s.path]
+	if a == nil {
+		a = &spanAgg{}
+		t.agg[s.path] = a
+	}
+	a.count++
+	a.totalNs += ns
+	if ns > a.maxNs {
+		a.maxNs = ns
+	}
+	t.mu.Unlock()
+	s.t = nil
+	t.pool.Put(s)
+}
+
+// Aggregates returns every span path's aggregate, sorted by path (so
+// a parent precedes its children). Nil trackers return nil.
+func (t *Spans) Aggregates() []SpanAggregate {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanAggregate, 0, len(t.agg))
+	for p, a := range t.agg {
+		out = append(out, SpanAggregate{Path: p, Count: a.count, TotalNs: a.totalNs, MaxNs: a.maxNs})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Reset drops every aggregate (interned paths survive). Nil-safe.
+func (t *Spans) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for p := range t.agg {
+		delete(t.agg, p)
+	}
+	t.mu.Unlock()
+}

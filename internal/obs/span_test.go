@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpansAggregates(t *testing.T) {
+	sp := NewSpans()
+	root := sp.Start("evaluate")
+	c := root.Child("merge")
+	time.Sleep(time.Millisecond)
+	c.End()
+	c = root.Child("sweep")
+	c.End()
+	root.End()
+	sp.Start("evaluate").End() // second top-level occurrence
+
+	aggs := sp.Aggregates()
+	want := []string{"evaluate", "evaluate/merge", "evaluate/sweep"}
+	if len(aggs) != len(want) {
+		t.Fatalf("%d aggregates, want %d: %+v", len(aggs), len(want), aggs)
+	}
+	for i, a := range aggs {
+		if a.Path != want[i] {
+			t.Errorf("aggregate %d path %q, want %q", i, a.Path, want[i])
+		}
+		if a.Count < 1 || a.TotalNs < 0 || a.MaxNs > a.TotalNs {
+			t.Errorf("aggregate %q implausible: %+v", a.Path, a)
+		}
+	}
+	if aggs[0].Count != 2 {
+		t.Errorf("evaluate count %d, want 2", aggs[0].Count)
+	}
+	if aggs[1].TotalNs < int64(time.Millisecond) {
+		t.Errorf("merge total %dns, want >= 1ms", aggs[1].TotalNs)
+	}
+
+	sp.Reset()
+	if n := len(sp.Aggregates()); n != 0 {
+		t.Errorf("%d aggregates after Reset, want 0", n)
+	}
+}
+
+func TestSpansStartAt(t *testing.T) {
+	sp := NewSpans()
+	s := sp.StartAt("evaluate/topscore")
+	s.End()
+	aggs := sp.Aggregates()
+	if len(aggs) != 1 || aggs[0].Path != "evaluate/topscore" {
+		t.Fatalf("aggregates %+v, want single evaluate/topscore", aggs)
+	}
+}
+
+func TestSpansNilSafe(t *testing.T) {
+	var sp *Spans
+	s := sp.Start("x")
+	if s != nil {
+		t.Fatalf("nil Spans.Start returned %+v, want nil", s)
+	}
+	s.Child("y").End() // must not panic
+	s.End()
+	s.End() // double End is safe
+	if sp.StartAt("a/b") != nil {
+		t.Error("nil Spans.StartAt should return nil")
+	}
+	if sp.Aggregates() != nil {
+		t.Error("nil Spans.Aggregates should return nil")
+	}
+	sp.Reset()
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	sp := NewSpans()
+	s := sp.Start("once")
+	s.End()
+	s.End() // second End must not double-count or panic
+	if aggs := sp.Aggregates(); len(aggs) != 1 || aggs[0].Count != 1 {
+		t.Fatalf("aggregates %+v, want single once with count 1", aggs)
+	}
+}
+
+// TestSpansDisabledZeroAlloc pins the zero-overhead contract: the
+// whole span API on a nil handle performs no allocation at all.
+func TestSpansDisabledZeroAlloc(t *testing.T) {
+	var sp *Spans
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := sp.Start("evaluate")
+		root.Child("merge").End()
+		s := sp.StartAt("evaluate/topscore")
+		s.End()
+		root.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled span path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSpansSteadyStateAllocFree pins the enabled steady state: after
+// the first pass interns the paths and primes the pool, repeated
+// Start/Child/End cycles are allocation-free.
+func TestSpansSteadyStateAllocFree(t *testing.T) {
+	sp := NewSpans()
+	cycle := func() {
+		root := sp.Start("evaluate")
+		root.Child("merge").End()
+		root.Child("sweep").End()
+		root.End()
+	}
+	cycle() // warm up: intern paths, seed the pool
+	allocs := testing.AllocsPerRun(1000, cycle)
+	// sync.Pool gives no hard guarantee, but the steady state should
+	// be at (or extremely near) zero; anything above 1 alloc/op means
+	// pooling or interning regressed.
+	if allocs > 1 {
+		t.Errorf("steady-state span cycle allocates %.1f allocs/op, want ~0", allocs)
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Status is the live run-status surface behind the /debug/run
+// endpoint: the annealing loop publishes cheap per-temperature facts
+// into it, and Snapshot derives progress rates (moves/sec, ETA) on
+// demand so the hot loop never computes them.
+//
+// All methods are safe on a nil receiver and safe for concurrent use.
+type Status struct {
+	mu sync.Mutex
+
+	running bool
+	outcome string
+	begin   time.Time
+
+	circuit string
+	model   string
+	seed    int64
+
+	maxSteps     int
+	movesPerTemp int
+
+	// stepsDone counts temperature steps completed in this process
+	// (a resumed run restarts it, so rates stay honest about the
+	// current process's throughput rather than the whole logical
+	// run's).
+	stepsDone  int
+	step       int
+	temp       float64
+	cost       float64
+	best       float64
+	acceptRate float64
+	moves      int64
+}
+
+// StatusSnapshot is the JSON shape served by /debug/run and embedded
+// in postmortem dumps.
+type StatusSnapshot struct {
+	Running bool `json:"running"`
+	// Outcome is set once the run ends: completed|canceled|deadline|error.
+	Outcome string `json:"outcome,omitempty"`
+	Circuit string `json:"circuit,omitempty"`
+	Model   string `json:"model,omitempty"`
+	Seed    int64  `json:"seed"`
+	// Step is the last completed temperature step (1-based); MaxSteps
+	// is the schedule's upper bound (early stop may end sooner).
+	Step     int `json:"step"`
+	MaxSteps int `json:"max_steps"`
+	// Temp/Cost/Best/AcceptRate mirror the most recent TempEvent.
+	Temp       float64 `json:"temp"`
+	Cost       float64 `json:"cost"`
+	Best       float64 `json:"best"`
+	AcceptRate float64 `json:"accept_rate"`
+	// Moves is the total move count so far in this process.
+	Moves int64 `json:"moves"`
+	// ElapsedSeconds is wall time since Begin.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// MovesPerSec is the mean throughput since Begin.
+	MovesPerSec float64 `json:"moves_per_sec"`
+	// ETASeconds projects time to finish the full schedule from the
+	// mean pace so far; -1 when unknown (no steps done yet, or no
+	// schedule). It is an upper bound: early stopping finishes sooner.
+	ETASeconds float64 `json:"eta_seconds"`
+}
+
+// NewStatus returns an enabled status surface.
+func NewStatus() *Status { return &Status{} }
+
+// Begin marks the run started and records its identity. Nil-safe.
+func (s *Status) Begin(circuit, model string, seed int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.running = true
+	s.outcome = ""
+	s.begin = time.Now()
+	s.circuit = circuit
+	s.model = model
+	s.seed = seed
+	s.stepsDone = 0
+	s.step = 0
+	s.moves = 0
+	s.mu.Unlock()
+}
+
+// Schedule records the cooling schedule's bounds once the annealer
+// has resolved its defaults. Nil-safe.
+func (s *Status) Schedule(maxSteps, movesPerTemp int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.maxSteps = maxSteps
+	s.movesPerTemp = movesPerTemp
+	s.mu.Unlock()
+}
+
+// Step publishes one completed temperature step. Nil-safe.
+func (s *Status) Step(step int, temp, cost, best, acceptRate float64, moves int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stepsDone++
+	s.step = step
+	s.temp = temp
+	s.cost = cost
+	s.best = best
+	s.acceptRate = acceptRate
+	s.moves = moves
+	s.mu.Unlock()
+}
+
+// End marks the run finished with the given outcome. Nil-safe.
+func (s *Status) End(outcome string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.running = false
+	s.outcome = outcome
+	s.mu.Unlock()
+}
+
+// Snapshot derives the current status. Nil receivers return a zero
+// snapshot with ETASeconds -1.
+func (s *Status) Snapshot() StatusSnapshot {
+	if s == nil {
+		return StatusSnapshot{ETASeconds: -1}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := StatusSnapshot{
+		Running:    s.running,
+		Outcome:    s.outcome,
+		Circuit:    s.circuit,
+		Model:      s.model,
+		Seed:       s.seed,
+		Step:       s.step,
+		MaxSteps:   s.maxSteps,
+		Temp:       s.temp,
+		Cost:       s.cost,
+		Best:       s.best,
+		AcceptRate: s.acceptRate,
+		Moves:      s.moves,
+		ETASeconds: -1,
+	}
+	if !s.begin.IsZero() {
+		elapsed := time.Since(s.begin).Seconds()
+		snap.ElapsedSeconds = elapsed
+		if elapsed > 0 {
+			snap.MovesPerSec = float64(s.moves) / elapsed
+		}
+		if s.running && s.stepsDone > 0 && s.maxSteps > s.step {
+			perStep := elapsed / float64(s.stepsDone)
+			snap.ETASeconds = perStep * float64(s.maxSteps-s.step)
+		}
+	}
+	return snap
+}

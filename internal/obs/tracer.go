@@ -59,6 +59,22 @@ func (t *Tracer) Emit(event any) {
 	t.err = t.enc.Encode(event)
 }
 
+// Flush pushes buffered events to the underlying writer without
+// closing it. The annealer calls this at temperature boundaries so a
+// crash loses at most the current temperature's events rather than
+// the whole buffered tail. Safe on a nil receiver.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.buf.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
 // Err returns the first write error, if any.
 func (t *Tracer) Err() error {
 	if t == nil {

@@ -71,6 +71,36 @@ func TestCreateTraceWritesFile(t *testing.T) {
 	}
 }
 
+// TestTracerFlush pins bounded staleness: after Flush, every emitted
+// event is visible to the underlying writer without closing the
+// tracer (the annealer flushes at each temperature boundary).
+func TestTracerFlush(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(TempEvent{Ev: EvTemp, Step: 0, Temp: 10})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"step":0`) {
+		t.Fatalf("flushed output missing event:\n%s", buf.String())
+	}
+	// The tracer stays usable after a flush.
+	tr.Emit(TempEvent{Ev: EvTemp, Step: 1, Temp: 9})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), `"ev":"temp"`); got != 2 {
+		t.Errorf("%d temp events after close, want 2:\n%s", got, buf.String())
+	}
+}
+
+func TestTracerFlushNilSafe(t *testing.T) {
+	var tr *Tracer
+	if err := tr.Flush(); err != nil {
+		t.Errorf("nil Flush = %v", err)
+	}
+}
+
 func TestTracerErrorSticks(t *testing.T) {
 	tr := NewTracer(failWriter{})
 	for i := 0; i < 2000; i++ { // force a flush past the bufio buffer

@@ -1,19 +1,24 @@
 // Package telemetry is the public face of the library's observability
 // subsystem: a lightweight metrics registry (counters, gauges,
-// histograms with Prometheus text exposition), a JSONL run tracer, and
-// an HTTP handler serving /metrics plus net/http/pprof.
+// histograms with Prometheus text exposition), a JSONL run tracer,
+// hierarchical span timing, a black-box flight recorder with
+// postmortem dumps, a live run-status surface, and an HTTP handler
+// serving /metrics, /debug/run and net/http/pprof.
 //
 // Telemetry is strictly opt-in and zero-overhead when disabled: every
-// consumer accepts a nil *Registry / nil *Tracer, and instrumented runs
-// are bit-identical to uninstrumented ones — instruments only observe
-// values the pipeline already computed.
+// consumer accepts a nil *Registry / *Tracer / *Spans / *Recorder /
+// *Status, and instrumented runs are bit-identical to uninstrumented
+// ones — instruments only observe values the pipeline already
+// computed.
 //
 //	reg := telemetry.NewRegistry()
+//	sp := telemetry.NewSpans()
+//	st := telemetry.NewStatus()
 //	tr, _ := telemetry.CreateTrace("run.trace.jsonl")
 //	defer tr.Close()
-//	srv, addr, _ := telemetry.Serve("localhost:0", reg)
-//	defer srv.Close()
-//	res, _ := floorplan.Run(c, floorplan.Options{..., Obs: reg, Trace: tr})
+//	srv, addr, _ := telemetry.ServeHub("localhost:0", telemetry.Hub{Reg: reg, Spans: sp, Status: st})
+//	defer srv.Shutdown(ctx)
+//	res, _ := floorplan.Run(c, floorplan.Options{..., Obs: reg, Trace: tr, Spans: sp, Status: st})
 package telemetry
 
 import (
@@ -44,13 +49,59 @@ type Tracer = obs.Tracer
 // one trace line into it and dispatch on the Ev field.
 type TraceRecord = obs.TraceRecord
 
+// Spans aggregates hierarchical timing spans; nil is a no-op.
+type Spans = obs.Spans
+
+// Span is one live timing measurement; nil is a no-op.
+type Span = obs.Span
+
+// SpanAggregate is the per-path aggregate (count/total/max) emitted in
+// traces, postmortems and /debug/run.
+type SpanAggregate = obs.SpanAggregate
+
+// Recorder is the black-box flight recorder; nil is a no-op.
+type Recorder = obs.Recorder
+
+// RecorderEvent is one flight-recorder ring entry.
+type RecorderEvent = obs.RecorderEvent
+
+// Status is the live run-status surface behind /debug/run; nil is a
+// no-op.
+type Status = obs.Status
+
+// StatusSnapshot is the derived run-status document.
+type StatusSnapshot = obs.StatusSnapshot
+
+// Postmortem is a flight-recorder dump read back by LoadPostmortem.
+type Postmortem = obs.Postmortem
+
+// PostmortemInfo is a postmortem's run-identity block.
+type PostmortemInfo = obs.PostmortemInfo
+
+// Hub bundles the observability surfaces one process exposes over
+// HTTP; absent fields serve empty data.
+type Hub = obs.Hub
+
+// Server is a background observability HTTP server with graceful
+// Shutdown.
+type Server = obs.Server
+
 // Trace event discriminators (TraceRecord.Ev values).
 const (
 	EvRunStart    = obs.EvRunStart
 	EvCalibration = obs.EvCalibration
 	EvTemp        = obs.EvTemp
 	EvSolution    = obs.EvSolution
+	EvSpans       = obs.EvSpans
 	EvRunEnd      = obs.EvRunEnd
+)
+
+// Run outcomes (RunEndEvent.Outcome / TraceRecord.Outcome values).
+const (
+	OutcomeCompleted = obs.OutcomeCompleted
+	OutcomeCanceled  = obs.OutcomeCanceled
+	OutcomeDeadline  = obs.OutcomeDeadline
+	OutcomeError     = obs.OutcomeError
 )
 
 // NewRegistry returns an enabled metrics registry.
@@ -63,6 +114,19 @@ func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
 // tracer writing to it; Close flushes and closes the file.
 func CreateTrace(path string) (*Tracer, error) { return obs.CreateTrace(path) }
 
+// NewSpans returns an enabled span tracker.
+func NewSpans() *Spans { return obs.NewSpans() }
+
+// NewRecorder returns a flight recorder keeping the last n events
+// (a default capacity if n <= 0).
+func NewRecorder(n int) *Recorder { return obs.NewRecorder(n) }
+
+// NewStatus returns an enabled run-status surface.
+func NewStatus() *Status { return obs.NewStatus() }
+
+// LoadPostmortem reads and verifies a postmortem dump file.
+func LoadPostmortem(path string) (*Postmortem, error) { return obs.LoadPostmortem(path) }
+
 // Handler returns an http.Handler serving the registry's metrics in
 // Prometheus text format at /metrics and the net/http/pprof profiling
 // endpoints under /debug/pprof/.
@@ -70,6 +134,12 @@ func Handler(reg *Registry) http.Handler { return obs.Handler(reg) }
 
 // Serve listens on addr and serves Handler(reg) in the background,
 // returning the server and its bound address (useful with ":0").
-func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+func Serve(addr string, reg *Registry) (*Server, net.Addr, error) {
 	return obs.Serve(addr, reg)
+}
+
+// ServeHub listens on addr and serves hub.Handler() in the background:
+// /metrics, /debug/run and /debug/pprof/.
+func ServeHub(addr string, hub Hub) (*Server, net.Addr, error) {
+	return obs.ServeHub(addr, hub)
 }
