@@ -1,0 +1,115 @@
+// Command floorpland is the floorplanning-as-a-service daemon: it
+// serves the HTTP JSON job API of internal/server — submit circuits,
+// poll status, fetch results, cancel, stream run traces — over a
+// bounded work queue with per-client rate limits, backed by a durable
+// state directory of per-job checkpoints.
+//
+//	floorpland -state-dir /var/lib/floorpland -addr 127.0.0.1:8455
+//
+// Jobs survive the daemon: a SIGTERM/SIGINT drains gracefully —
+// running jobs are checkpointed at their next annealing move and
+// persisted back to the queue — and even a SIGKILL (or power loss)
+// costs at most the work since each job's last periodic checkpoint.
+// On restart with the same -state-dir, interrupted jobs resume and
+// finish bit-identical to a run that was never interrupted.
+//
+// Observability rides the same listener: Prometheus metrics at
+// /metrics (queue depth, job counts, wait/run latencies plus every
+// run-level metric), the live run status at /debug/run, and pprof at
+// /debug/pprof/.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"irgrid/internal/buildinfo"
+	"irgrid/internal/cli"
+	"irgrid/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8455", "host:port to serve the job API on (use :0 for an ephemeral port)")
+		stateDir  = flag.String("state-dir", "", "durable job-store directory (required); jobs in it are recovered on start")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this file once listening (for supervisors and tests)")
+		workers   = flag.Int("workers", 1, "concurrent job-running workers")
+		queue     = flag.Int("queue", 16, "bounded queue depth; submissions beyond it get 429 + Retry-After")
+		rate      = flag.Float64("rate", 0, "per-client submission rate limit in jobs/second (0 disables)")
+		burst     = flag.Int("burst", 4, "rate-limit token-bucket burst")
+		ckptEvery = flag.Int("checkpoint-every", 5, "temperature steps between per-job checkpoints")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for checkpointing running jobs")
+		version   = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return 0
+	}
+	if *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "floorpland: -state-dir is required")
+		return cli.ExitUsage
+	}
+
+	logger := log.New(os.Stderr, "floorpland: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		StateDir:        *stateDir,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RateLimit:       *rate,
+		RateBurst:       *burst,
+		CheckpointEvery: *ckptEvery,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floorpland:", err)
+		return cli.ExitFailure
+	}
+
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floorpland:", err)
+		// The listener never started; still drain the worker pool.
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		srv.Shutdown(ctx)
+		return cli.ExitFailure
+	}
+	logger.Printf("%s", buildinfo.Version())
+	logger.Printf("serving job API at http://%s/v1/jobs (state in %s)", bound, *stateDir)
+	logger.Printf("metrics at http://%s/metrics, live run status at http://%s/debug/run", bound, bound)
+	if *addrFile != "" {
+		if werr := os.WriteFile(*addrFile, []byte(bound.String()+"\n"), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "floorpland:", werr)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			srv.Shutdown(ctx)
+			return cli.ExitFailure
+		}
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain: running jobs stop at
+	// their next annealing move, write a final resumable checkpoint,
+	// and are persisted back to the queue for the next daemon.
+	ctx, stop := cli.SignalContext(0)
+	<-ctx.Done()
+	stop()
+	logger.Printf("signal received; draining (budget %s)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		logger.Printf("drain: %v", err)
+		return cli.ExitFailure
+	}
+	logger.Printf("drained cleanly")
+	return 0
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"irgrid/floorplan"
+	"irgrid/internal/server"
+	"irgrid/internal/server/harness"
+)
+
+// buildDaemon compiles floorpland once per test into the test's temp
+// dir and returns the binary path.
+func buildDaemon(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "floorpland.bin")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary on an ephemeral port over stateDir
+// and waits for the address file.
+func startDaemon(t *testing.T, bin, stateDir, addrFile string, stderr *bytes.Buffer) (*exec.Cmd, *harness.Client) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-state-dir", stateDir,
+		"-addr-file", addrFile,
+		"-checkpoint-every", "1")
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(bytes.TrimSpace(b)) > 0 {
+			return cmd, harness.NewClient("http://" + string(bytes.TrimSpace(b)))
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("daemon never wrote its address\nstderr: %s", stderr.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestDaemonKillRestartResumesBitIdentical is the crash-safety
+// contract end to end, across real processes: SIGKILL a daemon
+// mid-anneal — no drain, no goodbye — restart it over the same state
+// directory, and the job resumes from its last periodic checkpoint to
+// a result bit-identical to an uninterrupted direct floorplan.Run.
+func TestDaemonKillRestartResumesBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds, kills and restarts a child daemon")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+	stateDir := filepath.Join(dir, "state")
+	addrFile := filepath.Join(dir, "addr")
+
+	var stderr1 bytes.Buffer
+	cmd1, client := startDaemon(t, bin, stateDir, addrFile, &stderr1)
+	defer cmd1.Process.Kill()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	st, err := client.Submit(ctx, &server.JobRequest{
+		Benchmark: "ami33",
+		Options: server.RunOptions{
+			Alpha: 0.4, Beta: 0.2, Gamma: 0.4,
+			Model: floorplan.ModelIRGrid, Pitch: 30,
+			Seed:         5,
+			MovesPerTemp: 30,
+			MaxTemps:     60,
+		},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v\nstderr: %s", err, stderr1.String())
+	}
+
+	// Let the anneal reach its second periodic checkpoint, then pull
+	// the plug with SIGKILL: no drain handler runs.
+	if _, err := client.WaitStatus(ctx, st.ID, func(s *server.JobStatus) bool {
+		return s.CheckpointStep >= 2
+	}); err != nil {
+		t.Fatalf("job never checkpointed: %v\nstderr: %s", err, stderr1.String())
+	}
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	os.Remove(addrFile)
+	var stderr2 bytes.Buffer
+	cmd2, client2 := startDaemon(t, bin, stateDir, addrFile, &stderr2)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+
+	final, err := client2.WaitTerminal(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("restarted daemon never finished the job: %v\nstderr: %s", err, stderr2.String())
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("resumed job state %q error %q", final.State, final.Error)
+	}
+	if final.Resumes < 1 {
+		t.Errorf("resumed job reports %d resumes, want >= 1", final.Resumes)
+	}
+	got, err := client2.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := floorplan.Benchmark("ami33")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := floorplan.Run(c, floorplan.Options{
+		Alpha: 0.4, Beta: 0.2, Gamma: 0.4,
+		Congestion:   floorplan.Congestion{Model: floorplan.ModelIRGrid, Pitch: 30},
+		Seed:         5,
+		MovesPerTemp: 30,
+		MaxTemps:     60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost || got.Area != want.Area || got.Wirelength != want.Wirelength ||
+		got.CongestionCost != want.CongestionCost || got.ChipW != want.ChipW || got.ChipH != want.ChipH {
+		t.Errorf("resumed result (cost %v area %v wl %v cong %v chip %vx%v) not bit-identical to direct run (cost %v area %v wl %v cong %v chip %vx%v)",
+			got.Cost, got.Area, got.Wirelength, got.CongestionCost, got.ChipW, got.ChipH,
+			want.Cost, want.Area, want.Wirelength, want.CongestionCost, want.ChipW, want.ChipH)
+	}
+	if len(got.Modules) != len(want.Modules) {
+		t.Fatalf("placed %d modules, want %d", len(got.Modules), len(want.Modules))
+	}
+	for i := range got.Modules {
+		if got.Modules[i] != want.Modules[i] {
+			t.Errorf("module %d = %+v, want %+v", i, got.Modules[i], want.Modules[i])
+		}
+	}
+}
+
+// TestDaemonSIGTERMDrainsCleanly pins the graceful path: a SIGTERM
+// while a job runs exits 0 after checkpointing and requeueing it, and
+// the job record survives on disk as queued.
+func TestDaemonSIGTERMDrainsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a child daemon")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+	stateDir := filepath.Join(dir, "state")
+	addrFile := filepath.Join(dir, "addr")
+
+	var stderr bytes.Buffer
+	cmd, client := startDaemon(t, bin, stateDir, addrFile, &stderr)
+	defer cmd.Process.Kill()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	st, err := client.Submit(ctx, &server.JobRequest{
+		Benchmark: "ami49",
+		Options: server.RunOptions{
+			Alpha: 0.4, Beta: 0.2, Gamma: 0.4,
+			Model: floorplan.ModelIRGrid, Pitch: 100,
+			Seed:         1,
+			MovesPerTemp: 60,
+			MaxTemps:     1000000,
+		},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v\nstderr: %s", err, stderr.String())
+	}
+	// Wait past the first periodic checkpoint so the drain interrupts
+	// a job that has durable progress to keep.
+	if _, err := client.WaitStatus(ctx, st.ID, func(s *server.JobStatus) bool {
+		return s.CheckpointStep >= 1
+	}); err != nil {
+		t.Fatalf("job never checkpointed: %v\nstderr: %s", err, stderr.String())
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited non-zero on SIGTERM: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Errorf("stderr missing drain notice:\n%s", stderr.String())
+	}
+
+	// The interrupted job is persisted back to the queue with its
+	// checkpoint beside it, ready for the next daemon.
+	ckpt := filepath.Join(stateDir, "jobs", st.ID, "run.ckpt")
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Errorf("drained job has no checkpoint: %v", err)
+	}
+	if _, err := floorplan.LoadCheckpoint(ckpt); err != nil {
+		t.Errorf("drained checkpoint does not verify: %v", err)
+	}
+}

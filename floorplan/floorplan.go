@@ -359,6 +359,49 @@ func validateOptions(opts *Options) error {
 	return nil
 }
 
+// resolveOptions validates opts and resolves the derived run
+// parameters every caller needs: the congestion estimator (nil when
+// the congestion term is disabled) and the effective area/wirelength
+// weights. All failures match ErrInvalidInput.
+func resolveOptions(opts *Options) (est fplan.Estimator, alpha, beta float64, err error) {
+	if err := validateOptions(opts); err != nil {
+		return nil, 0, 0, err
+	}
+	est, err = opts.Congestion.estimator()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	if opts.Gamma != 0 && est == nil {
+		return nil, 0, 0, fmt.Errorf("%w: Gamma=%g requires Options.Congestion.Model", ErrInvalidInput, opts.Gamma)
+	}
+	switch opts.WirelengthModel {
+	case "", string(wl.ModelMST), string(wl.ModelHPWL), string(wl.ModelStar), string(wl.ModelClique), string(wl.ModelSteiner):
+	default:
+		return nil, 0, 0, fmt.Errorf("%w: unknown wirelength model %q", ErrInvalidInput, opts.WirelengthModel)
+	}
+	switch opts.Representation {
+	case "", ReprSlicing, ReprSeqPair:
+	default:
+		return nil, 0, 0, fmt.Errorf("%w: unknown representation %q", ErrInvalidInput, opts.Representation)
+	}
+	alpha, beta = opts.Alpha, opts.Beta
+	if alpha == 0 && beta == 0 && opts.Gamma == 0 {
+		alpha, beta = 0.5, 0.5
+	}
+	return est, alpha, beta, nil
+}
+
+// ValidateOptions checks that opts could parameterize a run — finite
+// non-negative weights and pitches, known model/wirelength/
+// representation names, a congestion model whenever Gamma > 0 —
+// without running anything. Failures match ErrInvalidInput. Services
+// use it to reject bad submissions at the API boundary instead of
+// discovering them when the job is eventually scheduled.
+func ValidateOptions(opts Options) error {
+	_, _, _, err := resolveOptions(&opts)
+	return err
+}
+
 // Run floorplans the circuit. It is RunContext without cancellation.
 func Run(c *Circuit, opts Options) (*Result, error) {
 	return RunContext(context.Background(), c, opts)
@@ -377,26 +420,15 @@ func RunContext(ctx context.Context, c *Circuit, opts Options) (*Result, error) 
 }
 
 func runContext(ctx context.Context, c *Circuit, opts Options, snap *Snapshot) (*Result, error) {
-	if err := validateOptions(&opts); err != nil {
+	est, alpha, beta, err := resolveOptions(&opts)
+	if err != nil {
 		return nil, err
 	}
 	sp := opts.Spans.Start("parse")
 	ic, err := c.toInternal()
-	if err != nil {
-		sp.End()
-		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
-	}
-	est, err := opts.Congestion.estimator()
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
-	}
-	if opts.Gamma != 0 && est == nil {
-		return nil, fmt.Errorf("%w: Gamma=%g requires Options.Congestion.Model", ErrInvalidInput, opts.Gamma)
-	}
-	alpha, beta := opts.Alpha, opts.Beta
-	if alpha == 0 && beta == 0 && opts.Gamma == 0 {
-		alpha, beta = 0.5, 0.5
 	}
 	pinPitch := opts.PinPitch
 	if pinPitch <= 0 {
@@ -404,11 +436,6 @@ func runContext(ctx context.Context, c *Circuit, opts Options, snap *Snapshot) (
 	}
 	if pinPitch <= 0 {
 		pinPitch = 30
-	}
-	switch opts.WirelengthModel {
-	case "", string(wl.ModelMST), string(wl.ModelHPWL), string(wl.ModelStar), string(wl.ModelClique), string(wl.ModelSteiner):
-	default:
-		return nil, fmt.Errorf("%w: unknown wirelength model %q", ErrInvalidInput, opts.WirelengthModel)
 	}
 	checkpoint := opts.Checkpoint
 	if path := opts.CheckpointPath; path != "" {

@@ -105,13 +105,15 @@ var DeterministicPackages = []string{
 
 // CtxPackages are the packages whose exported API must propagate
 // cooperative cancellation through unbounded loops (the PR 4
-// contract): the annealer, the pipeline, the public floorplan API and
-// the evaluation engine.
+// contract): the annealer, the pipeline, the public floorplan API,
+// the evaluation engine, and the job service whose workers and poll
+// loops run jobs under per-job contexts.
 var CtxPackages = []string{
 	"irgrid/internal/anneal",
 	"irgrid/internal/fplan",
 	"irgrid/floorplan",
 	"irgrid/internal/core",
+	"irgrid/internal/server",
 }
 
 // inPackageSet reports whether the effective path is one of the given

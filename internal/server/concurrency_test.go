@@ -1,0 +1,231 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"irgrid/internal/server"
+	"irgrid/internal/server/harness"
+)
+
+// tinyRequest is the smallest real job — a handful of moves on apte —
+// for tests that need many jobs to finish quickly.
+func tinyRequest(seed int64) *server.JobRequest {
+	return &server.JobRequest{
+		Benchmark: "apte",
+		Options: server.RunOptions{
+			Alpha: 0.5, Beta: 0.5,
+			Seed:         seed,
+			MovesPerTemp: 4,
+			MaxTemps:     2,
+		},
+	}
+}
+
+// TestConcurrentClientsFIFOFairness hammers a single-worker queue
+// from several concurrent clients and verifies the service never
+// reorders work: jobs start and finish in exactly the order their
+// submissions were accepted (job IDs are allocated in accept order).
+func TestConcurrentClientsFIFOFairness(t *testing.T) {
+	const clients, jobsPerClient = 3, 3
+	ts := harness.StartTestServer(t, func(c *server.Config) {
+		c.Workers = 1
+		c.QueueDepth = clients * jobsPerClient
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*jobsPerClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := harness.NewClient(ts.HTTP.URL)
+			cl.ClientID = fmt.Sprintf("client-%d", c)
+			for j := 0; j < jobsPerClient; j++ {
+				st, err := cl.Submit(ctx, tinyRequest(int64(100*c+j)))
+				if err != nil {
+					errs <- fmt.Errorf("client %d job %d: %w", c, j, err)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, st.ID)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(ids) != clients*jobsPerClient {
+		t.Fatalf("accepted %d jobs, want %d", len(ids), clients*jobsPerClient)
+	}
+
+	finals := make(map[string]*server.JobStatus, len(ids))
+	for _, id := range ids {
+		st, err := ts.WaitTerminal(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != server.StateDone {
+			t.Fatalf("job %s finished %q (%s), want done", id, st.State, st.Error)
+		}
+		finals[id] = st
+	}
+
+	// FIFO: sorted by ID (accept order), start times must be
+	// non-decreasing and every job must start only after the previous
+	// one finished (single worker).
+	sort.Strings(ids)
+	for i := 1; i < len(ids); i++ {
+		prev, cur := finals[ids[i-1]], finals[ids[i]]
+		if cur.StartedUnixNs < prev.StartedUnixNs {
+			t.Errorf("job %s started before earlier-accepted %s", ids[i], ids[i-1])
+		}
+		if cur.StartedUnixNs < prev.FinishedUnixNs {
+			t.Errorf("job %s overlapped %s on a 1-worker queue", ids[i], ids[i-1])
+		}
+	}
+}
+
+// TestQueueFullBackpressure pins the bounded-queue contract under
+// concurrent submitters: with the worker pinned on a long job and the
+// queue full, every further submission gets 429 queue_full with a
+// Retry-After, and nothing panics or deadlocks.
+func TestQueueFullBackpressure(t *testing.T) {
+	ts := harness.StartTestServer(t, func(c *server.Config) {
+		c.Workers = 1
+		c.QueueDepth = 2
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	blocker, err := ts.Submit(ctx, longRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.WaitStatus(ctx, blocker.ID, func(st *server.JobStatus) bool {
+		return st.State == server.StateRunning
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := ts.Submit(ctx, longRequest(int64(10+i))); err != nil {
+			t.Fatalf("filling queue slot %d: %v", i, err)
+		}
+	}
+
+	const overflow = 8
+	var wg sync.WaitGroup
+	rejects := make(chan error, overflow)
+	for i := 0; i < overflow; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := ts.Submit(ctx, longRequest(int64(100+i)))
+			rejects <- err
+		}(i)
+	}
+	wg.Wait()
+	close(rejects)
+	for err := range rejects {
+		var apiErr *server.Error
+		if !errors.As(err, &apiErr) || apiErr.Status != 429 || apiErr.Code != server.CodeQueueFull {
+			t.Fatalf("overflow submit = %v, want 429 %s", err, server.CodeQueueFull)
+		}
+	}
+}
+
+// TestRateLimitPerClient pins the token bucket: one client burns its
+// burst and gets 429 rate_limited; a different X-Client-ID is an
+// independent bucket and sails through.
+func TestRateLimitPerClient(t *testing.T) {
+	ts := harness.StartTestServer(t, func(c *server.Config) {
+		c.RateLimit = 0.001 // effectively no refill within the test
+		c.RateBurst = 2
+		c.QueueDepth = 16
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	a := harness.NewClient(ts.HTTP.URL)
+	a.ClientID = "client-a"
+	for i := 0; i < 2; i++ {
+		if _, err := a.Submit(ctx, tinyRequest(int64(i))); err != nil {
+			t.Fatalf("client-a submit %d within burst: %v", i, err)
+		}
+	}
+	_, err := a.Submit(ctx, tinyRequest(99))
+	var apiErr *server.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != 429 || apiErr.Code != server.CodeRateLimited {
+		t.Fatalf("client-a over-burst submit = %v, want 429 %s", err, server.CodeRateLimited)
+	}
+
+	b := harness.NewClient(ts.HTTP.URL)
+	b.ClientID = "client-b"
+	if _, err := b.Submit(ctx, tinyRequest(7)); err != nil {
+		t.Fatalf("client-b (fresh bucket) submit: %v", err)
+	}
+}
+
+// TestShutdownLeaksNoGoroutines boots full servers, runs jobs through
+// them, shuts down, and verifies the goroutine count settles back —
+// workers, HTTP handlers and event followers all exit.
+func TestShutdownLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	for cycle := 0; cycle < 3; cycle++ {
+		func() {
+			ts := harness.StartTestServer(t, func(c *server.Config) {
+				c.Workers = 2
+			})
+			defer ts.HTTP.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+
+			st, err := ts.Submit(ctx, tinyRequest(int64(cycle)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A follower tails the events stream while we shut down.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				ts.Events(ctx, st.ID, true)
+			}()
+			if _, err := ts.WaitTerminal(ctx, st.ID); err != nil {
+				t.Fatal(err)
+			}
+			<-done
+			sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer scancel()
+			if err := ts.Server.Shutdown(sctx); err != nil {
+				t.Fatalf("cycle %d shutdown: %v", cycle, err)
+			}
+		}()
+	}
+
+	// Give runtime-managed goroutines (timers, finished handlers) a
+	// moment to unwind, mirroring internal/obs's leak check.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d (leak)", before, runtime.NumGoroutine())
+}

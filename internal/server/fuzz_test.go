@@ -1,0 +1,68 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzJobRequest throws arbitrary bytes at the submission decoder and
+// validator: they must never panic, and every rejection must be a
+// typed client error (4xx) — malformed JSON, NaN/Inf floats, unknown
+// fields, oversized documents and hostile nesting all included.
+func FuzzJobRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"benchmark":"apte"}`,
+		`{"benchmark":"apte","options":{"seed":7,"moves_per_temp":4,"max_temps":2}}`,
+		`{"benchmark":"nope"}`,
+		`{"benchmark":"apte","yal":"MODULE x;"}`,
+		`{"yal":"MODULE bogus"}`,
+		`{"benchmark":"apte","options":{"alpha":-1}}`,
+		`{"benchmark":"apte","options":{"alpha":1e999}}`,
+		`{"benchmark":"apte","options":{"alpha":NaN}}`,
+		`{"benchmark":"apte","options":{"timeout_seconds":-3}}`,
+		`{"benchmark":"apte","options":{"representation":"quantum"}}`,
+		`{"benchmark":"apte","options":{"model":"telepathy"}}`,
+		`{"benchmark":"apte","unknown_field":1}`,
+		`{"benchmark":"apte"}{"benchmark":"apte"}`,
+		`{"circuit":{"name":"c","modules":[]}}`,
+		`{"circuit":{"name":"c","modules":[{"name":"m","w":-5,"h":3}]}}`,
+		`{"circuit":{"name":"c","modules":[{"name":"m","w":4,"h":3}],` +
+			`"nets":[{"name":"n","pins":[{"module":"ghost"}]}]}}`,
+		`{"benchmark":"apte","options":` + strings.Repeat(`{"seed":`, 200) + `1` + strings.Repeat(`}`, 200) + `}`,
+		"\x00\xff\xfe",
+		`{"benchmark":"` + strings.Repeat("a", 1<<16) + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		spec, apiErr := decodeJobRequest(body)
+		switch {
+		case apiErr != nil:
+			if spec != nil {
+				t.Fatalf("decode returned both a spec and an error %v", apiErr)
+			}
+			if apiErr.Status < 400 || apiErr.Status >= 500 {
+				t.Fatalf("rejection status %d (%s: %s), want 4xx", apiErr.Status, apiErr.Code, apiErr.Message)
+			}
+			if apiErr.Code == "" || apiErr.Message == "" {
+				t.Fatalf("rejection missing code/message: %+v", apiErr)
+			}
+		case spec == nil:
+			t.Fatal("decode returned neither spec nor error")
+		default:
+			// Accepted specs must be fully resolved: a runnable circuit
+			// and options the engine itself would accept.
+			if spec.circuit == nil {
+				t.Fatal("accepted spec has no circuit")
+			}
+			if err := spec.circuit.Validate(); err != nil {
+				t.Fatalf("accepted spec fails circuit validation: %v", err)
+			}
+		}
+	})
+}

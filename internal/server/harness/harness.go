@@ -1,0 +1,290 @@
+// Package harness is the end-to-end test rig for the floorplanning
+// service: an httptest-backed server factory with a temporary
+// checkpoint directory, a typed API client, and poll-until-terminal
+// helpers. Every server test drives the real HTTP surface through it,
+// and cmd/floorpland's child-process tests reuse the client against a
+// real daemon.
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"irgrid/internal/server"
+	"irgrid/telemetry"
+)
+
+// TestServer is an in-process service instance bound to an
+// httptest.Server, with its state directory on the test's temp dir so
+// checkpoints and job records vanish with the test.
+type TestServer struct {
+	*Client
+	Server   *server.Server
+	HTTP     *httptest.Server
+	StateDir string
+}
+
+// StartTestServer boots a service on a fresh temp state directory and
+// registers cleanup (graceful shutdown, then HTTP close). Mutate the
+// returned config via opts before boot.
+func StartTestServer(t testing.TB, opts ...func(*server.Config)) *TestServer {
+	t.Helper()
+	cfg := server.Config{
+		StateDir:        t.TempDir(),
+		Workers:         1,
+		QueueDepth:      16,
+		CheckpointEvery: 1,
+		Logf:            t.Logf,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return startOn(t, cfg)
+}
+
+// Restart shuts the current instance down gracefully and boots a new
+// one over the same state directory — the in-process analogue of a
+// daemon restart, proving drain/recover round trips.
+func (ts *TestServer) Restart(t testing.TB) *TestServer {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ts.Server.Shutdown(ctx); err != nil {
+		t.Fatalf("harness: shutdown before restart: %v", err)
+	}
+	ts.HTTP.Close()
+	cfg := ts.Server.Config()
+	return startOn(t, cfg)
+}
+
+func startOn(t testing.TB, cfg server.Config) *TestServer {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("harness: starting server: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	ts := &TestServer{
+		Client:   NewClient(hs.URL),
+		Server:   s,
+		HTTP:     hs,
+		StateDir: cfg.StateDir,
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		hs.Close()
+	})
+	return ts
+}
+
+// Client is a typed client of the job API. Non-2xx responses decode
+// into *server.Error, so tests assert on codes, not substrings.
+type Client struct {
+	BaseURL string
+	// ClientID, when set, is sent as X-Client-ID — the rate-limit
+	// identity.
+	ClientID string
+	HTTP     *http.Client
+}
+
+// NewClient returns a client of the service at baseURL (no trailing
+// slash required).
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP:    &http.Client{Timeout: 2 * time.Minute},
+	}
+}
+
+// do issues one request and decodes the response: into out on 2xx,
+// into *server.Error otherwise.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.ClientID != "" {
+		req.Header.Set("X-Client-ID", c.ClientID)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var env struct {
+			Error *server.Error `json:"error"`
+		}
+		if jerr := json.Unmarshal(raw, &env); jerr != nil || env.Error == nil {
+			return fmt.Errorf("harness: %s %s: status %d, undecodable body %q", method, path, resp.StatusCode, raw)
+		}
+		env.Error.Status = resp.StatusCode
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			env.Error.Message += " (Retry-After: " + ra + ")"
+		}
+		return env.Error
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Submit posts a job and returns its accepted status document.
+func (c *Client) Submit(ctx context.Context, req *server.JobRequest) (*server.JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.SubmitRaw(ctx, body)
+}
+
+// SubmitRaw posts a raw submission body (malformed-input tests).
+func (c *Client) SubmitRaw(ctx context.Context, body []byte) (*server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a job's status document.
+func (c *Client) Status(ctx context.Context, id string) (*server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List fetches every job's status, newest first.
+func (c *Client) List(ctx context.Context) ([]*server.JobStatus, error) {
+	var doc struct {
+		Jobs []*server.JobStatus `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &doc); err != nil {
+		return nil, err
+	}
+	return doc.Jobs, nil
+}
+
+// Result fetches a done job's result document.
+func (c *Client) Result(ctx context.Context, id string) (*server.JobResult, error) {
+	var res server.JobResult
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Cancel requests cancellation and returns the job's status at that
+// instant (a queued job is already canceled; a running one winds down
+// at its next annealing move).
+func (c *Client) Cancel(ctx context.Context, id string) (*server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Events fetches the job's trace events decoded into the telemetry
+// union type; follow tails until the job is terminal.
+func (c *Client) Events(ctx context.Context, id string, follow bool) ([]telemetry.TraceRecord, error) {
+	path := "/v1/jobs/" + id + "/events"
+	if follow {
+		path += "?follow=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.ClientID != "" {
+		req.Header.Set("X-Client-ID", c.ClientID)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("harness: events status %d: %s", resp.StatusCode, raw)
+	}
+	var out []telemetry.TraceRecord
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		// The response body is already bound to ctx via the request,
+		// but a follow stream can idle between lines; bail promptly.
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec telemetry.TraceRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("harness: undecodable trace line %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// WaitTerminal polls a job until it reaches a terminal state (done,
+// failed or canceled), the poll predicate below it, or ctx expires.
+func (c *Client) WaitTerminal(ctx context.Context, id string) (*server.JobStatus, error) {
+	return c.WaitStatus(ctx, id, func(st *server.JobStatus) bool {
+		return st.State == server.StateDone || st.State == server.StateFailed || st.State == server.StateCanceled
+	})
+}
+
+// WaitStatus polls a job until pred accepts its status or ctx
+// expires.
+func (c *Client) WaitStatus(ctx context.Context, id string, pred func(*server.JobStatus) bool) (*server.JobStatus, error) {
+	for {
+		st, err := c.Status(ctx, id)
+		if err == nil && pred(st) {
+			return st, nil
+		}
+		if err != nil {
+			// Keep polling through transient transport errors, but a
+			// typed API error (404, …) is conclusive.
+			if apiErr, ok := err.(*server.Error); ok {
+				return nil, apiErr
+			}
+		}
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = fmt.Errorf("job %s not terminal before deadline (last state %s)", id, "unknown")
+			}
+			return nil, fmt.Errorf("harness: waiting on job %s: %w (last error: %v)", id, ctx.Err(), err)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

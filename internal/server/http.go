@@ -1,0 +1,264 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"irgrid/internal/buildinfo"
+	"irgrid/telemetry"
+)
+
+// buildHandler assembles the API mux:
+//
+//	POST   /v1/jobs              submit a job (202 + status doc)
+//	GET    /v1/jobs              list jobs, newest first
+//	GET    /v1/jobs/{id}         job status
+//	DELETE /v1/jobs/{id}         cancel (frees a queued job's slot)
+//	GET    /v1/jobs/{id}/result  terminal result document
+//	GET    /v1/jobs/{id}/events  the job's JSONL run trace (?follow=1 tails)
+//	GET    /healthz              liveness + build version
+//	/metrics, /debug/run, /debug/pprof/   the telemetry hub
+//
+// Every non-2xx response is the JSON error envelope; only job
+// submission is rate limited (polling is cheap and harness-driven).
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.instrument(s.handleJobs))
+	mux.HandleFunc("/v1/jobs/", s.instrument(s.handleJob))
+	mux.HandleFunc("/healthz", s.instrument(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status":  "ok",
+			"version": buildinfo.Version(),
+		})
+	}))
+	hub := telemetry.Hub{Reg: s.reg, Status: s.status}.Handler()
+	mux.Handle("/metrics", hub)
+	mux.Handle("/debug/", hub)
+	return mux
+}
+
+// instrument counts requests.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mRequests.Inc()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+func writeError(w http.ResponseWriter, e *Error) {
+	writeJSON(w, e.Status, errorEnvelope{Error: e})
+}
+
+func methodNotAllowed(w http.ResponseWriter, allow ...string) {
+	w.Header().Set("Allow", strings.Join(allow, ", "))
+	writeError(w, &Error{Status: http.StatusMethodNotAllowed, Code: CodeMethodNotAllowed,
+		Message: fmt.Sprintf("allowed methods: %s", strings.Join(allow, ", "))})
+}
+
+// handleJobs serves the collection: POST submits, GET lists.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSubmit(w, r)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.listJobs()})
+	default:
+		methodNotAllowed(w, http.MethodPost, http.MethodGet)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if ok, retry := s.limiter.allow(clientKey(r), time.Now()); !ok {
+		s.mRateLimited.Inc()
+		secs := int(retry/time.Second) + 1
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeError(w, &Error{Status: http.StatusTooManyRequests, Code: CodeRateLimited,
+			Message: fmt.Sprintf("client submission rate exceeded; retry in %ds", secs)})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		// MaxBytesReader's error is the only way ReadAll fails here
+		// short of a client disconnect; both are client errors.
+		writeError(w, &Error{Status: http.StatusBadRequest, Code: CodeTooLarge,
+			Message: fmt.Sprintf("reading request body (cap %d bytes): %v", s.cfg.MaxBodyBytes, err)})
+		return
+	}
+	st, apiErr := s.submit(body)
+	if apiErr != nil {
+		if apiErr.Code == CodeQueueFull {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleJob routes /v1/jobs/{id}[/result|/events].
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		writeError(w, &Error{Status: http.StatusNotFound, Code: CodeNotFound, Message: "missing job id"})
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			s.handleStatus(w, id)
+		case http.MethodDelete:
+			s.handleCancel(w, id)
+		default:
+			methodNotAllowed(w, http.MethodGet, http.MethodDelete)
+		}
+	case "result":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		s.handleResult(w, id)
+	case "events":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		s.handleEvents(w, r, id)
+	default:
+		writeError(w, &Error{Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: fmt.Sprintf("no resource %q under job %s", sub, id)})
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, id string) {
+	j, pos := s.lookup(id)
+	if j == nil {
+		writeError(w, &Error{Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: fmt.Sprintf("no job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(pos))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, id string) {
+	st, apiErr := s.cancelJob(id)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, id string) {
+	j, _ := s.lookup(id)
+	if j == nil {
+		writeError(w, &Error{Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: fmt.Sprintf("no job %q", id)})
+		return
+	}
+	st := j.status(0)
+	switch st.State {
+	case StateDone:
+		doc, err := s.loadResult(j)
+		if err != nil {
+			writeError(w, &Error{Status: http.StatusInternalServerError, Code: "internal",
+				Message: fmt.Sprintf("loading result: %v", err)})
+			return
+		}
+		writeJSON(w, http.StatusOK, doc)
+	case StateFailed:
+		writeError(w, &Error{Status: http.StatusConflict, Code: CodeJobFailed,
+			Message: fmt.Sprintf("job %s failed: %s", id, st.Error)})
+	case StateCanceled:
+		writeError(w, &Error{Status: http.StatusConflict, Code: CodeJobCanceled,
+			Message: fmt.Sprintf("job %s was canceled", id)})
+	default:
+		writeError(w, &Error{Status: http.StatusConflict, Code: CodeNotReady,
+			Message: fmt.Sprintf("job %s is %s; poll until done", id, st.State)})
+	}
+}
+
+// handleEvents streams the job's JSONL run trace: the raw bytes the
+// run tracer wrote (application/x-ndjson, one event per line). With
+// ?follow=1 the response tails the trace — new events appear as the
+// annealer flushes them at temperature boundaries — until the job is
+// terminal and fully streamed, or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, id string) {
+	j, _ := s.lookup(id)
+	if j == nil {
+		writeError(w, &Error{Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: fmt.Sprintf("no job %q", id)})
+		return
+	}
+	follow := r.URL.Query().Get("follow") != ""
+	path := filepath.Join(j.dir, "trace.jsonl")
+	f, err := os.Open(path)
+	if err != nil && !follow {
+		// No trace yet (job still queued, or tracing failed): an empty
+		// stream, not an error.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
+	for {
+		if f != nil {
+			if _, cerr := io.Copy(w, f); cerr != nil {
+				f.Close()
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		} else if f, err = os.Open(path); err == nil {
+			continue // trace appeared; stream from the top
+		}
+		if !follow {
+			break
+		}
+		// Terminal and drained: one last read raced above, so only
+		// stop once a post-terminal copy returned nothing more.
+		select {
+		case <-j.done:
+			if f != nil {
+				n, _ := io.Copy(w, f)
+				if flusher != nil {
+					flusher.Flush()
+				}
+				if n == 0 {
+					f.Close()
+					return
+				}
+				continue
+			}
+			return
+		case <-ctx.Done():
+			if f != nil {
+				f.Close()
+			}
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	if f != nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket rate limiter for job
+// submissions. Each client key owns a bucket holding up to burst
+// tokens refilled at rate tokens/second; a submission spends one
+// token. Clients identify themselves with the X-Client-ID header;
+// without one, the remote host is the key, so distinct tenants behind
+// distinct addresses never share a bucket by accident.
+type limiter struct {
+	rate  float64 // tokens per second; <= 0 disables the limiter
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-client state an adversarial client churn
+// can allocate; stale buckets are pruned once the map is full.
+const maxBuckets = 16384
+
+func newLimiter(rate float64, burst int) *limiter {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty
+// it reports false plus how long until the next token accrues —
+// the Retry-After hint.
+func (l *limiter) allow(key string, now time.Time) (bool, time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+elapsed*l.rate)
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// pruneLocked drops buckets that have been idle long enough to be
+// full again — remembering them is equivalent to recreating them.
+func (l *limiter) pruneLocked(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// clientKey extracts the rate-limit identity of a request.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,743 @@
+// Package server turns the floorplan library into a long-running
+// multi-tenant service: an HTTP JSON job API (submit, poll, fetch
+// results, cancel, stream run traces) over a bounded FIFO work queue
+// with backpressure and per-client rate limits, executed by worker
+// goroutines under the library's lifecycle machinery — per-job
+// contexts, periodic checkpoints keyed by job ID, and crash-safe
+// resume of in-flight jobs when a restarted daemon reopens the same
+// state directory.
+//
+// Durability model: every job owns a directory under
+// <StateDir>/jobs/<id>/ holding its job record (job.json), its
+// periodic resumable checkpoint (run.ckpt), its JSONL run trace
+// (trace.jsonl), its terminal result (result.json) and, on panic or
+// cancellation, a postmortem dump. All records ride internal/ckpt's
+// versioned, checksummed, atomically-renamed envelope, so a crash at
+// any instant leaves either the old file or the new one — never a
+// torn one. Because checkpointed annealing resumes bit-identically
+// (the PR 4 contract), a job that survives any number of daemon
+// restarts returns the same bits a direct floorplan.Run would have.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"irgrid/floorplan"
+	"irgrid/internal/ckpt"
+	"irgrid/telemetry"
+)
+
+// Job-record envelope identifiers (see internal/ckpt).
+const (
+	jobMagic      = "irgrid-job"
+	jobVersion    = 1
+	resultMagic   = "irgrid-job-result"
+	resultVersion = 1
+)
+
+// Config parameterizes a Server. The zero value is not runnable:
+// StateDir is required.
+type Config struct {
+	// StateDir is the durable root of the job store. Required.
+	StateDir string
+	// Workers is the number of concurrent job-running goroutines
+	// (default 1: floorplanning saturates a core, so the default
+	// trades latency for predictable per-job throughput).
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it get 429 + Retry-After (default 16).
+	QueueDepth int
+	// RateLimit is the per-client submission rate in jobs/second
+	// (token bucket of RateBurst tokens); <= 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity (default 4).
+	RateBurst int
+	// CheckpointEvery is the per-job snapshot period in temperature
+	// steps (default 5).
+	CheckpointEvery int
+	// MaxBodyBytes caps submission bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// Obs receives the server's metrics (queue depth, job counts,
+	// latencies) and every job's run metrics; a new registry is
+	// created when nil.
+	Obs *telemetry.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.StateDir == "" {
+		return errors.New("server: Config.StateDir is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = 4
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 5
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.Obs == nil {
+		c.Obs = telemetry.NewRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Server is the floorplanning job service. Construct with New, mount
+// Handler on any HTTP front end (or ListenAndServe), and stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	reg     *telemetry.Registry
+	status  *telemetry.Status
+	limiter *limiter
+	handler http.Handler
+
+	// baseCtx parents every job context; baseCancel is the drain
+	// signal.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*job
+	jobs     map[string]*job
+	nextID   int
+	draining bool
+
+	wg sync.WaitGroup
+
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+	httpAddr net.Addr
+	httpDone chan struct{}
+
+	// metrics
+	mSubmitted   *telemetry.Counter
+	mCompleted   *telemetry.Counter
+	mFailed      *telemetry.Counter
+	mCanceled    *telemetry.Counter
+	mResumed     *telemetry.Counter
+	mRecovered   *telemetry.Counter
+	mQueueFull   *telemetry.Counter
+	mRateLimited *telemetry.Counter
+	mRequests    *telemetry.Counter
+	gQueueDepth  *telemetry.Gauge
+	gRunning     *telemetry.Gauge
+	hQueueWait   *telemetry.Histogram
+	hRunSeconds  *telemetry.Histogram
+}
+
+// New builds the server: it creates the state directory, recovers
+// every persisted job (terminal jobs become queryable again; queued
+// and running jobs re-enter the queue, to be resumed from their last
+// checkpoint), and starts the worker pool. The HTTP side starts
+// separately (Handler / ListenAndServe).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Obs,
+		status:  telemetry.NewStatus(),
+		limiter: newLimiter(cfg.RateLimit, cfg.RateBurst),
+		jobs:    map[string]*job{},
+		nextID:  1,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	s.mSubmitted = s.reg.Counter("server_jobs_submitted_total")
+	s.mCompleted = s.reg.Counter("server_jobs_completed_total")
+	s.mFailed = s.reg.Counter("server_jobs_failed_total")
+	s.mCanceled = s.reg.Counter("server_jobs_canceled_total")
+	s.mResumed = s.reg.Counter("server_jobs_resumed_total")
+	s.mRecovered = s.reg.Counter("server_jobs_recovered_total")
+	s.mQueueFull = s.reg.Counter("server_queue_full_total")
+	s.mRateLimited = s.reg.Counter("server_rate_limited_total")
+	s.mRequests = s.reg.Counter("server_http_requests_total")
+	s.gQueueDepth = s.reg.Gauge("server_queue_depth")
+	s.gRunning = s.reg.Gauge("server_jobs_running")
+	s.hQueueWait = s.reg.Histogram("server_queue_wait_seconds",
+		[]float64{0.01, 0.1, 1, 10, 60, 600})
+	s.hRunSeconds = s.reg.Histogram("server_job_run_seconds",
+		[]float64{0.1, 1, 10, 60, 600, 3600})
+
+	if err := os.MkdirAll(s.jobsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating state dir: %w", err)
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.handler = s.buildHandler()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.workerLoop()
+	}
+	return s, nil
+}
+
+func (s *Server) jobsDir() string { return filepath.Join(s.cfg.StateDir, "jobs") }
+
+// Config returns a copy of the server's effective configuration
+// (defaults filled in), so a harness can restart an identical
+// instance over the same state directory.
+func (s *Server) Config() Config { return s.cfg }
+
+// recover rebuilds the job table from the state directory. Directory
+// names are zero-padded job IDs, so lexical order is submission
+// order — recovered jobs re-enter the queue FIFO as originally
+// submitted.
+func (s *Server) recover() error {
+	entries, err := os.ReadDir(s.jobsDir())
+	if err != nil {
+		return fmt.Errorf("server: scanning job store: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dir := filepath.Join(s.jobsDir(), name)
+		j, err := s.loadJob(name, dir)
+		if err != nil {
+			s.cfg.Logf("server: skipping job dir %s: %v", name, err)
+			continue
+		}
+		s.jobs[j.id] = j
+		if n := idNumber(j.id); n >= s.nextID {
+			s.nextID = n + 1
+		}
+		if !terminalState(j.state) {
+			s.queue = append(s.queue, j)
+			s.mRecovered.Inc()
+			s.cfg.Logf("server: recovered job %s (%s, %d checkpointed resumes)",
+				j.id, j.spec.circuit.Name, j.resumes)
+		}
+	}
+	s.gQueueDepth.Set(float64(len(s.queue)))
+	return nil
+}
+
+// loadJob reads one persisted job directory back into a live record.
+// A queued or running record becomes queued: "running" on disk means
+// the previous daemon died mid-run, and the job's checkpoint (if it
+// got far enough to write one) makes re-running it bit-identical to
+// never having died.
+func (s *Server) loadJob(name, dir string) (*job, error) {
+	var pj persistedJob
+	if err := ckpt.LoadAs(filepath.Join(dir, "job.json"), jobMagic, jobVersion, &pj); err != nil {
+		return nil, fmt.Errorf("%w: %v", errJobCorrupt, err)
+	}
+	if pj.ID != name {
+		return nil, fmt.Errorf("%w: record id %q in dir %q", errJobCorrupt, pj.ID, name)
+	}
+	spec, apiErr := validateRequest(pj.Request)
+	if apiErr != nil {
+		return nil, fmt.Errorf("%w: persisted request no longer validates: %v", errJobCorrupt, apiErr)
+	}
+	j := newJob(pj.ID, dir, spec, pj.CreatedUnixNs)
+	j.started = pj.StartedUnixNs
+	j.finished = pj.FinishedUnixNs
+	j.outcome = pj.Outcome
+	j.errMsg = pj.Error
+	j.resumes = pj.Resumes
+	if terminalState(pj.State) {
+		j.state = pj.State
+		close(j.done)
+	} else {
+		j.state = StateQueued
+	}
+	return j, nil
+}
+
+func idNumber(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Handler returns the server's HTTP API. Mount it directly on an
+// httptest.Server in tests, or let ListenAndServe own the listener.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// ListenAndServe binds addr and serves the job API in a background
+// goroutine, returning the bound address (useful with ":0").
+func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	if s.httpSrv != nil {
+		ln.Close()
+		return nil, errors.New("server: already serving")
+	}
+	s.httpSrv = &http.Server{Handler: s.handler}
+	s.httpAddr = ln.Addr()
+	s.httpDone = make(chan struct{})
+	done := s.httpDone
+	go func() {
+		defer close(done)
+		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.cfg.Logf("server: http serve: %v", err)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address after ListenAndServe, else nil.
+func (s *Server) Addr() net.Addr {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	return s.httpAddr
+}
+
+// Shutdown gracefully drains the server: new submissions are refused,
+// queued jobs stay persisted as queued, running jobs are canceled at
+// their next annealing move — each writes a final resumable
+// checkpoint and is persisted back to queued — and the worker pool
+// plus the HTTP listener (when ListenAndServe was used) are joined
+// before returning. A later New on the same state directory resumes
+// every interrupted job bit-identically.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	// Cancel every in-flight job context (queued jobs have none).
+	s.baseCancel()
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	var err error
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: draining workers: %w", ctx.Err())
+	}
+
+	s.httpMu.Lock()
+	srv, done := s.httpSrv, s.httpDone
+	s.httpMu.Unlock()
+	if srv != nil {
+		if herr := srv.Shutdown(ctx); herr != nil && err == nil {
+			err = herr
+		}
+		select {
+		case <-done:
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+		}
+	}
+	return err
+}
+
+// workerLoop runs jobs until drain.
+func (s *Server) workerLoop() {
+	defer s.wg.Done()
+	for {
+		j := s.dequeue()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// dequeue pops the FIFO head, blocking while the queue is empty.
+// It returns nil when the server is draining — including when jobs
+// remain queued: they stay persisted for the next daemon.
+func (s *Server) dequeue() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.draining {
+		s.cond.Wait()
+	}
+	if s.draining {
+		return nil
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	s.gQueueDepth.Set(float64(len(s.queue)))
+	return j
+}
+
+// submit validates and enqueues one job. It is called with the
+// request body already read (and capped).
+func (s *Server) submit(body []byte) (*JobStatus, *Error) {
+	spec, apiErr := decodeJobRequest(body)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	now := time.Now().UnixNano()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, &Error{Status: http.StatusServiceUnavailable, Code: CodeShuttingDown,
+			Message: "server is draining; resubmit after restart"}
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.mQueueFull.Inc()
+		return nil, &Error{Status: http.StatusTooManyRequests, Code: CodeQueueFull,
+			Message: fmt.Sprintf("job queue is full (%d queued)", len(s.queue))}
+	}
+	id := fmt.Sprintf("j%08d", s.nextID)
+	dir := filepath.Join(s.jobsDir(), id)
+	j := newJob(id, dir, spec, now)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, &Error{Status: http.StatusInternalServerError, Code: "internal",
+			Message: fmt.Sprintf("creating job dir: %v", err)}
+	}
+	if err := s.persistJob(j); err != nil {
+		os.RemoveAll(dir)
+		return nil, &Error{Status: http.StatusInternalServerError, Code: "internal",
+			Message: fmt.Sprintf("persisting job: %v", err)}
+	}
+	s.nextID++
+	s.jobs[id] = j
+	s.queue = append(s.queue, j)
+	s.gQueueDepth.Set(float64(len(s.queue)))
+	s.mSubmitted.Inc()
+	pos := len(s.queue)
+	s.cond.Signal()
+	return j.status(pos), nil
+}
+
+// persistJob writes the job record durably.
+func (s *Server) persistJob(j *job) error {
+	return ckpt.SaveAs(filepath.Join(j.dir, "job.json"), jobMagic, jobVersion, j.persisted())
+}
+
+// lookup finds a job and its current queue position (0 when not
+// queued).
+func (s *Server) lookup(id string) (*job, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, 0
+	}
+	for i, q := range s.queue {
+		if q == j {
+			return j, i + 1
+		}
+	}
+	return j, 0
+}
+
+// cancelJob implements DELETE /v1/jobs/{id}: a queued job is canceled
+// immediately (freeing its queue slot); a running job's context is
+// canceled, and the worker marks it canceled at the next annealing
+// move; a terminal job is not cancelable.
+func (s *Server) cancelJob(id string) (*JobStatus, *Error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return nil, &Error{Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: fmt.Sprintf("no job %q", id)}
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.gQueueDepth.Set(float64(len(s.queue)))
+		j.state = StateCanceled
+		j.outcome = telemetry.OutcomeCanceled
+		j.finished = time.Now().UnixNano()
+		j.cancelRequested = true
+		close(j.done)
+		j.mu.Unlock()
+		s.mu.Unlock()
+		s.mCanceled.Inc()
+		if err := s.persistJob(j); err != nil {
+			s.cfg.Logf("server: persisting canceled job %s: %v", id, err)
+		}
+		return j.status(0), nil
+	case StateRunning:
+		j.cancelRequested = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return j.status(0), nil
+	default:
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return nil, &Error{Status: http.StatusConflict, Code: CodeNotCancelable,
+			Message: fmt.Sprintf("job %s is %s", id, j.status(0).State)}
+	}
+}
+
+// listJobs snapshots every job's status, newest first.
+func (s *Server) listJobs() []*JobStatus {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	pos := map[*job]int{}
+	for i, q := range s.queue {
+		pos[q] = i + 1
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id > jobs[b].id })
+	out := make([]*JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status(pos[j])
+	}
+	return out
+}
+
+// runJob executes one job under the library's lifecycle machinery.
+// A panic anywhere in the run marks the job failed (with a postmortem
+// dump) instead of killing the worker.
+func (s *Server) runJob(j *job) {
+	rec := telemetry.NewRecorder(0)
+	defer func() {
+		if r := recover(); r != nil {
+			if path, derr := rec.Dump("job_panic"); derr == nil && path != "" {
+				s.cfg.Logf("server: job %s panic postmortem written to %s", j.id, path)
+			}
+			s.finishJob(j, StateFailed, telemetry.OutcomeError, fmt.Sprintf("panic: %v", r))
+		}
+	}()
+
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.spec.timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, j.spec.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	defer cancel()
+
+	start := time.Now()
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = start.UnixNano()
+	j.ckptStep = 0
+	j.cancel = cancel
+	waited := time.Duration(j.started - j.created)
+	j.mu.Unlock()
+	s.hQueueWait.Observe(waited.Seconds())
+	s.gRunning.Set(s.runningCount())
+	if err := s.persistJob(j); err != nil {
+		s.cfg.Logf("server: persisting job %s: %v", j.id, err)
+	}
+
+	opts := j.spec.opts
+	opts.CheckpointPath = filepath.Join(j.dir, "run.ckpt")
+	opts.CheckpointEvery = s.cfg.CheckpointEvery
+	opts.Obs = s.reg
+	opts.Status = s.status
+	opts.Recorder = rec
+	opts.PostmortemPath = filepath.Join(j.dir, "postmortem.json")
+	spans := telemetry.NewSpans()
+	opts.Spans = spans
+	opts.Checkpoint = func(snap *floorplan.Snapshot) error {
+		j.mu.Lock()
+		j.ckptStep = snap.Step
+		j.mu.Unlock()
+		return nil
+	}
+	tracer, terr := openTrace(filepath.Join(j.dir, "trace.jsonl"))
+	if terr != nil {
+		s.cfg.Logf("server: job %s trace: %v", j.id, terr)
+	} else {
+		opts.Trace = tracer
+	}
+
+	var res *floorplan.Result
+	var runErr error
+	resumed := false
+	if snap, lerr := floorplan.LoadCheckpoint(opts.CheckpointPath); lerr == nil {
+		resumed = true
+		res, runErr = floorplan.Resume(ctx, j.spec.circuit, opts, snap)
+	} else {
+		if !os.IsNotExist(underlying(lerr)) {
+			// A checkpoint exists but does not verify (e.g. a version
+			// skew): rerunning from scratch is always safe — it
+			// produces the same bits the checkpointed run would have.
+			s.cfg.Logf("server: job %s checkpoint unusable (%v); rerunning from scratch", j.id, lerr)
+		}
+		res, runErr = floorplan.RunContext(ctx, j.spec.circuit, opts)
+	}
+	tracer.Close()
+	s.hRunSeconds.Observe(time.Since(start).Seconds())
+	j.mu.Lock()
+	if resumed {
+		j.resumes++
+	}
+	j.spans = spans.Aggregates()
+	j.cancel = nil
+	userCancel := j.cancelRequested
+	j.mu.Unlock()
+	if resumed {
+		s.mResumed.Inc()
+	}
+
+	switch {
+	case runErr == nil:
+		s.writeResult(j, res, telemetry.OutcomeCompleted)
+	case errors.Is(runErr, floorplan.ErrDeadline):
+		// The job's own timebox expired; the best-so-far result is
+		// valid and fully evaluated.
+		s.writeResult(j, res, telemetry.OutcomeDeadline)
+	case errors.Is(runErr, floorplan.ErrCanceled):
+		if userCancel {
+			s.finishJob(j, StateCanceled, telemetry.OutcomeCanceled, "")
+		} else {
+			// Server drain: the final checkpoint is on disk; hand the
+			// job back to the queue for the next daemon.
+			s.requeueJob(j)
+		}
+	default:
+		s.finishJob(j, StateFailed, telemetry.OutcomeError, runErr.Error())
+	}
+	s.gRunning.Set(s.runningCount())
+}
+
+// underlying unwraps the fs error inside floorplan.LoadCheckpoint
+// failures so IsNotExist works.
+func underlying(err error) error {
+	for {
+		u := errors.Unwrap(err)
+		if u == nil {
+			return err
+		}
+		err = u
+	}
+}
+
+func (s *Server) runningCount() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return float64(n)
+}
+
+// writeResult persists the terminal result document and marks the job
+// done. Result JSON round-trips float64 exactly (encoding/json emits
+// the shortest representation that parses back to the same bits), so
+// the served result is bit-identical to the in-memory one.
+func (s *Server) writeResult(j *job, res *floorplan.Result, outcome string) {
+	j.mu.Lock()
+	resumes := j.resumes
+	j.mu.Unlock()
+	doc := resultDoc(res, outcome, resumes)
+	if err := ckpt.SaveAs(filepath.Join(j.dir, "result.json"), resultMagic, resultVersion, doc); err != nil {
+		s.finishJob(j, StateFailed, telemetry.OutcomeError, fmt.Sprintf("persisting result: %v", err))
+		return
+	}
+	s.finishJob(j, StateDone, outcome, "")
+}
+
+// finishJob marks the job terminal, persists it and releases waiters.
+func (s *Server) finishJob(j *job, state, outcome, errMsg string) {
+	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.outcome = outcome
+	j.errMsg = errMsg
+	j.finished = time.Now().UnixNano()
+	close(j.done)
+	j.mu.Unlock()
+	switch state {
+	case StateDone:
+		s.mCompleted.Inc()
+	case StateFailed:
+		s.mFailed.Inc()
+		s.cfg.Logf("server: job %s failed: %s", j.id, errMsg)
+	case StateCanceled:
+		s.mCanceled.Inc()
+	}
+	if err := s.persistJob(j); err != nil {
+		s.cfg.Logf("server: persisting job %s: %v", j.id, err)
+	}
+}
+
+// requeueJob hands a drain-interrupted job back to the persisted
+// queue so the next daemon resumes it.
+func (s *Server) requeueJob(j *job) {
+	j.mu.Lock()
+	j.state = StateQueued
+	j.started = 0
+	j.mu.Unlock()
+	if err := s.persistJob(j); err != nil {
+		s.cfg.Logf("server: persisting drained job %s: %v", j.id, err)
+	}
+	s.cfg.Logf("server: job %s checkpointed and requeued for restart", j.id)
+}
+
+// loadResult reads a terminal job's persisted result document.
+func (s *Server) loadResult(j *job) (*JobResult, error) {
+	var doc JobResult
+	if err := ckpt.LoadAs(filepath.Join(j.dir, "result.json"), resultMagic, resultVersion, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// openTrace opens the job's JSONL trace for appending: a resumed
+// job's trace carries the full event history across restarts, one
+// run_start..run_end block per attempt.
+func openTrace(path string) (*telemetry.Tracer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return telemetry.NewTracer(f), nil
+}
