@@ -65,6 +65,7 @@ func run() int {
 		ckptEvery = flag.Int("checkpoint-every", 0, "temperature steps between snapshots (default 10 when -checkpoint is set)")
 		resume    = flag.String("resume", "", "continue from a snapshot written by -checkpoint")
 		postm     = flag.String("postmortem", "", "arm a flight recorder that dumps a postmortem JSON file here on panic, interrupt, deadline or SIGQUIT")
+		stall     = flag.Duration("stall-timeout", 0, "cancel the run when it makes no annealing progress for this long, reporting the best floorplan so far (0 disables)")
 		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -104,7 +105,9 @@ func run() int {
 		opts.Obs = telemetry.NewRegistry()
 		opts.Spans = telemetry.NewSpans()
 	}
-	if *metrics != "" {
+	if *metrics != "" || *stall > 0 {
+		// The live status feeds /debug/run and is the stuck-run
+		// watchdog's progress signal.
 		opts.Status = telemetry.NewStatus()
 	}
 	if *postm != "" {
@@ -162,6 +165,17 @@ func run() int {
 
 	ctx, stop := cli.SignalContext(*timeout)
 	defer stop()
+	if *stall > 0 {
+		// Single-run watchdog: the daemon-side stuck-run killer, scaled
+		// down to one process. When the annealer makes no observable
+		// progress (moves or temperature steps) for -stall-timeout, the
+		// run is canceled — the best floorplan so far is still reported,
+		// and an armed flight recorder dumps a postmortem first.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		go watchStall(ctx, cancel, opts.Status, opts.Recorder, *stall)
+	}
 
 	var res *floorplan.Result
 	var runErr error
@@ -250,6 +264,44 @@ func run() int {
 		fmt.Print(ascii.Floorplan(res.ChipW, res.ChipH, boxes, 78, 30))
 	}
 	return exit
+}
+
+// watchStall cancels the run when the live status stops advancing for
+// stall. It polls at a quarter of the stall budget (at least 50ms), so
+// a stall is detected within 1.25x the configured timeout.
+func watchStall(ctx context.Context, cancel context.CancelFunc, status *telemetry.Status, rec *telemetry.Recorder, stall time.Duration) {
+	every := stall / 4
+	if every < 50*time.Millisecond {
+		every = 50 * time.Millisecond
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	var last int64
+	lastAt := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		snap := status.Snapshot()
+		progress := snap.Moves + int64(snap.Step)
+		if progress != last {
+			last, lastAt = progress, time.Now()
+			continue
+		}
+		if time.Since(lastAt) < stall {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "floorplan: watchdog: no observable progress for %s; canceling run\n", stall)
+		if rec != nil {
+			if path, err := rec.Dump("watchdog_stall"); err == nil && path != "" {
+				fmt.Fprintf(os.Stderr, "floorplan: postmortem written to %s\n", path)
+			}
+		}
+		cancel()
+		return
+	}
 }
 
 // jsonResult is the interchange document consumed by cmd/congest.

@@ -47,6 +47,9 @@ func run() int {
 		burst     = flag.Int("burst", 4, "rate-limit token-bucket burst")
 		ckptEvery = flag.Int("checkpoint-every", 5, "temperature steps between per-job checkpoints")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for checkpointing running jobs")
+		attempts  = flag.Int("max-attempts", 3, "run attempts per job (crash retries) before it is quarantined as poison")
+		stall     = flag.Duration("stall-timeout", 0, "stuck-run watchdog: dump a postmortem and cancel a running job making no observable progress for this long (0 disables)")
+		probe     = flag.Duration("probe-every", 2*time.Second, "degraded store re-probe period; a successful probe heals and flushes held records")
 		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -68,6 +71,9 @@ func run() int {
 		RateLimit:       *rate,
 		RateBurst:       *burst,
 		CheckpointEvery: *ckptEvery,
+		MaxAttempts:     *attempts,
+		StallTimeout:    *stall,
+		ProbeEvery:      *probe,
 		Logf:            logger.Printf,
 	})
 	if err != nil {

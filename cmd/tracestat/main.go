@@ -9,13 +9,17 @@
 // When the trace carries a spans event (runs with span tracing
 // enabled), tracestat renders the hierarchical timing tree; -compare
 // diffs two traces side by side (convergence, engine counters, span
-// profiles) for before/after investigations.
+// profiles) for before/after investigations; -postmortem renders a
+// flight-recorder dump (panic, stall, quarantine, SIGQUIT) — identity,
+// reason, the live status at capture, key metrics, the span tree and
+// the event-ring tail.
 //
 // Example:
 //
 //	floorplan -circuit ami33 -trace ami33.trace.jsonl
 //	tracestat ami33.trace.jsonl
 //	tracestat -compare before.jsonl after.jsonl
+//	tracestat -postmortem jobs/j00000001/postmortem.json
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"irgrid/internal/cli"
 	"irgrid/telemetry"
@@ -35,7 +40,22 @@ import (
 func main() {
 	rows := flag.Int("rows", 12, "maximum table rows (temperature steps are subsampled evenly)")
 	compare := flag.Bool("compare", false, "diff two traces: tracestat -compare before.jsonl after.jsonl")
+	postm := flag.Bool("postmortem", false, "render a flight-recorder postmortem dump: tracestat -postmortem dump.json")
 	flag.Parse()
+
+	if *postm {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("usage: tracestat -postmortem dump.json"))
+		}
+		pm, err := telemetry.LoadPostmortem(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if err := renderPostmortem(pm, os.Stdout, *rows); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -240,6 +260,90 @@ func summarize(r io.Reader, w io.Writer, maxRows int) error {
 		fmt.Fprintf(w, "\nspan tree (%d paths):\n", len(t.spans.Spans))
 		fmt.Fprintf(w, "%-34s %10s %12s %12s %12s\n", "span", "count", "total", "mean", "max")
 		printSpanTree(w, t.spans.Spans)
+	}
+	return nil
+}
+
+// renderPostmortem prints a flight-recorder dump for a human: what
+// died, where the run stood, and what the last events in the ring
+// were. maxRows bounds the event tail, matching -rows.
+func renderPostmortem(pm *telemetry.Postmortem, w io.Writer, maxRows int) error {
+	fmt.Fprintf(w, "postmortem %s\n", orUnknown(pm.Reason))
+	if pm.UnixNs > 0 {
+		fmt.Fprintf(w, "captured   %s\n", time.Unix(0, pm.UnixNs).UTC().Format(time.RFC3339))
+	}
+	if pm.Info.Circuit != "" || pm.Info.Model != "" {
+		fmt.Fprintf(w, "run        %s (%s), seed %d\n",
+			orUnknown(pm.Info.Circuit), orUnknown(pm.Info.Model), pm.Info.Seed)
+	}
+	if pm.Info.Version != "" {
+		fmt.Fprintf(w, "build      %s\n", pm.Info.Version)
+	}
+	if pm.Info.ConfigDigest != "" {
+		fmt.Fprintf(w, "config     %s\n", pm.Info.ConfigDigest)
+	}
+
+	if s := pm.Status; s != nil {
+		state := "ended"
+		if s.Running {
+			state = "running"
+		}
+		fmt.Fprintf(w, "\nstatus     %s at step %d/%d, temp %.5g, cost %.6g (best %.6g)\n",
+			state, s.Step, s.MaxSteps, s.Temp, s.Cost, s.Best)
+		fmt.Fprintf(w, "progress   %d moves over %.2fs (%.0f moves/s), %.1f%% accepted\n",
+			s.Moves, s.ElapsedSeconds, s.MovesPerSec, 100*s.AcceptRate)
+	}
+
+	if m := pm.Metrics; m != nil {
+		var keys []string
+		for k := range m {
+			// The robustness counters and the evaluator's failure
+			// counters are what a postmortem reader triages by; the full
+			// snapshot stays in the JSON.
+			if strings.HasPrefix(k, "store_") || strings.HasPrefix(k, "jobs_") ||
+				strings.HasPrefix(k, "watchdog_") || strings.Contains(k, "panic") ||
+				strings.Contains(k, "fallback") || strings.Contains(k, "rollback") {
+				if m[k] != 0 {
+					keys = append(keys, k)
+				}
+			}
+		}
+		if len(keys) > 0 {
+			sort.Strings(keys)
+			fmt.Fprintf(w, "\nfault counters:\n")
+			for _, k := range keys {
+				fmt.Fprintf(w, "  %-32s %g\n", k, m[k])
+			}
+		}
+	}
+
+	if len(pm.Spans) > 0 {
+		fmt.Fprintf(w, "\nspan tree (%d paths):\n", len(pm.Spans))
+		fmt.Fprintf(w, "%-34s %10s %12s %12s %12s\n", "span", "count", "total", "mean", "max")
+		printSpanTree(w, pm.Spans)
+	}
+
+	fmt.Fprintf(w, "\nevent ring: %d retained of %d total", len(pm.Events), pm.TotalEvents)
+	events := pm.Events
+	if maxRows > 0 && len(events) > maxRows {
+		fmt.Fprintf(w, " (showing last %d)", maxRows)
+		events = events[len(events)-maxRows:]
+	}
+	fmt.Fprintln(w)
+	if len(events) > 0 {
+		fmt.Fprintf(w, "%10s %-12s %6s %12s %12s %s\n", "seq", "kind", "step", "cost", "best", "note")
+		for _, e := range events {
+			note := e.Note
+			if e.Kind == "move" && note == "" {
+				if e.Accepted {
+					note = "accepted"
+				} else {
+					note = "rejected"
+				}
+			}
+			fmt.Fprintf(w, "%10d %-12s %6d %12.6g %12.6g %s\n",
+				e.Seq, e.Kind, e.Step, e.Cost, e.Best, note)
+		}
 	}
 	return nil
 }

@@ -65,8 +65,15 @@ func Save(path string, payload any) error {
 // SaveAs is the generic envelope writer behind Save: it atomically
 // writes payload under the caller's magic string and format version,
 // with the same temp-file + fsync + rename discipline. Other durable
-// artifacts (postmortem dumps) reuse it so every on-disk file in the
-// repo shares one verified write path.
+// artifacts (postmortem dumps, job records, results) reuse it so
+// every on-disk file in the repo shares one verified write path.
+//
+// Every filesystem primitive is an injection seam of the chaos
+// matrix (internal/faultinject fs.* points): disarmed, each seam is
+// one atomic load; armed, a test can fail create/write/sync/rename
+// deterministically, or request a torn in-place write — the on-disk
+// damage a crash leaves on a filesystem without atomic rename — to
+// prove readers reject the wreckage as ErrCorrupt.
 func SaveAs(path, magic string, version int, payload any) error {
 	raw, err := json.Marshal(payload)
 	if err != nil {
@@ -83,6 +90,9 @@ func SaveAs(path, magic string, version int, payload any) error {
 		return fmt.Errorf("ckpt: encode envelope: %w", err)
 	}
 
+	if err := faultinject.FirePath(faultinject.FSCreate, path, 0); err != nil {
+		return fmt.Errorf("ckpt: create %s: %w", path, err)
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -90,9 +100,25 @@ func SaveAs(path, magic string, version int, payload any) error {
 	}
 	tmpName := tmp.Name()
 	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if err := faultinject.FirePath(faultinject.FSTornWrite, path, 0); err != nil {
+		// Simulate the torn write: half the envelope lands in place
+		// over the destination, clobbering any previous good file —
+		// exactly what a crash mid-write does without atomic rename.
+		cleanup()
+		os.WriteFile(path, env[:len(env)/2], 0o644)
+		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	if err := faultinject.FirePath(faultinject.FSWrite, path, 0); err != nil {
+		cleanup()
+		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
 	if _, err := tmp.Write(env); err != nil {
 		cleanup()
 		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	if err := faultinject.FirePath(faultinject.FSSync, path, 0); err != nil {
+		cleanup()
+		return fmt.Errorf("ckpt: sync %s: %w", path, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		cleanup()
@@ -101,6 +127,10 @@ func SaveAs(path, magic string, version int, payload any) error {
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("ckpt: close %s: %w", path, err)
+	}
+	if err := faultinject.FirePath(faultinject.FSRename, path, 0); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: rename %s: %w", path, err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
@@ -118,9 +148,20 @@ func Load(path string, out any) error {
 // LoadAs reads the envelope at path, verifies it against the caller's
 // magic string and format version, and decodes the payload into out.
 // It returns ErrCorrupt/ErrVersion exactly as Load does.
+//
+// The read side carries two chaos seams: fs.read fails the read
+// outright, and fs.corrupt-read hands the freshly read bytes to the
+// armed read hook, which may mutate them — simulated bit rot the
+// envelope checksum must catch as ErrCorrupt.
 func LoadAs(path, magic string, version int, out any) error {
+	if ferr := faultinject.FirePath(faultinject.FSRead, path, 0); ferr != nil {
+		return fmt.Errorf("ckpt: read %s: %w", path, ferr)
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
+		return fmt.Errorf("ckpt: read %s: %w", path, err)
+	}
+	if raw, err = faultinject.FireRead(faultinject.FSCorruptRead, path, raw); err != nil {
 		return fmt.Errorf("ckpt: read %s: %w", path, err)
 	}
 	var env envelope

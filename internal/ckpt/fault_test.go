@@ -1,0 +1,160 @@
+package ckpt_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"irgrid/internal/ckpt"
+	"irgrid/internal/faultinject"
+)
+
+type doc struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+// failAt arms a path hook failing every occurrence of point.
+func failAt(t *testing.T, point faultinject.Point) *int {
+	t.Helper()
+	fired := new(int)
+	faultinject.SetPath(func(p faultinject.Point, path string, detail int) error {
+		if p == point {
+			*fired++
+			return errors.New("injected " + string(p))
+		}
+		return nil
+	})
+	t.Cleanup(faultinject.Reset)
+	return fired
+}
+
+// TestSaveFaultPointsFailTypedAndPreserveOldFile walks every write-side
+// fault point except the torn write: the save must fail with the
+// injected error, the previous good file must survive untouched, and
+// no temp debris may be left behind.
+func TestSaveFaultPointsFailTypedAndPreserveOldFile(t *testing.T) {
+	for _, point := range []faultinject.Point{
+		faultinject.FSCreate, faultinject.FSWrite, faultinject.FSSync, faultinject.FSRename,
+	} {
+		t.Run(string(point), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "rec.json")
+			if err := ckpt.SaveAs(path, "m", 1, doc{N: 1, S: "good"}); err != nil {
+				t.Fatal(err)
+			}
+
+			fired := failAt(t, point)
+			err := ckpt.SaveAs(path, "m", 1, doc{N: 2, S: "new"})
+			if err == nil {
+				t.Fatal("save with injected fault succeeded")
+			}
+			if *fired == 0 {
+				t.Fatalf("fault point %s never fired", point)
+			}
+			faultinject.Reset()
+
+			var got doc
+			if err := ckpt.LoadAs(path, "m", 1, &got); err != nil {
+				t.Fatalf("previous file no longer verifies after failed save: %v", err)
+			}
+			if got.N != 1 || got.S != "good" {
+				t.Errorf("previous file content %+v, want the pre-fault record", got)
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ents) != 1 {
+				names := make([]string, 0, len(ents))
+				for _, e := range ents {
+					names = append(names, e.Name())
+				}
+				t.Errorf("temp debris left after failed save: %v", names)
+			}
+		})
+	}
+}
+
+// TestTornWriteLeavesCorruptFileLoadRejects pins the torn-write
+// simulation: the destination holds half an envelope, and LoadAs
+// rejects it as ErrCorrupt instead of decoding garbage or panicking.
+func TestTornWriteLeavesCorruptFileLoadRejects(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	if err := ckpt.SaveAs(path, "m", 1, doc{N: 1, S: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	fired := failAt(t, faultinject.FSTornWrite)
+	if err := ckpt.SaveAs(path, "m", 1, doc{N: 2, S: "new"}); err == nil {
+		t.Fatal("torn-write save succeeded")
+	}
+	if *fired == 0 {
+		t.Fatal("torn-write point never fired")
+	}
+	faultinject.Reset()
+
+	var got doc
+	err := ckpt.LoadAs(path, "m", 1, &got)
+	if !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Fatalf("loading torn file = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadFaultFailsLoad pins fs.read: an injected read failure
+// surfaces as a wrapped error, not a corrupt verdict (the file itself
+// is fine).
+func TestReadFaultFailsLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rec.json")
+	if err := ckpt.SaveAs(path, "m", 1, doc{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fired := failAt(t, faultinject.FSRead)
+	var got doc
+	err := ckpt.LoadAs(path, "m", 1, &got)
+	if err == nil || errors.Is(err, ckpt.ErrCorrupt) || errors.Is(err, ckpt.ErrVersion) {
+		t.Fatalf("load with injected read fault = %v, want a plain wrapped read error", err)
+	}
+	if *fired == 0 {
+		t.Fatal("fs.read never fired")
+	}
+	faultinject.Reset()
+	if err := ckpt.LoadAs(path, "m", 1, &got); err != nil {
+		t.Fatalf("load after disarm: %v", err)
+	}
+}
+
+// TestCorruptReadCaughtByChecksum pins fs.corrupt-read: a single
+// flipped payload bit must be caught by the envelope checksum as
+// ErrCorrupt.
+func TestCorruptReadCaughtByChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rec.json")
+	if err := ckpt.SaveAs(path, "m", 1, doc{N: 42, S: "payload"}); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	faultinject.SetRead(func(p faultinject.Point, _ string, data []byte) ([]byte, error) {
+		fired++
+		out := append([]byte(nil), data...)
+		// Flip a bit deep in the payload half of the envelope, past the
+		// header fields, so the JSON still parses but the checksum is
+		// wrong. Find a digit of the payload to mutate.
+		for i := len(out) - 2; i > 0; i-- {
+			if out[i] >= '0' && out[i] <= '8' {
+				out[i]++
+				break
+			}
+		}
+		return out, nil
+	})
+	defer faultinject.Reset()
+	var got doc
+	err := ckpt.LoadAs(path, "m", 1, &got)
+	if !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Fatalf("load of bit-rotted file = %v, want ErrCorrupt", err)
+	}
+	if fired == 0 {
+		t.Fatal("fs.corrupt-read never fired")
+	}
+}

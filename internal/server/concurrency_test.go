@@ -173,11 +173,61 @@ func TestRateLimitPerClient(t *testing.T) {
 	if !errors.As(err, &apiErr) || apiErr.Status != 429 || apiErr.Code != server.CodeRateLimited {
 		t.Fatalf("client-a over-burst submit = %v, want 429 %s", err, server.CodeRateLimited)
 	}
+	if apiErr.RetryAfterSeconds <= 0 {
+		t.Errorf("429 carried RetryAfterSeconds=%d, want the Retry-After header surfaced typed",
+			apiErr.RetryAfterSeconds)
+	}
 
 	b := harness.NewClient(ts.HTTP.URL)
 	b.ClientID = "client-b"
 	if _, err := b.Submit(ctx, tinyRequest(7)); err != nil {
 		t.Fatalf("client-b (fresh bucket) submit: %v", err)
+	}
+
+	// The retry loop's budget is context-bounded: with a bucket that
+	// will not refill for ~1000s, a short context cuts the waits off
+	// with ctx.Err(), not an unbounded sleep.
+	a.Retry = &harness.RetryPolicy{MaxAttempts: 10}
+	sctx, scancel := context.WithTimeout(ctx, 300*time.Millisecond)
+	defer scancel()
+	if _, err := a.Submit(sctx, tinyRequest(100)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("retry under expired context = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestClientRetryHonorsRetryAfter pins the harness client's real retry
+// loop: against a one-token bucket with fast refill, a burst of
+// submissions from a single client all get accepted — the client waits
+// out each 429's Retry-After (with jittered backoff) instead of
+// surfacing it — and every job still runs to done.
+func TestClientRetryHonorsRetryAfter(t *testing.T) {
+	ts := harness.StartTestServer(t, func(c *server.Config) {
+		c.RateLimit = 20 // refills fast; Retry-After is 1s (ceiling)
+		c.RateBurst = 1
+		c.QueueDepth = 16
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	cl := harness.NewClient(ts.HTTP.URL)
+	cl.ClientID = "bursty"
+	cl.Retry = &harness.RetryPolicy{MaxAttempts: 10}
+	var ids []string
+	for i := 0; i < 4; i++ {
+		st, err := cl.Submit(ctx, tinyRequest(int64(i)))
+		if err != nil {
+			t.Fatalf("submit %d with retry policy: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		st, err := cl.WaitTerminal(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != server.StateDone {
+			t.Fatalf("job %s finished %q (%s), want done", id, st.State, st.Error)
+		}
 	}
 }
 

@@ -4,15 +4,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"irgrid/internal/faultinject"
 	"irgrid/internal/server"
 	"irgrid/internal/server/harness"
 )
@@ -43,12 +46,18 @@ func scrub(v any) any {
 	case map[string]any:
 		for k, val := range x {
 			switch k {
-			case "created_unix_ns", "started_unix_ns", "finished_unix_ns":
+			case "created_unix_ns", "started_unix_ns", "finished_unix_ns", "degraded_since_unix_ns":
 				if f, ok := val.(float64); ok && f != 0 {
 					x[k] = 1
 				}
 			case "spans", "runtime_seconds", "version":
 				delete(x, k)
+			case "degraded_reason", "reason":
+				// Degraded reasons embed temp-dir paths; pin the shape,
+				// not the path.
+				if s, ok := val.(string); ok && s != "" && s != "draining" {
+					x[k] = "scrubbed"
+				}
 			default:
 				x[k] = scrub(val)
 			}
@@ -195,7 +204,33 @@ func TestGoldenHTTP(t *testing.T) {
 	status, body = raw(http.MethodGet, fmt.Sprintf("/v1/jobs/%s", done.ID), nil)
 	checkGolden(t, "status_done", status, body)
 
-	// Liveness doc rides along (version scrubbed).
+	// Liveness and readiness docs ride along (version scrubbed).
 	status, body = raw(http.MethodGet, "/healthz", nil)
 	checkGolden(t, "healthz", status, body)
+	status, body = raw(http.MethodGet, "/readyz", nil)
+	checkGolden(t, "readyz", status, body)
+
+	// Degraded mode on the wire: with every durable write under the
+	// state dir failing, a job is still accepted and runs to done from
+	// memory; /healthz stays 200 (liveness) reporting durable=false,
+	// /readyz flips to 503.
+	faultinject.SetPath(func(p faultinject.Point, path string, _ int) error {
+		if p == faultinject.FSWrite && strings.HasPrefix(path, ts.StateDir) {
+			return errors.New("injected EIO")
+		}
+		return nil
+	})
+	defer faultinject.Reset()
+	deg, err := ts.Submit(ctx, tinyRequest(11))
+	if err != nil {
+		t.Fatalf("submit while store degraded: %v", err)
+	}
+	if st, werr := ts.WaitTerminal(ctx, deg.ID); werr != nil || st.State != server.StateDone {
+		t.Fatalf("degraded job ended (%v, %v), want done", st, werr)
+	}
+	status, body = raw(http.MethodGet, "/healthz", nil)
+	checkGolden(t, "healthz_degraded", status, body)
+	status, body = raw(http.MethodGet, "/readyz", nil)
+	checkGolden(t, "readyz_degraded", status, body)
+	faultinject.Reset()
 }

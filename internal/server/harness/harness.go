@@ -13,8 +13,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -89,13 +91,46 @@ func startOn(t testing.TB, cfg server.Config) *TestServer {
 }
 
 // Client is a typed client of the job API. Non-2xx responses decode
-// into *server.Error, so tests assert on codes, not substrings.
+// into *server.Error (with RetryAfterSeconds filled from the
+// Retry-After header), so tests assert on codes, not substrings.
 type Client struct {
 	BaseURL string
 	// ClientID, when set, is sent as X-Client-ID — the rate-limit
 	// identity.
 	ClientID string
 	HTTP     *http.Client
+	// Retry, when set, makes the client retry 429 responses (rate
+	// limit, full queue) honoring Retry-After. Nil disables retries:
+	// every 429 surfaces to the caller.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy bounds the client's 429 retry loop. Each wait honors the
+// server's Retry-After when present, else backs off exponentially from
+// BaseDelay; both get ±50% jitter so a herd of clients decorrelates.
+// The whole budget is context-bounded: ctx expiry ends the loop with
+// ctx.Err() no matter how many attempts remain.
+type RetryPolicy struct {
+	// MaxAttempts caps total request attempts (default 5).
+	MaxAttempts int
+	// BaseDelay seeds the backoff when the server sent no Retry-After
+	// (default 50ms); it doubles per attempt up to MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p *RetryPolicy) fill() RetryPolicy {
+	out := *p
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 5
+	}
+	if out.BaseDelay <= 0 {
+		out.BaseDelay = 50 * time.Millisecond
+	}
+	if out.MaxDelay <= 0 {
+		out.MaxDelay = 2 * time.Second
+	}
+	return out
 }
 
 // NewClient returns a client of the service at baseURL (no trailing
@@ -107,9 +142,40 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
-// do issues one request and decodes the response: into out on 2xx,
-// into *server.Error otherwise.
+// do issues a request, retrying 429s per the client's RetryPolicy.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	if c.Retry == nil {
+		return c.doOnce(ctx, method, path, body, out)
+	}
+	pol := c.Retry.fill()
+	delay := pol.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, out)
+		apiErr, ok := err.(*server.Error)
+		if !ok || apiErr.Status != http.StatusTooManyRequests || attempt >= pol.MaxAttempts {
+			return err
+		}
+		wait := delay
+		if apiErr.RetryAfterSeconds > 0 {
+			wait = time.Duration(apiErr.RetryAfterSeconds) * time.Second
+		}
+		if wait > pol.MaxDelay {
+			wait = pol.MaxDelay
+		}
+		// ±50% jitter.
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait)+1))
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("harness: retry budget cut short by context: %w (last: %v)", ctx.Err(), err)
+		case <-time.After(wait):
+		}
+		delay *= 2
+	}
+}
+
+// doOnce issues one request and decodes the response: into out on 2xx,
+// into *server.Error otherwise.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -142,7 +208,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		}
 		env.Error.Status = resp.StatusCode
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			env.Error.Message += " (Retry-After: " + ra + ")"
+			if secs, aerr := strconv.Atoi(ra); aerr == nil {
+				env.Error.RetryAfterSeconds = secs
+			}
 		}
 		return env.Error
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -22,8 +23,17 @@ import (
 //	DELETE /v1/jobs/{id}         cancel (frees a queued job's slot)
 //	GET    /v1/jobs/{id}/result  terminal result document
 //	GET    /v1/jobs/{id}/events  the job's JSONL run trace (?follow=1 tails)
-//	GET    /healthz              liveness + build version
-//	/metrics, /debug/run, /debug/pprof/   the telemetry hub
+//	GET    /healthz              liveness: 200 while the process serves, with a service summary
+//	GET    /readyz               readiness: 503 while draining or degraded
+//	GET    /debug/run            service health + live per-job run status
+//	/metrics, /debug/pprof/      the telemetry hub
+//
+// Liveness and readiness split deliberately: /healthz answers "is the
+// process alive" (always 200, body carries the degraded detail — a
+// daemon with a failing disk must NOT be restarted, its in-memory jobs
+// are the only copy), while /readyz answers "should new traffic come
+// here" (503 while draining or degraded, so load balancers steer
+// submissions to healthy replicas).
 //
 // Every non-2xx response is the JSON error envelope; only job
 // submission is rate limited (polling is cheap and harness-driven).
@@ -31,16 +41,136 @@ func (s *Server) buildHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.instrument(s.handleJobs))
 	mux.HandleFunc("/v1/jobs/", s.instrument(s.handleJob))
-	mux.HandleFunc("/healthz", s.instrument(func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{
-			"status":  "ok",
-			"version": buildinfo.Version(),
-		})
-	}))
-	hub := telemetry.Hub{Reg: s.reg, Status: s.status}.Handler()
+	mux.HandleFunc("/healthz", s.instrument(s.handleHealth))
+	mux.HandleFunc("/readyz", s.instrument(s.handleReady))
+	hub := telemetry.Hub{Reg: s.reg}.Handler()
 	mux.Handle("/metrics", hub)
 	mux.Handle("/debug/", hub)
+	// Longest-pattern-wins: the server's multi-job run view overrides
+	// the hub's single-run /debug/run.
+	mux.HandleFunc("/debug/run", s.instrument(s.handleDebugRun))
 	return mux
+}
+
+// healthDoc is the GET /healthz body: liveness plus the service
+// summary operators page on.
+type healthDoc struct {
+	Status  string `json:"status"` // always "ok": the process is alive and serving
+	Version string `json:"version"`
+	// Durable is false while the store is degraded: the disk is
+	// rejecting writes, jobs run from memory, and the daemon re-probes
+	// until it heals. DegradedReason/DegradedSinceUnixNs carry the
+	// first failure.
+	Durable             bool   `json:"durable"`
+	DegradedReason      string `json:"degraded_reason,omitempty"`
+	DegradedSinceUnixNs int64  `json:"degraded_since_unix_ns,omitempty"`
+	Draining            bool   `json:"draining"`
+	QueueDepth          int    `json:"queue_depth"`
+	JobsRunning         int    `json:"jobs_running"`
+	JobsQuarantined     int    `json:"jobs_quarantined"`
+	JobsTotal           int    `json:"jobs_total"`
+}
+
+func (s *Server) healthDoc() healthDoc {
+	down, reason, since := s.store.state()
+	s.mu.Lock()
+	doc := healthDoc{
+		Status:              "ok",
+		Version:             buildinfo.Version(),
+		Durable:             !down,
+		DegradedReason:      reason,
+		DegradedSinceUnixNs: since,
+		Draining:            s.draining,
+		QueueDepth:          len(s.queue),
+		JobsTotal:           len(s.jobs),
+	}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateRunning:
+			doc.JobsRunning++
+		case StateQuarantined:
+			doc.JobsQuarantined++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return doc
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthDoc())
+}
+
+// readyDoc is the GET /readyz body.
+type readyDoc struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	doc := s.healthDoc()
+	switch {
+	case doc.Draining:
+		writeJSON(w, http.StatusServiceUnavailable, readyDoc{Reason: "draining"})
+	case !doc.Durable:
+		writeJSON(w, http.StatusServiceUnavailable,
+			readyDoc{Reason: "store degraded: " + doc.DegradedReason})
+	default:
+		writeJSON(w, http.StatusOK, readyDoc{Ready: true})
+	}
+}
+
+// runsDebugDoc is the GET /debug/run body: the health summary, the
+// robustness counters, and one live status block per running job
+// (replacing the hub's single-run view — a server runs many).
+type runsDebugDoc struct {
+	Server   healthDoc          `json:"server"`
+	Counters map[string]float64 `json:"counters"`
+	Runs     []runDebug         `json:"runs"`
+}
+
+type runDebug struct {
+	ID             string                   `json:"id"`
+	Attempts       int                      `json:"attempts"`
+	CheckpointStep int                      `json:"checkpoint_step,omitempty"`
+	RecorderSeq    int64                    `json:"recorder_seq"`
+	Status         telemetry.StatusSnapshot `json:"status"`
+}
+
+func (s *Server) handleDebugRun(w http.ResponseWriter, _ *http.Request) {
+	doc := runsDebugDoc{
+		Server:   s.healthDoc(),
+		Counters: map[string]float64{},
+		Runs:     []runDebug{},
+	}
+	snap := s.reg.Snapshot()
+	for _, k := range []string{"store_write_retries", "store_degraded", "jobs_quarantined", "watchdog_cancels"} {
+		doc.Counters[k] = snap[k]
+	}
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+	for _, j := range jobs {
+		j.mu.Lock()
+		running := j.state == StateRunning
+		rec, live := j.rec, j.live
+		attempts, step := j.attempts, j.ckptStep
+		j.mu.Unlock()
+		if !running || live == nil {
+			continue
+		}
+		rd := runDebug{ID: j.id, Attempts: attempts, CheckpointStep: step, Status: live.Snapshot()}
+		if rec != nil {
+			rd.RecorderSeq = rec.Seq()
+		}
+		doc.Runs = append(doc.Runs, rd)
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // instrument counts requests.
@@ -187,6 +317,9 @@ func (s *Server) handleResult(w http.ResponseWriter, id string) {
 	case StateCanceled:
 		writeError(w, &Error{Status: http.StatusConflict, Code: CodeJobCanceled,
 			Message: fmt.Sprintf("job %s was canceled", id)})
+	case StateQuarantined:
+		writeError(w, &Error{Status: http.StatusConflict, Code: CodeJobQuarantined,
+			Message: fmt.Sprintf("job %s is quarantined: %s", id, st.Error)})
 	default:
 		writeError(w, &Error{Status: http.StatusConflict, Code: CodeNotReady,
 			Message: fmt.Sprintf("job %s is %s; poll until done", id, st.State)})

@@ -14,22 +14,26 @@ import (
 	"irgrid/telemetry"
 )
 
-// Job states. queued and running are live; done, failed and canceled
-// are terminal. A daemon restart re-enqueues queued and running jobs
-// (running means the previous process died mid-run; the job resumes
-// from its last checkpoint).
+// Job states. queued and running are live; done, failed, canceled and
+// quarantined are terminal. A daemon restart re-enqueues queued and
+// running jobs (running means the previous process died mid-run; the
+// job resumes from its last checkpoint). quarantined marks a poison
+// job taken out of service: its record failed verification at
+// recovery, or it exhausted its run-attempt budget crashing workers
+// (see DESIGN.md "Failure model & degraded operation").
 const (
-	StateQueued   = "queued"
-	StateRunning  = "running"
-	StateDone     = "done"
-	StateFailed   = "failed"
-	StateCanceled = "canceled"
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCanceled    = "canceled"
+	StateQuarantined = "quarantined"
 )
 
 // terminalState reports whether a job in this state will never run
 // again.
 func terminalState(s string) bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateQuarantined
 }
 
 // Error is the API error payload carried inside the error envelope
@@ -39,6 +43,10 @@ type Error struct {
 	Status  int    `json:"-"`
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterSeconds carries a 429/503 response's Retry-After header
+	// (0 when absent). Not serialized: the header is the wire form;
+	// clients (the harness Client) fill it in when decoding.
+	RetryAfterSeconds int `json:"-"`
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
@@ -55,6 +63,7 @@ const (
 	CodeNotReady         = "not_ready"
 	CodeJobFailed        = "job_failed"
 	CodeJobCanceled      = "job_canceled"
+	CodeJobQuarantined   = "job_quarantined"
 	CodeNotCancelable    = "not_cancelable"
 	CodeShuttingDown     = "shutting_down"
 )
@@ -69,10 +78,10 @@ type errorEnvelope struct {
 // run options. Unknown fields are rejected, so clients find typos at
 // submit time instead of silently running defaults.
 type JobRequest struct {
-	Benchmark string       `json:"benchmark,omitempty"`
-	YAL       string       `json:"yal,omitempty"`
-	Circuit   *CircuitDoc  `json:"circuit,omitempty"`
-	Options   RunOptions   `json:"options"`
+	Benchmark string      `json:"benchmark,omitempty"`
+	YAL       string      `json:"yal,omitempty"`
+	Circuit   *CircuitDoc `json:"circuit,omitempty"`
+	Options   RunOptions  `json:"options"`
 }
 
 // CircuitDoc is an inline circuit in the job-submission JSON.
@@ -286,6 +295,10 @@ type JobStatus struct {
 	// CheckpointStep is the last checkpointed temperature step of the
 	// current process's run; 0 before the first snapshot.
 	CheckpointStep int `json:"checkpoint_step,omitempty"`
+	// Attempts counts run starts (first run, restarts after daemon
+	// crashes, panic retries). At Config.MaxAttempts the job is
+	// quarantined instead of run again.
+	Attempts int `json:"attempts,omitempty"`
 	// Outcome is set on terminal jobs: completed|canceled|deadline|error.
 	Outcome string `json:"outcome,omitempty"`
 	Error   string `json:"error,omitempty"`
@@ -362,11 +375,35 @@ type job struct {
 	outcome  string
 	resumes  int
 	ckptStep int
+	attempts int
 
 	cancelRequested bool
 	cancel          func()
 
 	spans []telemetry.SpanAggregate
+
+	// rec/live are the current run's flight recorder and live status
+	// surface; nil while not running. The watchdog derives the job's
+	// progress counter from them, and quarantine/stall paths dump the
+	// recorder as a postmortem.
+	rec  *telemetry.Recorder
+	live *telemetry.Status
+
+	// Watchdog bookkeeping: the last observed progress counter, when it
+	// was observed, and whether the watchdog already canceled this run.
+	lastProgress     int64
+	lastProgressAtNs int64
+	watchdogFired    bool
+
+	// result is the in-memory terminal result (authoritative for
+	// serving; result.json is the durable copy). resultDirty/dirty/
+	// quarDirty mark records held in memory while the store was
+	// degraded, to be rewritten by the heal flush.
+	result      *JobResult
+	dirty       bool
+	resultDirty bool
+	quarDoc     *quarantineDoc
+	quarDirty   bool
 
 	// done is closed when the job reaches a terminal state, releasing
 	// events followers and Wait-style helpers.
@@ -383,28 +420,54 @@ func newJob(id, dir string, spec *jobSpec, now int64) *job {
 }
 
 // status snapshots the job document. queuePos is computed by the
-// server (0 when unknown/not queued).
+// server (0 when unknown/not queued). A job quarantined at recovery
+// for a corrupt record has no spec; its document carries the
+// quarantine reason with no circuit identity.
 func (j *job) status(queuePos int) *JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := &JobStatus{
 		ID:             j.id,
 		State:          j.state,
-		Circuit:        j.spec.circuit.Name,
-		Seed:           j.spec.opts.Seed,
 		QueuePosition:  queuePos,
 		Resumes:        j.resumes,
 		CheckpointStep: j.ckptStep,
+		Attempts:       j.attempts,
 		Outcome:        j.outcome,
 		Error:          j.errMsg,
 		CreatedUnixNs:  j.created,
 		StartedUnixNs:  j.started,
 		FinishedUnixNs: j.finished,
 	}
+	if j.spec != nil {
+		st.Circuit = j.spec.circuit.Name
+		st.Seed = j.spec.opts.Seed
+	}
 	if terminalState(j.state) {
 		st.Spans = j.spans
 	}
 	return st
+}
+
+// progress derives the job's observable-progress counter for the
+// watchdog: checkpointed steps plus live status moves/steps plus
+// flight-recorder sequence numbers. Any annealing move advances it
+// (the recorder records per move), so a healthy run can never look
+// stalled; a run wedged anywhere — before its first move, inside a
+// move, or after its last — holds it constant.
+func (j *job) progress() int64 {
+	j.mu.Lock()
+	rec, live := j.rec, j.live
+	p := int64(j.ckptStep)
+	j.mu.Unlock()
+	if live != nil {
+		snap := live.Snapshot()
+		p += snap.Moves + int64(snap.Step)
+	}
+	if rec != nil {
+		p += rec.Seq()
+	}
+	return p
 }
 
 // persistedJob is the job.json payload: everything a restarted daemon
@@ -420,22 +483,31 @@ type persistedJob struct {
 	Outcome        string      `json:"outcome,omitempty"`
 	Error          string      `json:"error,omitempty"`
 	Resumes        int         `json:"resumes,omitempty"`
+	// Attempts persists the crash-loop counter: it is written at every
+	// run start, so a daemon that dies mid-run still knows on restart
+	// how many times this job has been tried. Absent in records written
+	// before the field existed (same format version: optional field).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 func (j *job) persisted() *persistedJob {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return &persistedJob{
+	pj := &persistedJob{
 		ID:             j.id,
 		State:          j.state,
-		Request:        j.spec.req,
 		CreatedUnixNs:  j.created,
 		StartedUnixNs:  j.started,
 		FinishedUnixNs: j.finished,
 		Outcome:        j.outcome,
 		Error:          j.errMsg,
 		Resumes:        j.resumes,
+		Attempts:       j.attempts,
 	}
+	if j.spec != nil {
+		pj.Request = j.spec.req
+	}
+	return pj
 }
 
 // errJobCorrupt marks an on-disk job directory whose job.json does not

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"irgrid/internal/ckpt"
+	"irgrid/telemetry"
+)
+
+// Quarantine-record envelope identifiers (see internal/ckpt).
+const (
+	quarantineMagic   = "irgrid-quarantine"
+	quarantineVersion = 1
+)
+
+// quarantineDoc is the quarantine.json payload: why the job was taken
+// out of service, plus — for jobs quarantined because their on-disk
+// record failed verification — the offending bytes themselves, so an
+// operator can inspect the damage without digging through backups.
+type quarantineDoc struct {
+	ID                string `json:"id"`
+	Reason            string `json:"reason"`
+	Attempts          int    `json:"attempts,omitempty"`
+	QuarantinedUnixNs int64  `json:"quarantined_unix_ns"`
+	// OffendingFile/OffendingBytes preserve the record that failed to
+	// verify (base64 in JSON). Absent for crash-loop quarantines, whose
+	// records are intact.
+	OffendingFile  string `json:"offending_file,omitempty"`
+	OffendingBytes []byte `json:"offending_bytes,omitempty"`
+}
+
+// quarantineJob transitions a live job to the terminal quarantined
+// state: the crash-loop killer for jobs that keep panicking and the
+// recovery path for jobs whose attempt budget was already spent when
+// the daemon restarted. The job record (when the job has one) and the
+// quarantine document are both persisted; the flight recorder, when
+// armed, dumps a postmortem alongside them.
+func (s *Server) quarantineJob(j *job, reason string) {
+	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateQuarantined
+	j.outcome = telemetry.OutcomeError
+	j.errMsg = reason
+	j.finished = time.Now().UnixNano()
+	attempts := j.attempts
+	rec := j.rec
+	close(j.done)
+	j.mu.Unlock()
+
+	s.mQuarantined.Inc()
+	s.cfg.Logf("server: job %s quarantined: %s", j.id, reason)
+	if rec != nil {
+		if path, derr := rec.Dump("job_quarantined"); derr == nil && path != "" {
+			s.cfg.Logf("server: job %s quarantine postmortem written to %s", j.id, path)
+		}
+	}
+	s.persistJob(j)
+	s.persistQuarantine(j, &quarantineDoc{
+		ID:                j.id,
+		Reason:            reason,
+		Attempts:          attempts,
+		QuarantinedUnixNs: time.Now().UnixNano(),
+	})
+}
+
+// quarantineRecovered handles a job directory whose record failed to
+// verify during the recovery scan: instead of skipping the directory
+// (leaving the job to silently vanish from the API), the scan raises a
+// tombstone — a synthetic terminal job carrying the failure reason —
+// and preserves the offending bytes in quarantine.json. The corrupt
+// job.json itself is left untouched for inspection.
+func (s *Server) quarantineRecovered(name, dir string, cause error) {
+	offFile := filepath.Join(dir, "job.json")
+	off, _ := os.ReadFile(offFile)
+
+	j := newJob(name, dir, nil, time.Now().UnixNano())
+	j.state = StateQuarantined
+	j.outcome = telemetry.OutcomeError
+	j.errMsg = fmt.Sprintf("quarantined at recovery: %v", cause)
+	j.finished = j.created
+	close(j.done)
+	s.jobs[name] = j
+
+	s.mQuarantined.Inc()
+	s.cfg.Logf("server: job dir %s quarantined at recovery: %v", name, cause)
+	s.persistQuarantine(j, &quarantineDoc{
+		ID:                name,
+		Reason:            j.errMsg,
+		QuarantinedUnixNs: j.finished,
+		OffendingFile:     offFile,
+		OffendingBytes:    off,
+	})
+}
+
+// loadQuarantined rebuilds a previously quarantined directory from its
+// quarantine.json (nil when none verifies). It keeps an
+// already-quarantined job stable across restarts — same state, same
+// reason, not re-counted in jobs_quarantined — even when its job.json
+// is the corrupt file that caused the quarantine.
+func (s *Server) loadQuarantined(name, dir string) *job {
+	var doc quarantineDoc
+	if err := ckpt.LoadAs(filepath.Join(dir, "quarantine.json"), quarantineMagic, quarantineVersion, &doc); err != nil {
+		return nil
+	}
+	if doc.ID != name {
+		return nil
+	}
+	j := newJob(name, dir, nil, doc.QuarantinedUnixNs)
+	j.state = StateQuarantined
+	j.outcome = telemetry.OutcomeError
+	j.errMsg = doc.Reason
+	j.attempts = doc.Attempts
+	j.finished = doc.QuarantinedUnixNs
+	j.quarDoc = &doc
+	close(j.done)
+	return j
+}
+
+// persistQuarantine writes the quarantine document, holding it in
+// memory (for the heal flush) when the store is degraded.
+func (s *Server) persistQuarantine(j *job, doc *quarantineDoc) {
+	err := s.store.save(filepath.Join(j.dir, "quarantine.json"), quarantineMagic, quarantineVersion, doc)
+	j.mu.Lock()
+	j.quarDoc = doc
+	j.quarDirty = err != nil
+	j.mu.Unlock()
+	if err != nil {
+		s.store.degrade(err)
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	"irgrid/floorplan"
 	"irgrid/internal/ckpt"
+	"irgrid/internal/faultinject"
 	"irgrid/telemetry"
 )
 
@@ -68,6 +69,30 @@ type Config struct {
 	CheckpointEvery int
 	// MaxBodyBytes caps submission bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// MaxAttempts caps run starts per job (first run, resumes after a
+	// daemon crash, panic retries) before the job is quarantined as
+	// poison instead of run again (default 3). Clean drain/restart
+	// cycles do not count: the attempt counter resets when a run is
+	// interrupted by shutdown rather than by a crash.
+	MaxAttempts int
+	// StallTimeout arms the stuck-run watchdog: a running job whose
+	// observable progress (annealing moves, temperature steps,
+	// checkpoints) does not advance for this long is postmortem-dumped
+	// and canceled, and the job marked failed. 0 disables the watchdog.
+	StallTimeout time.Duration
+	// WatchdogEvery is the watchdog scan period (default
+	// StallTimeout/4, clamped to [50ms, 5s]).
+	WatchdogEvery time.Duration
+	// StoreAttempts bounds write attempts per durable-store save
+	// (default 3); retries back off exponentially with jitter from
+	// StoreRetryDelay (default 5ms). After the last attempt the write
+	// fails persistently and the store degrades.
+	StoreAttempts   int
+	StoreRetryDelay time.Duration
+	// ProbeEvery is the degraded store's disk re-probe period (default
+	// 2s). A successful probe heals the store and flushes every record
+	// held in memory.
+	ProbeEvery time.Duration
 	// Obs receives the server's metrics (queue depth, job counts,
 	// latencies) and every job's run metrics; a new registry is
 	// created when nil.
@@ -95,6 +120,27 @@ func (c *Config) fill() error {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.WatchdogEvery <= 0 && c.StallTimeout > 0 {
+		c.WatchdogEvery = c.StallTimeout / 4
+		if c.WatchdogEvery < 50*time.Millisecond {
+			c.WatchdogEvery = 50 * time.Millisecond
+		}
+		if c.WatchdogEvery > 5*time.Second {
+			c.WatchdogEvery = 5 * time.Second
+		}
+	}
+	if c.StoreAttempts <= 0 {
+		c.StoreAttempts = 3
+	}
+	if c.StoreRetryDelay <= 0 {
+		c.StoreRetryDelay = 5 * time.Millisecond
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 2 * time.Second
+	}
 	if c.Obs == nil {
 		c.Obs = telemetry.NewRegistry()
 	}
@@ -108,11 +154,12 @@ func (c *Config) fill() error {
 // Handler on any HTTP front end (or ListenAndServe), and stop with
 // Shutdown.
 type Server struct {
-	cfg     Config
-	reg     *telemetry.Registry
-	status  *telemetry.Status
-	limiter *limiter
-	handler http.Handler
+	cfg      Config
+	reg      *telemetry.Registry
+	limiter  *limiter
+	handler  http.Handler
+	store    *store
+	watchdog *watchdog
 
 	// baseCtx parents every job context; baseCancel is the drain
 	// signal.
@@ -147,6 +194,12 @@ type Server struct {
 	gRunning     *telemetry.Gauge
 	hQueueWait   *telemetry.Histogram
 	hRunSeconds  *telemetry.Histogram
+
+	// Robustness metrics (the chaos battery asserts these by name).
+	mStoreRetries    *telemetry.Counter // store_write_retries
+	gStoreDegraded   *telemetry.Gauge   // store_degraded (0|1)
+	mQuarantined     *telemetry.Counter // jobs_quarantined
+	mWatchdogCancels *telemetry.Counter // watchdog_cancels
 }
 
 // New builds the server: it creates the state directory, recovers
@@ -161,7 +214,6 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Obs,
-		status:  telemetry.NewStatus(),
 		limiter: newLimiter(cfg.RateLimit, cfg.RateBurst),
 		jobs:    map[string]*job{},
 		nextID:  1,
@@ -184,6 +236,20 @@ func New(cfg Config) (*Server, error) {
 		[]float64{0.01, 0.1, 1, 10, 60, 600})
 	s.hRunSeconds = s.reg.Histogram("server_job_run_seconds",
 		[]float64{0.1, 1, 10, 60, 600, 3600})
+	s.mStoreRetries = s.reg.Counter("store_write_retries")
+	s.gStoreDegraded = s.reg.Gauge("store_degraded")
+	s.mQuarantined = s.reg.Counter("jobs_quarantined")
+	s.mWatchdogCancels = s.reg.Counter("watchdog_cancels")
+	s.store = newStore(storeConfig{
+		probePath:  filepath.Join(cfg.StateDir, ".probe"),
+		attempts:   cfg.StoreAttempts,
+		baseDelay:  cfg.StoreRetryDelay,
+		probeEvery: cfg.ProbeEvery,
+		logf:       cfg.Logf,
+		onHeal:     s.flushDirty,
+		retries:    s.mStoreRetries,
+		degraded:   s.gStoreDegraded,
+	})
 
 	if err := os.MkdirAll(s.jobsDir(), 0o755); err != nil {
 		return nil, fmt.Errorf("server: creating state dir: %w", err)
@@ -195,6 +261,10 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.workerLoop()
+	}
+	if cfg.StallTimeout > 0 {
+		s.watchdog = newWatchdog(s, cfg.StallTimeout, cfg.WatchdogEvery)
+		go s.watchdog.run()
 	}
 	return s, nil
 }
@@ -210,6 +280,13 @@ func (s *Server) Config() Config { return s.cfg }
 // names are zero-padded job IDs, so lexical order is submission
 // order — recovered jobs re-enter the queue FIFO as originally
 // submitted.
+//
+// The scan is tolerant: a directory whose record is corrupt, torn or
+// version-skewed is quarantined (a terminal tombstone preserving the
+// offending bytes) rather than aborting startup or silently vanishing,
+// and a job that already burned its whole run-attempt budget crashing
+// previous daemons is quarantined instead of re-entering the queue —
+// the crash-loop killer.
 func (s *Server) recover() error {
 	entries, err := os.ReadDir(s.jobsDir())
 	if err != nil {
@@ -224,16 +301,30 @@ func (s *Server) recover() error {
 	sort.Strings(names)
 	for _, name := range names {
 		dir := filepath.Join(s.jobsDir(), name)
+		if n := idNumber(name); n >= s.nextID {
+			s.nextID = n + 1
+		}
 		j, err := s.loadJob(name, dir)
 		if err != nil {
-			s.cfg.Logf("server: skipping job dir %s: %v", name, err)
+			// A previously quarantined directory rebuilds from its
+			// quarantine record (its job.json may be the corrupt file
+			// that caused the quarantine); anything else newly broken
+			// is quarantined now.
+			if qj := s.loadQuarantined(name, dir); qj != nil {
+				s.jobs[name] = qj
+				continue
+			}
+			s.quarantineRecovered(name, dir, err)
 			continue
 		}
 		s.jobs[j.id] = j
-		if n := idNumber(j.id); n >= s.nextID {
-			s.nextID = n + 1
-		}
 		if !terminalState(j.state) {
+			if j.attempts >= s.cfg.MaxAttempts {
+				s.quarantineJob(j, fmt.Sprintf(
+					"crash loop: %d run attempts without a clean exit (cap %d)",
+					j.attempts, s.cfg.MaxAttempts))
+				continue
+			}
 			s.queue = append(s.queue, j)
 			s.mRecovered.Inc()
 			s.cfg.Logf("server: recovered job %s (%s, %d checkpointed resumes)",
@@ -267,6 +358,7 @@ func (s *Server) loadJob(name, dir string) (*job, error) {
 	j.outcome = pj.Outcome
 	j.errMsg = pj.Error
 	j.resumes = pj.Resumes
+	j.attempts = pj.Attempts
 	if terminalState(pj.State) {
 		j.state = pj.State
 		close(j.done)
@@ -348,6 +440,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = fmt.Errorf("server: draining workers: %w", ctx.Err())
 	}
 
+	if s.watchdog != nil {
+		s.watchdog.close()
+	}
+	s.store.close()
+	if down, reason, _ := s.store.state(); down {
+		s.cfg.Logf("server: shutting down degraded (%s); records held in memory are lost", reason)
+	} else {
+		// Final best-effort flush of anything a past degraded window
+		// left dirty.
+		s.flushDirty()
+	}
+
 	s.httpMu.Lock()
 	srv, done := s.httpSrv, s.httpDone
 	s.httpMu.Unlock()
@@ -419,14 +523,16 @@ func (s *Server) submit(body []byte) (*JobStatus, *Error) {
 	id := fmt.Sprintf("j%08d", s.nextID)
 	dir := filepath.Join(s.jobsDir(), id)
 	j := newJob(id, dir, spec, now)
+	// Degraded acceptance: a failing disk does not refuse work. The
+	// job is accepted and runs from memory; its record is marked dirty
+	// and written by the heal flush once the store recovers. (Readiness
+	// — /readyz — reports degraded so load balancers can steer new
+	// traffic elsewhere, but jobs that do arrive are served.)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, &Error{Status: http.StatusInternalServerError, Code: "internal",
-			Message: fmt.Sprintf("creating job dir: %v", err)}
-	}
-	if err := s.persistJob(j); err != nil {
-		os.RemoveAll(dir)
-		return nil, &Error{Status: http.StatusInternalServerError, Code: "internal",
-			Message: fmt.Sprintf("persisting job: %v", err)}
+		s.store.degrade(&StoreError{Op: "mkdir", Path: dir, Err: err})
+		j.dirty = true
+	} else {
+		s.persistJob(j)
 	}
 	s.nextID++
 	s.jobs[id] = j
@@ -438,9 +544,75 @@ func (s *Server) submit(body []byte) (*JobStatus, *Error) {
 	return j.status(pos), nil
 }
 
-// persistJob writes the job record durably.
-func (s *Server) persistJob(j *job) error {
-	return ckpt.SaveAs(filepath.Join(j.dir, "job.json"), jobMagic, jobVersion, j.persisted())
+// persistJob writes the job record durably through the retrying store.
+// On persistent failure the record is held in memory (dirty) and the
+// store degrades; the heal flush rewrites it when the disk returns.
+// Synthetic quarantine tombstones (spec == nil) have no job record to
+// write — quarantine.json is their persistence.
+func (s *Server) persistJob(j *job) {
+	if j.spec == nil {
+		return
+	}
+	err := s.store.save(filepath.Join(j.dir, "job.json"), jobMagic, jobVersion, j.persisted())
+	j.mu.Lock()
+	j.dirty = err != nil
+	j.mu.Unlock()
+	if err != nil {
+		s.store.degrade(err)
+		s.cfg.Logf("server: job %s record held in memory: %v", j.id, err)
+	}
+}
+
+// flushDirty rewrites every record held in memory while the store was
+// degraded: job records, result documents, quarantine documents. It is
+// the store's onHeal callback and Shutdown's final best-effort flush.
+// A write failure during the flush re-degrades the store (restarting
+// the probe loop) and stops; remaining records stay dirty for the next
+// heal.
+func (s *Server) flushDirty() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+	for _, j := range jobs {
+		j.mu.Lock()
+		dirty, rdirty, qdirty := j.dirty, j.resultDirty, j.quarDirty
+		res, qdoc := j.result, j.quarDoc
+		j.mu.Unlock()
+		if !dirty && !rdirty && !qdirty {
+			continue
+		}
+		if err := os.MkdirAll(j.dir, 0o755); err != nil {
+			s.store.degrade(&StoreError{Op: "mkdir", Path: j.dir, Err: err})
+			return
+		}
+		if dirty {
+			s.persistJob(j)
+			if down, _, _ := s.store.state(); down {
+				return
+			}
+		}
+		if rdirty && res != nil {
+			err := s.store.save(filepath.Join(j.dir, "result.json"), resultMagic, resultVersion, res)
+			if err != nil {
+				s.store.degrade(err)
+				return
+			}
+			j.mu.Lock()
+			j.resultDirty = false
+			j.mu.Unlock()
+		}
+		if qdirty && qdoc != nil {
+			s.persistQuarantine(j, qdoc)
+			if down, _, _ := s.store.state(); down {
+				return
+			}
+		}
+		s.cfg.Logf("server: job %s records flushed after heal", j.id)
+	}
 }
 
 // lookup finds a job and its current queue position (0 when not
@@ -490,9 +662,7 @@ func (s *Server) cancelJob(id string) (*JobStatus, *Error) {
 		j.mu.Unlock()
 		s.mu.Unlock()
 		s.mCanceled.Inc()
-		if err := s.persistJob(j); err != nil {
-			s.cfg.Logf("server: persisting canceled job %s: %v", id, err)
-		}
+		s.persistJob(j)
 		return j.status(0), nil
 	case StateRunning:
 		j.cancelRequested = true
@@ -532,16 +702,19 @@ func (s *Server) listJobs() []*JobStatus {
 }
 
 // runJob executes one job under the library's lifecycle machinery.
-// A panic anywhere in the run marks the job failed (with a postmortem
-// dump) instead of killing the worker.
+// A panic anywhere in the run is recovered (with a postmortem dump)
+// instead of killing the worker: the job is retried until its attempt
+// budget (Config.MaxAttempts) is spent, then quarantined as poison.
 func (s *Server) runJob(j *job) {
 	rec := telemetry.NewRecorder(0)
+	live := telemetry.NewStatus()
 	defer func() {
 		if r := recover(); r != nil {
 			if path, derr := rec.Dump("job_panic"); derr == nil && path != "" {
 				s.cfg.Logf("server: job %s panic postmortem written to %s", j.id, path)
 			}
-			s.finishJob(j, StateFailed, telemetry.OutcomeError, fmt.Sprintf("panic: %v", r))
+			s.handleRunPanic(j, r)
+			s.gRunning.Set(s.runningCount())
 		}
 	}()
 
@@ -560,19 +733,42 @@ func (s *Server) runJob(j *job) {
 	j.started = start.UnixNano()
 	j.ckptStep = 0
 	j.cancel = cancel
+	j.attempts++
+	j.rec, j.live = rec, live
+	j.lastProgress, j.lastProgressAtNs, j.watchdogFired = 0, 0, false
+	attempt := j.attempts
 	waited := time.Duration(j.started - j.created)
 	j.mu.Unlock()
 	s.hQueueWait.Observe(waited.Seconds())
 	s.gRunning.Set(s.runningCount())
-	if err := s.persistJob(j); err != nil {
-		s.cfg.Logf("server: persisting job %s: %v", j.id, err)
+	// The attempt counter is persisted before any job code runs, so a
+	// crash loop that kills the whole process is still counted on
+	// restart.
+	s.persistJob(j)
+
+	// A poison job's crash may land before the library arms the
+	// recorder; arm it here so every quarantine and stall carries a
+	// postmortem.
+	rec.Arm(filepath.Join(j.dir, "postmortem.json"),
+		telemetry.PostmortemInfo{Circuit: j.spec.circuit.Name, Seed: j.spec.opts.Seed},
+		s.reg, nil, live)
+
+	if ferr := faultinject.FirePath(faultinject.JobRun, j.id, attempt); ferr != nil {
+		// An injected immediate run failure (not a panic): terminal,
+		// like any non-cancellation run error.
+		j.mu.Lock()
+		j.cancel = nil
+		j.mu.Unlock()
+		s.finishJob(j, StateFailed, telemetry.OutcomeError, ferr.Error())
+		s.gRunning.Set(s.runningCount())
+		return
 	}
 
 	opts := j.spec.opts
 	opts.CheckpointPath = filepath.Join(j.dir, "run.ckpt")
 	opts.CheckpointEvery = s.cfg.CheckpointEvery
 	opts.Obs = s.reg
-	opts.Status = s.status
+	opts.Status = live
 	opts.Recorder = rec
 	opts.PostmortemPath = filepath.Join(j.dir, "postmortem.json")
 	spans := telemetry.NewSpans()
@@ -614,6 +810,7 @@ func (s *Server) runJob(j *job) {
 	j.spans = spans.Aggregates()
 	j.cancel = nil
 	userCancel := j.cancelRequested
+	wdFired := j.watchdogFired
 	j.mu.Unlock()
 	if resumed {
 		s.mResumed.Inc()
@@ -627,17 +824,59 @@ func (s *Server) runJob(j *job) {
 		// valid and fully evaluated.
 		s.writeResult(j, res, telemetry.OutcomeDeadline)
 	case errors.Is(runErr, floorplan.ErrCanceled):
-		if userCancel {
+		switch {
+		case userCancel:
 			s.finishJob(j, StateCanceled, telemetry.OutcomeCanceled, "")
-		} else {
+		case wdFired:
+			// The watchdog canceled a stalled run: terminal failure, not
+			// a requeue — a job that stalled once would stall again.
+			s.finishJob(j, StateFailed, telemetry.OutcomeError, stallError(s.cfg.StallTimeout))
+		default:
 			// Server drain: the final checkpoint is on disk; hand the
-			// job back to the queue for the next daemon.
+			// job back to the queue for the next daemon. The clean exit
+			// proves this job did not crash the worker, so its attempt
+			// does not count against the crash-loop budget.
 			s.requeueJob(j)
 		}
 	default:
 		s.finishJob(j, StateFailed, telemetry.OutcomeError, runErr.Error())
 	}
 	s.gRunning.Set(s.runningCount())
+}
+
+// handleRunPanic routes a recovered worker panic: requeue for another
+// attempt while budget remains, quarantine when it is spent.
+func (s *Server) handleRunPanic(j *job, r any) {
+	j.mu.Lock()
+	j.cancel = nil
+	attempts := j.attempts
+	j.mu.Unlock()
+	if attempts >= s.cfg.MaxAttempts {
+		s.quarantineJob(j, fmt.Sprintf("poison job: panicked on attempt %d/%d: %v",
+			attempts, s.cfg.MaxAttempts, r))
+		return
+	}
+	s.cfg.Logf("server: job %s panicked on attempt %d/%d (%v); requeued",
+		j.id, attempts, s.cfg.MaxAttempts, r)
+	s.requeueForRetry(j)
+}
+
+// requeueForRetry puts a crashed job back on the queue, keeping its
+// attempt count — the difference from requeueJob's clean-drain path.
+func (s *Server) requeueForRetry(j *job) {
+	j.mu.Lock()
+	j.state = StateQueued
+	j.started = 0
+	j.rec, j.live = nil, nil
+	j.mu.Unlock()
+	s.persistJob(j)
+	s.mu.Lock()
+	if !s.draining {
+		s.queue = append(s.queue, j)
+		s.gQueueDepth.Set(float64(len(s.queue)))
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
 }
 
 // underlying unwraps the fs error inside floorplan.LoadCheckpoint
@@ -666,18 +905,28 @@ func (s *Server) runningCount() float64 {
 	return float64(n)
 }
 
-// writeResult persists the terminal result document and marks the job
-// done. Result JSON round-trips float64 exactly (encoding/json emits
-// the shortest representation that parses back to the same bits), so
-// the served result is bit-identical to the in-memory one.
+// writeResult records the terminal result — in memory first (the
+// authoritative serving copy), then durably — and marks the job done.
+// Result JSON round-trips float64 exactly (encoding/json emits the
+// shortest representation that parses back to the same bits), so the
+// served result is bit-identical to the in-memory one.
+//
+// A result-persist failure no longer fails the job: the computed
+// result is real and servable from memory. The store degrades, and the
+// heal flush writes result.json when the disk returns.
 func (s *Server) writeResult(j *job, res *floorplan.Result, outcome string) {
 	j.mu.Lock()
 	resumes := j.resumes
 	j.mu.Unlock()
 	doc := resultDoc(res, outcome, resumes)
-	if err := ckpt.SaveAs(filepath.Join(j.dir, "result.json"), resultMagic, resultVersion, doc); err != nil {
-		s.finishJob(j, StateFailed, telemetry.OutcomeError, fmt.Sprintf("persisting result: %v", err))
-		return
+	err := s.store.save(filepath.Join(j.dir, "result.json"), resultMagic, resultVersion, doc)
+	j.mu.Lock()
+	j.result = doc
+	j.resultDirty = err != nil
+	j.mu.Unlock()
+	if err != nil {
+		s.store.degrade(err)
+		s.cfg.Logf("server: job %s result held in memory: %v", j.id, err)
 	}
 	s.finishJob(j, StateDone, outcome, "")
 }
@@ -704,31 +953,39 @@ func (s *Server) finishJob(j *job, state, outcome, errMsg string) {
 	case StateCanceled:
 		s.mCanceled.Inc()
 	}
-	if err := s.persistJob(j); err != nil {
-		s.cfg.Logf("server: persisting job %s: %v", j.id, err)
-	}
+	s.persistJob(j)
 }
 
 // requeueJob hands a drain-interrupted job back to the persisted
-// queue so the next daemon resumes it.
+// queue so the next daemon resumes it. The clean exit resets the
+// crash-loop attempt counter: an orderly drain proves the job did not
+// take the worker down.
 func (s *Server) requeueJob(j *job) {
 	j.mu.Lock()
 	j.state = StateQueued
 	j.started = 0
+	j.attempts = 0
+	j.rec, j.live = nil, nil
 	j.mu.Unlock()
-	if err := s.persistJob(j); err != nil {
-		s.cfg.Logf("server: persisting drained job %s: %v", j.id, err)
-	}
+	s.persistJob(j)
 	s.cfg.Logf("server: job %s checkpointed and requeued for restart", j.id)
 }
 
-// loadResult reads a terminal job's persisted result document.
+// loadResult returns a terminal job's result document: the in-memory
+// copy when this process computed it (always present while the store
+// is degraded), else the persisted one.
 func (s *Server) loadResult(j *job) (*JobResult, error) {
-	var doc JobResult
-	if err := ckpt.LoadAs(filepath.Join(j.dir, "result.json"), resultMagic, resultVersion, &doc); err != nil {
+	j.mu.Lock()
+	doc := j.result
+	j.mu.Unlock()
+	if doc != nil {
+		return doc, nil
+	}
+	var out JobResult
+	if err := ckpt.LoadAs(filepath.Join(j.dir, "result.json"), resultMagic, resultVersion, &out); err != nil {
 		return nil, err
 	}
-	return &doc, nil
+	return &out, nil
 }
 
 // openTrace opens the job's JSONL trace for appending: a resumed

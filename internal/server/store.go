@@ -1,0 +1,197 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"irgrid/internal/ckpt"
+	"irgrid/telemetry"
+)
+
+// StoreError wraps a durable-store failure with the operation and path
+// that failed. Every persistence error the server acts on (degrade,
+// dirty-record tracking) is a *StoreError, so callers branch on the
+// type and logs carry the failing file.
+type StoreError struct {
+	Op   string // "mkdir" | "write"
+	Path string
+	Err  error
+}
+
+func (e *StoreError) Error() string {
+	return fmt.Sprintf("store %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *StoreError) Unwrap() error { return e.Err }
+
+// Probe-file envelope identifiers. The probe is a throwaway record the
+// degraded store writes periodically to detect that the disk came
+// back.
+const (
+	probeMagic   = "irgrid-store-probe"
+	probeVersion = 1
+)
+
+type probeDoc struct {
+	WrittenUnixNs int64 `json:"written_unix_ns"`
+}
+
+// storeConfig parameterizes a store; every field is required (the
+// server's Config.fill supplies defaults).
+type storeConfig struct {
+	probePath  string
+	attempts   int           // write attempts per save (>= 1)
+	baseDelay  time.Duration // first retry backoff; doubles per retry, ±50% jitter
+	probeEvery time.Duration // degraded-mode re-probe period
+	logf       func(format string, args ...any)
+	onHeal     func() // called (off the probe goroutine) after a successful heal
+
+	retries  *telemetry.Counter // store_write_retries
+	degraded *telemetry.Gauge   // store_degraded (0|1)
+}
+
+// store is the server's durable-write layer: every record write goes
+// through save, which retries transient failures with jittered
+// exponential backoff and reports persistent ones as *StoreError.
+//
+// The store is also the degraded-mode state machine. On a persistent
+// write failure the server calls degrade: the store flips to degraded
+// (store_degraded=1), and a background loop re-probes the disk by
+// writing a throwaway envelope every probeEvery. When a probe lands,
+// the store flips back to durable and invokes onHeal so the server can
+// flush every record held in memory while the disk was gone. While
+// degraded, save makes a single attempt per call (the probe loop owns
+// recovery; per-write retry storms would only add latency).
+type store struct {
+	cfg storeConfig
+
+	mu      sync.Mutex
+	rnd     *rand.Rand
+	isDown  bool
+	reason  string
+	sinceNs int64
+	probing bool
+	closed  bool
+	stop    chan struct{}
+	probeWG sync.WaitGroup
+}
+
+func newStore(cfg storeConfig) *store {
+	return &store{
+		cfg:  cfg,
+		rnd:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		stop: make(chan struct{}),
+	}
+}
+
+// save writes one envelope durably, retrying transient failures. The
+// returned error (nil on success) is always a *StoreError; the caller
+// decides whether it warrants degrading (it does for every record the
+// service promised to keep).
+func (st *store) save(path, magic string, version int, payload any) error {
+	tries := st.cfg.attempts
+	if down, _, _ := st.state(); down {
+		tries = 1
+	}
+	var last error
+	for i := 0; i < tries; i++ {
+		if i > 0 {
+			st.cfg.retries.Inc()
+			time.Sleep(st.backoff(i))
+		}
+		if last = ckpt.SaveAs(path, magic, version, payload); last == nil {
+			return nil
+		}
+	}
+	return &StoreError{Op: "write", Path: path, Err: last}
+}
+
+// backoff returns the i-th retry delay: baseDelay doubling per retry,
+// with ±50% jitter so a burst of failing writers decorrelates.
+func (st *store) backoff(i int) time.Duration {
+	d := st.cfg.baseDelay << (i - 1)
+	st.mu.Lock()
+	j := st.rnd.Int63n(int64(d) + 1)
+	st.mu.Unlock()
+	return d/2 + time.Duration(j)
+}
+
+// degrade records that the disk is failing persistently and starts the
+// re-probe loop (idempotent while already degraded).
+func (st *store) degrade(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	if !st.isDown {
+		st.isDown = true
+		st.reason = err.Error()
+		st.sinceNs = time.Now().UnixNano()
+		st.cfg.degraded.Set(1)
+		st.cfg.logf("server: store degraded (%v); jobs continue in memory, re-probing disk every %s",
+			err, st.cfg.probeEvery)
+	}
+	if !st.probing {
+		st.probing = true
+		st.probeWG.Add(1)
+		go st.probeLoop()
+	}
+}
+
+// state reports (degraded, reason, degraded-since ns).
+func (st *store) state() (bool, string, int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.isDown, st.reason, st.sinceNs
+}
+
+// probeLoop writes the probe file until one write lands, then heals
+// the store and hands control to onHeal for the dirty-record flush.
+func (st *store) probeLoop() {
+	defer st.probeWG.Done()
+	tick := time.NewTicker(st.cfg.probeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-tick.C:
+		}
+		err := ckpt.SaveAs(st.probePath(), probeMagic, probeVersion,
+			probeDoc{WrittenUnixNs: time.Now().UnixNano()})
+		if err != nil {
+			continue
+		}
+		st.mu.Lock()
+		st.isDown = false
+		st.reason = ""
+		st.sinceNs = 0
+		st.probing = false
+		st.cfg.degraded.Set(0)
+		st.mu.Unlock()
+		st.cfg.logf("server: store healed; flushing records held in memory")
+		if st.cfg.onHeal != nil {
+			st.cfg.onHeal()
+		}
+		return
+	}
+}
+
+func (st *store) probePath() string { return st.cfg.probePath }
+
+// close stops the probe loop. Saves issued after close still work (the
+// final shutdown flush uses them); only degrade becomes a no-op.
+func (st *store) close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	close(st.stop)
+	st.mu.Unlock()
+	st.probeWG.Wait()
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"time"
+)
+
+// watchdog is the stuck-run detector: a background scanner that tracks
+// every running job's observable progress — annealing moves and
+// temperature steps from the job's live status surface, flight-recorder
+// sequence numbers (one per move), and checkpointed steps — and cancels
+// any job whose progress counter has not advanced for StallTimeout.
+// Before canceling it dumps the job's flight recorder as a postmortem,
+// so the stall site is diagnosable after the fact, and counts the
+// cancellation in watchdog_cancels. The worker then marks the job
+// failed (see runJob's ErrCanceled branch), not requeued: a job that
+// stalled once would stall again.
+type watchdog struct {
+	s     *Server
+	stall time.Duration
+	every time.Duration
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func newWatchdog(s *Server, stall, every time.Duration) *watchdog {
+	return &watchdog{s: s, stall: stall, every: every,
+		stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+func (w *watchdog) run() {
+	defer close(w.done)
+	tick := time.NewTicker(w.every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+			w.scan(time.Now())
+		}
+	}
+}
+
+func (w *watchdog) close() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}
+
+// scan compares every running job's progress counter against its last
+// observed value and fires on the first job stalled past the timeout.
+func (w *watchdog) scan(now time.Time) {
+	w.s.mu.Lock()
+	running := make([]*job, 0, 4)
+	for _, j := range w.s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			running = append(running, j)
+		}
+		j.mu.Unlock()
+	}
+	w.s.mu.Unlock()
+
+	for _, j := range running {
+		p := j.progress()
+		j.mu.Lock()
+		if j.state != StateRunning || j.watchdogFired {
+			j.mu.Unlock()
+			continue
+		}
+		if p != j.lastProgress || j.lastProgressAtNs == 0 {
+			j.lastProgress = p
+			j.lastProgressAtNs = now.UnixNano()
+			j.mu.Unlock()
+			continue
+		}
+		if now.UnixNano()-j.lastProgressAtNs < int64(w.stall) {
+			j.mu.Unlock()
+			continue
+		}
+		j.watchdogFired = true
+		cancel := j.cancel
+		rec := j.rec
+		j.mu.Unlock()
+
+		w.s.mWatchdogCancels.Inc()
+		w.s.cfg.Logf("server: watchdog: job %s made no progress for %s; canceling", j.id, w.stall)
+		if rec != nil {
+			if path, derr := rec.Dump("watchdog_stall"); derr == nil && path != "" {
+				w.s.cfg.Logf("server: job %s stall postmortem written to %s", j.id, path)
+			}
+		}
+		if cancel != nil {
+			cancel()
+		}
+	}
+}
+
+// stallError is the failure message of a watchdog-canceled job.
+func stallError(stall time.Duration) string {
+	return fmt.Sprintf("watchdog: no observable progress for %s; run canceled", stall)
+}
