@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetFactsRoundTrip proves cross-package blocking facts survive
+// the vetx exchange under the real go command. A scratch module (named
+// irgrid, so the first-party fact gate and the lockscope package gate
+// both open) holds a store package whose Save calls os.WriteFile, and
+// a server package that locks a mutex across store.Save. Nothing in
+// the curated table names store.Save: the only way lockscope can see
+// it block is by reading the Blocks fact the store package's VetxOnly
+// run serialized into its vetx file.
+func TestVetFactsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go vet run")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module irgrid\n\ngo 1.22\n")
+	write("internal/store/store.go", `package store
+
+import "os"
+
+// Save blocks on filesystem I/O; the fact must travel to importers.
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+`)
+	write("internal/server/server.go", `package server
+
+import (
+	"sync"
+
+	"irgrid/internal/store"
+)
+
+type Registry struct {
+	mu sync.Mutex
+}
+
+func (r *Registry) Flush(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return store.Save(path, nil)
+}
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed; want a lockscope finding proving the dep's Blocks fact crossed the vetx boundary\n%s", out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "calls irgrid/internal/store.Save") ||
+		!strings.Contains(text, "while holding irgrid/internal/server.Registry.mu") {
+		t.Fatalf("go vet failed without the expected cross-package diagnostic:\n%s", text)
+	}
+}
+
+// TestVetFactsStdlibGate pins the other half of the contract: vetx
+// files for packages outside the module decode to empty facts, so the
+// curated table stays the only stdlib model. A mutex held across
+// fmt.Sprintf (in-memory formatting, never curated) must stay silent
+// even though the go command hands irlint a VetxOnly run for fmt.
+func TestVetFactsStdlibGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go vet run")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "server"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module irgrid\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	src := `package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+type IDs struct {
+	mu   sync.Mutex
+	next int
+}
+
+func (g *IDs) Next() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.next++
+	return fmt.Sprintf("j%08d", g.next)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "internal", "server", "server.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet flagged in-memory formatting under a mutex (stdlib facts leaked):\n%s", out)
+	}
+}

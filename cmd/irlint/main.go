@@ -55,6 +55,7 @@ func run(args []string) int {
 		listFlag   = fs.Bool("list", false, "list the analyzers and exit")
 		jsonFlag   = fs.Bool("json", false, "emit diagnostics as JSON (vet protocol)")
 		reportFlag = fs.String("report", "", "write a LINT_report.json-style summary to this file (standalone mode)")
+		sarifFlag  = fs.String("sarif", "", "write findings as SARIF 2.1.0 to this file (standalone mode)")
 		_          = fs.Int("c", -1, "display offending line with this many lines of context (accepted for vet compatibility, unused)")
 		flagsFlag  = fs.Bool("flags", false, "print the flag set as JSON (vet protocol)")
 	)
@@ -86,7 +87,7 @@ func run(args []string) int {
 		fs.Usage()
 		return 1
 	}
-	return standalone(rest, *reportFlag)
+	return standalone(rest, *reportFlag, *sarifFlag)
 }
 
 // selfHash hashes the tool's own binary; a rebuilt irlint then
@@ -104,7 +105,7 @@ func selfHash() string {
 	return hex.EncodeToString(sum[:])
 }
 
-func standalone(patterns []string, reportPath string) int {
+func standalone(patterns []string, reportPath, sarifPath string) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "irlint: %v\n", err)
@@ -120,7 +121,12 @@ func standalone(patterns []string, reportPath string) int {
 	counts := map[string]int{}
 	allowCounts := map[string]int{}
 	hotFuncs := 0
-	for _, pkg := range pkgs {
+	// Facts must exist before their consumers: analyze the roots in
+	// dependency order, accumulating each package's facts so downstream
+	// roots see them (the standalone analogue of vet's vetx exchange).
+	factsByPath := map[string]*analysis.PackageFacts{}
+	var factsTotal analysis.PackageFacts
+	for _, pkg := range topoOrder(pkgs) {
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "irlint: %s: %v\n", pkg.ImportPath, terr)
 		}
@@ -132,12 +138,25 @@ func standalone(patterns []string, reportPath string) int {
 		for name, n := range ix.AllowCounts() {
 			allowCounts[name] += n
 		}
+		facts := analysis.ComputeFacts(pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, factsByPath)
+		store := analysis.NewFactStore(facts, factsByPath)
 		for _, a := range analysis.All() {
-			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, ix,
+			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, ix, store,
 				func(d analysis.Diagnostic) { diags = append(diags, d); counts[a.Name]++ })
 			if err := a.Run(pass); err != nil {
 				fmt.Fprintf(os.Stderr, "irlint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
 				return 1
+			}
+		}
+		factsByPath[pkg.ImportPath] = facts
+		factsTotal.LockEdges = append(factsTotal.LockEdges, facts.LockEdges...)
+		factsTotal.AtomicFields = append(factsTotal.AtomicFields, facts.AtomicFields...)
+		if len(facts.Blocks) > 0 {
+			if factsTotal.Blocks == nil {
+				factsTotal.Blocks = map[string]string{}
+			}
+			for k, v := range facts.Blocks {
+				factsTotal.Blocks[k] = v
 			}
 		}
 	}
@@ -151,8 +170,14 @@ func standalone(patterns []string, reportPath string) int {
 	}
 
 	if reportPath != "" {
-		if err := writeReport(reportPath, pkgs, counts, allowCounts, hotFuncs); err != nil {
+		if err := writeReport(reportPath, pkgs, counts, allowCounts, hotFuncs, &factsTotal); err != nil {
 			fmt.Fprintf(os.Stderr, "irlint: writing report: %v\n", err)
+			return 1
+		}
+	}
+	if sarifPath != "" {
+		if err := writeSARIF(sarifPath, cwd, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "irlint: writing sarif: %v\n", err)
 			return 1
 		}
 	}
@@ -160,6 +185,62 @@ func standalone(patterns []string, reportPath string) int {
 		return 2
 	}
 	return 0
+}
+
+// topoOrder orders the root packages dependencies-first (Kahn's
+// algorithm over the import edges between roots; ties broken by the
+// incoming lexicographic order so the result is deterministic).
+func topoOrder(pkgs []*load.Package) []*load.Package {
+	byPath := map[string]*load.Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	indegree := map[string]int{}
+	dependents := map[string][]string{}
+	for _, p := range pkgs {
+		indegree[p.ImportPath] += 0
+		if p.Types == nil {
+			continue
+		}
+		for _, imp := range p.Types.Imports() {
+			if _, isRoot := byPath[imp.Path()]; isRoot {
+				indegree[p.ImportPath]++
+				dependents[imp.Path()] = append(dependents[imp.Path()], p.ImportPath)
+			}
+		}
+	}
+	var ready []string
+	for _, p := range pkgs {
+		if indegree[p.ImportPath] == 0 {
+			ready = append(ready, p.ImportPath)
+		}
+	}
+	var out []*load.Package
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		out = append(out, byPath[path])
+		for _, dep := range dependents[path] {
+			indegree[dep]--
+			if indegree[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+	}
+	// Import cycles are impossible in Go, but be defensive: append
+	// anything Kahn could not schedule.
+	if len(out) < len(pkgs) {
+		scheduled := map[string]bool{}
+		for _, p := range out {
+			scheduled[p.ImportPath] = true
+		}
+		for _, p := range pkgs {
+			if !scheduled[p.ImportPath] {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
 }
 
 // Report is the LINT_report.json schema: per-analyzer finding and
@@ -176,6 +257,8 @@ type Report struct {
 	// testdata/escape_allow.json (cmd/escapegate's budget); -1 when the
 	// file is not present relative to the working directory.
 	EscapeAllowlistSize int `json:"escape_allowlist_size"`
+	// Facts summarizes the cross-package facts computed during the run.
+	Facts FactsReport `json:"facts"`
 }
 
 // AnalyzerReport is one analyzer's row.
@@ -184,13 +267,27 @@ type AnalyzerReport struct {
 	Allows   int `json:"allows"`
 }
 
-func writeReport(path string, pkgs []*load.Package, counts, allowCounts map[string]int, hotFuncs int) error {
+// FactsReport counts the facts the run derived: functions carrying a
+// may-block fact, acquired-while-holding lock edges, and atomically-
+// accessed struct fields.
+type FactsReport struct {
+	BlockingFunctions int `json:"blocking_functions"`
+	LockEdges         int `json:"lock_edges"`
+	AtomicFields      int `json:"atomic_fields"`
+}
+
+func writeReport(path string, pkgs []*load.Package, counts, allowCounts map[string]int, hotFuncs int, facts *analysis.PackageFacts) error {
 	rep := Report{
 		Tool:                "irlint",
 		Packages:            len(pkgs),
 		Analyzers:           map[string]AnalyzerReport{},
 		HotFunctions:        hotFuncs,
 		EscapeAllowlistSize: escapeAllowlistSize("testdata/escape_allow.json"),
+		Facts: FactsReport{
+			BlockingFunctions: len(facts.Blocks),
+			LockEdges:         len(facts.LockEdges),
+			AtomicFields:      len(facts.AtomicFields),
+		},
 	}
 	for _, a := range analysis.All() {
 		rep.Analyzers[a.Name] = AnalyzerReport{Findings: counts[a.Name], Allows: allowCounts[a.Name]}

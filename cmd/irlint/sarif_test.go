@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"irgrid/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the SARIF golden file")
+
+// TestSARIFGolden pins the SARIF encoding byte-for-byte: rule order
+// (the analyzer registry), result fields, and root-relative
+// forward-slash URIs. Regenerate with `go test -run TestSARIFGolden
+// -update ./cmd/irlint`.
+func TestSARIFGolden(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("work", "repo")
+	diags := []analysis.Diagnostic{
+		{
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "server", "server.go"), Line: 42, Column: 7},
+			Analyzer: "lockscope",
+			Message:  "calls os.WriteFile (filesystem I/O) while holding irgrid/internal/server.Server.mu: release the mutex before blocking",
+		},
+		{
+			// Outside root: the URI stays absolute.
+			Pos:      token.Position{Filename: string(filepath.Separator) + filepath.Join("elsewhere", "x.go"), Line: 3, Column: 1},
+			Analyzer: "statemachine",
+			Message:  `undeclared state transition running -> queued on irgrid/internal/server.job.state`,
+		},
+	}
+
+	got, err := json.MarshalIndent(buildSARIF(root, diags), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "sarif_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("SARIF output differs from %s (regenerate with -update)\ngot:\n%s", golden, got)
+	}
+}
+
+// TestSARIFShape checks the structural invariants the golden bytes
+// rely on: one rule per registered analyzer in registry order, and
+// ruleIndex pointing back into that array.
+func TestSARIFShape(t *testing.T) {
+	log := buildSARIF("/r", []analysis.Diagnostic{
+		{Pos: token.Position{Filename: "/r/a.go", Line: 1, Column: 1}, Analyzer: "atomicmix", Message: "m"},
+	})
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	all := analysis.All()
+	if len(run.Tool.Driver.Rules) != len(all) {
+		t.Fatalf("rules = %d, want %d (one per analyzer)", len(run.Tool.Driver.Rules), len(all))
+	}
+	for i, a := range all {
+		if run.Tool.Driver.Rules[i].ID != a.Name {
+			t.Errorf("rules[%d] = %q, want %q", i, run.Tool.Driver.Rules[i].ID, a.Name)
+		}
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "atomicmix" || run.Tool.Driver.Rules[res.RuleIndex].ID != "atomicmix" {
+		t.Errorf("result rule binding broken: %+v", res)
+	}
+	if uri := res.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "a.go" {
+		t.Errorf("URI = %q, want root-relative %q", uri, "a.go")
+	}
+}

@@ -55,13 +55,17 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Index holds the package's parsed //irlint: annotations.
 	Index *Index
+	// Facts holds this package's computed facts plus those of every
+	// dependency the driver supplied (nil-safe: a nil store answers
+	// negatively).
+	Facts *FactStore
 
 	report func(Diagnostic)
 }
 
 // NewPass assembles a Pass; report receives each diagnostic.
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, ix *Index, report func(Diagnostic)) *Pass {
-	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Index: ix, report: report}
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, ix *Index, facts *FactStore, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Index: ix, Facts: facts, report: report}
 }
 
 // Reportf reports a finding at pos unless an //irlint:allow annotation
@@ -89,6 +93,19 @@ func EffectivePath(path string) string {
 	return path
 }
 
+// ModulePath is the module whose packages get derived blocking/lock
+// facts. Standard-library and third-party dependencies are modeled by
+// the curated blocker table in blockfacts.go instead: deriving facts
+// from their internals over-approximates badly (fmt's printer fixpoint
+// would mark Sprintf blocking because some sibling touches a writer).
+const ModulePath = "irgrid"
+
+// FirstParty reports whether an effective import path belongs to the
+// module (facts are derived for it).
+func FirstParty(path string) bool {
+	return path == ModulePath || strings.HasPrefix(path, ModulePath+"/")
+}
+
 // DeterministicPackages are the packages whose results must be
 // bit-reproducible: the evaluation engine and its exact oracle, the
 // annealer, the pipeline assembly, checkpointing, and the public
@@ -114,6 +131,15 @@ var CtxPackages = []string{
 	"irgrid/floorplan",
 	"irgrid/internal/core",
 	"irgrid/internal/server",
+}
+
+// LockPackages are the mutex-rich service-layer packages whose lock
+// discipline lockscope, lockorder and golifecycle enforce: no mutex
+// held across a blocking operation, no acquisition-order cycles, no
+// orphan goroutines (subpackages included).
+var LockPackages = []string{
+	"irgrid/internal/server",
+	"irgrid/internal/obs",
 }
 
 // inPackageSet reports whether the effective path is one of the given

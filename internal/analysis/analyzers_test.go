@@ -37,6 +37,49 @@ func TestCtxpropagate(t *testing.T) {
 	atest.Run(t, analysis.Ctxpropagate,
 		"irgrid/internal/anneal/cpfix",
 		"pkg/cpneg",
+		// The ticker rule: poll loops in the harness subtree must select
+		// a cancellation path alongside the ticker.
+		"irgrid/internal/server/harness/tickfix",
+	)
+}
+
+func TestLockscope(t *testing.T) {
+	atest.Run(t, analysis.Lockscope,
+		"irgrid/internal/server/lsfix", // blocking under a held mutex, incl. a facts-derived callee
+		"pkg/lsneg",                    // same constructs outside the gate: silent
+	)
+}
+
+func TestLockorder(t *testing.T) {
+	atest.Run(t, analysis.Lockorder,
+		"irgrid/internal/server/lofix", // a two-mutex cycle, reported at both closing edges
+		"pkg/loneg",                    // the same cycle outside the gate: silent
+	)
+}
+
+func TestAtomicmix(t *testing.T) {
+	// atomicmix is not package-gated; the negative is a package with no
+	// atomic access at all.
+	atest.Run(t, analysis.Atomicmix,
+		"atomfix",
+		"atomneg",
+	)
+}
+
+func TestGolifecycle(t *testing.T) {
+	atest.Run(t, analysis.Golifecycle,
+		"irgrid/internal/server/glfix",
+		"pkg/glneg",
+	)
+}
+
+func TestStatemachine(t *testing.T) {
+	// statemachine is keyed on //irlint:states declarations rather than
+	// a package gate; smfix includes the acceptance case (an undeclared
+	// running -> queued requeue) and an invalid declaration table.
+	atest.Run(t, analysis.Statemachine,
+		"smfix",
+		"smneg",
 	)
 }
 
@@ -58,7 +101,10 @@ func TestAnnotcheck(t *testing.T) {
 // exactly once, annotcheck not suppressible.
 func TestRegistry(t *testing.T) {
 	all := analysis.All()
-	want := []string{"detmap", "detsource", "hotalloc", "ctxpropagate", "obssafe", "annotcheck"}
+	want := []string{
+		"detmap", "detsource", "hotalloc", "ctxpropagate", "obssafe", "annotcheck",
+		"lockscope", "lockorder", "atomicmix", "golifecycle", "statemachine",
+	}
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
 	}

@@ -3,6 +3,10 @@
 //
 //	//irlint:allow <analyzer>(<reason>)[, <analyzer>(<reason>)...]
 //	//irlint:hot
+//	//irlint:states <s1> <s2> ...
+//	//irlint:initial <s>...
+//	//irlint:terminal <s>...
+//	//irlint:transition <from> -> <to1> <to2> ...
 //
 // An `allow` annotation suppresses the named analyzer on the line the
 // comment appears on and — for a standalone comment — on the line
@@ -14,6 +18,13 @@
 // A `hot` annotation marks a function declaration (via its doc
 // comment) as part of the allocation-free hot path; the hotalloc
 // analyzer then flags alloc-introducing constructs inside it.
+//
+// The `states`/`initial`/`terminal`/`transition` family declares a
+// state machine over string constant values, written as the doc
+// comment of the struct field holding the state; the statemachine
+// analyzer then checks every assignment, comparison and switch on that
+// field against the declared transition relation. BuildMachine
+// assembles and validates a block of these lines.
 //
 // Parsing is strict by design: a malformed directive, an unknown
 // analyzer name or a missing reason is an error, not a silent pass —
@@ -38,6 +49,20 @@ type Directive struct {
 	// Allows holds the (analyzer, reason) pairs of an
 	// //irlint:allow directive.
 	Allows []Allow
+	// States holds one line of a state-machine declaration block
+	// (//irlint:states, :initial, :terminal or :transition).
+	States *StatesLine
+}
+
+// StatesLine is one parsed line of a state-machine declaration.
+type StatesLine struct {
+	// Verb is "states", "initial", "terminal" or "transition".
+	Verb string
+	// From is the source state of a transition line; empty otherwise.
+	From string
+	// Names are the declared states, the initial/terminal lists, or a
+	// transition line's target states.
+	Names []string
 }
 
 // Allow is one analyzer suppression with its mandatory reason.
@@ -78,6 +103,12 @@ func Parse(text string) (*Directive, error) {
 		return &Directive{Allows: allows}, nil
 	case body == "allow":
 		return nil, fmt.Errorf("malformed //irlint:allow directive: missing analyzer(reason) list")
+	case isStatesVerb(body):
+		line, err := parseStatesLine(body)
+		if err != nil {
+			return nil, err
+		}
+		return &Directive{States: line}, nil
 	default:
 		verb := body
 		if i := strings.IndexAny(body, " ("); i >= 0 {
@@ -131,4 +162,291 @@ func parseAllows(s string) ([]Allow, error) {
 		}
 	}
 	return out, nil
+}
+
+// isStatesVerb reports whether the directive body starts with a
+// state-machine verb.
+func isStatesVerb(body string) bool {
+	for _, verb := range []string{"states", "initial", "terminal", "transition"} {
+		if body == verb || strings.HasPrefix(body, verb+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// parseStatesLine parses the body (prefix stripped) of one
+// state-machine directive line.
+func parseStatesLine(body string) (*StatesLine, error) {
+	fields := strings.Fields(body)
+	verb := fields[0]
+	args := fields[1:]
+	if len(args) == 0 {
+		return nil, fmt.Errorf("malformed //irlint:%s directive: missing state list", verb)
+	}
+	for _, a := range args {
+		if a != "->" && !validStateName(a) {
+			return nil, fmt.Errorf("malformed //irlint:%s directive: bad state name %q (want lowercase identifiers)", verb, a)
+		}
+	}
+	if verb != "transition" {
+		for _, a := range args {
+			if a == "->" {
+				return nil, fmt.Errorf("malformed //irlint:%s directive: '->' is only valid in a transition line", verb)
+			}
+		}
+		return &StatesLine{Verb: verb, Names: args}, nil
+	}
+	if len(args) < 3 || args[1] != "->" {
+		return nil, fmt.Errorf("malformed //irlint:transition directive %q: want \"from -> to...\"", body)
+	}
+	for _, a := range args[2:] {
+		if a == "->" {
+			return nil, fmt.Errorf("malformed //irlint:transition directive %q: more than one '->'", body)
+		}
+	}
+	return &StatesLine{Verb: verb, From: args[0], Names: args[2:]}, nil
+}
+
+// validStateName accepts lowercase identifier-shaped state names, which
+// keeps declarations readable and unambiguous with the '->' arrow.
+func validStateName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_'
+		if !ok || (i == 0 && c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Machine is a validated state-machine declaration: the state set, the
+// initial and terminal subsets, and the legal transition relation.
+type Machine struct {
+	// States lists every declared state in declaration order.
+	States []string
+	// Initial and Terminal are the declared subsets.
+	Initial  map[string]bool
+	Terminal map[string]bool
+	// Edges maps a source state to its legal target set.
+	Edges map[string]map[string]bool
+}
+
+// Declared reports whether s is a declared state.
+func (m *Machine) Declared(s string) bool {
+	for _, d := range m.States {
+		if d == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Allows reports whether the transition from -> to is declared.
+// Self-transitions are always legal: re-asserting the current state is
+// a no-op, not a state change.
+func (m *Machine) Allows(from, to string) bool {
+	if from == to {
+		return true
+	}
+	return m.Edges[from][to]
+}
+
+// HasInbound reports whether any declared transition targets s (or s is
+// initial): the reachability requirement for an assignment site whose
+// source state is not statically known.
+func (m *Machine) HasInbound(s string) bool {
+	if m.Initial[s] {
+		return true
+	}
+	for _, tos := range m.Edges {
+		if tos[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// Lines renders the machine back as directive lines (without the
+// comment marker), in canonical order; Lines of a machine built by
+// BuildMachine re-parse to an equivalent machine (the round-trip the
+// parser tests pin).
+func (m *Machine) Lines() []string {
+	out := []string{Prefix + "states " + strings.Join(m.States, " ")}
+	var initial, terminal []string
+	for _, s := range m.States {
+		if m.Initial[s] {
+			initial = append(initial, s)
+		}
+		if m.Terminal[s] {
+			terminal = append(terminal, s)
+		}
+	}
+	out = append(out, Prefix+"initial "+strings.Join(initial, " "))
+	if len(terminal) > 0 {
+		out = append(out, Prefix+"terminal "+strings.Join(terminal, " "))
+	}
+	for _, from := range m.States {
+		tos := m.Edges[from]
+		if len(tos) == 0 {
+			continue
+		}
+		var targets []string
+		for _, s := range m.States {
+			if tos[s] {
+				targets = append(targets, s)
+			}
+		}
+		out = append(out, Prefix+"transition "+from+" -> "+strings.Join(targets, " "))
+	}
+	return out
+}
+
+// BuildMachine assembles a declaration block's parsed lines into a
+// validated Machine. Validation is strict for the same reason allow
+// parsing is: a misdeclared machine silently legalizing (or outlawing)
+// transitions is worse than a failed lint run. Errors: no states line,
+// more than one states/initial/terminal line, duplicate states,
+// undeclared names in any line, no initial state, a terminal state
+// with outgoing transitions, duplicate transition targets, and states
+// unreachable from the initial set.
+func BuildMachine(lines []*StatesLine) (*Machine, error) {
+	m := &Machine{
+		Initial:  map[string]bool{},
+		Terminal: map[string]bool{},
+		Edges:    map[string]map[string]bool{},
+	}
+	var sawStates, sawInitial, sawTerminal bool
+	for _, ln := range lines {
+		switch ln.Verb {
+		case "states":
+			if sawStates {
+				return nil, fmt.Errorf("duplicate //irlint:states line (declare the state set once)")
+			}
+			sawStates = true
+			seen := map[string]bool{}
+			for _, s := range ln.Names {
+				if seen[s] {
+					return nil, fmt.Errorf("duplicate state %q in //irlint:states", s)
+				}
+				seen[s] = true
+				m.States = append(m.States, s)
+			}
+		case "initial", "terminal":
+			if ln.Verb == "initial" {
+				if sawInitial {
+					return nil, fmt.Errorf("duplicate //irlint:initial line")
+				}
+				sawInitial = true
+			} else {
+				if sawTerminal {
+					return nil, fmt.Errorf("duplicate //irlint:terminal line")
+				}
+				sawTerminal = true
+			}
+			if !sawStates {
+				return nil, fmt.Errorf("//irlint:%s before //irlint:states (declare the state set first)", ln.Verb)
+			}
+			set := m.Initial
+			if ln.Verb == "terminal" {
+				set = m.Terminal
+			}
+			for _, s := range ln.Names {
+				if !m.Declared(s) {
+					return nil, fmt.Errorf("//irlint:%s names undeclared state %q", ln.Verb, s)
+				}
+				if set[s] {
+					return nil, fmt.Errorf("duplicate state %q in //irlint:%s", s, ln.Verb)
+				}
+				set[s] = true
+			}
+		case "transition":
+			if !sawStates {
+				return nil, fmt.Errorf("//irlint:transition before //irlint:states (declare the state set first)")
+			}
+			if !m.Declared(ln.From) {
+				return nil, fmt.Errorf("//irlint:transition from undeclared state %q", ln.From)
+			}
+			tos := m.Edges[ln.From]
+			if tos == nil {
+				tos = map[string]bool{}
+				m.Edges[ln.From] = tos
+			}
+			for _, s := range ln.Names {
+				if !m.Declared(s) {
+					return nil, fmt.Errorf("//irlint:transition %s -> %s: undeclared target state", ln.From, s)
+				}
+				if tos[s] {
+					return nil, fmt.Errorf("duplicate transition %s -> %s", ln.From, s)
+				}
+				if s == ln.From {
+					return nil, fmt.Errorf("self-transition %s -> %s is implicit; do not declare it", ln.From, s)
+				}
+				tos[s] = true
+			}
+		default:
+			return nil, fmt.Errorf("unexpected state-machine verb %q", ln.Verb)
+		}
+	}
+	if !sawStates {
+		return nil, fmt.Errorf("state-machine declaration has no //irlint:states line")
+	}
+	if len(m.Initial) == 0 {
+		return nil, fmt.Errorf("state-machine declaration has no initial state (//irlint:initial)")
+	}
+	for s := range m.Terminal {
+		if len(m.Edges[s]) > 0 {
+			return nil, fmt.Errorf("terminal state %q has outgoing transitions", s)
+		}
+	}
+	// Every state must be reachable from the initial set.
+	reached := map[string]bool{}
+	var frontier []string
+	for s := range m.Initial {
+		reached[s] = true
+		frontier = append(frontier, s)
+	}
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		for t := range m.Edges[s] {
+			if !reached[t] {
+				reached[t] = true
+				frontier = append(frontier, t)
+			}
+		}
+	}
+	for _, s := range m.States {
+		if !reached[s] {
+			return nil, fmt.Errorf("state %q is unreachable from the initial state", s)
+		}
+	}
+	return m, nil
+}
+
+// ParseStates extracts and assembles the state-machine declaration of a
+// comment block (each element one comment line including the leading
+// //), ignoring non-directive lines. It returns (nil, nil) when the
+// block carries no state-machine lines at all.
+func ParseStates(comments []string) (*Machine, error) {
+	var lines []*StatesLine
+	for _, text := range comments {
+		d, err := Parse(text)
+		if err != nil {
+			// Malformed directives are annotcheck's findings; the machine
+			// builder sees only well-formed lines.
+			continue
+		}
+		if d != nil && d.States != nil {
+			lines = append(lines, d.States)
+		}
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	return BuildMachine(lines)
 }

@@ -1,0 +1,205 @@
+package annot
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseStatesValid builds the job machine from its declaration
+// block and checks the derived relations: Declared, Allows (with
+// implicit self-transitions), HasInbound (initial counts as reachable)
+// and the initial/terminal subsets.
+func TestParseStatesValid(t *testing.T) {
+	m, err := ParseStates([]string{
+		"//irlint:states queued running done failed canceled",
+		"//irlint:initial queued",
+		"//irlint:terminal done failed canceled",
+		"//irlint:transition queued -> running canceled",
+		"//irlint:transition running -> done failed canceled queued",
+	})
+	if err != nil {
+		t.Fatalf("ParseStates: %v", err)
+	}
+	if m == nil {
+		t.Fatal("ParseStates returned no machine")
+	}
+	if got := strings.Join(m.States, " "); got != "queued running done failed canceled" {
+		t.Errorf("States = %q", got)
+	}
+	if !m.Initial["queued"] || len(m.Initial) != 1 {
+		t.Errorf("Initial = %v, want {queued}", m.Initial)
+	}
+	for _, s := range []string{"done", "failed", "canceled"} {
+		if !m.Terminal[s] {
+			t.Errorf("Terminal[%s] = false", s)
+		}
+	}
+	allows := []struct {
+		from, to string
+		want     bool
+	}{
+		{"queued", "running", true},
+		{"running", "queued", true}, // requeue-on-recovery is declared
+		{"queued", "done", false},
+		{"done", "queued", false},
+		{"running", "running", true}, // self-transitions are implicit
+		{"nosuch", "nosuch", true},   // self rule is unconditional; Declared guards the names
+	}
+	for _, c := range allows {
+		if got := m.Allows(c.from, c.to); got != c.want {
+			t.Errorf("Allows(%s, %s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+	if !m.HasInbound("queued") {
+		t.Error("HasInbound(queued) = false; the initial state is reachable by definition")
+	}
+	if !m.HasInbound("done") || m.HasInbound("nosuch") {
+		t.Error("HasInbound should accept targeted states and reject unknown ones")
+	}
+	if m.Declared("nosuch") {
+		t.Error(`Declared("nosuch") = true`)
+	}
+}
+
+// TestParseStatesIgnoresNoise pins the extraction rules: plain comment
+// lines and other irlint directives are skipped, malformed directive
+// lines are annotcheck's findings (skipped here), and a block with no
+// states lines at all yields (nil, nil).
+func TestParseStatesIgnoresNoise(t *testing.T) {
+	m, err := ParseStates([]string{
+		"// state holds the job's lifecycle phase.",
+		"//irlint:states a b",
+		"//irlint:hot",
+		"//irlint:transition a -> b -> b", // malformed: skipped, not fatal
+		"//irlint:initial a",
+		"//irlint:transition a -> b",
+	})
+	if err != nil {
+		t.Fatalf("ParseStates: %v", err)
+	}
+	if m == nil || !m.Allows("a", "b") {
+		t.Fatalf("machine not assembled from the well-formed lines: %+v", m)
+	}
+
+	m, err = ParseStates([]string{"// no directives here", "//irlint:hot"})
+	if err != nil || m != nil {
+		t.Fatalf("ParseStates(no states lines) = %+v, %v; want nil, nil", m, err)
+	}
+}
+
+// TestBuildMachineStrict enumerates the declaration-table errors: the
+// builder must reject every misdeclared machine rather than guess.
+func TestBuildMachineStrict(t *testing.T) {
+	cases := []struct {
+		name    string
+		lines   []string
+		errWant string
+	}{
+		{
+			"duplicate states line",
+			[]string{"//irlint:states a b", "//irlint:states b a", "//irlint:initial a", "//irlint:transition a -> b"},
+			"duplicate //irlint:states line",
+		},
+		{
+			"duplicate state",
+			[]string{"//irlint:states a a", "//irlint:initial a"},
+			`duplicate state "a"`,
+		},
+		{
+			"states must come first",
+			[]string{"//irlint:initial a", "//irlint:states a"},
+			"before //irlint:states",
+		},
+		{
+			"undeclared initial",
+			[]string{"//irlint:states a b", "//irlint:initial c", "//irlint:transition a -> b"},
+			`names undeclared state "c"`,
+		},
+		{
+			"no initial",
+			[]string{"//irlint:states a b", "//irlint:transition a -> b"},
+			"no initial state",
+		},
+		{
+			"undeclared transition source",
+			[]string{"//irlint:states a b", "//irlint:initial a", "//irlint:transition c -> b"},
+			`from undeclared state "c"`,
+		},
+		{
+			"undeclared transition target",
+			[]string{"//irlint:states a b", "//irlint:initial a", "//irlint:transition a -> c"},
+			"undeclared target state",
+		},
+		{
+			"duplicate transition",
+			[]string{"//irlint:states a b", "//irlint:initial a", "//irlint:transition a -> b b"},
+			"duplicate transition a -> b",
+		},
+		{
+			"declared self-transition",
+			[]string{"//irlint:states a b", "//irlint:initial a", "//irlint:transition a -> a b"},
+			"self-transition a -> a is implicit",
+		},
+		{
+			"terminal with outgoing edges",
+			[]string{"//irlint:states a b", "//irlint:initial a", "//irlint:terminal a", "//irlint:transition a -> b"},
+			`terminal state "a" has outgoing transitions`,
+		},
+		{
+			"unreachable state",
+			[]string{"//irlint:states a b c", "//irlint:initial a", "//irlint:transition a -> b"},
+			`state "c" is unreachable`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := ParseStates(c.lines)
+			if err == nil {
+				t.Fatalf("ParseStates(%v) = %+v, nil; want error containing %q", c.lines, m, c.errWant)
+			}
+			if !strings.Contains(err.Error(), c.errWant) {
+				t.Errorf("error = %q; want it to contain %q", err, c.errWant)
+			}
+		})
+	}
+}
+
+// TestMachineLinesRoundTrip pins the canonical rendering: Lines() of a
+// built machine re-parse (through the same strict builder) to an
+// equivalent machine.
+func TestMachineLinesRoundTrip(t *testing.T) {
+	src := []string{
+		"//irlint:states queued running done failed",
+		"//irlint:initial queued",
+		"//irlint:terminal done failed",
+		"//irlint:transition queued -> running failed",
+		"//irlint:transition running -> done failed",
+	}
+	m, err := ParseStates(src)
+	if err != nil {
+		t.Fatalf("ParseStates: %v", err)
+	}
+	lines := m.Lines()
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, Prefix) {
+			t.Fatalf("Lines() entry %q does not carry the directive prefix", ln)
+		}
+	}
+	m2, err := ParseStates(lines)
+	if err != nil {
+		t.Fatalf("re-parsing Lines(): %v", err)
+	}
+	if strings.Join(m2.States, " ") != strings.Join(m.States, " ") {
+		t.Errorf("round-trip changed the state set: %v vs %v", m2.States, m.States)
+	}
+	for _, from := range m.States {
+		for _, to := range m.States {
+			if m.Allows(from, to) != m2.Allows(from, to) {
+				t.Errorf("round-trip changed Allows(%s, %s)", from, to)
+			}
+		}
+		if m.Initial[from] != m2.Initial[from] || m.Terminal[from] != m2.Terminal[from] {
+			t.Errorf("round-trip changed the %s subsets", from)
+		}
+	}
+}

@@ -81,7 +81,11 @@ func runOne(t *testing.T, a *analysis.Analyzer, srcDir, fixture string) {
 
 	var got []analysis.Diagnostic
 	ix := analysis.BuildIndex(pkg.Fset, pkg.Files)
+	// Same-package facts only: cross-package fact flow is the
+	// unitchecker round-trip test's domain.
+	facts := analysis.ComputeFacts(pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, nil)
 	pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, ix,
+		analysis.NewFactStore(facts, nil),
 		func(d analysis.Diagnostic) { got = append(got, d) })
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s on %s: %v", a.Name, fixture, err)

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Atomicmix forbids mixing sync/atomic access with plain access on the
+// same struct field. A field read through atomic.LoadInt64 in one
+// place and written plainly in another has no happens-before edge
+// between the two sites: the race detector only catches it when a
+// schedule actually interleaves them, while the mix is statically
+// evident. Fields accessed atomically anywhere — recorded as
+// AtomicFields facts, so the atomic site and the plain site may live
+// in different packages — must be accessed atomically everywhere.
+//
+// The analyzer is not gated to the service packages: a mixed access is
+// a bug wherever it occurs. (Fields of the atomic.Int64-style types
+// cannot be accessed plainly at all, which is why the repo prefers
+// them; this analyzer closes the gap for the function-style API.)
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed through sync/atomic must never be read or written plainly",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) error {
+	for _, f := range pass.sourceFiles() {
+		// Field addresses taken as arguments of atomic calls are the
+		// sanctioned access sites.
+		sanctioned := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if un, isUnary := ast.Unparen(arg).(*ast.UnaryExpr); isUnary {
+					if sel, isSel := ast.Unparen(un.X).(*ast.SelectorExpr); isSel {
+						sanctioned[sel] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			key, isField := plainFieldKey(pass.TypesInfo, sel)
+			if !isField || !pass.Facts.AtomicField(key) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"plain access to %s, which is accessed with sync/atomic elsewhere: use the atomic API at every site",
+				key)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,441 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// curatedBlockers maps FuncKey-format names of standard-library
+// operations that may block the calling goroutine to a short category
+// used in diagnostics. The table is deliberately conservative:
+// Close methods are exempt (the server holds its http mutex across
+// ln.Close by design), as is sync.Cond.Wait (it releases the mutex it
+// coordinates — the dequeue idiom). Project functions such as
+// ckpt.SaveAs or floorplan.Run are NOT listed here; they acquire
+// Blocks facts from their own bodies, which is what makes the facts
+// round-trip across package boundaries meaningful.
+var curatedBlockers = map[string]string{
+	// filesystem I/O
+	"os.Chtimes":          "filesystem I/O",
+	"os.Create":           "filesystem I/O",
+	"os.Mkdir":            "filesystem I/O",
+	"os.MkdirAll":         "filesystem I/O",
+	"os.MkdirTemp":        "filesystem I/O",
+	"os.Open":             "filesystem I/O",
+	"os.OpenFile":         "filesystem I/O",
+	"os.ReadDir":          "filesystem I/O",
+	"os.ReadFile":         "filesystem I/O",
+	"os.Remove":           "filesystem I/O",
+	"os.RemoveAll":        "filesystem I/O",
+	"os.Rename":           "filesystem I/O",
+	"os.Stat":             "filesystem I/O",
+	"os.Truncate":         "filesystem I/O",
+	"os.WriteFile":        "filesystem I/O",
+	"os.File.Read":        "filesystem I/O",
+	"os.File.ReadAt":      "filesystem I/O",
+	"os.File.Sync":        "filesystem I/O",
+	"os.File.Truncate":    "filesystem I/O",
+	"os.File.Write":       "filesystem I/O",
+	"os.File.WriteAt":     "filesystem I/O",
+	"os.File.WriteString": "filesystem I/O",
+
+	// timers and synchronization
+	"time.Sleep":          "blocking sleep",
+	"sync.WaitGroup.Wait": "waits for a WaitGroup",
+
+	// network I/O
+	"net.Dial":                       "network I/O",
+	"net.DialTimeout":                "network I/O",
+	"net.Listen":                     "network I/O",
+	"net/http.Get":                   "network I/O",
+	"net/http.Head":                  "network I/O",
+	"net/http.Post":                  "network I/O",
+	"net/http.PostForm":              "network I/O",
+	"net/http.Client.Do":             "network I/O",
+	"net/http.Client.Get":            "network I/O",
+	"net/http.Client.Head":           "network I/O",
+	"net/http.Client.Post":           "network I/O",
+	"net/http.Client.PostForm":       "network I/O",
+	"net/http.Server.ListenAndServe": "network I/O",
+	"net/http.Server.Serve":          "network I/O",
+	"net/http.Server.Shutdown":       "network I/O",
+	"net/http.ResponseWriter.Write":  "HTTP response write",
+	"net/http.Flusher.Flush":         "HTTP response write",
+
+	// stream I/O against arbitrary writers/readers
+	"io.Copy":                      "stream I/O",
+	"io.CopyBuffer":                "stream I/O",
+	"io.CopyN":                     "stream I/O",
+	"io.ReadAll":                   "stream I/O",
+	"io.ReadFull":                  "stream I/O",
+	"io.WriteString":               "stream I/O",
+	"fmt.Fprint":                   "stream I/O",
+	"fmt.Fprintf":                  "stream I/O",
+	"fmt.Fprintln":                 "stream I/O",
+	"encoding/json.Encoder.Encode": "stream I/O",
+	"encoding/json.Decoder.Decode": "stream I/O",
+	"bufio.Writer.Flush":           "stream I/O",
+	"bufio.Scanner.Scan":           "stream I/O",
+
+	// subprocesses
+	"os/exec.Cmd.CombinedOutput": "waits for a subprocess",
+	"os/exec.Cmd.Output":         "waits for a subprocess",
+	"os/exec.Cmd.Run":            "waits for a subprocess",
+	"os/exec.Cmd.Wait":           "waits for a subprocess",
+}
+
+// blockerReason reports whether calling fn may block, from the curated
+// standard-library table or from Blocks facts (the store may be nil).
+func blockerReason(fn *types.Func, store *FactStore) (string, bool) {
+	key := FuncKey(fn)
+	if cat, ok := curatedBlockers[key]; ok {
+		return fmt.Sprintf("calls %s (%s)", key, cat), true
+	}
+	if _, ok := store.BlockReason(key); ok {
+		return "calls " + key, true
+	}
+	return "", false
+}
+
+// calleeFunc resolves the function or method a call expression
+// invokes, or nil (builtins, conversions, calls of function values).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn.Origin()
+		}
+	}
+	return nil
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex acquire or
+// release. class is the lock class ("" when it cannot be derived, in
+// which case the operation is not tracked).
+func mutexOp(info *types.Info, call *ast.CallExpr) (class string, acquire, release, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", false, false, false
+	}
+	recv, named := namedTypeOf(sig.Recv().Type())
+	if !named || (recv.Obj().Name() != "Mutex" && recv.Obj().Name() != "RWMutex") {
+		return "", false, false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		release = true
+	default:
+		return "", false, false, false
+	}
+	return lockClass(info, sel.X, recv.Obj().Name()), acquire, release, true
+}
+
+// lockClass derives the lock class of a mutex operation's receiver
+// expression: "pkgpath.Type.field" for a struct-field mutex (including
+// an embedded one, keyed by the mutex type name), "pkgpath.var" for a
+// package-level or local mutex variable, "" when underivable.
+func lockClass(info *types.Info, x ast.Expr, mutexName string) string {
+	x = ast.Unparen(x)
+	switch e := x.(type) {
+	case *ast.SelectorExpr:
+		if id, isIdent := e.X.(*ast.Ident); isIdent {
+			if pn, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				return EffectivePath(pn.Imported().Path()) + "." + e.Sel.Name
+			}
+		}
+		if tv, ok := info.Types[e.X]; ok {
+			if key, ok := FieldKey(tv.Type, e.Sel.Name); ok {
+				return key
+			}
+		}
+	case *ast.Ident:
+		v, isVar := info.Uses[e].(*types.Var)
+		if !isVar {
+			return ""
+		}
+		if n, named := namedTypeOf(v.Type()); named {
+			pkg := n.Obj().Pkg()
+			if pkg != nil && pkg.Path() != "sync" {
+				// method promoted from an embedded mutex
+				if key, ok := FieldKey(v.Type(), mutexName); ok {
+					return key
+				}
+			}
+		}
+		if v.Pkg() != nil {
+			return EffectivePath(v.Pkg().Path()) + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// scanBlocking classifies whether a function body performs a blocking
+// operation directly (first reason wins) and records the same-package
+// functions it calls into callees for the ComputeFacts fixpoint.
+// Nested function literals, go statements and deferred calls are
+// skipped: they do not block the enclosing function's caller at the
+// point of the statement.
+func scanBlocking(info *types.Info, pkg *types.Package, body *ast.BlockStmt, resolve func(*types.Func) (string, bool), callees map[string]bool) string {
+	reason := ""
+	set := func(r string) {
+		if reason == "" {
+			reason = r
+		}
+	}
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			set("channel send")
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				set("channel receive")
+			}
+		case *ast.SelectStmt:
+			// A select blocks unless it has a default clause; either
+			// way its comm statements are non-blocking, so only the
+			// clause bodies are scanned.
+			hasDefault := false
+			for _, c := range e.Body.List {
+				if cc, isComm := c.(*ast.CommClause); isComm && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				set("blocking select")
+			}
+			for _, c := range e.Body.List {
+				if cc, isComm := c.(*ast.CommClause); isComm {
+					for _, s := range cc.Body {
+						ast.Inspect(s, visit)
+					}
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[e.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					set("range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			if _, _, _, isMutex := mutexOp(info, e); isMutex {
+				return true
+			}
+			fn := calleeFunc(info, e)
+			if fn == nil {
+				return true
+			}
+			if r, ok := resolve(fn); ok {
+				set(r)
+				return true
+			}
+			if fn.Pkg() == pkg {
+				callees[FuncKey(fn)] = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return reason
+}
+
+// ComputeFacts derives a package's exported facts — which functions
+// may block (with an intra-package transitive-call fixpoint; deps'
+// Blocks facts seed cross-package reasoning), the acquired-while-
+// holding lock edges, and the atomically-accessed struct fields. It is
+// a framework pre-pass run by every driver before the analyzers.
+func ComputeFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps map[string]*PackageFacts) *PackageFacts {
+	facts := &PackageFacts{}
+	depStore := NewFactStore(nil, deps)
+	resolve := func(fn *types.Func) (string, bool) { return blockerReason(fn, depStore) }
+	isTest := func(f *ast.File) bool {
+		return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+	}
+
+	type fnInfo struct {
+		decl    *ast.FuncDecl
+		key     string
+		reason  string
+		callees map[string]bool
+	}
+	var fns []*fnInfo
+	for _, f := range files {
+		if isTest(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, isFunc := d.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			obj, isObj := info.Defs[fd.Name].(*types.Func)
+			if !isObj {
+				continue
+			}
+			fi := &fnInfo{decl: fd, key: FuncKey(obj), callees: map[string]bool{}}
+			fi.reason = scanBlocking(info, pkg, fd.Body, resolve, fi.callees)
+			fns = append(fns, fi)
+		}
+	}
+
+	blocks := map[string]string{}
+	for _, fi := range fns {
+		if fi.reason != "" {
+			blocks[fi.key] = fi.reason
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if _, done := blocks[fi.key]; done {
+				continue
+			}
+			for _, callee := range sortedKeys(fi.callees) {
+				if _, ok := blocks[callee]; ok {
+					blocks[fi.key] = "calls " + callee
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	if len(blocks) > 0 {
+		facts.Blocks = blocks
+	}
+
+	edges := map[[2]string]LockEdge{}
+	for _, fi := range fns {
+		w := &lockWalker{
+			info: info,
+			onAcquire: func(pos token.Pos, class string, held map[string]bool) {
+				if class == "" {
+					return
+				}
+				for from := range held {
+					if from == class {
+						continue
+					}
+					k := [2]string{from, class}
+					if _, ok := edges[k]; !ok {
+						edges[k] = LockEdge{From: from, To: class, At: fset.Position(pos).String(), pos: int(pos)}
+					}
+				}
+			},
+		}
+		w.walkFunc(fi.decl.Body)
+	}
+	for _, k := range sortedEdgeKeys(edges) {
+		facts.LockEdges = append(facts.LockEdges, edges[k])
+	}
+
+	facts.AtomicFields = atomicFieldKeys(fset, files, info)
+	return facts
+}
+
+// atomicFieldKeys collects the FieldKeys of struct fields passed by
+// address to function-style sync/atomic operations anywhere in the
+// package (tests included: an atomically-typed field is atomic for
+// everyone).
+func atomicFieldKeys(fset *token.FileSet, files []*ast.File, info *types.Info) []string {
+	seen := map[string]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			sig, isSig := fn.Type().(*types.Signature)
+			if !isSig || sig.Recv() != nil || len(call.Args) == 0 {
+				return true
+			}
+			if key, ok := addressedFieldKey(info, call.Args[0]); ok {
+				seen[key] = true
+			}
+			return true
+		})
+	}
+	return sortedKeys(seen)
+}
+
+// addressedFieldKey resolves an &x.f argument to the field's FieldKey.
+func addressedFieldKey(info *types.Info, arg ast.Expr) (string, bool) {
+	un, isUnary := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !isUnary || un.Op != token.AND {
+		return "", false
+	}
+	sel, isSel := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	return FieldKey(tv.Type, sel.Sel.Name)
+}
+
+// plainFieldKey resolves a (non-addressed) x.f field access to its
+// FieldKey; used by atomicmix to find plain reads/writes.
+func plainFieldKey(info *types.Info, e ast.Expr) (string, bool) {
+	sel, isSel := ast.Unparen(e).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	s, isField := info.Selections[sel]
+	if !isField || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	return FieldKey(tv.Type, sel.Sel.Name)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedEdgeKeys(m map[[2]string]LockEdge) [][2]string {
+	out := make([][2]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -26,13 +27,107 @@ func runCtxpropagate(pass *Pass) error {
 	for _, f := range pass.sourceFiles() {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			if !ok || fd.Body == nil {
 				continue
 			}
-			checkCtxFunc(pass, fd)
+			if fd.Name.IsExported() {
+				checkCtxFunc(pass, fd)
+			} else {
+				// Unexported poll/ticker loops (the watchdog scan loop,
+				// the degraded-store probe, harness pollers) don't owe
+				// their callers a context parameter, but each ticker
+				// select still needs a cancellation path.
+				checkTickerFunc(pass, fd)
+			}
 		}
 	}
 	return nil
+}
+
+// checkTickerFunc enforces the ticker-loop contract on unexported
+// functions: an unbounded loop whose select receives from a
+// time.Time channel (a time.Ticker's C, a time.After) must have some
+// cancellation path — consulting a context parameter, or a second
+// comm case on a non-ticker channel (ctx.Done(), a stop/drain
+// channel). A ticker select with no such path spins until process
+// exit regardless of shutdown.
+func checkTickerFunc(pass *Pass, fd *ast.FuncDecl) {
+	ctxParams := contextParams(pass, fd)
+	for _, loop := range unboundedLoops(fd.Body) {
+		loop := loop
+		ast.Inspect(loop.Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			if !selectHasTimeChanComm(pass, sel) {
+				return true
+			}
+			if len(ctxParams) > 0 && consultsContext(pass, loop.Body, ctxParams) {
+				return true
+			}
+			if selectHasNonTimeChanComm(pass, sel) {
+				return true
+			}
+			pass.Reportf(sel.Select,
+				"ticker loop in %s has no cancellation path: select on ctx.Done() or a stop channel alongside the ticker",
+				fd.Name.Name)
+			return true
+		})
+	}
+}
+
+// commChanIsTime reports whether a comm clause receives from a
+// time.Time channel.
+func commChanIsTime(pass *Pass, cc *ast.CommClause) bool {
+	var ch ast.Expr
+	switch s := cc.Comm.(type) {
+	case *ast.ExprStmt:
+		if un, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+			ch = un.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if un, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+				ch = un.X
+			}
+		}
+	}
+	if ch == nil {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[ch]
+	if !ok {
+		return false
+	}
+	chType, isChan := tv.Type.Underlying().(*types.Chan)
+	if !isChan {
+		return false
+	}
+	named, isNamed := chType.Elem().(*types.Named)
+	return isNamed && named.Obj().Name() == "Time" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "time"
+}
+
+func selectHasTimeChanComm(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil && commChanIsTime(pass, cc) {
+			return true
+		}
+	}
+	return false
+}
+
+func selectHasNonTimeChanComm(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil && !commChanIsTime(pass, cc) {
+			return true
+		}
+	}
+	return false
 }
 
 func checkCtxFunc(pass *Pass, fd *ast.FuncDecl) {

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+)
+
+// This file is the facts layer: per-package analysis results that
+// cross package boundaries, mirroring go/analysis facts. A package's
+// facts are computed once by ComputeFacts (a framework pre-pass, not
+// an analyzer), serialized as JSON into the vet "vetx" file by the
+// unitchecker driver, and accumulated in memory in dependency order by
+// the standalone driver. Analyzers read them through Pass.Facts.
+
+// PackageFacts is one package's exported facts.
+type PackageFacts struct {
+	// Blocks maps a function key (see FuncKey) to the reason the
+	// function may block: a direct blocking operation in its body, or a
+	// call to another function that blocks. Transitive closure is
+	// intra-package; cross-package propagation happens because a
+	// dependency's Blocks facts already incorporate its own deps'.
+	Blocks map[string]string `json:"blocks,omitempty"`
+	// LockEdges records acquired-while-holding pairs observed in the
+	// package: while a mutex of class From was held, a mutex of class To
+	// was acquired. Lock classes are "pkgpath.Type.field" (or
+	// "pkgpath.var" for package-level mutexes).
+	LockEdges []LockEdge `json:"lock_edges,omitempty"`
+	// AtomicFields lists the field keys (FieldKey) accessed through
+	// sync/atomic somewhere in the package.
+	AtomicFields []string `json:"atomic_fields,omitempty"`
+}
+
+// LockEdge is one acquired-while-holding observation.
+type LockEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// At is the inner acquisition's position ("file:line:col"), the
+	// diagnostic anchor when the edge closes a cycle.
+	At string `json:"at,omitempty"`
+
+	// pos is the in-memory token position of the acquisition; zero for
+	// edges deserialized from a dependency's vetx file (a cycle through
+	// them is reported at the current package's participating edge).
+	pos int
+}
+
+// EncodeFacts serializes facts for a vetx file.
+func EncodeFacts(f *PackageFacts) ([]byte, error) {
+	if f == nil {
+		f = &PackageFacts{}
+	}
+	return json.Marshal(f)
+}
+
+// DecodeFacts parses a vetx payload. Zero-length data decodes to empty
+// facts: the go command pre-creates vetx files, and older irlint
+// versions wrote empty ones.
+func DecodeFacts(data []byte) (*PackageFacts, error) {
+	f := &PackageFacts{}
+	if len(data) == 0 {
+		return f, nil
+	}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("parsing package facts: %v", err)
+	}
+	return f, nil
+}
+
+// FactStore gives one pass access to its own package's facts plus the
+// facts of every dependency the driver could supply.
+type FactStore struct {
+	cur  *PackageFacts
+	deps map[string]*PackageFacts
+}
+
+// NewFactStore assembles a store from the current package's facts and
+// the dependency map (keyed by import path; nil is an empty store).
+func NewFactStore(cur *PackageFacts, deps map[string]*PackageFacts) *FactStore {
+	if cur == nil {
+		cur = &PackageFacts{}
+	}
+	return &FactStore{cur: cur, deps: deps}
+}
+
+// BlockReason returns the reason a function (by FuncKey) may block,
+// consulting the current package first, then every dependency.
+func (s *FactStore) BlockReason(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	if r, ok := s.cur.Blocks[key]; ok {
+		return r, true
+	}
+	for _, f := range s.deps {
+		if r, ok := f.Blocks[key]; ok {
+			return r, true
+		}
+	}
+	return "", false
+}
+
+// AtomicField reports whether the field key is atomically accessed in
+// the current package or any dependency.
+func (s *FactStore) AtomicField(key string) bool {
+	if s == nil {
+		return false
+	}
+	for _, k := range s.cur.AtomicFields {
+		if k == key {
+			return true
+		}
+	}
+	for _, f := range s.deps {
+		for _, k := range f.AtomicFields {
+			if k == key {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LockEdges returns the current package's edges followed by every
+// dependency's, deduplicated by (From, To); the first occurrence (and
+// so any in-memory position) wins.
+func (s *FactStore) LockEdges() []LockEdge {
+	if s == nil {
+		return nil
+	}
+	seen := map[[2]string]bool{}
+	var out []LockEdge
+	add := func(edges []LockEdge) {
+		for _, e := range edges {
+			k := [2]string{e.From, e.To}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	add(s.cur.LockEdges)
+	for _, f := range s.deps {
+		add(f.LockEdges)
+	}
+	return out
+}
+
+// FuncKey is the Blocks fact key of a function or method:
+// "pkgpath.Func" or "pkgpath.Recv.Method" (pointer receivers and
+// generic instantiations folded), with testdata/src fixture prefixes
+// stripped so fixtures impersonate production packages.
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	name := fn.Name()
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return name
+	}
+	path := EffectivePath(pkg.Path())
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if tn, ok := namedOrIfaceName(sig.Recv().Type()); ok {
+			return path + "." + tn + "." + name
+		}
+	}
+	return path + "." + name
+}
+
+// FieldKey is the fact key of a struct field: "pkgpath.Type.field",
+// derived from the owning expression's type. ok is false when the
+// owner is not a named (or pointer-to-named) type.
+func FieldKey(owner types.Type, field string) (string, bool) {
+	tn, ok := namedTypeOf(owner)
+	if !ok {
+		return "", false
+	}
+	pkg := tn.Obj().Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	return EffectivePath(pkg.Path()) + "." + tn.Obj().Name() + "." + field, true
+}
+
+// namedTypeOf unwraps pointers and returns the named type beneath.
+func namedTypeOf(t types.Type) (*types.Named, bool) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// namedOrIfaceName names a receiver type (struct or interface).
+func namedOrIfaceName(t types.Type) (string, bool) {
+	if n, ok := namedTypeOf(t); ok {
+		return n.Obj().Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Golifecycle requires every goroutine spawned in the service layer to
+// be tied to a lifecycle: the goroutine must observe a
+// context.Context, participate in a sync.WaitGroup, or communicate
+// over a channel (the registered drain paths — worker stop channels,
+// the probe loop's stop, event streams). An orphan goroutine holds no
+// ticket for shutdown: the daemon's graceful drain returns while it
+// still runs, and the goroutine-leak tests only sample schedules. A
+// `go` statement whose body the analyzer cannot see (a function value,
+// a cross-package callee) is also a finding — tie it visibly or
+// annotate the reviewed reason.
+var Golifecycle = &Analyzer{
+	Name: "golifecycle",
+	Doc:  "service-layer goroutines must be tied to a context, WaitGroup, or channel drain path",
+	Run:  runGolifecycle,
+}
+
+func runGolifecycle(pass *Pass) error {
+	if !inPackageSet(pass.Path(), LockPackages) {
+		return nil
+	}
+	// Same-package function declarations, for `go s.worker()`-style
+	// statements whose lifecycle lives in the named function's body.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, isFn := pass.TypesInfo.Defs[fd.Name].(*types.Func); isFn {
+				decls[fn] = fd
+			}
+		}
+	}
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goLifecycleTied(pass, gs, decls) {
+				pass.Reportf(gs.Pos(),
+					"goroutine is not tied to a context, WaitGroup, or channel drain path: it can outlive the server's shutdown")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goLifecycleTied reports whether the spawned goroutine observably
+// participates in a lifecycle mechanism.
+func goLifecycleTied(pass *Pass, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	// A context handed to the goroutine counts: cancellation reaches it.
+	for _, a := range gs.Call.Args {
+		if tv, ok := pass.TypesInfo.Types[a]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	var body *ast.BlockStmt
+	if lit, isLit := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); isLit {
+		body = lit.Body
+	} else if fn := calleeFunc(pass.TypesInfo, gs.Call); fn != nil {
+		if fd, has := decls[fn]; has {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		return false
+	}
+	return bodyLifecycleTied(pass, body)
+}
+
+func bodyLifecycleTied(pass *Pass, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[e.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					tied = true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinClose(pass, e) || isWaitGroupCall(pass, e) {
+				tied = true
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e]; obj != nil && isContextType(obj.Type()) {
+				tied = true
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+func isBuiltinClose(pass *Pass, call *ast.CallExpr) bool {
+	return isBuiltin(pass, call.Fun, "close")
+}
+
+func isWaitGroupCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return false
+	}
+	named, isNamed := namedTypeOf(sig.Recv().Type())
+	return isNamed && named.Obj().Name() == "WaitGroup"
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Lockorder is a static deadlock detector for the service layer: it
+// assembles the acquired-while-holding graph from the LockEdges facts
+// (an edge A → B means some function acquired mutex class B while
+// already holding A) and reports every acquisition that closes a
+// cycle. Two goroutines traversing a cycle from different entry points
+// deadlock; with the queue, store, quarantine and watchdog each owning
+// a mutex, the ordering discipline is load-bearing and deserves a
+// compile-time gate rather than a lucky chaos run.
+//
+// Edges contributed by dependencies arrive through their vetx facts
+// and carry no local position; a cycle is therefore reported at each
+// participating edge of the package under analysis.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex acquisition order must be acyclic across the service layer",
+	Run:  runLockorder,
+}
+
+func runLockorder(pass *Pass) error {
+	if !inPackageSet(pass.Path(), LockPackages) {
+		return nil
+	}
+	edges := pass.Facts.LockEdges()
+	if len(edges) == 0 {
+		return nil
+	}
+	adj := map[string][]string{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	for _, e := range edges {
+		if e.pos == 0 {
+			// A dependency's edge; its own package's run reports it.
+			continue
+		}
+		path := lockPath(adj, e.To, e.From)
+		if path == nil {
+			continue
+		}
+		cycle := append([]string{e.From}, path...)
+		pass.Reportf(token.Pos(e.pos),
+			"acquiring %s while holding %s closes a lock-order cycle: %s",
+			e.To, e.From, strings.Join(cycle, " -> "))
+	}
+	return nil
+}
+
+// lockPath returns a shortest node path from one lock class to another
+// through the acquired-while-holding graph (BFS), or nil when
+// unreachable.
+func lockPath(adj map[string][]string, from, to string) []string {
+	prev := map[string]string{from: from}
+	frontier := []string{from}
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		if n == to {
+			var path []string
+			for at := to; ; at = prev[at] {
+				path = append([]string{at}, path...)
+				if at == from {
+					return path
+				}
+			}
+		}
+		for _, next := range adj[n] {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = n
+			frontier = append(frontier, next)
+		}
+	}
+	return nil
+}

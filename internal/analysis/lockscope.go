@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lockscope forbids holding a service-layer mutex across a blocking
+// operation: a channel send/receive, a blocking select, or a call that
+// may block — filesystem and network I/O from the curated standard-
+// library table, or any function carrying a Blocks fact (checkpoint
+// saves, annealer runs, stream encoders and everything that
+// transitively reaches them). A queue mutex held across a multi-second
+// checkpoint write stalls every submit and status poll; holding it
+// across a channel op risks deadlock against the goroutine meant to
+// drain the channel.
+//
+// The dataflow is intraprocedural from Lock() to Unlock(); a deferred
+// Unlock keeps the mutex held for the rest of the function (that is
+// the idiom's meaning). Cross-function reasoning rides on the Blocks
+// facts computed per package and exchanged through vetx files under
+// `go vet`.
+var Lockscope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "service-layer mutexes must not be held across blocking operations",
+	Run:  runLockscope,
+}
+
+func runLockscope(pass *Pass) error {
+	if !inPackageSet(pass.Path(), LockPackages) {
+		return nil
+	}
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{
+				info: pass.TypesInfo,
+				blockReason: func(fn *types.Func) (string, bool) {
+					return blockerReason(fn, pass.Facts)
+				},
+				onBlocking: func(pos token.Pos, reason string, held map[string]bool) {
+					pass.Reportf(pos, "%s while holding %s: release the mutex before blocking",
+						reason, heldClasses(held))
+				},
+			}
+			w.walkFunc(fd.Body)
+		}
+	}
+	return nil
+}
+
+// heldClasses renders a held set for a diagnostic, sorted for
+// determinism.
+func heldClasses(held map[string]bool) string {
+	return strings.Join(sortedKeys(held), ", ")
+}

@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockWalker tracks the set of held mutex lock classes through a
+// function body. It is shared by ComputeFacts (lock edges feeding
+// lockorder) and the lockscope analyzer (blocking ops while holding).
+//
+// Semantics:
+//   - x.mu.Lock()/RLock() adds x's class to the held set (onAcquire
+//     fires first, with the classes already held);
+//     x.mu.Unlock()/RUnlock() removes it.
+//   - `defer x.mu.Unlock()` keeps the class held for the remainder of
+//     the function: that is precisely the idiom that holds a lock
+//     across everything that follows.
+//   - Branches analyze each arm on a copy of the held set; the
+//     continuation is the union of the non-terminated exits (plus the
+//     entry set when an arm may be skipped). Loop bodies run on a
+//     copy; the continuation is the entry set.
+//   - go/defer function literals start fresh goroutine-local scopes
+//     with an empty held set.
+type lockWalker struct {
+	info *types.Info
+	// onAcquire fires at each mutex acquisition; held is the set of
+	// classes already held (possibly empty) and may not be retained.
+	onAcquire func(pos token.Pos, class string, held map[string]bool)
+	// onBlocking fires at each potentially blocking operation reached
+	// while at least one class is held.
+	onBlocking func(pos token.Pos, reason string, held map[string]bool)
+	// blockReason resolves whether a called function may block; nil
+	// disables call-blocking detection (lock-edge-only walks).
+	blockReason func(fn *types.Func) (string, bool)
+}
+
+func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
+	w.block(body.List, map[string]bool{})
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func union(sets ...map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range sets {
+		for k := range s {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// block processes a statement list; it returns the held set at
+// fall-off and whether control definitely leaves the list early
+// (return, panic, branch).
+func (w *lockWalker) block(stmts []ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	for _, s := range stmts {
+		var term bool
+		held, term = w.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+// stmt processes one statement, returning the resulting held set and
+// whether control terminates here.
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		return w.scan(st.X, held), false
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			held = w.scan(e, held)
+		}
+		for _, e := range st.Lhs {
+			held = w.scan(e, held)
+		}
+		return held, false
+	case *ast.DeclStmt, *ast.IncDecStmt:
+		return w.scan(s, held), false
+	case *ast.SendStmt:
+		held = w.scan(st.Chan, held)
+		held = w.scan(st.Value, held)
+		w.blockingOp(st.Arrow, "channel send", held)
+		return held, false
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			held = w.scan(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.DeferStmt:
+		return w.deferStmt(st, held), false
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			w.block(lit.Body.List, map[string]bool{})
+		}
+		for _, a := range st.Call.Args {
+			held = w.scan(a, held)
+		}
+		return held, false
+	case *ast.BlockStmt:
+		return w.block(st.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, held)
+	case *ast.IfStmt:
+		return w.ifStmt(st, held)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = w.stmt(st.Init, held)
+		}
+		held = w.scan(st.Cond, held)
+		body := copySet(held)
+		body, _ = w.block(st.Body.List, body)
+		if st.Post != nil {
+			w.stmt(st.Post, body)
+		}
+		return held, false
+	case *ast.RangeStmt:
+		held = w.scan(st.X, held)
+		if tv, ok := w.info.Types[st.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				w.blockingOp(st.For, "range over channel", held)
+			}
+		}
+		w.block(st.Body.List, copySet(held))
+		return held, false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = w.stmt(st.Init, held)
+		}
+		held = w.scan(st.Tag, held)
+		return w.caseClauses(st.Body.List, held), false
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held, _ = w.stmt(st.Init, held)
+		}
+		return w.caseClauses(st.Body.List, held), false
+	case *ast.SelectStmt:
+		return w.selectStmt(st, held), false
+	}
+	return held, false
+}
+
+func (w *lockWalker) deferStmt(st *ast.DeferStmt, held map[string]bool) map[string]bool {
+	// A deferred Unlock keeps the class held through the rest of the
+	// function. Any other deferred call runs at return and is not a
+	// blocking op at this point; its function-literal body is a fresh
+	// scope.
+	if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+		w.block(lit.Body.List, map[string]bool{})
+		return held
+	}
+	// Argument expressions evaluate now.
+	for _, a := range st.Call.Args {
+		held = w.scan(a, held)
+	}
+	return held
+}
+
+func (w *lockWalker) ifStmt(st *ast.IfStmt, held map[string]bool) (map[string]bool, bool) {
+	if st.Init != nil {
+		held, _ = w.stmt(st.Init, held)
+	}
+	held = w.scan(st.Cond, held)
+	thenHeld, thenTerm := w.block(st.Body.List, copySet(held))
+	if st.Else == nil {
+		if thenTerm {
+			return held, false
+		}
+		return union(held, thenHeld), false
+	}
+	elseHeld, elseTerm := w.stmt(st.Else, copySet(held))
+	switch {
+	case thenTerm && elseTerm:
+		return held, true
+	case thenTerm:
+		return elseHeld, false
+	case elseTerm:
+		return thenHeld, false
+	default:
+		return union(thenHeld, elseHeld), false
+	}
+}
+
+// caseClauses analyzes switch cases on copies of held; the
+// continuation is the union of non-terminated case exits plus the
+// entry set when no case might match (no default clause).
+func (w *lockWalker) caseClauses(clauses []ast.Stmt, held map[string]bool) map[string]bool {
+	exits := []map[string]bool{}
+	hasDefault := false
+	for _, c := range clauses {
+		cc, isCase := c.(*ast.CaseClause)
+		if !isCase {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		h := copySet(held)
+		for _, e := range cc.List {
+			h = w.scan(e, h)
+		}
+		h, term := w.block(cc.Body, h)
+		if !term {
+			exits = append(exits, h)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, held)
+	}
+	return union(exits...)
+}
+
+func (w *lockWalker) selectStmt(st *ast.SelectStmt, held map[string]bool) map[string]bool {
+	hasDefault := false
+	for _, c := range st.Body.List {
+		if cc, isComm := c.(*ast.CommClause); isComm && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		w.blockingOp(st.Select, "blocking select", held)
+	}
+	exits := []map[string]bool{}
+	for _, c := range st.Body.List {
+		cc, isComm := c.(*ast.CommClause)
+		if !isComm {
+			continue
+		}
+		h := copySet(held)
+		// The comm statement's channel operation is the select's own
+		// (already accounted); only scan it for mutex ops/func lits.
+		if cc.Comm != nil {
+			h, _ = w.commStmt(cc.Comm, h)
+		}
+		h, term := w.block(cc.Body, h)
+		if !term {
+			exits = append(exits, h)
+		}
+	}
+	exits = append(exits, held)
+	return union(exits...)
+}
+
+// commStmt scans a select comm statement without treating its
+// channel send/receive as an independent blocking op.
+func (w *lockWalker) commStmt(s ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	save := w.onBlocking
+	w.onBlocking = nil
+	defer func() { w.onBlocking = save }()
+	return w.stmt(s, held)
+}
+
+func (w *lockWalker) blockingOp(pos token.Pos, reason string, held map[string]bool) {
+	if w.onBlocking != nil && len(held) > 0 {
+		w.onBlocking(pos, reason, held)
+	}
+}
+
+// scan inspects an expression (or simple statement) for mutex
+// operations, blocking operations, and function literals, mutating and
+// returning the held set.
+func (w *lockWalker) scan(n ast.Node, held map[string]bool) map[string]bool {
+	if n == nil {
+		return held
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			w.block(e.Body.List, map[string]bool{})
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				w.blockingOp(e.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if class, acquire, release, isMutex := mutexOp(w.info, e); isMutex {
+				if acquire {
+					if w.onAcquire != nil {
+						w.onAcquire(e.Pos(), class, held)
+					}
+					if class != "" {
+						held[class] = true
+					}
+				} else if release && class != "" {
+					delete(held, class)
+				}
+				return false
+			}
+			if w.blockReason != nil && len(held) > 0 {
+				if fn := calleeFunc(w.info, e); fn != nil {
+					if reason, ok := w.blockReason(fn); ok {
+						w.blockingOp(e.Pos(), reason, held)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return held
+}

@@ -4,7 +4,10 @@ import "irgrid/internal/analysis/annot"
 
 // All returns the full irlint suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{Detmap, Detsource, Hotalloc, Ctxpropagate, Obssafe, Annotcheck}
+	return []*Analyzer{
+		Detmap, Detsource, Hotalloc, Ctxpropagate, Obssafe, Annotcheck,
+		Lockscope, Lockorder, Atomicmix, Golifecycle, Statemachine,
+	}
 }
 
 func init() {

@@ -1,0 +1,452 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+
+	"irgrid/internal/analysis/annot"
+)
+
+// Statemachine verifies declared state machines. A struct field
+// carrying an //irlint:states declaration block in its doc comment —
+// the job queue's `state` field is the motivating machine — binds the
+// field to a validated transition relation over string state values:
+//
+//	//irlint:states queued running done
+//	//irlint:initial queued
+//	//irlint:terminal done
+//	//irlint:transition queued -> running
+//	//irlint:transition running -> done
+//	state string
+//
+// Every assignment to the field must then perform a declared
+// transition. When the source state is statically known (the
+// assignment is dominated by an `if f == K` or a `switch f { case K }`
+// on the same field), the exact edge K → target must be declared; when
+// it is unknown, the target must at least be reachable (initial or
+// with an inbound edge). Assignments of non-constant values defeat the
+// proof and are findings — restore from a checkpoint under a reviewed
+// //irlint:allow. Comparisons and case labels must name declared
+// states, and a `switch` over the field without a default must be
+// exhaustive, so adding a state revisits every consumer.
+var Statemachine = &Analyzer{
+	Name: "statemachine",
+	Doc:  "state fields declared with //irlint:states may only perform declared transitions",
+	Run:  runStatemachine,
+}
+
+func runStatemachine(pass *Pass) error {
+	machines := collectMachines(pass)
+	if len(machines) == 0 {
+		return nil
+	}
+	c := &smChecker{pass: pass, machines: machines}
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.stmts(fd.Body.List, map[string]string{})
+		}
+	}
+	return nil
+}
+
+// collectMachines finds struct fields whose doc comments declare a
+// state machine, keyed by the field's FieldKey. Invalid declarations
+// are findings at the field.
+func collectMachines(pass *Pass) map[string]*annot.Machine {
+	machines := map[string]*annot.Machine{}
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, isStruct := ts.Type.(*ast.StructType)
+			if !isStruct {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if field.Doc == nil {
+					continue
+				}
+				var comments []string
+				for _, cm := range field.Doc.List {
+					comments = append(comments, cm.Text)
+				}
+				m, err := annot.ParseStates(comments)
+				if err != nil {
+					pass.Reportf(field.Pos(), "invalid state-machine declaration: %v", err)
+					continue
+				}
+				if m == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					if key, keyed := FieldKey(obj.Type(), name.Name); keyed {
+						machines[key] = m
+					}
+				}
+			}
+			return true
+		})
+	}
+	return machines
+}
+
+// smChecker walks function bodies tracking, per machine field, the
+// state the field is known to hold on the current path (from a
+// dominating comparison or an earlier constant assignment).
+type smChecker struct {
+	pass     *Pass
+	machines map[string]*annot.Machine
+}
+
+// machineField resolves an expression to a declared machine's field
+// key.
+func (c *smChecker) machineField(e ast.Expr) (string, *annot.Machine, bool) {
+	key, ok := plainFieldKey(c.pass.TypesInfo, e)
+	if !ok {
+		return "", nil, false
+	}
+	m, declared := c.machines[key]
+	return key, m, declared
+}
+
+// constState evaluates an expression to a constant string state value.
+func (c *smChecker) constState(e ast.Expr) (string, bool) {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func (c *smChecker) stmts(list []ast.Stmt, known map[string]string) {
+	for _, s := range list {
+		c.stmt(s, known)
+	}
+}
+
+func (c *smChecker) stmt(s ast.Stmt, known map[string]string) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			c.expr(e, known)
+		}
+		for i, lhs := range st.Lhs {
+			key, m, isMachine := c.machineField(lhs)
+			if !isMachine {
+				continue
+			}
+			if i < len(st.Rhs) && len(st.Rhs) == len(st.Lhs) {
+				c.checkAssign(key, m, known, st.Lhs[i], st.Rhs[i])
+			} else {
+				// Multi-value or mismatched assignment: non-constant.
+				c.pass.Reportf(lhs.Pos(),
+					"state field %s assigned a non-constant value: the transition cannot be verified", key)
+				delete(known, key)
+			}
+		}
+	case *ast.ExprStmt:
+		c.expr(st.X, known)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			c.expr(e, known)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, known)
+		}
+		c.expr(st.Cond, known)
+		branchKnown := copyStates(known)
+		for key, val := range c.condStates(st.Cond) {
+			branchKnown[key] = val
+		}
+		c.stmts(st.Body.List, branchKnown)
+		if st.Else != nil {
+			c.stmt(st.Else, copyStates(known))
+		}
+		wipeStates(known)
+	case *ast.SwitchStmt:
+		c.switchStmt(st, known)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, known)
+		}
+		for _, cl := range st.Body.List {
+			if cc, isCase := cl.(*ast.CaseClause); isCase {
+				c.stmts(cc.Body, copyStates(known))
+			}
+		}
+		wipeStates(known)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, known)
+		}
+		c.expr(st.Cond, known)
+		// Loop bodies re-enter with an unknown field state: a previous
+		// iteration may have transitioned it.
+		body := map[string]string{}
+		c.stmts(st.Body.List, body)
+		if st.Post != nil {
+			c.stmt(st.Post, body)
+		}
+		wipeStates(known)
+	case *ast.RangeStmt:
+		c.expr(st.X, known)
+		c.stmts(st.Body.List, map[string]string{})
+		wipeStates(known)
+	case *ast.BlockStmt:
+		c.stmts(st.List, known)
+	case *ast.LabeledStmt:
+		c.stmt(st.Stmt, known)
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if cc, isComm := cl.(*ast.CommClause); isComm {
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, copyStates(known))
+				}
+				c.stmts(cc.Body, copyStates(known))
+			}
+		}
+		wipeStates(known)
+	case *ast.GoStmt:
+		c.expr(st.Call, map[string]string{})
+	case *ast.DeferStmt:
+		c.expr(st.Call, map[string]string{})
+	case *ast.SendStmt:
+		c.expr(st.Chan, known)
+		c.expr(st.Value, known)
+	case *ast.DeclStmt, *ast.IncDecStmt:
+		c.exprIn(s, known)
+	}
+}
+
+// checkAssign verifies one `field = value` site.
+func (c *smChecker) checkAssign(key string, m *annot.Machine, known map[string]string, lhs, rhs ast.Expr) {
+	to, isConst := c.constState(rhs)
+	if !isConst {
+		c.pass.Reportf(lhs.Pos(),
+			"state field %s assigned a non-constant value: the transition cannot be verified", key)
+		delete(known, key)
+		return
+	}
+	if !m.Declared(to) {
+		c.pass.Reportf(rhs.Pos(), "state field %s assigned undeclared state %q", key, to)
+		delete(known, key)
+		return
+	}
+	if from, hasFrom := known[key]; hasFrom {
+		if !m.Allows(from, to) {
+			c.pass.Reportf(lhs.Pos(),
+				"undeclared state transition %s -> %s on %s", from, to, key)
+		}
+	} else if !m.HasInbound(to) {
+		c.pass.Reportf(lhs.Pos(),
+			"state field %s assigned %q, which no declared transition reaches", key, to)
+	}
+	known[key] = to
+}
+
+// condStates extracts `field == Const` facts from an if condition's
+// conjuncts.
+func (c *smChecker) condStates(cond ast.Expr) map[string]string {
+	out := map[string]string{}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		be, isBin := ast.Unparen(e).(*ast.BinaryExpr)
+		if !isBin {
+			return
+		}
+		switch be.Op {
+		case token.LAND:
+			walk(be.X)
+			walk(be.Y)
+		case token.EQL:
+			x, y := be.X, be.Y
+			if key, _, isMachine := c.machineField(x); isMachine {
+				if val, isConst := c.constState(y); isConst {
+					out[key] = val
+				}
+			} else if key, _, isMachine := c.machineField(y); isMachine {
+				if val, isConst := c.constState(x); isConst {
+					out[key] = val
+				}
+			}
+		}
+	}
+	walk(cond)
+	return out
+}
+
+// switchStmt handles `switch field { ... }`: case labels must be
+// declared states, the switch must be exhaustive unless it has a
+// default clause, and single-state case bodies know their from-state.
+func (c *smChecker) switchStmt(st *ast.SwitchStmt, known map[string]string) {
+	if st.Init != nil {
+		c.stmt(st.Init, known)
+	}
+	var key string
+	var m *annot.Machine
+	isMachine := false
+	if st.Tag != nil {
+		c.expr(st.Tag, known)
+		key, m, isMachine = c.machineField(st.Tag)
+	}
+	covered := map[string]bool{}
+	hasDefault := false
+	for _, cl := range st.Body.List {
+		cc, isCase := cl.(*ast.CaseClause)
+		if !isCase {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseKnown := copyStates(known)
+		if isMachine {
+			for _, label := range cc.List {
+				val, isConst := c.constState(label)
+				if !isConst {
+					continue
+				}
+				if !m.Declared(val) {
+					c.pass.Reportf(label.Pos(), "switch over %s names undeclared state %q", key, val)
+					continue
+				}
+				covered[val] = true
+			}
+			if len(cc.List) == 1 {
+				if val, isConst := c.constState(cc.List[0]); isConst && m.Declared(val) {
+					caseKnown[key] = val
+				}
+			}
+		}
+		c.stmts(cc.Body, caseKnown)
+	}
+	if isMachine && !hasDefault {
+		var missing []string
+		for _, s := range m.States {
+			if !covered[s] {
+				missing = append(missing, s)
+			}
+		}
+		if len(missing) > 0 {
+			c.pass.Reportf(st.Switch,
+				"switch over %s is not exhaustive: missing %s (add the cases or a default)",
+				key, strings.Join(missing, ", "))
+		}
+	}
+	wipeStates(known)
+}
+
+// expr scans an expression for machine-field comparisons, composite-
+// literal initializations, and nested function literals.
+func (c *smChecker) expr(e ast.Expr, known map[string]string) {
+	if e == nil {
+		return
+	}
+	c.exprIn(e, known)
+}
+
+func (c *smChecker) exprIn(n ast.Node, known map[string]string) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			c.stmts(e.Body.List, map[string]string{})
+			return false
+		case *ast.BinaryExpr:
+			if e.Op == token.EQL || e.Op == token.NEQ {
+				c.checkCompare(e)
+			}
+		case *ast.CompositeLit:
+			c.checkComposite(e, known)
+		}
+		return true
+	})
+}
+
+// checkCompare requires the constant side of a machine-field
+// comparison to name a declared state.
+func (c *smChecker) checkCompare(be *ast.BinaryExpr) {
+	check := func(fieldSide, valueSide ast.Expr) {
+		key, m, isMachine := c.machineField(fieldSide)
+		if !isMachine {
+			return
+		}
+		val, isConst := c.constState(valueSide)
+		if !isConst {
+			return
+		}
+		if !m.Declared(val) {
+			c.pass.Reportf(valueSide.Pos(), "comparison of %s against undeclared state %q", key, val)
+		}
+	}
+	check(be.X, be.Y)
+	check(be.Y, be.X)
+}
+
+// checkComposite verifies machine fields initialized in struct
+// literals: the value must be a declared, reachable state (the
+// from-state of a fresh literal is unknown).
+func (c *smChecker) checkComposite(cl *ast.CompositeLit, known map[string]string) {
+	tv, ok := c.pass.TypesInfo.Types[cl]
+	if !ok {
+		return
+	}
+	for _, el := range cl.Elts {
+		kv, isKV := el.(*ast.KeyValueExpr)
+		if !isKV {
+			continue
+		}
+		id, isIdent := kv.Key.(*ast.Ident)
+		if !isIdent {
+			continue
+		}
+		key, keyed := FieldKey(tv.Type, id.Name)
+		if !keyed {
+			continue
+		}
+		m, declared := c.machines[key]
+		if !declared {
+			continue
+		}
+		to, isConst := c.constState(kv.Value)
+		if !isConst {
+			c.pass.Reportf(kv.Value.Pos(),
+				"state field %s initialized with a non-constant value: the state cannot be verified", key)
+			continue
+		}
+		if !m.Declared(to) {
+			c.pass.Reportf(kv.Value.Pos(), "state field %s initialized with undeclared state %q", key, to)
+			continue
+		}
+		if !m.HasInbound(to) {
+			c.pass.Reportf(kv.Value.Pos(),
+				"state field %s initialized with %q, which no declared transition reaches", key, to)
+		}
+	}
+}
+
+func copyStates(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func wipeStates(m map[string]string) {
+	for k := range m {
+		delete(m, k)
+	}
+}

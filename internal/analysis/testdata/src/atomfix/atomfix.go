@@ -1,0 +1,32 @@
+// Package atomfix mixes sync/atomic and plain access to the same
+// field; atomicmix is not package-gated, so the fixture needs no
+// irgrid path prefix.
+package atomfix
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `plain access to atomfix\.counter\.n, which is accessed with sync/atomic elsewhere: use the atomic API at every site`
+}
+
+func (c *counter) reset() {
+	c.n = 0 // want `plain access to atomfix\.counter\.n`
+}
+
+// hits is never touched atomically: plain access is fine.
+func (c *counter) bump() {
+	c.hits++
+}

@@ -1,0 +1,22 @@
+// Package atomneg accesses its fields only plainly (under a mutex):
+// with no atomic site anywhere, atomicmix must stay silent.
+package atomneg
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) incr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) read() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

@@ -1,0 +1,79 @@
+// Package glfix is the golifecycle fixture: goroutines in the gated
+// service packages must observably participate in a shutdown
+// mechanism.
+package glfix
+
+import (
+	"context"
+	"sync"
+)
+
+type svc struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	work chan int
+}
+
+// An orphan: no context, no WaitGroup, no channel.
+func (s *svc) orphan() {
+	go func() { // want `goroutine is not tied to a context, WaitGroup, or channel drain path: it can outlive the server's shutdown`
+		for i := 0; i < 1000; i++ {
+			_ = i * i
+		}
+	}()
+}
+
+// An opaque function value: the analyzer cannot see the body, so the
+// tie must be visible at the spawn site.
+func (s *svc) opaque(f func()) {
+	go f() // want `goroutine is not tied to a context, WaitGroup, or channel drain path`
+}
+
+// Negatives: each goroutine below is tied through one of the
+// recognized mechanisms.
+
+func (s *svc) withCtx(ctx context.Context) {
+	go s.run(ctx)
+}
+
+func (s *svc) run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func (s *svc) withWaitGroup() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+func (s *svc) withDrain() {
+	go func() {
+		for v := range s.work {
+			_ = v
+		}
+	}()
+}
+
+func (s *svc) withStop() {
+	go func() {
+		<-s.stop
+	}()
+}
+
+// A named same-package callee is looked through: loop selects on the
+// stop channel.
+func (s *svc) named() {
+	go s.loop()
+}
+
+func (s *svc) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case v := <-s.work:
+			_ = v
+		}
+	}
+}

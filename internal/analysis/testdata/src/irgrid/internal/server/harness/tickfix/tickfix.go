@@ -1,0 +1,66 @@
+// Package tickfix exercises ctxpropagate's ticker rule in the harness
+// subtree: an unbounded loop whose select only receives from a ticker
+// has no cancellation path; selecting ctx.Done() or a stop channel
+// alongside it is the sanctioned shape.
+package tickfix
+
+import (
+	"context"
+	"time"
+)
+
+func pollForever(t *time.Ticker) {
+	for {
+		select { // want `ticker loop in pollForever has no cancellation path: select on ctx\.Done\(\) or a stop channel alongside the ticker`
+		case <-t.C:
+			step()
+		}
+	}
+}
+
+func watchForever(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select { // want `ticker loop in watchForever has no cancellation path`
+		case now := <-t.C:
+			_ = now
+		}
+	}
+}
+
+// Negatives: a ctx.Done() case, a stop-channel case, and a bounded
+// loop are each a cancellation path.
+
+func pollWithCtx(ctx context.Context, t *time.Ticker) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			step()
+		}
+	}
+}
+
+func pollWithStop(stop chan struct{}, t *time.Ticker) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			step()
+		}
+	}
+}
+
+func pollBounded(t *time.Ticker) {
+	for i := 0; i < 3; i++ {
+		select {
+		case <-t.C:
+			step()
+		}
+	}
+}
+
+func step() {}

@@ -1,0 +1,38 @@
+// Package lofix is the lockorder positive fixture: two mutex classes
+// acquired in both orders close a cycle, and each participating
+// acquisition is reported.
+package lofix
+
+import "sync"
+
+type store struct{ mu sync.Mutex }
+type index struct{ mu sync.Mutex }
+type audit struct{ mu sync.Mutex }
+
+type svc struct {
+	s store
+	i index
+	a audit
+}
+
+func (v *svc) writeThrough() {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	v.i.mu.Lock() // want `acquiring irgrid/internal/server/lofix\.index\.mu while holding irgrid/internal/server/lofix\.store\.mu closes a lock-order cycle: irgrid/internal/server/lofix\.store\.mu -> irgrid/internal/server/lofix\.index\.mu -> irgrid/internal/server/lofix\.store\.mu`
+	v.i.mu.Unlock()
+}
+
+func (v *svc) readBack() {
+	v.i.mu.Lock()
+	defer v.i.mu.Unlock()
+	v.s.mu.Lock() // want `acquiring irgrid/internal/server/lofix\.store\.mu while holding irgrid/internal/server/lofix\.index\.mu closes a lock-order cycle`
+	v.s.mu.Unlock()
+}
+
+// The audit mutex is always innermost: its edges close no cycle.
+func (v *svc) log() {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	v.a.mu.Lock()
+	v.a.mu.Unlock()
+}

@@ -1,0 +1,102 @@
+// Package lsfix is the lockscope positive fixture: it impersonates the
+// service package (the testdata/src prefix is stripped by
+// EffectivePath) so the analyzer's package gate is open.
+package lsfix
+
+import (
+	"os"
+	"sync"
+)
+
+type queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []string
+	wake  chan struct{}
+}
+
+// Direct curated blocker under the mutex.
+func (q *queue) saveLocked(path string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return os.WriteFile(path, nil, 0o644) // want `calls os\.WriteFile \(filesystem I/O\) while holding irgrid/internal/server/lsfix\.queue\.mu: release the mutex before blocking`
+}
+
+// persist blocks transitively: the fact layer must tag it so callers
+// holding the mutex are caught through the same-package Blocks facts.
+func persist(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func (q *queue) flushLocked(path string) {
+	q.mu.Lock()
+	_ = persist(path, nil) // want `calls irgrid/internal/server/lsfix\.persist while holding irgrid/internal/server/lsfix\.queue\.mu`
+	q.mu.Unlock()
+}
+
+// Channel operations are blocking points in their own right.
+func (q *queue) signalLocked() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.wake <- struct{}{} // want `channel send while holding irgrid/internal/server/lsfix\.queue\.mu`
+}
+
+func (q *queue) awaitLocked() {
+	q.mu.Lock()
+	<-q.wake // want `channel receive while holding irgrid/internal/server/lsfix\.queue\.mu`
+	q.mu.Unlock()
+}
+
+func (q *queue) selectLocked(stop chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want `blocking select while holding irgrid/internal/server/lsfix\.queue\.mu`
+	case <-q.wake:
+	case <-stop:
+	}
+}
+
+// Negatives below: the same operations with the mutex released, or
+// constructs the analyzer deliberately exempts.
+
+func (q *queue) saveUnlocked(path string) error {
+	q.mu.Lock()
+	items := append([]string(nil), q.items...)
+	q.mu.Unlock()
+	_ = items
+	return os.WriteFile(path, nil, 0o644)
+}
+
+// A select with a default never parks the goroutine.
+func (q *queue) trySignal() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// cond.Wait releases the mutex while parked; the dequeue idiom is
+// exempt by design.
+func (q *queue) dequeue() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	return item
+}
+
+// A goroutine launched while the mutex is held starts with its own
+// empty lock scope.
+func (q *queue) spawn(path string, drain chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		_ = os.WriteFile(path, nil, 0o644)
+		<-drain
+	}()
+}

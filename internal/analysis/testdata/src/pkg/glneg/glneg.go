@@ -1,0 +1,11 @@
+// Package glneg spawns an untied goroutine outside the gated service
+// packages: golifecycle must stay silent.
+package glneg
+
+func fire() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}

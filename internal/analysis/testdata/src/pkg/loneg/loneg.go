@@ -1,0 +1,27 @@
+// Package loneg acquires two mutexes in both orders outside the gated
+// service packages: lockorder must stay silent.
+package loneg
+
+import "sync"
+
+type left struct{ mu sync.Mutex }
+type right struct{ mu sync.Mutex }
+
+type pair struct {
+	l left
+	r right
+}
+
+func (p *pair) forward() {
+	p.l.mu.Lock()
+	defer p.l.mu.Unlock()
+	p.r.mu.Lock()
+	p.r.mu.Unlock()
+}
+
+func (p *pair) backward() {
+	p.r.mu.Lock()
+	defer p.r.mu.Unlock()
+	p.l.mu.Lock()
+	p.l.mu.Unlock()
+}

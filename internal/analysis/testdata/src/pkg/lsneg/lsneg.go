@@ -1,0 +1,26 @@
+// Package lsneg holds the lockscope constructs outside the gated
+// service packages: blocking under a mutex here is not the analyzer's
+// business, so the fixture expects silence.
+package lsneg
+
+import (
+	"os"
+	"sync"
+)
+
+type cache struct {
+	mu   sync.Mutex
+	wake chan struct{}
+}
+
+func (c *cache) saveLocked(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.WriteFile(path, nil, 0o644)
+}
+
+func (c *cache) signalLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wake <- struct{}{}
+}

@@ -1,0 +1,118 @@
+// Package smfix declares a state machine on a struct field and
+// exercises every statemachine check. The machine deliberately does
+// NOT declare running -> queued: the requeue function below proves the
+// analyzer rejects that transition.
+package smfix
+
+type job struct {
+	//irlint:states queued running done failed
+	//irlint:initial queued
+	//irlint:terminal done failed
+	//irlint:transition queued -> running failed
+	//irlint:transition running -> done failed
+	state string
+	note  string
+}
+
+const (
+	stQueued  = "queued"
+	stRunning = "running"
+	stDone    = "done"
+	stFailed  = "failed"
+)
+
+// Declared transitions with a statically known source state.
+func start(j *job) {
+	if j.state == stQueued {
+		j.state = stRunning
+	}
+}
+
+// Unknown source, reachable target: allowed.
+func finish(j *job) {
+	j.state = stDone
+}
+
+// The acceptance case: running -> queued is not a declared transition.
+func requeue(j *job) {
+	switch j.state {
+	case stRunning:
+		j.state = stQueued // want `undeclared state transition running -> queued on smfix\.job\.state`
+	default:
+	}
+}
+
+// Same violation proven through an if-dominated source state.
+func requeueIf(j *job) {
+	if j.state == stRunning {
+		j.state = stQueued // want `undeclared state transition running -> queued on smfix\.job\.state`
+	}
+}
+
+// Assigning a state the table never declared.
+func corrupt(j *job) {
+	j.state = "paused" // want `state field smfix\.job\.state assigned undeclared state "paused"`
+}
+
+// A non-constant right-hand side defeats the proof.
+func restore(j *job, persisted string) {
+	j.state = persisted // want `state field smfix\.job\.state assigned a non-constant value: the transition cannot be verified`
+}
+
+// Comparisons must name declared states.
+func isZombie(j *job) bool {
+	return j.state == "zombie" // want `comparison of smfix\.job\.state against undeclared state "zombie"`
+}
+
+// A switch without a default must cover every declared state.
+func code(j *job) int {
+	switch j.state { // want `switch over smfix\.job\.state is not exhaustive: missing failed \(add the cases or a default\)`
+	case stQueued:
+		return 0
+	case stRunning:
+		return 1
+	case stDone:
+		return 2
+	}
+	return -1
+}
+
+// Case labels must be declared states.
+func weird(j *job) {
+	switch j.state {
+	case "limbo": // want `switch over smfix\.job\.state names undeclared state "limbo"`
+	default:
+	}
+}
+
+// Composite literals: the initial state is reachable by definition;
+// undeclared or non-constant initializers are findings.
+func newJob() *job {
+	return &job{state: stQueued}
+}
+
+func newBroken() *job {
+	return &job{state: "limbo"} // want `state field smfix\.job\.state initialized with undeclared state "limbo"`
+}
+
+func newFromSpec(s string) *job {
+	return &job{state: s} // want `state field smfix\.job\.state initialized with a non-constant value: the state cannot be verified`
+}
+
+// The note field carries no machine: anything goes.
+func annotate(j *job, s string) {
+	j.note = s
+}
+
+// task's table is invalid (transition names an undeclared state); the
+// declaration itself is the finding and no machine is registered.
+type task struct {
+	//irlint:states idle busy
+	//irlint:initial idle
+	//irlint:transition idle -> gone
+	phase string // want `invalid state-machine declaration`
+}
+
+func poke(t *task) {
+	t.phase = "anything"
+}

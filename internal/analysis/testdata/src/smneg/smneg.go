@@ -1,0 +1,43 @@
+// Package smneg holds the statemachine negatives: a free-form string
+// field with no declaration, and a declared machine used strictly
+// within its transition relation.
+package smneg
+
+type widget struct {
+	// No //irlint:states block: the field is not a machine.
+	state string
+}
+
+func scribble(w *widget, s string) {
+	w.state = s
+	w.state = "whatever"
+	if w.state == "anything" {
+		w.state = "else"
+	}
+}
+
+type door struct {
+	//irlint:states closed open
+	//irlint:initial closed
+	//irlint:transition closed -> open
+	//irlint:transition open -> closed
+	pos string
+}
+
+func toggle(d *door) {
+	switch d.pos {
+	case "closed":
+		d.pos = "open"
+	case "open":
+		d.pos = "closed"
+	}
+}
+
+func slam(d *door) {
+	// Unknown source state, but closed has an inbound edge.
+	d.pos = "closed"
+}
+
+func newDoor() *door {
+	return &door{pos: "closed"}
+}

@@ -32,6 +32,7 @@ type Config struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -48,31 +49,48 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 		return 1
 	}
 
-	// Facts output must exist even when empty, or the go command
-	// reports the tool as failed; irlint exports no facts.
+	// Facts output must exist even when the package produced none, or
+	// the go command reports the tool as failed; the real facts write
+	// below marks itself done to keep this a fallback.
+	factsWritten := false
 	defer func() {
-		if cfg.VetxOutput != "" {
+		if cfg.VetxOutput != "" && !factsWritten {
 			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
 		}
 	}()
 
-	if cfg.VetxOnly {
-		// This invocation only wants facts for a dependency.
-		return 0
-	}
 	if analysis.IsTestVariant(cfg.ImportPath) && !isInternalTestVariant(cfg.ImportPath) {
 		// Synthesized test-main and external _test packages carry no
 		// production code; the plain variant already covers the sources.
 		return 0
 	}
+	if cfg.VetxOnly && !analysis.FirstParty(analysis.EffectivePath(cfg.ImportPath)) {
+		// The go command requests facts for every dependency, standard
+		// library included. Derived facts are a first-party concept —
+		// stdlib blocking behavior is modeled by the curated table — so
+		// dependencies outside the module export empty facts (written by
+		// the fallback above) without even being type-checked.
+		return 0
+	}
 
-	diags, err := check(cfg, analyzers)
+	diags, facts, err := check(cfg, analyzers)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "irlint: %s: %v\n", cfg.ImportPath, err)
 		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if data, encErr := analysis.EncodeFacts(facts); encErr == nil {
+			if os.WriteFile(cfg.VetxOutput, data, 0o666) == nil {
+				factsWritten = true
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// This invocation only wants the dependency's facts.
+		return 0
 	}
 	if len(diags) == 0 {
 		if jsonOut {
@@ -116,13 +134,13 @@ func isInternalTestVariant(path string) bool {
 	return false
 }
 
-func check(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+func check(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *analysis.PackageFacts, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -151,20 +169,54 @@ func check(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, 
 	}
 	tpkg, err := tconf.Check(pkgPath, fset, files, info)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+
+	deps := loadDepFacts(cfg)
+	facts := analysis.ComputeFacts(fset, files, tpkg, info, deps)
+	if cfg.VetxOnly {
+		// The go command only wants this dependency's facts; skip the
+		// analyzers (diagnostics in deps are the dep's own vet run).
+		return nil, facts, nil
+	}
+	store := analysis.NewFactStore(facts, deps)
 
 	ix := analysis.BuildIndex(fset, files)
 	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
-		pass := analysis.NewPass(a, fset, files, tpkg, info, ix,
+		pass := analysis.NewPass(a, fset, files, tpkg, info, ix, store,
 			func(d analysis.Diagnostic) { diags = append(diags, d) })
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+			return nil, nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
 		}
 	}
 	analysis.SortDiagnostics(diags)
-	return diags, nil
+	return diags, facts, nil
+}
+
+// loadDepFacts reads the dependencies' facts from the vetx files the
+// go command recorded in PackageVetx. Zero-length files decode to
+// empty facts (the go command pre-creates them; earlier irlint
+// versions wrote nothing else); unreadable or corrupt entries are
+// treated as fact-free rather than failing the run, matching vet's
+// tolerance for tools that export no facts.
+func loadDepFacts(cfg *Config) map[string]*analysis.PackageFacts {
+	if len(cfg.PackageVetx) == 0 {
+		return nil
+	}
+	deps := make(map[string]*analysis.PackageFacts, len(cfg.PackageVetx))
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		f, err := analysis.DecodeFacts(data)
+		if err != nil {
+			continue
+		}
+		deps[path] = f
+	}
+	return deps
 }
 
 func indexSpace(s string) int {

@@ -43,8 +43,8 @@ func waitMetric(t *testing.T, reg *telemetry.Registry, name string, want float64
 }
 
 // waitState polls a job until it reaches exactly state — unlike
-// WaitTerminal it can wait for quarantined, which is terminal but not
-// a state a healthy client loop expects.
+// WaitTerminal (which accepts any terminal state, quarantined
+// included) it pins the specific outcome under test.
 func waitState(ctx context.Context, t *testing.T, c *harness.Client, id, state string) *server.JobStatus {
 	t.Helper()
 	st, err := c.WaitStatus(ctx, id, func(st *server.JobStatus) bool {

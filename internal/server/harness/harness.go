@@ -324,10 +324,12 @@ func (c *Client) Events(ctx context.Context, id string, follow bool) ([]telemetr
 }
 
 // WaitTerminal polls a job until it reaches a terminal state (done,
-// failed or canceled), the poll predicate below it, or ctx expires.
+// failed, canceled or quarantined), the poll predicate below it, or
+// ctx expires.
 func (c *Client) WaitTerminal(ctx context.Context, id string) (*server.JobStatus, error) {
 	return c.WaitStatus(ctx, id, func(st *server.JobStatus) bool {
-		return st.State == server.StateDone || st.State == server.StateFailed || st.State == server.StateCanceled
+		return st.State == server.StateDone || st.State == server.StateFailed ||
+			st.State == server.StateCanceled || st.State == server.StateQuarantined
 	})
 }
 

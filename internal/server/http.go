@@ -91,6 +91,10 @@ func (s *Server) healthDoc() healthDoc {
 			doc.JobsRunning++
 		case StateQuarantined:
 			doc.JobsQuarantined++
+		default:
+			// Queued and the other terminal states are visible through
+			// len(jobs)/queue_depth; only the two special populations
+			// get their own counters.
 		}
 		j.mu.Unlock()
 	}

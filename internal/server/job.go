@@ -367,6 +367,17 @@ type job struct {
 	dir  string
 	spec *jobSpec
 
+	// The job lifecycle, declared for the statemachine analyzer: a job
+	// is born queued; running may return to queued (a drain or daemon
+	// crash re-enqueues it to resume from its checkpoint); done, failed,
+	// canceled and quarantined are terminal. Every assignment site must
+	// perform one of these transitions.
+	//
+	//irlint:states queued running done failed canceled quarantined
+	//irlint:initial queued
+	//irlint:terminal done failed canceled quarantined
+	//irlint:transition queued -> running canceled quarantined
+	//irlint:transition running -> done failed canceled queued quarantined
 	state    string
 	created  int64
 	started  int64

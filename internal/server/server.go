@@ -172,6 +172,11 @@ type Server struct {
 	jobs     map[string]*job
 	nextID   int
 	draining bool
+	// pending counts submissions that hold a reserved queue slot while
+	// their job record is persisted outside s.mu (see submit): the
+	// admission check uses len(queue)+pending so concurrent submits
+	// cannot oversubscribe the queue during the disk write.
+	pending int
 
 	wg sync.WaitGroup
 
@@ -360,7 +365,7 @@ func (s *Server) loadJob(name, dir string) (*job, error) {
 	j.resumes = pj.Resumes
 	j.attempts = pj.Attempts
 	if terminalState(pj.State) {
-		j.state = pj.State
+		j.state = pj.State //irlint:allow statemachine(restoring a persisted terminal state; terminalState gates the value)
 		close(j.done)
 	} else {
 		j.state = StateQueued
@@ -509,38 +514,65 @@ func (s *Server) submit(body []byte) (*JobStatus, *Error) {
 	}
 	now := time.Now().UnixNano()
 
+	// Phase 1 under s.mu: admission control and identity. The queue
+	// slot is reserved (pending) so the record can be persisted off the
+	// lock — the retrying store can spend seconds on a sick disk, and
+	// holding s.mu across that would stall every status poll and
+	// dequeue (the lockscope invariant) — without letting concurrent
+	// submits oversubscribe the queue meanwhile.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return nil, &Error{Status: http.StatusServiceUnavailable, Code: CodeShuttingDown,
 			Message: "server is draining; resubmit after restart"}
 	}
-	if len(s.queue) >= s.cfg.QueueDepth {
+	if len(s.queue)+s.pending >= s.cfg.QueueDepth {
+		occupied := len(s.queue) + s.pending
 		s.mQueueFull.Inc()
+		s.mu.Unlock()
 		return nil, &Error{Status: http.StatusTooManyRequests, Code: CodeQueueFull,
-			Message: fmt.Sprintf("job queue is full (%d queued)", len(s.queue))}
+			Message: fmt.Sprintf("job queue is full (%d queued)", occupied)}
 	}
 	id := fmt.Sprintf("j%08d", s.nextID)
+	s.nextID++
 	dir := filepath.Join(s.jobsDir(), id)
 	j := newJob(id, dir, spec, now)
-	// Degraded acceptance: a failing disk does not refuse work. The
-	// job is accepted and runs from memory; its record is marked dirty
-	// and written by the heal flush once the store recovers. (Readiness
-	// — /readyz — reports degraded so load balancers can steer new
-	// traffic elsewhere, but jobs that do arrive are served.)
+	s.jobs[id] = j
+	s.pending++
+	s.mu.Unlock()
+
+	// Disk I/O with no server lock held. Degraded acceptance: a failing
+	// disk does not refuse work. The job is accepted and runs from
+	// memory; its record is marked dirty and written by the heal flush
+	// once the store recovers. (Readiness — /readyz — reports degraded
+	// so load balancers can steer new traffic elsewhere, but jobs that
+	// do arrive are served.)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		s.store.degrade(&StoreError{Op: "mkdir", Path: dir, Err: err})
+		j.mu.Lock()
 		j.dirty = true
+		j.mu.Unlock()
 	} else {
 		s.persistJob(j)
 	}
-	s.nextID++
-	s.jobs[id] = j
-	s.queue = append(s.queue, j)
+
+	// Phase 2 under s.mu: release the reservation and enqueue. The job
+	// was visible in s.jobs during the write, so it may already have
+	// been canceled — a canceled job must not enter the queue.
+	s.mu.Lock()
+	s.pending--
+	j.mu.Lock()
+	enqueue := j.state == StateQueued
+	j.mu.Unlock()
+	pos := 0
+	if enqueue {
+		s.queue = append(s.queue, j)
+		pos = len(s.queue)
+	}
 	s.gQueueDepth.Set(float64(len(s.queue)))
 	s.mSubmitted.Inc()
-	pos := len(s.queue)
 	s.cond.Signal()
+	s.mu.Unlock()
 	return j.status(pos), nil
 }
 
@@ -938,7 +970,7 @@ func (s *Server) finishJob(j *job, state, outcome, errMsg string) {
 		j.mu.Unlock()
 		return
 	}
-	j.state = state
+	j.state = state //irlint:allow statemachine(callers pass a terminal-state constant; the terminalState guard above keeps terminal states sticky)
 	j.outcome = outcome
 	j.errMsg = errMsg
 	j.finished = time.Now().UnixNano()

@@ -46,6 +46,11 @@ func TestLintReportSchema(t *testing.T) {
 		} `json:"analyzers"`
 		HotFunctions        int `json:"hot_functions"`
 		EscapeAllowlistSize int `json:"escape_allowlist_size"`
+		Facts               struct {
+			BlockingFunctions int `json:"blocking_functions"`
+			LockEdges         int `json:"lock_edges"`
+			AtomicFields      int `json:"atomic_fields"`
+		} `json:"facts"`
 	}
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("parsing LINT_report.json: %v", err)
@@ -56,7 +61,10 @@ func TestLintReportSchema(t *testing.T) {
 	if rep.Packages <= 0 {
 		t.Errorf("packages = %d, want > 0", rep.Packages)
 	}
-	for _, name := range []string{"detmap", "detsource", "hotalloc", "ctxpropagate", "obssafe", "annotcheck"} {
+	for _, name := range []string{
+		"detmap", "detsource", "hotalloc", "ctxpropagate", "obssafe", "annotcheck",
+		"lockscope", "lockorder", "atomicmix", "golifecycle", "statemachine",
+	} {
 		row, ok := rep.Analyzers[name]
 		if !ok {
 			t.Errorf("report missing analyzer %q", name)
@@ -74,5 +82,16 @@ func TestLintReportSchema(t *testing.T) {
 	}
 	if rep.EscapeAllowlistSize <= 0 {
 		t.Errorf("escape_allowlist_size = %d, want > 0 (testdata/escape_allow.json missing?)", rep.EscapeAllowlistSize)
+	}
+	// The facts pre-pass must have seen the service layer: blocking
+	// functions (checkpoint saves, the annealer) and the server's nested
+	// mutex acquisitions are structural, not incidental. atomic_fields
+	// may legitimately be zero (the repo prefers the atomic.Int64-style
+	// types, which the fact does not cover).
+	if rep.Facts.BlockingFunctions == 0 {
+		t.Error("facts.blocking_functions = 0; ckpt/anneal I/O should carry Blocks facts")
+	}
+	if rep.Facts.LockEdges == 0 {
+		t.Error("facts.lock_edges = 0; the server's nested mutex acquisitions should be recorded")
 	}
 }
